@@ -1,0 +1,55 @@
+// Ablation: dispatch efficiency versus work-interval depth — the
+// Section III cost model in action. Small rounds leave the cluster
+// waiting on scatter/gather and per-round fixed costs; the paper's
+// remedy is that "N_node could be arbitrarily increased to minimize
+// the overhead caused by the dispatch and merge steps".
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "hash/md5.h"
+#include "support/table.h"
+
+int main() {
+  using namespace gks;
+
+  const std::string planted = "Mq3kQ9ad";
+  core::CrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.charset = keyspace::Charset::alphanumeric();
+  request.min_length = 1;
+  request.max_length = 8;
+  request.target_hex = hash::Md5::digest(planted).to_hex();
+
+  gks::TablePrinter table;
+  table.header({"round depth (virtual s)", "rounds", "throughput (MKey/s)",
+                "dispatch efficiency"});
+
+  for (const double depth : {0.5, 2.0, 8.0, 30.0}) {
+    core::ClusterOptions options;
+    options.time_scale = 1e-3;
+    options.gpu_mode = core::SimGpuMode::kModel;
+    options.planted_key = planted;
+    options.agent.round_virtual_target_s = depth;
+
+    core::ClusterCracker cluster(core::ClusterCracker::paper_topology(),
+                                 options);
+    const auto report = cluster.crack(request);
+    double device_sum = 0;
+    for (const auto& m : report.members) device_sum += m.throughput;
+
+    table.row({gks::TablePrinter::num(depth),
+               std::to_string(report.rounds),
+               gks::TablePrinter::num(report.throughput / 1e6),
+               gks::TablePrinter::num(report.throughput / device_sum, 3)});
+  }
+
+  std::printf("== Dispatch granularity sweep (paper network, MD5) ==\n\n%s\n",
+              table.str().c_str());
+  std::printf(
+      "Efficiency climbs toward 1.0 as rounds deepen: per-round costs\n"
+      "(K_scatter + K_gather + synchronization on the slowest member)\n"
+      "amortize over more K_search work, exactly as the Section III\n"
+      "bound K_D >= max_j(K_scatter + K_search + K_gather) predicts.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Host-CPU microbenchmarks of the hash kernels (google-benchmark):
+// streaming reference implementations, the single-block crack kernels
+// with and without the Section V-B optimizations, and the multi-lane
+// (ILP) instantiation. These are the real-machine counterparts of the
+// simulated GPU numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/lane.h"
+#include "hash/lane_scan.h"
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1.h"
+#include "hash/sha1_crack.h"
+#include "hash/sha256.h"
+
+namespace {
+
+using namespace gks::hash;
+
+void BM_Md5Reference(benchmark::State& state) {
+  const std::string key = "p4ssw0rd";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::digest(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Md5Reference);
+
+void BM_Sha1Reference(benchmark::State& state) {
+  const std::string key = "p4ssw0rd";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::digest(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha1Reference);
+
+void BM_Sha256Reference(benchmark::State& state) {
+  const std::string key = "p4ssw0rd";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha256Reference);
+
+void BM_Md5CrackPlain(benchmark::State& state) {
+  const Md5CrackContext ctx(Md5::digest("p4ssw0rd"), "w0rd", 8);
+  std::uint32_t m0 = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.test_plain(m0++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Md5CrackPlain);
+
+void BM_Md5CrackReversedEarlyExit(benchmark::State& state) {
+  const Md5CrackContext ctx(Md5::digest("p4ssw0rd"), "w0rd", 8);
+  std::uint32_t m0 = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.test(m0++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Md5CrackReversedEarlyExit);
+
+void BM_Sha1CrackOptimized(benchmark::State& state) {
+  const Sha1CrackContext ctx(Sha1::digest("p4ssw0rd"), "w0rd", 8);
+  std::uint32_t w0 = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.test(w0++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha1CrackOptimized);
+
+void BM_Md5ScanPrefixes(benchmark::State& state) {
+  const Md5CrackContext ctx(Md5::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, false);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md5_scan_prefixes(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Md5ScanPrefixes);
+
+void BM_Md5ScanPrefixesLanes(benchmark::State& state) {
+  // The vectorized scanner the CPU backend actually uses.
+  const Md5CrackContext ctx(Md5::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, false);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md5_scan_prefixes_lanes(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Md5ScanPrefixesLanes);
+
+template <std::size_t N>
+void BM_Md5Laned(benchmark::State& state) {
+  // N interleaved single-block hashes from one instruction stream.
+  std::array<Lane<std::uint32_t, N>, 16> m{};
+  for (std::size_t w = 0; w < 16; ++w) {
+    for (std::size_t l = 0; l < N; ++l) {
+      m[w][l] = static_cast<std::uint32_t>(w * 131 + l * 17);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md5_single_block(m));
+    m[0][0] += 1;  // vary the input
+  }
+  state.SetItemsProcessed(state.iterations() * N);
+}
+BENCHMARK(BM_Md5Laned<1>);
+BENCHMARK(BM_Md5Laned<2>);
+BENCHMARK(BM_Md5Laned<4>);
+BENCHMARK(BM_Md5Laned<8>);
+
+}  // namespace

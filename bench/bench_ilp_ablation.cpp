@@ -1,0 +1,43 @@
+// Ablation: instruction-level parallelism (interleaving N candidate
+// hashes per thread) per architecture. Section V-B: a better ILP
+// factor is "a good choice on Fermi" and "pointless on cc 3.0".
+
+#include <cstdio>
+
+#include "core/gpu_backend.h"
+#include "simgpu/model.h"
+#include "simgpu/simt.h"
+#include "support/table.h"
+
+int main() {
+  using namespace gks;
+
+  gks::TablePrinter table;
+  table.header({"device", "ILP=1", "ILP=2", "ILP=4", "theoretical",
+                "ILP2/ILP1"});
+  for (const auto& dev : simgpu::paper_devices()) {
+    auto profile =
+        core::our_kernel_profile(hash::Algorithm::kMd5, dev.cc);
+    std::vector<double> rates;
+    for (const unsigned ilp : {1u, 2u, 4u}) {
+      profile.ilp = ilp;
+      rates.push_back(
+          simgpu::SimtSimulator::device_throughput(dev, profile) / 1e6);
+    }
+    const double theory = simgpu::ThroughputModel::theoretical_mkeys(
+        dev, profile.per_candidate);
+    table.row({dev.name, gks::TablePrinter::num(rates[0]),
+               gks::TablePrinter::num(rates[1]),
+               gks::TablePrinter::num(rates[2]),
+               gks::TablePrinter::num(theory),
+               gks::TablePrinter::num(rates[1] / rates[0], 2) + "x"});
+  }
+  std::printf("== ILP interleaving ablation (MD5, MKey/s) ==\n\n%s\n",
+              table.str().c_str());
+  std::printf(
+      "Expected shape (Section V-B): Fermi (540M/550Ti) gains ~1.5x from\n"
+      "ILP=2 — without it only 2 of 3 core groups start per slot; Kepler\n"
+      "(660) and cc 1.x barely move. ILP=4 adds nothing over ILP=2: the\n"
+      "schedulers can already start every group.\n");
+  return 0;
+}

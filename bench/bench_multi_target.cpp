@@ -1,0 +1,60 @@
+// Ablation: multi-target sweep cost versus target count. The
+// per-candidate cost of the batch engine is one hash computation plus
+// one 32-bit compare per outstanding digest, so sweeping N targets
+// should cost barely more than sweeping one — while N separate cracks
+// cost N full sweeps. This is what makes auditing sessions (Section I)
+// tractable.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/multi_crack.h"
+#include "hash/md5.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+int main() {
+  using namespace gks;
+
+  const keyspace::Charset charset = keyspace::Charset::lower();
+  const unsigned min_len = 5, max_len = 5;
+
+  gks::TablePrinter table;
+  table.header({"targets", "sweep time (s)", "MKey/s", "vs 1 target"});
+
+  double base_time = 0;
+  for (const std::size_t n_targets : {1u, 4u, 16u, 64u}) {
+    core::MultiCrackRequest request;
+    request.algorithm = hash::Algorithm::kMd5;
+    request.charset = charset;
+    request.min_length = min_len;
+    request.max_length = max_len;
+    // Plant nothing findable: force a full sweep so times compare.
+    for (std::size_t i = 0; i < n_targets; ++i) {
+      request.target_hexes.push_back(
+          hash::Md5::digest("OUTSIDE_" + std::to_string(i)).to_hex());
+    }
+
+    Stopwatch timer;
+    const auto result = core::multi_crack(request, 0);
+    const double elapsed = timer.seconds();
+    if (n_targets == 1) base_time = elapsed;
+
+    table.row({std::to_string(n_targets),
+               gks::TablePrinter::num(elapsed, 2),
+               gks::TablePrinter::num(
+                   result.tested.to_double() / elapsed / 1e6, 1),
+               gks::TablePrinter::num(elapsed / base_time, 2) + "x"});
+  }
+
+  std::printf("== Multi-target sweep scaling (MD5, 26^5 = 11.9M keys, "
+              "full sweep) ==\n\n%s\n",
+              table.str().c_str());
+  std::printf(
+      "One sweep against 64 digests costs a small multiple of one digest\n"
+      "(the extra work is one compare per candidate per outstanding\n"
+      "target), while 64 separate cracks would cost 64.00x. This is the\n"
+      "batch engine auditing sessions use.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation: cluster scaling — efficiency as homogeneous nodes are
+// added flat vs arranged in a deep chain, and the cost of a mid-search
+// node failure. Exercises the pattern properties Section III claims
+// (linear scaling; hierarchy aggregates like a single fat node) and
+// the failure model of Section VII.
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "hash/md5.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace gks;
+
+core::CrackRequest request_with(const std::string& planted) {
+  core::CrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.charset = keyspace::Charset::alphanumeric();
+  request.min_length = 1;
+  request.max_length = 8;
+  request.target_hex = hash::Md5::digest(planted).to_hex();
+  return request;
+}
+
+core::ClusterOptions options_with(const std::string& planted) {
+  core::ClusterOptions options;
+  options.time_scale = 5e-4;
+  options.gpu_mode = core::SimGpuMode::kModel;
+  options.planted_key = planted;
+  options.agent.round_virtual_target_s = 25.0;
+  return options;
+}
+
+core::ClusterNode flat_cluster(unsigned leaves) {
+  core::ClusterNode root{"root", {core::ClusterDevice::gpu("660")}, {}, {}};
+  for (unsigned i = 0; i < leaves; ++i) {
+    root.children.push_back(core::ClusterNode{
+        "leaf-" + std::to_string(i), {core::ClusterDevice::gpu("660")},
+        {},
+        {}});
+  }
+  return root;
+}
+
+core::ClusterNode chain_cluster(unsigned depth) {
+  core::ClusterNode node{"chain-" + std::to_string(depth),
+                         {core::ClusterDevice::gpu("660")},
+                         {},
+                         {}};
+  for (unsigned i = depth; i > 0; --i) {
+    core::ClusterNode parent{"chain-" + std::to_string(i - 1),
+                             {core::ClusterDevice::gpu("660")},
+                             {node},
+                             {}};
+    node = parent;
+  }
+  return node;
+}
+
+}  // namespace
+
+int main() {
+  // ~5% deep in the 62^8 space: long enough for steady state,
+  // short enough that the whole sweep stays a few seconds per run.
+  const std::string planted = "Mq3kQ9ad";
+
+  std::printf("== Flat fan-out scaling (identical GTX 660 nodes) ==\n\n");
+  gks::TablePrinter flat;
+  flat.header({"nodes", "throughput (MKey/s)", "per-node (MKey/s)",
+               "scaling efficiency"});
+  double per_node_base = 0;
+  for (const unsigned leaves : {0u, 1u, 3u, 7u}) {
+    core::ClusterCracker cluster(flat_cluster(leaves),
+                                 options_with(planted));
+    const auto report = cluster.crack(request_with(planted));
+    const unsigned nodes = leaves + 1;
+    const double per_node = report.throughput / 1e6 / nodes;
+    if (nodes == 1) per_node_base = per_node;
+    flat.row({std::to_string(nodes),
+              gks::TablePrinter::num(report.throughput / 1e6),
+              gks::TablePrinter::num(per_node),
+              gks::TablePrinter::num(per_node / per_node_base, 3)});
+  }
+  std::printf("%s\n", flat.str().c_str());
+
+  std::printf("== Chain topology (each node dispatches to one child) ==\n\n");
+  gks::TablePrinter chain;
+  chain.header({"chain depth", "nodes", "throughput (MKey/s)",
+                "scaling efficiency"});
+  for (const unsigned depth : {0u, 1u, 3u}) {
+    core::ClusterCracker cluster(chain_cluster(depth),
+                                 options_with(planted));
+    const auto report = cluster.crack(request_with(planted));
+    const unsigned nodes = depth + 1;
+    chain.row({std::to_string(depth), std::to_string(nodes),
+               gks::TablePrinter::num(report.throughput / 1e6),
+               gks::TablePrinter::num(
+                   report.throughput / 1e6 / (per_node_base * nodes), 3)});
+  }
+  std::printf("%s\n", chain.str().c_str());
+
+  std::printf("== Failure recovery cost (3 nodes, one dies mid-search) ==\n\n");
+  auto failure_options = options_with(planted);
+  failure_options.failures = {{"leaf-1", 40.0}};
+  core::ClusterCracker cluster(flat_cluster(2), failure_options);
+  const auto report = cluster.crack(request_with(planted));
+  std::printf("failures detected : %u\n", report.failures_detected);
+  std::printf("key recovered     : %s\n",
+              report.found.empty() ? "NO" : report.found[0].value.c_str());
+  std::printf("throughput        : %.1f MKey/s (3-node healthy reference "
+              "above)\n",
+              report.throughput / 1e6);
+  std::printf("\nThe dead node's interval is requeued onto survivors and "
+              "quotas are\nrecomputed (Section III dynamic "
+              "reconfiguration); the search completes\nat roughly the "
+              "2-node rate after the failure point.\n");
+  return 0;
+}

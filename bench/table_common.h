@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared helpers for the instruction-count table benches (III..VI).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simgpu/isa.h"
+#include "simgpu/lowering.h"
+#include "support/table.h"
+
+namespace gks::benchcommon {
+
+inline std::size_t count_src(const std::vector<simgpu::SrcInstr>& stream,
+                             std::initializer_list<simgpu::SrcOp> ops) {
+  std::size_t n = 0;
+  for (const auto& i : stream) {
+    for (const auto op : ops) {
+      if (i.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+/// Prints a Table IV/V/VI-shaped comparison: one column per lowering,
+/// one row per machine class, with the paper's numbers alongside.
+inline void print_machine_table(
+    const char* title, const std::vector<std::string>& column_names,
+    const std::vector<simgpu::MachineMix>& columns,
+    const std::vector<std::string>& paper_note) {
+  TablePrinter table;
+  std::vector<std::string> header = {""};
+  for (const auto& c : column_names) header.push_back(c);
+  table.header(header);
+
+  using simgpu::MachineOp;
+  for (const auto op :
+       {MachineOp::kIAdd, MachineOp::kLop, MachineOp::kShift,
+        MachineOp::kMadShift, MachineOp::kPrmt, MachineOp::kFunnel}) {
+    bool any = false;
+    for (const auto& mix : columns) {
+      if (mix[op] != 0) any = true;
+    }
+    if (!any) continue;
+    std::vector<std::string> row = {simgpu::machine_op_name(op)};
+    for (const auto& mix : columns) row.push_back(std::to_string(mix[op]));
+    table.row(row);
+  }
+  std::vector<std::string> totals = {"total"};
+  for (const auto& mix : columns) totals.push_back(std::to_string(mix.total()));
+  table.row(totals);
+
+  std::printf("%s\n\n%s\n", title, table.str().c_str());
+  for (const auto& line : paper_note) std::printf("%s\n", line.c_str());
+  std::printf("\n");
+}
+
+}  // namespace gks::benchcommon

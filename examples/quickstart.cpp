@@ -1,0 +1,56 @@
+// Quickstart: crack an MD5 password hash on the local CPU.
+//
+//   ./quickstart [md5-hex] [charset] [max-length]
+//
+// Without arguments it hashes a demo password first, then recovers it —
+// the round trip a downstream user tries first.
+
+#include <cstdio>
+#include <string>
+
+#include "core/cracker.h"
+#include "hash/md5.h"
+#include "keyspace/charset.h"
+
+int main(int argc, char** argv) {
+  using namespace gks;
+
+  std::string target_hex;
+  std::string charset_chars = "abcdefghijklmnopqrstuvwxyz";
+  unsigned max_length = 5;
+
+  if (argc >= 2) {
+    target_hex = argv[1];
+    if (argc >= 3) charset_chars = argv[2];
+    if (argc >= 4) max_length = static_cast<unsigned>(std::stoul(argv[3]));
+  } else {
+    const std::string demo = "crack";
+    target_hex = hash::Md5::digest(demo).to_hex();
+    std::printf("No hash given; demo password \"%s\" -> %s\n", demo.c_str(),
+                target_hex.c_str());
+  }
+
+  core::CrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.target_hex = target_hex;
+  request.charset = keyspace::Charset(charset_chars);
+  request.min_length = 1;
+  request.max_length = max_length;
+
+  std::printf("Searching %s candidates (charset %zu, lengths 1..%u)...\n",
+              request.space_size().to_string().c_str(),
+              request.charset.size(), max_length);
+
+  const core::LocalCracker cracker;  // all hardware threads
+  const core::CrackResult result = cracker.crack(request);
+
+  if (result.found) {
+    std::printf("FOUND: \"%s\"\n", result.key.c_str());
+  } else {
+    std::printf("not found in this key space\n");
+  }
+  std::printf("tested %s keys in %.2f s (%.1f Mkeys/s)\n",
+              result.tested.to_string().c_str(), result.elapsed_s,
+              result.throughput / 1e6);
+  return result.found ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Shows the Section III machinery by itself: tune every simulated GPU
+// of Table VII for MD5 and SHA1 cracking, then print the balanced
+// work quotas N_j a dispatcher owning all five devices would assign.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/gpu_backend.h"
+#include "dispatch/balancer.h"
+#include "dispatch/perf_model.h"
+#include "dispatch/tuner.h"
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "support/table.h"
+
+int main() {
+  using namespace gks;
+
+  for (const auto algorithm :
+       {hash::Algorithm::kMd5, hash::Algorithm::kSha1}) {
+    core::CrackRequest request;
+    request.algorithm = algorithm;
+    request.target_hex =
+        algorithm == hash::Algorithm::kMd5
+            ? hash::Md5::digest("unusedXX").to_hex()
+            : hash::Sha1::digest("unusedXX").to_hex();
+    request.charset = keyspace::Charset::alphanumeric();
+    request.min_length = 1;
+    request.max_length = 8;
+
+    std::vector<std::unique_ptr<core::SimGpuSearcher>> devices;
+    std::vector<dispatch::Capability> capabilities;
+    const keyspace::Interval scratch(u128(0), u128(1u << 26));
+    for (const auto& spec : simgpu::paper_devices()) {
+      devices.push_back(std::make_unique<core::SimGpuSearcher>(
+          request, simgpu::SimulatedGpu(spec),
+          core::our_kernel_profile(algorithm, spec.cc),
+          core::SimGpuMode::kModel));
+      capabilities.push_back(dispatch::tune_searcher(*devices.back(),
+                                                     scratch));
+    }
+
+    const auto quotas = dispatch::balance_quotas(capabilities);
+    const auto subtree = dispatch::aggregate_capability(capabilities);
+
+    TablePrinter table;
+    table.header({"device", "X_j (MKey/s)", "n_j (min batch)",
+                  "N_j (balanced quota)", "N_j / X_j (s)"});
+    for (std::size_t j = 0; j < devices.size(); ++j) {
+      table.row({devices[j]->gpu().spec().name,
+                 TablePrinter::num(capabilities[j].throughput / 1e6),
+                 capabilities[j].min_batch.to_string(),
+                 quotas[j].to_string(),
+                 TablePrinter::num(quotas[j].to_double() /
+                                       capabilities[j].throughput,
+                                   3)});
+    }
+    std::printf("== %s tuning over the Table VII devices ==\n%s",
+                hash::algorithm_name(algorithm), table.str().c_str());
+    std::printf("subtree capability: X = %.1f MKey/s, N_node = %s\n\n",
+                subtree.throughput / 1e6, subtree.min_batch.to_string().c_str());
+  }
+  std::printf("Every member's N_j/X_j column is (near) equal: balanced "
+              "members exhaust their quotas simultaneously (Section III).\n\n");
+
+  // The paper's alternative to live tuning: an offline performance
+  // model. Calibrate one for the fastest device and show the
+  // closed-form minimum batch for several efficiency targets.
+  core::CrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.target_hex = hash::Md5::digest("unusedXX").to_hex();
+  request.charset = keyspace::Charset::alphanumeric();
+  request.min_length = 1;
+  request.max_length = 8;
+  const auto& spec = simgpu::device_by_name("660");
+  core::SimGpuSearcher device(request, simgpu::SimulatedGpu(spec),
+                              core::our_kernel_profile(
+                                  hash::Algorithm::kMd5, spec.cc),
+                              core::SimGpuMode::kModel);
+  const auto model = dispatch::PerfModel::calibrate(
+      device, keyspace::Interval(u128(0), u128(1u << 30)));
+  std::printf("== Offline performance model (GTX 660, MD5) ==\n");
+  std::printf("calibrated: %s  (serialize/parse round-trips for offline "
+              "storage)\n",
+              model.serialize().c_str());
+  TablePrinter eff;
+  eff.header({"target efficiency", "n_min (closed form)",
+              "predicted eff at n_min"});
+  for (const double target : {0.5, 0.9, 0.99}) {
+    const u128 n = model.min_batch_for(target);
+    eff.row({TablePrinter::num(target, 2), n.to_string(),
+             TablePrinter::num(model.predicted_efficiency(n), 4)});
+  }
+  std::printf("%s", eff.str().c_str());
+  std::printf("With the model stored offline, the dispatcher can skip the "
+              "live tuning pass entirely (Section III).\n");
+  return 0;
+}

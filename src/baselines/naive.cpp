@@ -1,0 +1,53 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+#include "keyspace/space.h"
+#include "support/stopwatch.h"
+
+namespace gks::baselines {
+namespace {
+
+dispatch::ScanOutcome scan_with(const core::CrackRequest& request,
+                                const keyspace::Interval& interval,
+                                bool incremental_next) {
+  request.validate();
+  Stopwatch timer;
+  dispatch::ScanOutcome out;
+
+  const keyspace::KeyCodec codec(request.charset,
+                                 keyspace::DigitOrder::kPrefixFastest);
+  const u128 offset = keyspace::first_id_of_length(request.charset.size(),
+                                                   request.min_length);
+
+  std::string key;
+  if (incremental_next && interval.begin < interval.end) {
+    codec.decode_into(interval.begin + offset, key);
+  }
+  for (u128 id = interval.begin; id < interval.end; ++id) {
+    if (!incremental_next) {
+      codec.decode_into(id + offset, key);  // full f(i) per candidate
+    }
+    if (request.matches(key)) {
+      out.found.push_back({id, key});
+    }
+    if (incremental_next) codec.next_inplace(key);
+  }
+  out.tested = interval.size();
+  out.busy_virtual_s = std::max(timer.seconds(), 1e-9);
+  return out;
+}
+
+}  // namespace
+
+dispatch::ScanOutcome naive_scan(const core::CrackRequest& request,
+                                 const keyspace::Interval& interval) {
+  return scan_with(request, interval, /*incremental_next=*/false);
+}
+
+dispatch::ScanOutcome next_full_hash_scan(const core::CrackRequest& request,
+                                          const keyspace::Interval& interval) {
+  return scan_with(request, interval, /*incremental_next=*/true);
+}
+
+}  // namespace gks::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/crack_request.h"
+#include "dispatch/search.h"
+#include "keyspace/interval.h"
+
+namespace gks::baselines {
+
+/// Textbook CPU brute force, for the reversal/next-operator ablations:
+/// every candidate is materialized with a full f(i) decode (no `next`
+/// operator) and hashed with the full 64/80-step reference function
+/// (no reversal, no early exit). Same results as the optimized engine,
+/// strictly more work per candidate.
+dispatch::ScanOutcome naive_scan(const core::CrackRequest& request,
+                                 const keyspace::Interval& interval);
+
+/// Middle ablation: incremental `next` candidate generation (Figure 2)
+/// but still the full reference hash per candidate. Isolates the
+/// reversal+early-exit gain from the generation gain.
+dispatch::ScanOutcome next_full_hash_scan(const core::CrackRequest& request,
+                                          const keyspace::Interval& interval);
+
+}  // namespace gks::baselines

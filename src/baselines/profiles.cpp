@@ -1,0 +1,87 @@
+#include "baselines/profiles.h"
+
+#include "core/gpu_backend.h"
+#include "simgpu/lowering.h"
+#include "support/error.h"
+
+namespace gks::baselines {
+
+const char* tool_name(Tool tool) {
+  switch (tool) {
+    case Tool::kOurs: return "our approach";
+    case Tool::kBarsWf: return "BarsWF";
+    case Tool::kCryptohaze: return "Cryptohaze";
+    case Tool::kNaive: return "naive";
+  }
+  return "?";
+}
+
+simgpu::KernelProfile tool_profile(Tool tool, hash::Algorithm algorithm,
+                                   simgpu::ComputeCapability cc) {
+  using simgpu::ComputeCapability;
+  using simgpu::LoweringOptions;
+
+  if (tool == Tool::kOurs) {
+    return core::our_kernel_profile(algorithm, cc);
+  }
+
+  LoweringOptions opt;
+  opt.cc = cc;
+  simgpu::KernelProfile profile;
+
+  switch (tool) {
+    case Tool::kBarsWf: {
+      GKS_REQUIRE(algorithm == hash::Algorithm::kMd5,
+                  "BarsWF is an MD5-only cracker");
+      // Reversal yes, early exit no, byte_perm no; its pre-Kepler code
+      // generation expands rotations the cc 1.x way when run on 3.0.
+      opt.legacy_rotate = cc == ComputeCapability::kCc30 ||
+                          cc == ComputeCapability::kCc35;
+      profile.per_candidate = lower(
+          trace_md5(simgpu::Md5KernelVariant::kReversedNoEarlyExit), opt);
+      // Hand-written SASS on the 1.x devices it was built for; on newer
+      // families its candidate generation and lookup bookkeeping cost
+      // noticeably more per key.
+      profile.overhead_fraction =
+          cc == ComputeCapability::kCc1x ? 0.0 : 0.10;
+      profile.ilp = cc == ComputeCapability::kCc1x ? 2 : 1;
+      break;
+    }
+    case Tool::kCryptohaze: {
+      // Generic multi-hash framework: full kernel per candidate plus
+      // framework overhead (charset tables in memory, per-candidate
+      // index arithmetic).
+      if (algorithm == hash::Algorithm::kMd5) {
+        profile.per_candidate =
+            lower(trace_md5(simgpu::Md5KernelVariant::kPlainCompiled), opt);
+      } else {
+        profile.per_candidate = lower(
+            trace_sha1(simgpu::Sha1KernelVariant::kPlainCompiled), opt);
+      }
+      profile.overhead_fraction = 0.12;
+      profile.ilp = 1;
+      break;
+    }
+    case Tool::kNaive: {
+      // Full hash plus an f(i) conversion whose cost we charge as
+      // overhead proportional to the hash itself (≈ 30% for short
+      // keys; Section IV notes f(i) "can become dominant" for longer
+      // ones).
+      if (algorithm == hash::Algorithm::kMd5) {
+        profile.per_candidate =
+            lower(trace_md5(simgpu::Md5KernelVariant::kPlainCompiled), opt);
+      } else {
+        profile.per_candidate = lower(
+            trace_sha1(simgpu::Sha1KernelVariant::kPlainCompiled), opt);
+      }
+      profile.overhead_fraction = 0.30;
+      profile.ilp = 1;
+      break;
+    }
+    case Tool::kOurs:
+      break;  // handled above
+  }
+  return profile;
+}
+
+}  // namespace gks::baselines

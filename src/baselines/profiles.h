@@ -1,0 +1,38 @@
+#pragma once
+
+#include "hash/digest.h"
+#include "simgpu/arch.h"
+#include "simgpu/kernel_profile.h"
+
+namespace gks::baselines {
+
+/// The brute-force tools Table VIII compares against. The closed
+/// binaries are modeled by what is known about their kernels (DESIGN.md
+/// §1): each model is our traced kernel with that tool's documented
+/// algorithmic deltas applied, run through the same SIMT simulator.
+enum class Tool {
+  /// This library's optimized kernel (reversal + early exit +
+  /// byte_perm + Fermi interleaving) — the "our approach" row.
+  kOurs,
+  /// BarsWF: originated the 15-step reversal but has no early-exit
+  /// anticipated checks; hand-tuned for cc 1.x devices, while its
+  /// pre-Kepler code generation rotates via SHL+SHR+ADD on cc 3.0 and
+  /// never uses __byte_perm.
+  kBarsWf,
+  /// Cryptohaze Multiforcer: a generic multi-algorithm framework — no
+  /// reversal (all 64/80 steps plus feed-forward per candidate) and
+  /// per-candidate generation/bookkeeping overhead.
+  kCryptohaze,
+  /// Textbook brute force: full hash plus the f(i) conversion for
+  /// every candidate (no `next` operator). The ablation floor.
+  kNaive,
+};
+
+const char* tool_name(Tool tool);
+
+/// Kernel profile of `tool` cracking `algorithm` on a device of the
+/// given compute capability.
+simgpu::KernelProfile tool_profile(Tool tool, hash::Algorithm algorithm,
+                                   simgpu::ComputeCapability cc);
+
+}  // namespace gks::baselines

@@ -1,0 +1,57 @@
+#include "core/audit.h"
+
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "support/error.h"
+
+namespace gks::core {
+
+std::vector<AuditVerdict> run_audit(const std::vector<AuditEntry>& entries,
+                                    const AuditPolicy& policy) {
+  std::vector<AuditVerdict> verdicts;
+  verdicts.reserve(entries.size());
+  const LocalCracker cracker(policy.threads);
+
+  for (const AuditEntry& entry : entries) {
+    CrackRequest request;
+    request.algorithm = entry.algorithm;
+    request.target_hex = entry.digest_hex;
+    request.charset = policy.charset;
+    request.min_length = policy.min_length;
+    request.max_length = policy.max_length;
+    request.salt = entry.salt;
+
+    const CrackResult result = cracker.crack(request);
+
+    AuditVerdict verdict;
+    verdict.user = entry.user;
+    verdict.cracked = result.found;
+    verdict.recovered_key = result.key;
+    verdict.tested = result.tested;
+    verdict.elapsed_s = result.elapsed_s;
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+AuditEntry make_entry(std::string user, hash::Algorithm algorithm,
+                      const std::string& plaintext, hash::SaltSpec salt) {
+  AuditEntry entry;
+  entry.user = std::move(user);
+  entry.algorithm = algorithm;
+  entry.salt = std::move(salt);
+  const std::string message = entry.salt.apply(plaintext);
+  switch (algorithm) {
+    case hash::Algorithm::kMd5:
+      entry.digest_hex = hash::Md5::digest(message).to_hex();
+      break;
+    case hash::Algorithm::kSha1:
+      entry.digest_hex = hash::Sha1::digest(message).to_hex();
+      break;
+    default:
+      throw InvalidArgument("audits support MD5 and SHA1 credentials");
+  }
+  return entry;
+}
+
+}  // namespace gks::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/crack_request.h"
+#include "core/gpu_backend.h"
+#include "dispatch/agent.h"
+#include "dispatch/report.h"
+#include "simnet/network.h"
+
+namespace gks::core {
+
+/// One device attached to a cluster node.
+struct ClusterDevice {
+  enum class Kind { kCpu, kSimGpu };
+  Kind kind = Kind::kSimGpu;
+
+  /// kCpu: worker threads (0 = hardware concurrency).
+  std::size_t cpu_threads = 0;
+  /// kSimGpu: Table VII short name ("8600M", "8800", "540M", "550Ti",
+  /// "660").
+  std::string gpu_short_name;
+
+  static ClusterDevice cpu(std::size_t threads = 0) {
+    ClusterDevice d;
+    d.kind = Kind::kCpu;
+    d.cpu_threads = threads;
+    return d;
+  }
+  static ClusterDevice gpu(std::string short_name) {
+    ClusterDevice d;
+    d.kind = Kind::kSimGpu;
+    d.gpu_short_name = std::move(short_name);
+    return d;
+  }
+};
+
+/// A node of the cluster tree: a PC with some devices, dispatching to
+/// child PCs (Section VI-A's heterogeneous, deliberately unbalanced
+/// network).
+struct ClusterNode {
+  std::string name;
+  std::vector<ClusterDevice> devices;
+  std::vector<ClusterNode> children;
+  simnet::LinkSpec uplink;  ///< link from this node's parent
+};
+
+/// A scheduled failure: node `name` crashes `at_virtual_s` seconds
+/// after the search starts (fault-tolerance experiments).
+struct FailureEvent {
+  std::string node_name;
+  double at_virtual_s = 0;
+};
+
+/// Options of a cluster run.
+struct ClusterOptions {
+  /// Real seconds per virtual second (see simnet::VirtualClock). Use
+  /// 1.0 when nodes do real CPU work.
+  double time_scale = 1e-3;
+
+  /// How simulated GPUs resolve matches (kModel needs a planted key).
+  SimGpuMode gpu_mode = SimGpuMode::kModel;
+
+  /// The key the workload generator hashed to produce the target; in
+  /// kModel mode its identifier is what the simulated devices "find".
+  std::optional<std::string> planted_key;
+
+  dispatch::AgentConfig agent;
+
+  /// Candidates used by the tuning pass.
+  u128 tune_scratch{1u << 22};
+
+  std::vector<FailureEvent> failures;
+};
+
+/// Assembles the simulated network, runs the distributed crack, and
+/// reports the Table IX metrics.
+class ClusterCracker {
+ public:
+  ClusterCracker(ClusterNode topology, ClusterOptions options);
+
+  /// Runs one distributed search. Builds a fresh network per call.
+  dispatch::SearchReport crack(const CrackRequest& request);
+
+  /// The paper's evaluation network (Section VI-A): node A (GT 540M)
+  /// dispatches to B (GTX 660 + GTX 550 Ti) and C (8600M GT); C
+  /// dispatches to D (8800 GTS 512).
+  static ClusterNode paper_topology();
+
+ private:
+  ClusterNode topology_;
+  ClusterOptions options_;
+};
+
+}  // namespace gks::core

@@ -1,0 +1,56 @@
+#include "core/cpu_backend.h"
+
+#include <algorithm>
+
+#include "support/stopwatch.h"
+
+namespace gks::core {
+
+CpuSearcher::CpuSearcher(CrackRequest request, std::size_t threads)
+    : plan_(std::move(request)), pool_(threads) {}
+
+dispatch::ScanOutcome CpuSearcher::scan(const keyspace::Interval& interval) {
+  Stopwatch timer;
+  dispatch::ScanOutcome total;
+  if (interval.empty()) return total;
+
+  // Tiny intervals are not worth fanning out.
+  const auto ideal = static_cast<std::uint64_t>(
+      interval.size().to_double() / 1024.0) + 1;
+  const auto parts = static_cast<std::size_t>(
+      std::min<std::uint64_t>(ideal, pool_.size()));
+  const auto slices = keyspace::split_even(interval, parts);
+
+  std::vector<dispatch::ScanOutcome> outcomes(slices.size());
+  pool_.parallel_for(slices.size(), [this, &slices, &outcomes](std::size_t i) {
+    outcomes[i] = plan_.scan(slices[i]);
+  });
+
+  for (auto& o : outcomes) {
+    total.tested += o.tested;
+    for (auto& f : o.found) total.found.push_back(std::move(f));
+  }
+  // Wall time, not summed thread time: the device was busy this long.
+  total.busy_virtual_s = std::max(timer.seconds(), 1e-9);
+  return total;
+}
+
+double CpuSearcher::theoretical_throughput() const {
+  if (calibrated_peak_ > 0) return calibrated_peak_;
+  // One warm calibration scan over a slice of the space.
+  const u128 space = plan_.request().space_size();
+  const u128 probe = std::min(space, u128(400000));
+  Stopwatch timer;
+  const auto out = plan_.scan(keyspace::Interval(u128(0), probe));
+  calibrated_peak_ =
+      out.tested.to_double() / std::max(timer.seconds(), 1e-9) *
+      static_cast<double>(pool_.size());
+  return calibrated_peak_;
+}
+
+std::string CpuSearcher::description() const {
+  return "CPU x" + std::to_string(pool_.size()) + " (" +
+         hash::algorithm_name(plan_.request().algorithm) + ")";
+}
+
+}  // namespace gks::core

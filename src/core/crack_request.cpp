@@ -1,0 +1,37 @@
+#include "core/crack_request.h"
+
+#include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "hash/sha256.h"
+#include "support/error.h"
+#include "support/hex.h"
+
+namespace gks::core {
+
+bool CrackRequest::matches(const std::string& key) const {
+  const std::string message = salt.apply(key);
+  switch (algorithm) {
+    case hash::Algorithm::kMd5:
+      return hash::Md5::digest(message).to_hex() == target_hex;
+    case hash::Algorithm::kSha1:
+      return hash::Sha1::digest(message).to_hex() == target_hex;
+    case hash::Algorithm::kSha256:
+      return hash::Sha256::digest(message).to_hex() == target_hex;
+  }
+  return false;
+}
+
+void CrackRequest::validate() const {
+  GKS_REQUIRE(min_length >= 1, "minimum key length must be at least 1");
+  GKS_REQUIRE(min_length <= max_length, "invalid key length range");
+  GKS_REQUIRE(max_length <= hash::kMaxKernelKeyLength,
+              "maximum key length above the kernel limit (20)");
+  GKS_REQUIRE(max_length + salt.extra_length() <= 55,
+              "key plus salt must fit a single hash block");
+  const auto digest_bytes = from_hex(target_hex);
+  GKS_REQUIRE(digest_bytes.size() == hash::digest_size(algorithm),
+              "target digest length does not match the algorithm");
+}
+
+}  // namespace gks::core

@@ -1,0 +1,53 @@
+#include "core/cracker.h"
+
+#include <algorithm>
+
+#include "support/stopwatch.h"
+
+namespace gks::core {
+
+CrackResult LocalCracker::crack(const CrackRequest& request,
+                                const ProgressCallback& progress) const {
+  request.validate();
+  CpuSearcher searcher(request, threads_);
+
+  CrackResult result;
+  Stopwatch timer;
+  keyspace::IntervalCursor cursor(request.space_interval());
+
+  // Slice size balances early-exit latency against per-slice overhead;
+  // a few million keys is well under a second on any host.
+  const u128 slice(4u << 20);
+  while (!cursor.exhausted()) {
+    const keyspace::Interval chunk = cursor.take(slice);
+    const dispatch::ScanOutcome out = searcher.scan(chunk);
+    result.tested += out.tested;
+    if (!out.found.empty()) {
+      result.found = true;
+      result.key = out.found.front().value;
+      break;
+    }
+    if (progress && !progress(result.tested, request.space_size())) {
+      break;  // caller cancelled
+    }
+  }
+  result.elapsed_s = timer.seconds();
+  result.throughput =
+      result.elapsed_s > 0 ? result.tested.to_double() / result.elapsed_s : 0;
+  return result;
+}
+
+CrackResult LocalCracker::crack_md5(const std::string& target_hex,
+                                    const keyspace::Charset& charset,
+                                    unsigned min_len,
+                                    unsigned max_len) const {
+  CrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.target_hex = target_hex;
+  request.charset = charset;
+  request.min_length = min_len;
+  request.max_length = max_len;
+  return crack(request);
+}
+
+}  // namespace gks::core

@@ -1,0 +1,101 @@
+#include "core/generator_crack.h"
+
+#include <algorithm>
+
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "hash/sha256.h"
+#include "keyspace/interval.h"
+#include "support/error.h"
+#include "support/hex.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
+
+namespace gks::core {
+namespace {
+
+std::string digest_of(hash::Algorithm algorithm, const std::string& message) {
+  switch (algorithm) {
+    case hash::Algorithm::kMd5: return hash::Md5::digest(message).to_hex();
+    case hash::Algorithm::kSha1: return hash::Sha1::digest(message).to_hex();
+    case hash::Algorithm::kSha256:
+      return hash::Sha256::digest(message).to_hex();
+  }
+  return {};
+}
+
+}  // namespace
+
+MultiCrackResult crack_generator(const keyspace::Generator& generator,
+                                 hash::Algorithm algorithm,
+                                 const std::vector<std::string>& target_hexes,
+                                 const hash::SaltSpec& salt,
+                                 std::size_t threads) {
+  GKS_REQUIRE(!target_hexes.empty(), "need at least one target digest");
+  for (const std::string& hex : target_hexes) {
+    GKS_REQUIRE(from_hex(hex).size() == hash::digest_size(algorithm),
+                "digest length does not match the algorithm");
+  }
+
+  Stopwatch timer;
+  MultiCrackResult result;
+  result.targets.resize(target_hexes.size());
+  for (std::size_t i = 0; i < target_hexes.size(); ++i) {
+    result.targets[i].digest_hex = target_hexes[i];
+  }
+
+  ThreadPool pool(threads);
+  keyspace::IntervalCursor cursor(
+      keyspace::Interval(u128(0), generator.size()));
+  const u128 slice(1u << 16);
+
+  while (!cursor.exhausted() && result.cracked < result.targets.size()) {
+    // Outstanding digests for this slice (lower-cased canonical hex).
+    std::vector<std::pair<std::string, std::size_t>> outstanding;
+    for (std::size_t i = 0; i < result.targets.size(); ++i) {
+      if (!result.targets[i].found) {
+        outstanding.emplace_back(result.targets[i].digest_hex, i);
+      }
+    }
+
+    const keyspace::Interval round = cursor.take(slice);
+    const auto parts = static_cast<std::size_t>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(round.size().to_double() / 512) + 1,
+        pool.size()));
+    const auto sub = keyspace::split_even(round, parts);
+
+    struct Hit {
+      std::size_t target_index;
+      std::string key;
+    };
+    std::vector<std::vector<Hit>> hits(sub.size());
+    pool.parallel_for(sub.size(), [&](std::size_t p) {
+      std::string candidate;
+      for (u128 id = sub[p].begin; id < sub[p].end; ++id) {
+        generator.generate(id, candidate);
+        const std::string digest =
+            digest_of(algorithm, salt.apply(candidate));
+        for (const auto& [hex, index] : outstanding) {
+          if (digest == hex) hits[p].push_back({index, candidate});
+        }
+      }
+    });
+
+    result.tested += round.size();
+    for (const auto& part : hits) {
+      for (const Hit& hit : part) {
+        MultiTargetVerdict& verdict = result.targets[hit.target_index];
+        if (!verdict.found) {
+          verdict.found = true;
+          verdict.key = hit.key;
+          ++result.cracked;
+        }
+      }
+    }
+  }
+
+  result.elapsed_s = timer.seconds();
+  return result;
+}
+
+}  // namespace gks::core

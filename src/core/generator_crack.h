@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/multi_crack.h"
+#include "hash/digest.h"
+#include "hash/salted.h"
+#include "keyspace/generator.h"
+
+namespace gks::core {
+
+/// Exhaustively tests an arbitrary candidate enumeration — mask,
+/// dictionary, hybrid, anything implementing keyspace::Generator —
+/// against a set of digests. This is the generic C(f(i)) loop of the
+/// Section III-A problem definition with no kernel specialization:
+/// slower per candidate than the word-0 engines, but it accepts any
+/// f(i), which is the pattern's whole point.
+///
+/// Stops early once every digest is recovered. `threads` = 0 uses the
+/// hardware concurrency.
+MultiCrackResult crack_generator(const keyspace::Generator& generator,
+                                 hash::Algorithm algorithm,
+                                 const std::vector<std::string>& target_hexes,
+                                 const hash::SaltSpec& salt = {},
+                                 std::size_t threads = 0);
+
+}  // namespace gks::core

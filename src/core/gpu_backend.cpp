@@ -1,0 +1,89 @@
+#include "core/gpu_backend.h"
+
+#include <algorithm>
+
+#include "simgpu/kernel_profile.h"
+#include "simgpu/lowering.h"
+#include "support/error.h"
+
+namespace gks::core {
+
+SimGpuSearcher::SimGpuSearcher(CrackRequest request, simgpu::SimulatedGpu gpu,
+                               simgpu::KernelProfile profile, SimGpuMode mode,
+                               std::vector<u128> planted_ids)
+    : plan_(std::move(request)),
+      gpu_(std::move(gpu)),
+      profile_(profile),
+      mode_(mode),
+      planted_ids_(std::move(planted_ids)) {}
+
+dispatch::ScanOutcome SimGpuSearcher::scan(
+    const keyspace::Interval& interval) {
+  dispatch::ScanOutcome out;
+  if (interval.empty()) return out;
+
+  if (mode_ == SimGpuMode::kExecute) {
+    out = plan_.scan(interval);  // real candidate testing
+  } else {
+    out.tested = interval.size();
+    for (const u128& id : planted_ids_) {
+      if (interval.contains(id)) {
+        // The exhaustive scan would reach the planted identifier and
+        // the kernel's early-exit comparison would fire.
+        dispatch::Found f;
+        f.id = id;
+        f.value = plan_.request().make_generator().at(id);
+        out.found.push_back(std::move(f));
+      }
+    }
+  }
+  // Timing always from the device model, never from host wall time.
+  out.busy_virtual_s = gpu_.scan_seconds(profile_, interval.size());
+  return out;
+}
+
+double SimGpuSearcher::theoretical_throughput() const {
+  return gpu_.theoretical_throughput(profile_.per_candidate);
+}
+
+std::string SimGpuSearcher::description() const {
+  return gpu_.spec().name + " (" +
+         hash::algorithm_name(plan_.request().algorithm) + ")";
+}
+
+simgpu::KernelProfile our_kernel_profile(hash::Algorithm algorithm,
+                                         simgpu::ComputeCapability cc) {
+  simgpu::LoweringOptions opt;
+  opt.cc = cc;
+  // __byte_perm pays only where PRMT exists and shifts are the
+  // bottleneck (Kepler); the paper enables it for the final kernel.
+  opt.use_byte_perm = cc == simgpu::ComputeCapability::kCc30 ||
+                      cc == simgpu::ComputeCapability::kCc35;
+
+  simgpu::KernelProfile profile;
+  switch (algorithm) {
+    case hash::Algorithm::kMd5:
+      profile.per_candidate =
+          lower(trace_md5(simgpu::Md5KernelVariant::kReversed), opt);
+      break;
+    case hash::Algorithm::kSha1:
+      profile.per_candidate =
+          lower(trace_sha1(simgpu::Sha1KernelVariant::kOptimized), opt);
+      break;
+    case hash::Algorithm::kSha256:
+      profile.per_candidate = lower(simgpu::trace_sha256_nonce(), opt);
+      break;
+  }
+  // Interleave two candidates per thread on Fermi, where the lack of
+  // ILP otherwise leaves a group of cores unused; single-stream
+  // elsewhere ("a better ILP factor ... is nevertheless a good choice
+  // on Fermi", Section V-B).
+  profile.ilp = (cc == simgpu::ComputeCapability::kCc20 ||
+                 cc == simgpu::ComputeCapability::kCc21)
+                    ? 2
+                    : 1;
+  profile.overhead_fraction = 0.01;  // the next-operator cost, < 1%
+  return profile;
+}
+
+}  // namespace gks::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scan_engine.h"
+#include "dispatch/search.h"
+#include "simgpu/device.h"
+
+namespace gks::core {
+
+/// How a simulated GPU resolves which candidates in an interval match
+/// (DESIGN.md §1, "model vs execute duality").
+enum class SimGpuMode {
+  /// Really scan the interval with the CPU engine (correct finds),
+  /// while *timing* comes from the SIMT model. Used by tests and small
+  /// searches; too slow for paper-scale spaces.
+  kExecute,
+  /// Decide matches analytically from the planted solution ids the
+  /// workload generator provides; timing from the SIMT model. This is
+  /// how paper-scale experiments run: the simulation predicts when the
+  /// scan would reach the planted key.
+  kModel,
+};
+
+/// A simulated CUDA device cracking one request — what a worker node's
+/// GPU does in Section IV. Timing always comes from the cycle-level
+/// SIMT simulator plus the kernel-launch batching model.
+class SimGpuSearcher final : public dispatch::IntervalSearcher {
+ public:
+  /// `planted_ids` (generator-relative) are required in kModel mode;
+  /// in kExecute mode they are ignored.
+  SimGpuSearcher(CrackRequest request, simgpu::SimulatedGpu gpu,
+                 simgpu::KernelProfile profile, SimGpuMode mode,
+                 std::vector<u128> planted_ids = {});
+
+  dispatch::ScanOutcome scan(const keyspace::Interval& interval) override;
+
+  bool is_simulated() const override { return true; }
+
+  double peak_throughput_hint() const override {
+    return gpu_.sustained_throughput(profile_);
+  }
+
+  double theoretical_throughput() const override;
+
+  std::string description() const override;
+
+  const simgpu::SimulatedGpu& gpu() const { return gpu_; }
+  const simgpu::KernelProfile& profile() const { return profile_; }
+
+ private:
+  ScanPlan plan_;
+  simgpu::SimulatedGpu gpu_;
+  simgpu::KernelProfile profile_;
+  SimGpuMode mode_;
+  std::vector<u128> planted_ids_;
+};
+
+/// The kernel profile our optimized cracker runs on a device of the
+/// given compute capability (traced from the production kernels; ILP=2
+/// interleaving on Fermi where it pays, ILP=1 elsewhere — Section V-B).
+simgpu::KernelProfile our_kernel_profile(hash::Algorithm algorithm,
+                                         simgpu::ComputeCapability cc);
+
+}  // namespace gks::core

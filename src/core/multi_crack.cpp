@@ -1,0 +1,251 @@
+#include "core/multi_crack.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/multi_crack.h"
+#include "hash/sha1.h"
+#include "keyspace/codec.h"
+#include "keyspace/interval.h"
+#include "keyspace/space.h"
+#include "support/error.h"
+#include "support/hex.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
+
+namespace gks::core {
+namespace {
+
+/// A hit found by one slice worker: which outstanding target, by
+/// request index, and the recovered key.
+struct Hit {
+  std::size_t target_index;
+  std::string key;
+};
+
+/// Shared, immutable-per-slice state for the sweep workers.
+struct SweepContext {
+  const MultiCrackRequest& request;
+  const keyspace::KeyCodec codec;
+  u128 offset;  ///< global codec id of generator-relative id 0
+  /// Outstanding targets: request indices and their parsed digests.
+  std::vector<std::size_t> indices;
+  std::vector<hash::Md5Digest> md5_targets;
+  std::vector<hash::Sha1Digest> sha1_targets;
+};
+
+bool fast_path_applicable(const MultiCrackRequest& request,
+                          std::size_t key_len) {
+  if (request.algorithm == hash::Algorithm::kSha256) return false;
+  switch (request.salt.position) {
+    case hash::SaltPosition::kNone: return true;
+    case hash::SaltPosition::kPrefix: return false;
+    case hash::SaltPosition::kSuffix: return key_len >= 4;
+  }
+  return false;
+}
+
+/// Scans one tail-block chunk (all candidates share tail characters)
+/// against every outstanding target.
+void scan_fast_chunk(const SweepContext& ctx, u128 begin_id, u128 count,
+                     const std::string& first_key, std::vector<Hit>& hits) {
+  const std::size_t key_len = first_key.size();
+  const auto prefix_chars =
+      static_cast<unsigned>(std::min<std::size_t>(4, key_len));
+
+  std::string tail;
+  if (key_len > 4) tail = first_key.substr(4);
+  if (ctx.request.salt.position == hash::SaltPosition::kSuffix) {
+    tail += ctx.request.salt.salt;
+  }
+  const std::size_t total_len =
+      key_len + ctx.request.salt.extra_length();
+
+  const bool big_endian = ctx.request.algorithm == hash::Algorithm::kSha1;
+  hash::PrefixWord0Iterator it(ctx.request.charset.chars(), prefix_chars,
+                               key_len, big_endian);
+  std::vector<std::uint32_t> digits(prefix_chars);
+  for (unsigned i = 0; i < prefix_chars; ++i) {
+    digits[i] = static_cast<std::uint32_t>(
+        ctx.request.charset.index_of(first_key[i]));
+  }
+  it.seek(digits);
+
+  const auto record = [&](std::uint64_t at, std::size_t local_target) {
+    hits.push_back({ctx.indices[local_target],
+                    ctx.codec.decode(begin_id + u128(at) + ctx.offset)});
+  };
+
+  const std::uint64_t n = count.to_u64();
+  if (ctx.request.algorithm == hash::Algorithm::kMd5) {
+    const hash::Md5MultiContext multi(ctx.md5_targets, tail, total_len);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::size_t t = multi.test(it.word0());
+      if (t != hash::Md5MultiContext::npos) record(i, t);
+      it.advance();
+    }
+  } else {
+    const hash::Sha1MultiContext multi(ctx.sha1_targets, tail, total_len);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::size_t t = multi.test(it.word0());
+      if (t != hash::Sha1MultiContext::npos) record(i, t);
+      it.advance();
+    }
+  }
+}
+
+/// Scans a generator-relative interval on the calling thread.
+void scan_interval(const SweepContext& ctx,
+                   const keyspace::Interval& interval,
+                   std::vector<Hit>& hits) {
+  const std::size_t n = ctx.request.charset.size();
+  u128 id = interval.begin;
+  std::string key;
+  if (id < interval.end) ctx.codec.decode_into(id + ctx.offset, key);
+
+  while (id < interval.end) {
+    const std::size_t key_len = key.size();
+    const auto prefix_chars =
+        static_cast<unsigned>(std::min<std::size_t>(4, key_len));
+    const u128 block = keyspace::keys_of_length(n, prefix_chars);
+    const u128 first_of_len =
+        keyspace::first_id_of_length(n, static_cast<unsigned>(key_len)) -
+        ctx.offset;
+    const u128 within = (id - first_of_len) % block;
+    const u128 chunk = std::min(interval.end - id, block - within);
+
+    if (fast_path_applicable(ctx.request, key_len)) {
+      scan_fast_chunk(ctx, id, chunk, key, hits);
+      id += chunk;
+      if (id < interval.end) ctx.codec.decode_into(id + ctx.offset, key);
+    } else {
+      // Generic path: full digest per candidate, compared to every
+      // outstanding target.
+      u128 togo = chunk;
+      while (togo > u128(0)) {
+        const std::string message = ctx.request.salt.apply(key);
+        if (ctx.request.algorithm == hash::Algorithm::kMd5) {
+          const auto digest = hash::Md5::digest(message);
+          for (std::size_t t = 0; t < ctx.md5_targets.size(); ++t) {
+            if (digest == ctx.md5_targets[t]) {
+              hits.push_back({ctx.indices[t], key});
+            }
+          }
+        } else {
+          const auto digest = hash::Sha1::digest(message);
+          for (std::size_t t = 0; t < ctx.sha1_targets.size(); ++t) {
+            if (digest == ctx.sha1_targets[t]) {
+              hits.push_back({ctx.indices[t], key});
+            }
+          }
+        }
+        ctx.codec.next_inplace(key);
+        --togo;
+      }
+      id += chunk;
+    }
+  }
+}
+
+}  // namespace
+
+void MultiCrackRequest::validate() const {
+  GKS_REQUIRE(!target_hexes.empty(), "batch must contain at least one digest");
+  GKS_REQUIRE(algorithm == hash::Algorithm::kMd5 ||
+                  algorithm == hash::Algorithm::kSha1,
+              "batch sweeps support MD5 and SHA1");
+  GKS_REQUIRE(min_length >= 1 && min_length <= max_length,
+              "invalid key length range");
+  GKS_REQUIRE(max_length <= hash::kMaxKernelKeyLength,
+              "maximum key length above the kernel limit");
+  GKS_REQUIRE(max_length + salt.extra_length() <= 55,
+              "key plus salt must fit a single hash block");
+  for (const std::string& hex : target_hexes) {
+    GKS_REQUIRE(from_hex(hex).size() == hash::digest_size(algorithm),
+                "digest length does not match the algorithm");
+  }
+}
+
+MultiCrackResult multi_crack(const MultiCrackRequest& request,
+                             std::size_t threads) {
+  request.validate();
+  Stopwatch timer;
+
+  MultiCrackResult result;
+  result.targets.resize(request.target_hexes.size());
+  for (std::size_t i = 0; i < request.target_hexes.size(); ++i) {
+    result.targets[i].digest_hex = request.target_hexes[i];
+  }
+
+  const u128 space =
+      keyspace::space_size(request.charset.size(), request.min_length,
+                           request.max_length);
+  keyspace::IntervalCursor cursor(keyspace::Interval(u128(0), space));
+
+  ThreadPool pool(threads);
+  const u128 slice(static_cast<std::uint64_t>(4) << 20);
+
+  while (!cursor.exhausted() &&
+         result.cracked < result.targets.size()) {
+    // Rebuild the outstanding-target view for this slice; recovered
+    // digests drop out, shrinking the per-candidate compare loop.
+    SweepContext ctx{
+        request,
+        keyspace::KeyCodec(request.charset,
+                           keyspace::DigitOrder::kPrefixFastest),
+        keyspace::first_id_of_length(request.charset.size(),
+                                     request.min_length),
+        {},
+        {},
+        {}};
+    for (std::size_t i = 0; i < result.targets.size(); ++i) {
+      if (result.targets[i].found) continue;
+      ctx.indices.push_back(i);
+      if (request.algorithm == hash::Algorithm::kMd5) {
+        ctx.md5_targets.push_back(
+            hash::Md5Digest::from_hex(request.target_hexes[i]));
+      } else {
+        ctx.sha1_targets.push_back(
+            hash::Sha1Digest::from_hex(request.target_hexes[i]));
+      }
+    }
+
+    const keyspace::Interval round = cursor.take(slice);
+    const auto parts = static_cast<std::size_t>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(round.size().to_double() / 4096) + 1,
+        pool.size()));
+    const auto sub = keyspace::split_even(round, parts);
+
+    std::vector<std::vector<Hit>> hits(sub.size());
+    pool.parallel_for(sub.size(), [&ctx, &sub, &hits](std::size_t i) {
+      scan_interval(ctx, sub[i], hits[i]);
+    });
+
+    result.tested += round.size();
+    for (const auto& part : hits) {
+      for (const Hit& hit : part) {
+        // A hit resolves every outstanding target with this digest —
+        // duplicate credentials (users sharing a password) are common
+        // in real audits and must all be reported.
+        const std::string& digest =
+            result.targets[hit.target_index].digest_hex;
+        for (MultiTargetVerdict& verdict : result.targets) {
+          if (!verdict.found && verdict.digest_hex == digest) {
+            verdict.found = true;
+            verdict.key = hit.key;
+            ++result.cracked;
+          }
+        }
+      }
+    }
+  }
+
+  result.elapsed_s = timer.seconds();
+  return result;
+}
+
+}  // namespace gks::core

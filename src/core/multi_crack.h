@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hash/digest.h"
+#include "hash/salted.h"
+#include "keyspace/charset.h"
+#include "support/uint128.h"
+
+namespace gks::core {
+
+/// A batch hash-reversal job: many digests, one key space, one sweep.
+/// This is the efficient form of the auditing session (Section I) —
+/// with the multi-target contexts the per-candidate cost is one hash
+/// computation plus one compare per outstanding digest, so auditing a
+/// whole credential store costs barely more than cracking one hash.
+///
+/// All targets must share the algorithm, charset, length range and
+/// salt scheme; differently-salted credentials need separate sweeps
+/// (their message tails differ — that is exactly how salting defeats
+/// batch attacks on mismatched salts).
+struct MultiCrackRequest {
+  hash::Algorithm algorithm = hash::Algorithm::kMd5;
+  std::vector<std::string> target_hexes;
+  keyspace::Charset charset = keyspace::Charset::alphanumeric();
+  unsigned min_length = 1;
+  unsigned max_length = 8;
+  hash::SaltSpec salt;
+
+  void validate() const;
+};
+
+/// Per-target verdict of a batch sweep.
+struct MultiTargetVerdict {
+  std::string digest_hex;
+  bool found = false;
+  std::string key;
+};
+
+/// Outcome of the sweep.
+struct MultiCrackResult {
+  std::vector<MultiTargetVerdict> targets;  ///< in request order
+  std::size_t cracked = 0;
+  u128 tested{0};
+  double elapsed_s = 0;
+};
+
+/// Sweeps the key space once, testing every candidate against all
+/// still-outstanding targets; stops early once every digest is
+/// recovered. `threads` = 0 uses the hardware concurrency.
+MultiCrackResult multi_crack(const MultiCrackRequest& request,
+                             std::size_t threads = 0);
+
+}  // namespace gks::core

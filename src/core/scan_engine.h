@@ -1,0 +1,62 @@
+#pragma once
+
+#include <optional>
+
+#include "core/crack_request.h"
+#include "dispatch/search.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1_crack.h"
+#include "keyspace/interval.h"
+
+namespace gks::core {
+
+/// Single-threaded scanning engine for a crack request: the host-side
+/// equivalent of the GPU kernel's thread loop. Precomputes the codec
+/// and the parsed target; scan() walks a generator-relative identifier
+/// interval.
+///
+/// Fast path (MD5/SHA1, no prefix salt, key length >= 4 or unsalted):
+/// per block of N^min(4,L) consecutive identifiers — which share their
+/// tail characters under the prefix-fastest mapping (4) — one crack
+/// context is built and candidates are tested by rewriting message
+/// word 0 only, exactly like a kernel thread applying the `next`
+/// operator (Section IV-A). Everything else falls back to the generic
+/// path: materialize each candidate and hash it fully.
+class ScanPlan {
+ public:
+  explicit ScanPlan(CrackRequest request);
+
+  const CrackRequest& request() const { return request_; }
+
+  /// Scans [interval.begin, interval.end) of generator-relative ids on
+  /// the calling thread. busy_virtual_s is the measured wall time.
+  dispatch::ScanOutcome scan(const keyspace::Interval& interval) const;
+
+  /// Identifier of a known plaintext (generator-relative); used by
+  /// benches to plant solutions. Throws if outside the key space.
+  u128 id_of(const std::string& key) const;
+
+  /// Toggles the lane-vectorized MD5 scanner. Off by default: with
+  /// GCC's autovectorization of the generic Lane type the 8-wide
+  /// 49-step blocks only tie the scalar early-exit loop (see
+  /// bench_hash_cpu), so the scalar engine wins until hand-tuned
+  /// SIMD kernels exist. The path is fully tested and kept for
+  /// comparison and for compilers that vectorize it better.
+  void set_lane_scanning(bool enabled) { lanes_enabled_ = enabled; }
+
+ private:
+  bool fast_path_applicable(std::size_t key_len) const;
+
+  dispatch::ScanOutcome scan_fast_chunk(u128 begin_id, u128 count,
+                                        const std::string& first_key) const;
+
+  CrackRequest request_;
+  keyspace::KeyCodec codec_;
+  u128 offset_;      ///< global codec id of generator-relative id 0
+  u128 space_size_;  ///< total candidates
+  std::optional<hash::Md5Digest> md5_target_;
+  std::optional<hash::Sha1Digest> sha1_target_;
+  bool lanes_enabled_ = false;
+};
+
+}  // namespace gks::core

@@ -1,0 +1,52 @@
+#include "dispatch/balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace gks::dispatch {
+
+std::vector<u128> balance_quotas(const std::vector<Capability>& members) {
+  GKS_REQUIRE(!members.empty(), "no members to balance");
+  double x_max = 0;
+  for (const Capability& m : members) {
+    GKS_REQUIRE(m.throughput > 0, "member with zero throughput");
+    x_max = std::max(x_max, m.throughput);
+  }
+
+  // N_max = max_j n_j * X_max / X_j.
+  double n_max = 0;
+  for (const Capability& m : members) {
+    n_max = std::max(n_max, m.min_batch.to_double() * x_max / m.throughput);
+  }
+  GKS_ENSURE(n_max > 0, "balancer derived an empty quota");
+
+  std::vector<u128> quotas;
+  quotas.reserve(members.size());
+  for (const Capability& m : members) {
+    const double share = n_max * (m.throughput / x_max);
+    quotas.push_back(
+        u128(static_cast<std::uint64_t>(std::ceil(share))));
+    // ceil keeps N_j >= n_j despite rounding.
+  }
+  return quotas;
+}
+
+Capability aggregate_capability(const std::vector<Capability>& members) {
+  GKS_REQUIRE(!members.empty(), "no members to aggregate");
+  const std::vector<u128> quotas = balance_quotas(members);
+
+  Capability agg;
+  u128 n_node(0);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    agg.throughput += members[i].throughput;
+    agg.theoretical_sum += members[i].theoretical_sum;
+    agg.device_count += members[i].device_count;
+    n_node = u128::saturating_add(n_node, quotas[i]);
+  }
+  agg.min_batch = n_node;
+  return agg;
+}
+
+}  // namespace gks::dispatch

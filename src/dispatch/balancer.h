@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "dispatch/search.h"
+
+namespace gks::dispatch {
+
+/// Implements the load-balancing computation of Section III:
+///
+///   X_max = max_j X_j
+///   N_max = max_j (n_j · X_max / X_j)      (so every N_j >= n_j)
+///   N_j   = N_max · (X_j / X_max)
+///
+/// Every member then exhausts its quota in the same time N_max/X_max,
+/// which is the condition for no node idling while others work.
+std::vector<u128> balance_quotas(const std::vector<Capability>& members);
+
+/// Aggregates member capabilities into the capability of the subtree
+/// they form, as reported to the next dispatcher up the hierarchy
+/// (Section III: "they can be considered as computing nodes with a
+/// throughput that is the sum of the throughputs of the child nodes
+/// and ... N_node = Σ_j N_j").
+Capability aggregate_capability(const std::vector<Capability>& members);
+
+}  // namespace gks::dispatch

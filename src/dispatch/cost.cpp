@@ -1,0 +1,35 @@
+#include "dispatch/cost.h"
+
+#include <cstdio>
+
+namespace gks::dispatch {
+
+double CostLedger::mean_overhead_fraction() const {
+  if (rounds_.empty()) return 0;
+  double sum = 0;
+  std::size_t counted = 0;
+  for (const RoundCosts& r : rounds_) {
+    const double total = r.total_s();
+    if (total <= 0) continue;
+    sum += (r.scatter_s + r.gather_s) / total;
+    ++counted;
+  }
+  return counted ? sum / counted : 0;
+}
+
+double CostLedger::mean_imbalance() const {
+  if (rounds_.empty()) return 0;
+  double sum = 0;
+  for (const RoundCosts& r : rounds_) sum += r.imbalance();
+  return sum / rounds_.size();
+}
+
+std::string CostLedger::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "rounds=%zu mean_overhead=%.4f mean_imbalance=%.4f",
+                rounds_.size(), mean_overhead_fraction(), mean_imbalance());
+  return buf;
+}
+
+}  // namespace gks::dispatch

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gks::dispatch {
+
+/// Cost accounting in the vocabulary of Section III: per dispatch
+/// round, the time spent scattering work, searching, gathering
+/// results, and merging. Filled by the root dispatcher; lets users
+/// verify the bound
+///
+///   K_D >= max_j(K_scatter^j + K_search^j + K_gather^j) + K_C_M
+///
+/// empirically and see which term dominates at their granularity.
+struct RoundCosts {
+  std::uint64_t round = 0;
+  double scatter_s = 0;     ///< assigning chunks (sends + local spawn)
+  double search_max_s = 0;  ///< slowest member's busy time (bounds K_D)
+  double search_min_s = 0;  ///< fastest member — the idle-gap witness
+  double gather_s = 0;      ///< waiting for and merging results
+  std::size_t members = 0;
+
+  /// Total wall time of the round as the dispatcher saw it.
+  double total_s() const { return scatter_s + search_max_s + gather_s; }
+
+  /// Imbalance: idle fraction of the fastest member while the slowest
+  /// finishes (0 = perfectly balanced round).
+  double imbalance() const {
+    return search_max_s > 0 ? 1.0 - search_min_s / search_max_s : 0.0;
+  }
+};
+
+/// Accumulates per-round costs and summarizes them.
+class CostLedger {
+ public:
+  void record(RoundCosts costs) { rounds_.push_back(costs); }
+
+  const std::vector<RoundCosts>& rounds() const { return rounds_; }
+  bool empty() const { return rounds_.empty(); }
+
+  /// Mean fraction of round time spent outside K_search (the dispatch
+  /// overhead the granularity knob amortizes away).
+  double mean_overhead_fraction() const;
+
+  /// Mean per-round imbalance across all rounds.
+  double mean_imbalance() const;
+
+  /// Human-readable multi-line summary for reports.
+  std::string summary() const;
+
+ private:
+  std::vector<RoundCosts> rounds_;
+};
+
+}  // namespace gks::dispatch

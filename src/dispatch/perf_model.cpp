@@ -1,0 +1,102 @@
+#include "dispatch/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace gks::dispatch {
+
+PerfModel::PerfModel(double peak_throughput, double fixed_overhead_s)
+    : peak_(peak_throughput), overhead_(fixed_overhead_s) {
+  GKS_REQUIRE(peak_throughput > 0, "peak throughput must be positive");
+  GKS_REQUIRE(fixed_overhead_s >= 0, "overhead cannot be negative");
+}
+
+PerfModel PerfModel::fit(
+    const std::vector<std::pair<u128, double>>& samples) {
+  GKS_REQUIRE(samples.size() >= 2, "fitting needs at least two samples");
+  // Ordinary least squares on t = n/X + c, i.e. t = a·n + b with
+  // a = 1/X, b = c.
+  double sum_n = 0, sum_t = 0, sum_nn = 0, sum_nt = 0;
+  for (const auto& [n, t] : samples) {
+    GKS_REQUIRE(t > 0, "sample with non-positive time");
+    const double x = n.to_double();
+    sum_n += x;
+    sum_t += t;
+    sum_nn += x * x;
+    sum_nt += x * t;
+  }
+  const double count = static_cast<double>(samples.size());
+  const double denom = count * sum_nn - sum_n * sum_n;
+  GKS_REQUIRE(std::abs(denom) > 1e-30,
+              "samples must span at least two batch sizes");
+  const double a = (count * sum_nt - sum_n * sum_t) / denom;
+  double b = (sum_t - a * sum_n) / count;
+  GKS_REQUIRE(a > 0, "fitted throughput is not positive");
+  b = std::max(0.0, b);  // tiny negative intercepts are noise
+  return PerfModel(1.0 / a, b);
+}
+
+PerfModel PerfModel::calibrate(IntervalSearcher& searcher,
+                               const keyspace::Interval& scratch,
+                               const TuneConfig& config) {
+  std::vector<std::pair<u128, double>> samples;
+  u128 batch = config.start_batch;
+  for (unsigned i = 0; i < config.max_probes; ++i) {
+    const keyspace::Interval probe(
+        scratch.begin,
+        std::min(scratch.end, u128::saturating_add(scratch.begin, batch)));
+    if (probe.empty()) break;
+    const ScanOutcome out = searcher.scan(probe);
+    samples.emplace_back(probe.size(), out.busy_virtual_s);
+    if (probe.end == scratch.end) break;
+    batch = u128::checked_mul(batch, u128(config.growth));
+  }
+  return fit(samples);
+}
+
+double PerfModel::predicted_seconds(u128 n) const {
+  GKS_REQUIRE(peak_ > 0, "model is not calibrated");
+  return n.to_double() / peak_ + overhead_;
+}
+
+double PerfModel::predicted_efficiency(u128 n) const {
+  const double work = n.to_double() / peak_;
+  return work / (work + overhead_);
+}
+
+u128 PerfModel::min_batch_for(double target_efficiency) const {
+  GKS_REQUIRE(target_efficiency > 0 && target_efficiency < 1,
+              "target efficiency must be in (0, 1)");
+  GKS_REQUIRE(peak_ > 0, "model is not calibrated");
+  const double n = target_efficiency / (1.0 - target_efficiency) * peak_ *
+                   overhead_;
+  return u128(static_cast<std::uint64_t>(std::ceil(std::max(1.0, n))));
+}
+
+Capability PerfModel::to_capability(double target_efficiency,
+                                    double theoretical) const {
+  Capability cap;
+  cap.throughput = peak_;
+  cap.min_batch = min_batch_for(target_efficiency);
+  cap.theoretical_sum = theoretical > 0 ? theoretical : peak_;
+  cap.device_count = 1;
+  return cap;
+}
+
+std::string PerfModel::serialize() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "X=%.9e c=%.9e", peak_, overhead_);
+  return buf;
+}
+
+PerfModel PerfModel::parse(const std::string& text) {
+  double x = 0, c = 0;
+  GKS_REQUIRE(std::sscanf(text.c_str(), "X=%lf c=%lf", &x, &c) == 2,
+              "malformed PerfModel string");
+  return PerfModel(x, c);
+}
+
+}  // namespace gks::dispatch

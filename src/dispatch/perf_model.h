@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dispatch/search.h"
+#include "dispatch/tuner.h"
+
+namespace gks::dispatch {
+
+/// The offline performance model of Section III: "The tuning step
+/// could be skipped when a performance model that correlates
+/// efficiency, performances, and size of the search subspace for the
+/// considered algorithm is available. An approximated model could be
+/// built offline by performing a sequence of tests with increasing
+/// search size on each node of the cluster."
+///
+/// Both backends have (to first order) affine scan cost
+///     t(n) = n / X + c
+/// (X = peak throughput, c = fixed per-scan overhead: kernel launches,
+/// thread spawns, message handling), which gives the efficiency curve
+///     eff(n) = (n / X) / t(n) = n / (n + X·c).
+/// The model stores (X, c) fitted from calibration probes; from it,
+/// the minimum batch for any target efficiency is closed-form:
+///     n_min(e) = e / (1 - e) · X·c.
+class PerfModel {
+ public:
+  PerfModel() = default;
+  PerfModel(double peak_throughput, double fixed_overhead_s);
+
+  /// Least-squares fit of (X, c) from (batch, busy-seconds) samples;
+  /// needs at least two distinct batch sizes.
+  static PerfModel fit(const std::vector<std::pair<u128, double>>& samples);
+
+  /// Builds the model by probing a searcher with geometrically growing
+  /// batches — the "sequence of tests with increasing search size".
+  static PerfModel calibrate(IntervalSearcher& searcher,
+                             const keyspace::Interval& scratch,
+                             const TuneConfig& config = {});
+
+  double peak_throughput() const { return peak_; }
+  double fixed_overhead_s() const { return overhead_; }
+
+  /// Predicted scan time for a batch of n candidates.
+  double predicted_seconds(u128 n) const;
+
+  /// Predicted efficiency at batch size n: n / (n + X·c).
+  double predicted_efficiency(u128 n) const;
+
+  /// Closed-form minimum batch achieving `target_efficiency`.
+  u128 min_batch_for(double target_efficiency) const;
+
+  /// The Capability a dispatcher would otherwise obtain from a live
+  /// tuning pass — this is what "skipping the tuning step" means.
+  Capability to_capability(double target_efficiency,
+                           double theoretical = 0) const;
+
+  /// Compact textual form ("X=1.8412e+09 c=2.5e-04") for persisting
+  /// offline calibrations; parse() inverts it.
+  std::string serialize() const;
+  static PerfModel parse(const std::string& text);
+
+ private:
+  double peak_ = 0;      ///< X, keys per second
+  double overhead_ = 0;  ///< c, seconds per scan
+};
+
+}  // namespace gks::dispatch

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dispatch/search.h"
+#include "keyspace/interval.h"
+
+namespace gks::dispatch {
+
+/// Messages exchanged between a dispatcher and its children. The
+/// payloads are deliberately tiny — "only a very small amount of data
+/// must be scattered at the beginning of the computation" (Section
+/// III) — an interval is two 128-bit ids, a result a few counters.
+
+/// Parent → child: measure yourself (and your subtree) on the scratch
+/// interval; reply with a TuneReport.
+struct TuneRequest {
+  keyspace::Interval scratch;
+};
+
+/// Child → parent: aggregated capability of the child's subtree.
+struct TuneReport {
+  Capability capability;
+};
+
+/// Parent → child: search this interval and reply with a WorkResult.
+struct WorkAssign {
+  keyspace::Interval interval;
+  std::uint64_t round = 0;
+};
+
+/// Child → parent: outcome of one assigned interval.
+struct WorkResult {
+  std::uint64_t round = 0;
+  std::vector<Found> found;
+  u128 tested{0};
+  double busy_virtual_s = 0;  ///< Σ device busy time in the subtree
+};
+
+/// Parent → child, broadcast: the search is over (solution found or
+/// space exhausted); tear down.
+struct StopSearch {};
+
+}  // namespace gks::dispatch

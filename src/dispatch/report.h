@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dispatch/cost.h"
+#include "dispatch/search.h"
+
+namespace gks::dispatch {
+
+/// Per-member (local device or child subtree) accounting at one
+/// dispatcher, for the final report.
+struct MemberStats {
+  std::string name;
+  double throughput = 0;       ///< tuned X_j, keys/virtual second
+  double theoretical = 0;      ///< Σ theoretical device peaks
+  u128 tested{0};
+  double busy_virtual_s = 0;
+  bool failed = false;         ///< marked dead during the search
+};
+
+/// Outcome of a whole distributed search, produced by the root
+/// dispatcher — the data behind Table IX.
+struct SearchReport {
+  std::vector<Found> found;
+  u128 tested{0};
+  double elapsed_virtual_s = 0;
+
+  /// Achieved search throughput: tested / elapsed.
+  double throughput = 0;
+  /// Σ theoretical throughput of every device in the cluster.
+  double theoretical_sum = 0;
+  /// throughput / theoretical_sum — the paper's Table IX efficiency.
+  double efficiency = 0;
+
+  std::vector<MemberStats> members;  ///< root's direct members
+  unsigned failures_detected = 0;
+  std::uint64_t rounds = 0;
+
+  /// Per-round K_scatter / K_search / K_gather accounting at the root
+  /// (Section III cost model, measured).
+  CostLedger costs;
+};
+
+}  // namespace gks::dispatch

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keyspace/interval.h"
+#include "support/uint128.h"
+
+namespace gks::dispatch {
+
+/// A candidate that satisfied the test condition C(f(i)) = 1.
+struct Found {
+  u128 id;            ///< global enumeration identifier
+  std::string value;  ///< materialized solution (the cracked key)
+
+  bool operator==(const Found&) const = default;
+};
+
+/// Result of scanning one identifier interval.
+struct ScanOutcome {
+  std::vector<Found> found;
+  u128 tested{0};
+  /// Device time consumed, in virtual seconds (equals wall time for
+  /// real CPU searchers). This is the K_search term of the cost model.
+  double busy_virtual_s = 0;
+};
+
+/// Per-device execution engine: evaluates the condition over intervals
+/// of candidate identifiers. Implementations: the CPU backend (real
+/// hashing on host threads) and the simulated-GPU backend (SIMT-model
+/// timing). The dispatcher only ever talks to this interface, which is
+/// what makes the pattern generic (Section III: any f/C pair).
+class IntervalSearcher {
+ public:
+  virtual ~IntervalSearcher() = default;
+
+  /// Scans [interval.begin, interval.end) and reports matches.
+  virtual ScanOutcome scan(const keyspace::Interval& interval) = 0;
+
+  /// True when busy_virtual_s is simulated rather than elapsed — the
+  /// worker then realizes the duration on the virtual clock so the
+  /// cluster's relative timing stays faithful.
+  virtual bool is_simulated() const = 0;
+
+  /// Peak candidate throughput (keys per virtual second) if the
+  /// device knows it a priori; 0 lets the tuning step measure it.
+  virtual double peak_throughput_hint() const { return 0; }
+
+  /// The ideal throughput bound used for the efficiency denominator
+  /// of Table IX (theoretical model for simulated GPUs; measured peak
+  /// for CPUs, where no analytic bound exists).
+  virtual double theoretical_throughput() const = 0;
+
+  /// Human-readable device name for reports.
+  virtual std::string description() const = 0;
+};
+
+/// What the tuning step learns about a node or subtree (Section III):
+/// peak throughput X_j and the minimum batch n_j that reaches the
+/// target efficiency.
+struct Capability {
+  double throughput = 0;       ///< X_j, keys per virtual second
+  u128 min_batch{0};           ///< n_j
+  double theoretical_sum = 0;  ///< Σ device theoretical peaks (Table IX)
+  std::size_t device_count = 0;
+};
+
+}  // namespace gks::dispatch

@@ -1,0 +1,76 @@
+#include "dispatch/tuner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.h"
+
+namespace gks::dispatch {
+
+Capability tune_searcher(IntervalSearcher& searcher,
+                         const keyspace::Interval& scratch,
+                         const TuneConfig& config) {
+  GKS_REQUIRE(config.target_efficiency > 0 && config.target_efficiency <= 1,
+              "target efficiency must be in (0, 1]");
+  GKS_REQUIRE(config.start_batch > u128(0), "start batch must be positive");
+  GKS_REQUIRE(config.growth >= 2, "growth factor must be at least 2");
+
+  struct Probe {
+    u128 batch;
+    double throughput;
+  };
+  std::vector<Probe> probes;
+
+  // Grow the probe batch until throughput flattens: the last probe's
+  // rate approximates the peak X_j. Small batches are dominated by
+  // fixed costs (kernel launch, thread spawn), which is exactly the
+  // inefficiency n_j must amortize.
+  u128 batch = config.start_batch;
+  for (unsigned i = 0; i < config.max_probes; ++i) {
+    keyspace::Interval probe_interval(
+        scratch.begin,
+        std::min(scratch.end, u128::saturating_add(scratch.begin, batch)));
+    if (probe_interval.empty()) break;
+
+    const ScanOutcome outcome = searcher.scan(probe_interval);
+    GKS_ENSURE(outcome.busy_virtual_s > 0, "searcher reported zero busy time");
+    const double throughput =
+        probe_interval.size().to_double() / outcome.busy_virtual_s;
+    probes.push_back({probe_interval.size(), throughput});
+
+    if (probes.size() >= 2) {
+      const double prev = probes[probes.size() - 2].throughput;
+      if (throughput <= prev * (1.0 + config.flat_threshold)) break;
+    }
+    if (probe_interval.end == scratch.end) break;  // scratch exhausted
+    batch = u128::saturating_add(
+        u128::checked_mul(batch, u128(config.growth)), u128(0));
+  }
+  GKS_ENSURE(!probes.empty(), "tuning produced no probes");
+
+  const double peak =
+      std::max_element(probes.begin(), probes.end(),
+                       [](const Probe& a, const Probe& b) {
+                         return a.throughput < b.throughput;
+                       })
+          ->throughput;
+
+  // n_j: the smallest probed batch already running at the target
+  // fraction of peak.
+  u128 min_batch = probes.back().batch;
+  for (const Probe& p : probes) {
+    if (p.throughput >= config.target_efficiency * peak) {
+      min_batch = p.batch;
+      break;
+    }
+  }
+
+  Capability cap;
+  cap.throughput = peak;
+  cap.min_batch = min_batch;
+  cap.theoretical_sum = searcher.theoretical_throughput();
+  cap.device_count = 1;
+  return cap;
+}
+
+}  // namespace gks::dispatch

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "dispatch/search.h"
+#include "keyspace/interval.h"
+
+namespace gks::dispatch {
+
+/// Parameters of the tuning step (Section III: "perform a tuning step
+/// to estimate for each node j the minimum number of candidates n_j
+/// needed to achieve a given target efficiency, and get the peak
+/// throughput X_j").
+struct TuneConfig {
+  /// Efficiency a batch must reach for its size to qualify as n_j.
+  double target_efficiency = 0.9;
+
+  /// First probed batch size; grows geometrically.
+  u128 start_batch{4096};
+
+  /// Probing stops growing once throughput gains flatten below this
+  /// relative step, or at this many doublings.
+  double flat_threshold = 0.03;
+  unsigned max_probes = 24;
+
+  /// Growth factor between probes.
+  unsigned growth = 4;
+};
+
+/// Measures one device. `scratch` provides candidate identifiers for
+/// the probe scans (it is searched redundantly; the paper runs its
+/// tuning pass offline the same way). Throughput is computed from the
+/// searcher's *virtual* busy time, so the result is deterministic for
+/// simulated devices.
+Capability tune_searcher(IntervalSearcher& searcher,
+                         const keyspace::Interval& scratch,
+                         const TuneConfig& config = {});
+
+}  // namespace gks::dispatch

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/kernel_words.h"
+
+namespace gks::hash {
+
+/// SoA bundle of N independent 32-bit words with elementwise operators.
+///
+/// Instantiating a hash kernel with `Lane<std::uint32_t, N>` computes N
+/// hashes in lockstep from a single instruction stream — the paper's
+/// "interleaving the production of the hash of two strings at a time"
+/// ILP optimization (Section V-B, recommended on Fermi, pointless on
+/// Kepler). On the CPU backend the same structure lets the compiler
+/// auto-vectorize the kernels.
+template <class T, std::size_t N>
+struct Lane {
+  std::array<T, N> v{};
+
+  constexpr Lane() = default;
+
+  /// Broadcast constructor (constants are shared across lanes).
+  explicit constexpr Lane(T scalar) {
+    for (auto& x : v) x = scalar;
+  }
+
+  constexpr T& operator[](std::size_t i) { return v[i]; }
+  constexpr const T& operator[](std::size_t i) const { return v[i]; }
+
+  friend constexpr Lane operator+(Lane a, const Lane& b) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = a.v[i] + b.v[i];
+    return a;
+  }
+  friend constexpr Lane operator-(Lane a, const Lane& b) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = a.v[i] - b.v[i];
+    return a;
+  }
+  friend constexpr Lane operator&(Lane a, const Lane& b) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = a.v[i] & b.v[i];
+    return a;
+  }
+  friend constexpr Lane operator|(Lane a, const Lane& b) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = a.v[i] | b.v[i];
+    return a;
+  }
+  friend constexpr Lane operator^(Lane a, const Lane& b) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = a.v[i] ^ b.v[i];
+    return a;
+  }
+  friend constexpr Lane operator~(Lane a) {
+    for (std::size_t i = 0; i < N; ++i) a.v[i] = ~a.v[i];
+    return a;
+  }
+};
+
+/// Elementwise rotate-left (ADL customization point used by kernels).
+template <class T, std::size_t N>
+constexpr Lane<T, N> rotl(Lane<T, N> a, unsigned n) {
+  for (std::size_t i = 0; i < N; ++i) a.v[i] = rotl(a.v[i], n);
+  return a;
+}
+
+/// Elementwise rotate-right.
+template <class T, std::size_t N>
+constexpr Lane<T, N> rotr(Lane<T, N> a, unsigned n) {
+  for (std::size_t i = 0; i < N; ++i) a.v[i] = rotr(a.v[i], n);
+  return a;
+}
+
+/// Elementwise logical shift-right.
+template <class T, std::size_t N>
+constexpr Lane<T, N> shr(Lane<T, N> a, unsigned n) {
+  for (std::size_t i = 0; i < N; ++i) a.v[i] = shr(a.v[i], n);
+  return a;
+}
+
+}  // namespace gks::hash

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hash/md5_crack.h"
+
+namespace gks::hash {
+
+/// Number of interleaved candidates per pass of the lane scanner.
+/// Eight 32-bit lanes fill an AVX2 register; the compiler vectorizes
+/// the Lane-instantiated compression core accordingly.
+inline constexpr std::size_t kScanLanes = 8;
+
+/// Lane-parallel variant of md5_scan_prefixes: tests kScanLanes
+/// candidates per kernel pass through the Lane-instantiated MD5 core —
+/// the CPU analogue of a warp's data parallelism. Trades the scalar
+/// path's early exit (46 steps/candidate) for uniform 49-step blocks
+/// the compiler can vectorize 8-wide, a large net win on SIMD hosts.
+///
+/// Semantics are identical to md5_scan_prefixes: scans `count`
+/// prefix-major candidates from the iterator's position, returns the
+/// offset of the first match, leaves the iterator past the scanned
+/// range.
+std::optional<std::uint64_t> md5_scan_prefixes_lanes(
+    const Md5CrackContext& ctx, PrefixWord0Iterator& it,
+    std::uint64_t count);
+
+}  // namespace gks::hash

@@ -1,0 +1,66 @@
+#include "hash/md5.h"
+
+#include <cstring>
+
+namespace gks::hash {
+namespace {
+
+std::array<std::uint32_t, 16> load_le(const std::uint8_t* p) {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t w = 0; w < 16; ++w) {
+    m[w] = static_cast<std::uint32_t>(p[4 * w]) |
+           static_cast<std::uint32_t>(p[4 * w + 1]) << 8 |
+           static_cast<std::uint32_t>(p[4 * w + 2]) << 16 |
+           static_cast<std::uint32_t>(p[4 * w + 3]) << 24;
+  }
+  return m;
+}
+
+void store_le(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void Md5::compress_buffer() {
+  const auto m = load_le(buffer_);
+  const Md5State<std::uint32_t> init = state_;
+  md5_forward_steps(state_, m, 64);
+  md5_feed_forward(state_, init);
+  buffered_ = 0;
+}
+
+void Md5::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  while (!data.empty()) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    data = data.subspan(take);
+    if (buffered_ == 64) compress_buffer();
+  }
+}
+
+Md5Digest Md5::finalize() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+  update(std::span<const std::uint8_t>(len, 8));
+
+  Md5Digest d;
+  store_le(state_.a, d.bytes.data());
+  store_le(state_.b, d.bytes.data() + 4);
+  store_le(state_.c, d.bytes.data() + 8);
+  store_le(state_.d, d.bytes.data() + 12);
+  return d;
+}
+
+}  // namespace gks::hash

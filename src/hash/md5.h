@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "hash/digest.h"
+#include "hash/md5_kernel.h"
+
+namespace gks::hash {
+
+/// Streaming MD5 (RFC 1321) for arbitrary-length input. This is the
+/// reference implementation: the crack kernels are verified against it
+/// and the auditing tools use it to hash password lists.
+class Md5 {
+ public:
+  Md5() = default;
+
+  /// Absorbs `data`; may be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Convenience overload for text input.
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Applies padding and returns the digest. The object must not be
+  /// updated afterwards (construct a fresh Md5 for the next message).
+  Md5Digest finalize();
+
+  /// One-shot digest of a full message.
+  static Md5Digest digest(std::string_view text) {
+    Md5 h;
+    h.update(text);
+    return h.finalize();
+  }
+
+  static Md5Digest digest(std::span<const std::uint8_t> data) {
+    Md5 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void compress_buffer();
+
+  Md5State<std::uint32_t> state_{kMd5Init[0], kMd5Init[1], kMd5Init[2],
+                                 kMd5Init[3]};
+  std::uint8_t buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace gks::hash

@@ -1,0 +1,167 @@
+#include "hash/multi_crack.h"
+
+#include <string>
+
+#include "hash/kernel_words.h"
+#include "support/error.h"
+
+namespace gks::hash {
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::array<std::uint32_t, 16> fixed_md5_words(std::string_view tail,
+                                              std::size_t total_len) {
+  GKS_REQUIRE(total_len <= 55, "message does not fit a single block");
+  if (total_len >= 4) {
+    GKS_REQUIRE(tail.size() == total_len - 4,
+                "tail must hold exactly the bytes after the first word");
+  } else {
+    GKS_REQUIRE(tail.empty(), "short keys have no tail");
+  }
+  std::string message(total_len, '\0');
+  for (std::size_t i = 4; i < total_len; ++i) message[i] = tail[i - 4];
+  return pack_md5_block(message).words;
+}
+
+std::array<std::uint32_t, 16> fixed_sha_words(std::string_view tail,
+                                              std::size_t total_len) {
+  GKS_REQUIRE(total_len <= 55, "message does not fit a single block");
+  if (total_len >= 4) {
+    GKS_REQUIRE(tail.size() == total_len - 4,
+                "tail must hold exactly the bytes after the first word");
+  } else {
+    GKS_REQUIRE(tail.empty(), "short keys have no tail");
+  }
+  std::string message(total_len, '\0');
+  for (std::size_t i = 4; i < total_len; ++i) message[i] = tail[i - 4];
+  return pack_sha_block(message).words;
+}
+
+}  // namespace
+
+Md5MultiContext::Md5MultiContext(std::vector<Md5Digest> targets,
+                                 std::string_view tail,
+                                 std::size_t total_len)
+    : targets_(std::move(targets)), m_(fixed_md5_words(tail, total_len)) {
+  GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
+  reverted_.reserve(targets_.size());
+  for (const Md5Digest& t : targets_) {
+    Md5State<std::uint32_t> s{load_le32(t.bytes.data()) - kMd5Init[0],
+                              load_le32(t.bytes.data() + 4) - kMd5Init[1],
+                              load_le32(t.bytes.data() + 8) - kMd5Init[2],
+                              load_le32(t.bytes.data() + 12) - kMd5Init[3]};
+    md5_reverse_steps(s, m_, 49);
+    reverted_.push_back(s);
+  }
+}
+
+std::size_t Md5MultiContext::test(std::uint32_t m0) const {
+  std::array<std::uint32_t, 16> m = m_;
+  m[0] = m0;
+
+  Md5State<std::uint32_t> s{kMd5Init[0], kMd5Init[1], kMd5Init[2],
+                            kMd5Init[3]};
+  md5_forward_steps(s, m, 45);
+
+  const auto step = [&m](unsigned i, std::uint32_t va, std::uint32_t vb,
+                         std::uint32_t vc, std::uint32_t vd) {
+    return vb + rotl(va + md5_round_fn(i, vb, vc, vd) + m[md5_msg_index(i)] +
+                         kMd5K[i],
+                     kMd5S[i]);
+  };
+
+  // One early-exit value, N comparisons — targets only pay a compare.
+  const std::uint32_t t45 = step(45, s.a, s.b, s.c, s.d);
+  std::size_t candidate_target = npos;
+  for (std::size_t i = 0; i < reverted_.size(); ++i) {
+    if (reverted_[i].a == t45) {
+      candidate_target = i;
+      break;
+    }
+  }
+  if (candidate_target == npos) return npos;
+
+  // Rare path: finish the remaining steps and verify all registers.
+  const Md5State<std::uint32_t>& r = reverted_[candidate_target];
+  std::uint32_t a = s.d, b = t45, c = s.b, d = s.c;
+  const std::uint32_t t46 = step(46, a, b, c, d);
+  if (t46 != r.d) return npos;
+  std::uint32_t na = d, nb = t46, nc = b, nd = c;
+  const std::uint32_t t47 = step(47, na, nb, nc, nd);
+  if (t47 != r.c) return npos;
+  a = nd;
+  b = t47;
+  c = nb;
+  d = nc;
+  const std::uint32_t t48 = step(48, a, b, c, d);
+  return t48 == r.b ? candidate_target : npos;
+}
+
+Sha1MultiContext::Sha1MultiContext(std::vector<Sha1Digest> targets,
+                                   std::string_view tail,
+                                   std::size_t total_len)
+    : targets_(std::move(targets)), m_(fixed_sha_words(tail, total_len)) {
+  GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
+  unfed_.reserve(targets_.size());
+  for (const Sha1Digest& t : targets_) {
+    unfed_.push_back({load_be32(t.bytes.data()) - kSha1Init[0],
+                      load_be32(t.bytes.data() + 4) - kSha1Init[1],
+                      load_be32(t.bytes.data() + 8) - kSha1Init[2],
+                      load_be32(t.bytes.data() + 12) - kSha1Init[3],
+                      load_be32(t.bytes.data() + 16) - kSha1Init[4]});
+  }
+}
+
+std::size_t Sha1MultiContext::test(std::uint32_t w0) const {
+  std::array<std::uint32_t, 16> ring = m_;
+  ring[0] = w0;
+
+  std::uint32_t a = kSha1Init[0], b = kSha1Init[1], c = kSha1Init[2],
+                d = kSha1Init[3], e = kSha1Init[4];
+  const auto advance = [&](unsigned t, std::uint32_t wt) {
+    const std::uint32_t f = sha1_round_fn(t, b, c, d);
+    const std::uint32_t temp = rotl(a, 5) + f + e + wt + kSha1K[t / 20];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  };
+  for (unsigned t = 0; t < 16; ++t) advance(t, ring[t]);
+  for (unsigned t = 16; t < 76; ++t) advance(t, sha1_expand(ring, t));
+
+  const std::uint32_t check = rotl(a, 30);
+  std::size_t candidate_target = npos;
+  for (std::size_t i = 0; i < unfed_.size(); ++i) {
+    if (unfed_[i].e == check) {
+      candidate_target = i;
+      break;
+    }
+  }
+  if (candidate_target == npos) return npos;
+
+  const Sha1State<std::uint32_t>& u = unfed_[candidate_target];
+  advance(76, sha1_expand(ring, 76));
+  if (rotl(a, 30) != u.d) return npos;
+  advance(77, sha1_expand(ring, 77));
+  if (rotl(a, 30) != u.c) return npos;
+  advance(78, sha1_expand(ring, 78));
+  if (a != u.b) return npos;
+  advance(79, sha1_expand(ring, 79));
+  return a == u.a ? candidate_target : npos;
+}
+
+}  // namespace gks::hash

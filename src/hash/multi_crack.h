@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "hash/digest.h"
+#include "hash/md5_kernel.h"
+#include "hash/sha1_kernel.h"
+
+namespace gks::hash {
+
+/// Multi-target MD5 crack context: tests one candidate against many
+/// digests with a *single* forward computation.
+///
+/// The kernel's forward steps depend only on the message, never on the
+/// target — targets enter solely through the final comparisons. So a
+/// candidate costs the usual 45 steps plus one early-exit value, and
+/// each additional target costs one 32-bit compare (the per-target
+/// reverted states are precomputed as in Md5CrackContext). Cracking N
+/// digests over the same key space is therefore barely more expensive
+/// than cracking one — the right engine for auditing sessions.
+class Md5MultiContext {
+ public:
+  /// All targets share the fixed tail/total_len (same key-space sweep).
+  Md5MultiContext(std::vector<Md5Digest> targets, std::string_view tail,
+                  std::size_t total_len);
+
+  /// Tests a candidate word 0; returns the index of the matching
+  /// target, or npos (the overwhelmingly common case).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t test(std::uint32_t m0) const;
+
+  std::size_t target_count() const { return reverted_.size(); }
+  const std::vector<Md5Digest>& targets() const { return targets_; }
+
+ private:
+  std::vector<Md5Digest> targets_;
+  std::array<std::uint32_t, 16> m_{};
+  std::vector<Md5State<std::uint32_t>> reverted_;
+};
+
+/// SHA1 counterpart: steps 0..75 run once, the early-exit comparison
+/// value is checked against every target's feed-forward-reverted state.
+class Sha1MultiContext {
+ public:
+  Sha1MultiContext(std::vector<Sha1Digest> targets, std::string_view tail,
+                   std::size_t total_len);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t test(std::uint32_t w0) const;
+
+  std::size_t target_count() const { return unfed_.size(); }
+  const std::vector<Sha1Digest>& targets() const { return targets_; }
+
+ private:
+  std::vector<Sha1Digest> targets_;
+  std::array<std::uint32_t, 16> m_{};
+  std::vector<Sha1State<std::uint32_t>> unfed_;
+};
+
+}  // namespace gks::hash

@@ -1,0 +1,16 @@
+#include "hash/salted.h"
+
+#include "hash/md5.h"
+#include "hash/sha1.h"
+
+namespace gks::hash {
+
+Md5Digest md5_salted(const SaltSpec& spec, std::string_view key) {
+  return Md5::digest(spec.apply(key));
+}
+
+Sha1Digest sha1_salted(const SaltSpec& spec, std::string_view key) {
+  return Sha1::digest(spec.apply(key));
+}
+
+}  // namespace gks::hash

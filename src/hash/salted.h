@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hash/digest.h"
+
+namespace gks::hash {
+
+/// Where the salt is concatenated relative to the key. Salting defeats
+/// lookup/rainbow tables (paper Section I) but leaves the brute-force
+/// search space unchanged — the salt is known, so the crack kernels
+/// simply fold it into the fixed message words.
+enum class SaltPosition { kNone, kPrefix, kSuffix };
+
+/// A salting scheme: a (possibly empty) salt string and its position.
+struct SaltSpec {
+  SaltPosition position = SaltPosition::kNone;
+  std::string salt;
+
+  /// Applies the scheme: returns salt+key, key+salt, or key.
+  std::string apply(std::string_view key) const {
+    switch (position) {
+      case SaltPosition::kNone: return std::string(key);
+      case SaltPosition::kPrefix: return salt + std::string(key);
+      case SaltPosition::kSuffix: return std::string(key) + salt;
+    }
+    return std::string(key);
+  }
+
+  /// Extra bytes the salt adds to every hashed message.
+  std::size_t extra_length() const {
+    return position == SaltPosition::kNone ? 0 : salt.size();
+  }
+};
+
+/// MD5 of the salted key.
+Md5Digest md5_salted(const SaltSpec& spec, std::string_view key);
+
+/// SHA1 of the salted key.
+Sha1Digest sha1_salted(const SaltSpec& spec, std::string_view key);
+
+}  // namespace gks::hash

@@ -1,0 +1,68 @@
+#include "hash/sha1.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gks::hash {
+namespace {
+
+std::array<std::uint32_t, 16> load_be(const std::uint8_t* p) {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t w = 0; w < 16; ++w) {
+    m[w] = static_cast<std::uint32_t>(p[4 * w]) << 24 |
+           static_cast<std::uint32_t>(p[4 * w + 1]) << 16 |
+           static_cast<std::uint32_t>(p[4 * w + 2]) << 8 |
+           static_cast<std::uint32_t>(p[4 * w + 3]);
+  }
+  return m;
+}
+
+void store_be(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha1::compress_buffer() {
+  const auto m = load_be(buffer_);
+  const Sha1State<std::uint32_t> init = state_;
+  sha1_forward_steps(state_, m, 80);
+  sha1_feed_forward(state_, init);
+  buffered_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  while (!data.empty()) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    data = data.subspan(take);
+    if (buffered_ == 64) compress_buffer();
+  }
+}
+
+Sha1Digest Sha1::finalize() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  update(std::span<const std::uint8_t>(len, 8));
+
+  Sha1Digest d;
+  store_be(state_.a, d.bytes.data());
+  store_be(state_.b, d.bytes.data() + 4);
+  store_be(state_.c, d.bytes.data() + 8);
+  store_be(state_.d, d.bytes.data() + 12);
+  store_be(state_.e, d.bytes.data() + 16);
+  return d;
+}
+
+}  // namespace gks::hash

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "hash/digest.h"
+#include "hash/sha1_kernel.h"
+
+namespace gks::hash {
+
+/// Streaming SHA1 (RFC 3174) for arbitrary-length input; the reference
+/// implementation the SHA1 crack kernel is verified against.
+class Sha1 {
+ public:
+  Sha1() = default;
+
+  /// Absorbs `data`; may be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Convenience overload for text input.
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Applies padding and returns the digest; single use per object.
+  Sha1Digest finalize();
+
+  /// One-shot digest of a full message.
+  static Sha1Digest digest(std::string_view text) {
+    Sha1 h;
+    h.update(text);
+    return h.finalize();
+  }
+
+  static Sha1Digest digest(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void compress_buffer();
+
+  Sha1State<std::uint32_t> state_{kSha1Init[0], kSha1Init[1], kSha1Init[2],
+                                  kSha1Init[3], kSha1Init[4]};
+  std::uint8_t buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace gks::hash

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "hash/digest.h"
+#include "hash/md5_crack.h"  // PrefixWord0Iterator
+#include "hash/sha1_kernel.h"
+
+namespace gks::hash {
+
+/// Precomputed context for the optimized SHA1 crack kernel.
+///
+/// SHA1's message expansion feeds word 0 into most of W[16..79], so the
+/// deep reversal that works for MD5 is not available. The applicable
+/// optimizations (Section V-B, "the same kind of analysis...") are:
+///   - undo the feed-forward once per target instead of adding the
+///     initial state once per candidate;
+///   - early-exit: the values produced at steps 75..79 each settle into
+///     one register of the final state, so the comparison can begin
+///     after step 75 and usually rejects immediately, skipping the last
+///     four steps and their expansion work.
+class Sha1CrackContext {
+ public:
+  /// Same contract as Md5CrackContext: `tail` holds message bytes from
+  /// offset 4 on, `total_len` the full message length (<= 55 bytes).
+  Sha1CrackContext(const Sha1Digest& target, std::string_view tail,
+                   std::size_t total_len);
+
+  /// Tests one candidate (first four message bytes packed big-endian, as
+  /// produced by pack_sha_word0 / PrefixWord0Iterator in big-endian mode).
+  bool test(std::uint32_t w0) const;
+
+  /// Unoptimized test: 80 steps, feed-forward, full digest compare.
+  bool test_plain(std::uint32_t w0) const;
+
+  /// Fixed message words (word 0 is a placeholder).
+  const std::array<std::uint32_t, 16>& message_words() const { return m_; }
+
+  /// The target digest this context was built for.
+  const Sha1Digest& target() const { return target_; }
+
+ private:
+  std::array<std::uint32_t, 16> m_{};
+  Sha1State<std::uint32_t> unfed_{};  ///< target minus initial state
+  Sha1Digest target_{};
+};
+
+/// Scans `count` consecutive prefix-major candidates starting at the
+/// iterator's current position (the iterator must be in big-endian
+/// mode); returns the offset of the first match, if any.
+std::optional<std::uint64_t> sha1_scan_prefixes(const Sha1CrackContext& ctx,
+                                                PrefixWord0Iterator& it,
+                                                std::uint64_t count);
+
+}  // namespace gks::hash

@@ -1,0 +1,79 @@
+#include "hash/sha256.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace gks::hash {
+namespace {
+
+std::array<std::uint32_t, 16> load_be(const std::uint8_t* p) {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t w = 0; w < 16; ++w) {
+    m[w] = static_cast<std::uint32_t>(p[4 * w]) << 24 |
+           static_cast<std::uint32_t>(p[4 * w + 1]) << 16 |
+           static_cast<std::uint32_t>(p[4 * w + 2]) << 8 |
+           static_cast<std::uint32_t>(p[4 * w + 3]);
+  }
+  return m;
+}
+
+void store_be(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha256::compress_buffer() {
+  const auto m = load_be(buffer_);
+  sha256_compress(state_, m);
+  buffered_ = 0;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  while (!data.empty()) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    data = data.subspan(take);
+    if (buffered_ == 64) compress_buffer();
+  }
+}
+
+Sha256State<std::uint32_t> Sha256::midstate() const {
+  GKS_REQUIRE(buffered_ == 0, "midstate only valid at a 64-byte boundary");
+  return state_;
+}
+
+void Sha256::restore(const Sha256State<std::uint32_t>& s,
+                     std::uint64_t bytes_consumed) {
+  GKS_REQUIRE(bytes_consumed % 64 == 0,
+              "midstate restore requires a 64-byte boundary");
+  state_ = s;
+  buffered_ = 0;
+  total_bytes_ = bytes_consumed;
+}
+
+Sha256Digest Sha256::finalize() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  update(std::span<const std::uint8_t>(len, 8));
+
+  Sha256Digest d;
+  for (std::size_t i = 0; i < 8; ++i)
+    store_be(state_.h[i], d.bytes.data() + 4 * i);
+  return d;
+}
+
+}  // namespace gks::hash

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "hash/digest.h"
+#include "hash/sha256_kernel.h"
+
+namespace gks::hash {
+
+/// Streaming SHA256 (FIPS 180-4). Used by the Bitcoin-style nonce
+/// search (double SHA256 over an 80-byte block header) and available
+/// as a general reference hash.
+class Sha256 {
+ public:
+  Sha256() = default;
+
+  /// Absorbs `data`; may be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Convenience overload for text input.
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Applies padding and returns the digest; single use per object.
+  Sha256Digest finalize();
+
+  /// One-shot digest of a full message.
+  static Sha256Digest digest(std::string_view text) {
+    Sha256 h;
+    h.update(text);
+    return h.finalize();
+  }
+
+  static Sha256Digest digest(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+  /// Returns the current chaining state. Valid only at a 64-byte
+  /// boundary (buffered bytes == 0); used by the nonce search to cache
+  /// the midstate of the first header block, the paper's
+  /// "save the intermediate result and process only the last block"
+  /// optimization.
+  Sha256State<std::uint32_t> midstate() const;
+
+  /// Restores a previously captured midstate as if `bytes_consumed`
+  /// bytes had already been absorbed.
+  void restore(const Sha256State<std::uint32_t>& s,
+               std::uint64_t bytes_consumed);
+
+ private:
+  void compress_buffer();
+
+  Sha256State<std::uint32_t> state_{
+      {kSha256Init[0], kSha256Init[1], kSha256Init[2], kSha256Init[3],
+       kSha256Init[4], kSha256Init[5], kSha256Init[6], kSha256Init[7]}};
+  std::uint8_t buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace gks::hash

@@ -1,0 +1,95 @@
+#pragma once
+
+// SHA256 compression core as a function template over the word type.
+// Used by the reference SHA256 (streaming API) and by the Bitcoin-style
+// nonce search of Section I (double SHA256 with midstate reuse — the
+// paper's "intermediate result of the hashing algorithm may be saved
+// and reused" optimization).
+
+#include <array>
+#include <cstdint>
+
+#include "hash/kernel_words.h"
+
+namespace gks::hash {
+
+/// SHA256 chaining state (H0..H7 of FIPS 180-4).
+template <class W>
+struct Sha256State {
+  std::array<W, 8> h;
+};
+
+/// FIPS 180-4 initial state.
+inline constexpr std::array<std::uint32_t, 8> kSha256Init = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+/// FIPS 180-4 round constants.
+inline constexpr std::array<std::uint32_t, 64> kSha256K = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+/// One full SHA256 compression (64 steps + feed-forward) of message
+/// block `m` into state `s`.
+template <class W>
+constexpr void sha256_compress(Sha256State<W>& s, const std::array<W, 16>& m) {
+  const auto big_sigma0 = [](const W& x) {
+    return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22);
+  };
+  const auto big_sigma1 = [](const W& x) {
+    return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25);
+  };
+  const auto small_sigma0 = [](const W& x) {
+    return rotr(x, 7) ^ rotr(x, 18) ^ shr(x, 3);
+  };
+  const auto small_sigma1 = [](const W& x) {
+    return rotr(x, 17) ^ rotr(x, 19) ^ shr(x, 10);
+  };
+
+  std::array<W, 16> ring = m;
+  W a = s.h[0], b = s.h[1], c = s.h[2], d = s.h[3];
+  W e = s.h[4], f = s.h[5], g = s.h[6], h = s.h[7];
+
+  for (unsigned t = 0; t < 64; ++t) {
+    W wt = ring[t & 15];
+    if (t >= 16) {
+      wt = wt + small_sigma0(ring[(t - 15) & 15]) + ring[(t - 7) & 15] +
+           small_sigma1(ring[(t - 2) & 15]);
+      ring[t & 15] = wt;
+    }
+    const W ch = (e & f) ^ (~e & g);
+    const W maj = (a & b) ^ (a & c) ^ (b & c);
+    const W t1 = h + big_sigma1(e) + ch + wt + W(kSha256K[t]);
+    const W t2 = big_sigma0(a) + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  s.h[0] = s.h[0] + a;
+  s.h[1] = s.h[1] + b;
+  s.h[2] = s.h[2] + c;
+  s.h[3] = s.h[3] + d;
+  s.h[4] = s.h[4] + e;
+  s.h[5] = s.h[5] + f;
+  s.h[6] = s.h[6] + g;
+  s.h[7] = s.h[7] + h;
+}
+
+}  // namespace gks::hash

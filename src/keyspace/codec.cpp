@@ -1,0 +1,71 @@
+#include "keyspace/codec.h"
+
+#include <algorithm>
+
+namespace gks::keyspace {
+
+KeyCodec::KeyCodec(Charset charset, DigitOrder order)
+    : charset_(std::move(charset)), order_(order) {}
+
+void KeyCodec::decode_into(u128 id, std::string& key) const {
+  // Figure 1: repeatedly extract the least-significant digit. With
+  // kSuffixFastest the digit extracted first is the last character
+  // (str = c ⊕ str in the paper); with kPrefixFastest it is the first
+  // (str = str ⊕ c, the mapping (4) variant).
+  key.clear();
+  const u128 n(static_cast<std::uint64_t>(charset_.size()));
+  while (id > u128(0)) {
+    id -= u128(1);
+    const std::uint64_t digit = (id % n).to_u64();
+    key.push_back(charset_.at(digit));
+    id /= n;
+  }
+  if (order_ == DigitOrder::kSuffixFastest) {
+    std::reverse(key.begin(), key.end());
+  }
+}
+
+std::string KeyCodec::decode(u128 id) const {
+  std::string key;
+  decode_into(id, key);
+  return key;
+}
+
+u128 KeyCodec::encode(std::string_view key) const {
+  // Inverse of decode: fold digits from most significant to least.
+  // With kSuffixFastest the most significant digit is the first
+  // character; with kPrefixFastest it is the last.
+  const u128 n(static_cast<std::uint64_t>(charset_.size()));
+  u128 id(0);
+  const auto fold = [&](char c) {
+    id = u128::checked_mul(id, n) +
+         u128(static_cast<std::uint64_t>(charset_.index_of(c)) + 1);
+  };
+  if (order_ == DigitOrder::kSuffixFastest) {
+    for (char c : key) fold(c);
+  } else {
+    for (auto it = key.rbegin(); it != key.rend(); ++it) fold(*it);
+  }
+  return id;
+}
+
+void KeyCodec::next_inplace(std::string& key) const {
+  // Figure 2 (and its mapping-(4) variant): increment the fastest
+  // digit and propagate the carry; on full wrap-around every character
+  // has become charset[0] and the string grows by one such character.
+  const std::size_t len = key.size();
+  const std::size_t last_digit = charset_.size() - 1;
+  for (std::size_t k = 0; k < len; ++k) {
+    const std::size_t pos =
+        order_ == DigitOrder::kSuffixFastest ? len - 1 - k : k;
+    const std::size_t digit = charset_.index_of(key[pos]);
+    if (digit != last_digit) {
+      key[pos] = charset_.at(digit + 1);
+      return;
+    }
+    key[pos] = charset_.at(0);
+  }
+  key.push_back(charset_.at(0));
+}
+
+}  // namespace gks::keyspace

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "keyspace/charset.h"
+#include "support/uint128.h"
+
+namespace gks::keyspace {
+
+/// Which character of the string acts as the fastest-varying digit of
+/// the base-N enumeration.
+enum class DigitOrder {
+  /// Paper mapping (1), Figure 1: [ε, a, b, c, aa, ab, ac, ba, ...] —
+  /// the *last* character varies fastest.
+  kSuffixFastest,
+  /// Paper mapping (4): [ε, a, b, c, aa, ba, ca, ab, ...] — the *first*
+  /// character varies fastest. Required by the optimized crack kernels,
+  /// which iterate by mutating message word 0 only (Section V-B).
+  kPrefixFastest,
+};
+
+/// The bijection f : N → strings over a charset (Section III-A), with
+/// its inverse and the incremental `next` operator of Figure 2.
+///
+/// Identifier 0 is the empty string; identifiers then enumerate strings
+/// of length 1, 2, ... in digit order. The codec treats a string as an
+/// arbitrarily long number in base N = |charset| (Section IV).
+class KeyCodec {
+ public:
+  KeyCodec(Charset charset, DigitOrder order);
+
+  const Charset& charset() const { return charset_; }
+  DigitOrder order() const { return order_; }
+
+  /// f(id): materializes the string with the given identifier. Cost
+  /// grows with the string length (K_f of the cost model); the `next`
+  /// operator below is the cheap incremental alternative (K_next).
+  std::string decode(u128 id) const;
+
+  /// f⁻¹(key): identifier of a string. Throws InvalidArgument if the
+  /// string uses characters outside the charset.
+  u128 encode(std::string_view key) const;
+
+  /// In-place `next` operator (Figure 2): transforms f(id) into
+  /// f(id + 1), usually touching a single character. Grows the string
+  /// by one character when the enumeration rolls over to the next
+  /// length (e.g. "cc" → "aaa").
+  void next_inplace(std::string& key) const;
+
+  /// Writes f(id) into `key` reusing its storage (avoids an allocation
+  /// in scanning loops).
+  void decode_into(u128 id, std::string& key) const;
+
+ private:
+  Charset charset_;
+  DigitOrder order_;
+};
+
+}  // namespace gks::keyspace

@@ -1,0 +1,55 @@
+#include "keyspace/dictionary.h"
+
+#include <cctype>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+
+DictionaryGenerator::DictionaryGenerator(std::vector<std::string> words,
+                                         Mangle mangle)
+    : words_(std::move(words)),
+      variants_(mangle == Mangle::kCommonCase ? 3 : 1) {
+  GKS_REQUIRE(!words_.empty(), "dictionary must not be empty");
+}
+
+u128 DictionaryGenerator::size() const {
+  return u128::checked_mul(u128(words_.size()), u128(variants_));
+}
+
+void DictionaryGenerator::generate(u128 id, std::string& out) const {
+  GKS_REQUIRE(id < size(), "identifier outside the dictionary");
+  const std::uint64_t word_id = (id / u128(variants_)).to_u64();
+  const std::uint64_t variant = (id % u128(variants_)).to_u64();
+  out = words_[word_id];
+  if (variant == 1) {  // Capitalized
+    if (!out.empty())
+      out[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(out[0])));
+  } else if (variant == 2) {  // UPPER
+    for (char& c : out)
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+}
+
+HybridGenerator::HybridGenerator(const Generator& words,
+                                 const Generator& tails)
+    : words_(words), tails_(tails), tail_size_(tails.size()) {
+  GKS_REQUIRE(tail_size_ > u128(0), "tail enumeration must not be empty");
+}
+
+u128 HybridGenerator::size() const {
+  return u128::checked_mul(words_.size(), tail_size_);
+}
+
+void HybridGenerator::generate(u128 id, std::string& out) const {
+  GKS_REQUIRE(id < size(), "identifier outside the hybrid space");
+  const u128 word_id = id / tail_size_;
+  const u128 tail_id = id % tail_size_;
+  words_.generate(word_id, out);
+  std::string tail;
+  tails_.generate(tail_id, tail);
+  out += tail;
+}
+
+}  // namespace gks::keyspace

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keyspace/generator.h"
+
+namespace gks::keyspace {
+
+/// Dictionary attack enumeration (Section I: "the number of attempts
+/// can be drastically reduced if a dictionary of recurring words is
+/// involved"). Optionally expands each word with simple case mangling
+/// rules, multiplying the candidate count by the number of variants.
+class DictionaryGenerator final : public Generator {
+ public:
+  /// Case-mangling variants applied per word, a small stand-in for the
+  /// "list of common password patterns" hybrid technique.
+  enum class Mangle {
+    kNone,        ///< word as-is (1 variant)
+    kCommonCase,  ///< as-is, Capitalized, UPPER (3 variants)
+  };
+
+  explicit DictionaryGenerator(std::vector<std::string> words,
+                               Mangle mangle = Mangle::kNone);
+
+  u128 size() const override;
+  void generate(u128 id, std::string& out) const override;
+
+  std::size_t word_count() const { return words_.size(); }
+  std::size_t variants_per_word() const { return variants_; }
+
+ private:
+  std::vector<std::string> words_;
+  std::size_t variants_;
+};
+
+/// Hybrid attack: every dictionary candidate concatenated with every
+/// string of a brute-force tail (e.g. word + 2 digits) — the paper's
+/// "hybrid technique that uses a dictionary along with a list of
+/// common password patterns". The tail enumeration is any Generator,
+/// composed by cartesian product: id = word_id * tail_size + tail_id.
+class HybridGenerator final : public Generator {
+ public:
+  /// Both generators are borrowed; they must outlive the hybrid.
+  HybridGenerator(const Generator& words, const Generator& tails);
+
+  u128 size() const override;
+  void generate(u128 id, std::string& out) const override;
+
+ private:
+  const Generator& words_;
+  const Generator& tails_;
+  u128 tail_size_;
+};
+
+}  // namespace gks::keyspace

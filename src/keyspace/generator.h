@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "support/uint128.h"
+
+namespace gks::keyspace {
+
+/// Abstract candidate enumeration: a bijection from the dense
+/// identifier range [0, size()) onto candidate strings — the f(i) of
+/// the paper's problem definition (Section III-A). The dispatcher
+/// partitions identifier intervals without knowing what they denote,
+/// which is exactly why the pattern generalizes beyond base-N key
+/// spaces (dictionary and hybrid attacks implement the same interface).
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  /// Cardinality of the candidate set.
+  virtual u128 size() const = 0;
+
+  /// Materializes candidate `id` (0 <= id < size()) into `out`,
+  /// reusing its storage. This is f(id), cost K_f.
+  virtual void generate(u128 id, std::string& out) const = 0;
+
+  /// Transforms candidate `id`'s string into candidate `id + 1`'s —
+  /// the `next` operator, cost K_next. The default falls back to a
+  /// full generate(id + 1); enumerations with a cheaper incremental
+  /// step override it.
+  virtual void next(u128 id, std::string& key) const {
+    generate(id + u128(1), key);
+  }
+
+  /// Convenience wrapper allocating a fresh string.
+  std::string at(u128 id) const {
+    std::string s;
+    generate(id, s);
+    return s;
+  }
+};
+
+}  // namespace gks::keyspace

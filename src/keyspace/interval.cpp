@@ -1,0 +1,85 @@
+#include "keyspace/interval.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+
+std::vector<Interval> split_even(const Interval& whole, std::size_t parts) {
+  GKS_REQUIRE(parts >= 1, "cannot split into zero parts");
+  const u128 n = whole.size();
+  const u128 p(static_cast<std::uint64_t>(parts));
+  const u128 base = n / p;
+  const std::uint64_t rem = (n % p).to_u64();
+
+  std::vector<Interval> out;
+  out.reserve(parts);
+  u128 cursor = whole.begin;
+  for (std::size_t i = 0; i < parts; ++i) {
+    u128 sz = base;
+    if (i < rem) sz += u128(1);
+    out.emplace_back(cursor, cursor + sz);
+    cursor += sz;
+  }
+  GKS_ENSURE(cursor == whole.end, "split_even must cover the interval");
+  return out;
+}
+
+std::vector<Interval> split_weighted(const Interval& whole,
+                                     const std::vector<double>& weights) {
+  GKS_REQUIRE(!weights.empty(), "need at least one weight");
+  double total = 0;
+  for (double w : weights) {
+    GKS_REQUIRE(w >= 0, "weights must be non-negative");
+    total += w;
+  }
+  GKS_REQUIRE(total > 0, "at least one weight must be positive");
+
+  const double n = whole.size().to_double();
+  const std::size_t heaviest = static_cast<std::size_t>(
+      std::max_element(weights.begin(), weights.end()) - weights.begin());
+
+  // Assign floor shares to everyone except the heaviest node, which
+  // receives whatever remains; the fastest node absorbs rounding slack.
+  std::vector<u128> sizes(weights.size(), u128(0));
+  u128 assigned(0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (i == heaviest) continue;
+    const double share = n * (weights[i] / total);
+    // Convert via two 64-bit halves to stay exact for huge intervals.
+    const double clamped = std::max(0.0, share);
+    u128 sz(0);
+    if (clamped >= 18446744073709551616.0) {
+      const auto high = static_cast<std::uint64_t>(clamped / 18446744073709551616.0);
+      sz = u128(high, 0);
+    } else {
+      sz = u128(static_cast<std::uint64_t>(clamped));
+    }
+    if (assigned + sz > whole.size()) sz = whole.size() - assigned;
+    sizes[i] = sz;
+    assigned += sz;
+  }
+  sizes[heaviest] = whole.size() - assigned;
+
+  std::vector<Interval> out;
+  out.reserve(weights.size());
+  u128 cursor = whole.begin;
+  for (const u128& sz : sizes) {
+    out.emplace_back(cursor, cursor + sz);
+    cursor += sz;
+  }
+  GKS_ENSURE(cursor == whole.end, "split_weighted must cover the interval");
+  return out;
+}
+
+Interval IntervalCursor::take(u128 max_size) {
+  if (exhausted() || max_size == u128(0)) return Interval(next_, next_);
+  const u128 sz = std::min(max_size, whole_.end - next_);
+  const Interval chunk(next_, next_ + sz);
+  next_ += sz;
+  return chunk;
+}
+
+}  // namespace gks::keyspace

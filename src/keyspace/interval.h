@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "support/uint128.h"
+
+namespace gks::keyspace {
+
+/// A half-open range [begin, end) of enumeration identifiers — the unit
+/// of work the dispatcher scatters to nodes (Section III). Intervals
+/// partition the search space; their size is the dispatch granularity
+/// N_j computed by the balancer.
+struct Interval {
+  u128 begin;
+  u128 end;
+
+  constexpr Interval() : begin(0), end(0) {}
+  constexpr Interval(u128 b, u128 e) : begin(b), end(e) {}
+
+  constexpr u128 size() const { return end - begin; }
+  constexpr bool empty() const { return begin >= end; }
+
+  constexpr bool contains(u128 id) const { return id >= begin && id < end; }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Splits an interval into `parts` consecutive sub-intervals whose
+/// sizes differ by at most one (remainder spread over the leading
+/// parts). Used for fine-grain splitting inside a node (one slice per
+/// GPU thread block in the paper's terms).
+std::vector<Interval> split_even(const Interval& whole, std::size_t parts);
+
+/// Splits an interval into consecutive sub-intervals proportional to
+/// the given non-negative weights (throughputs X_j of the balancing
+/// step). The rounding remainder goes to the highest-weight part so
+/// the fastest node absorbs the slack. Zero-weight parts receive empty
+/// intervals; at least one weight must be positive.
+std::vector<Interval> split_weighted(const Interval& whole,
+                                     const std::vector<double>& weights);
+
+/// Sequential cursor over an interval that hands out consecutive
+/// chunks of bounded size — the "periodically assign an interval to
+/// each node" loop of the dispatcher, and the per-kernel-launch
+/// batching that keeps each launch under the driver's watchdog limit
+/// (Section IV-A).
+class IntervalCursor {
+ public:
+  explicit IntervalCursor(Interval whole) : whole_(whole), next_(whole.begin) {}
+
+  /// Identifiers not yet handed out.
+  u128 remaining() const { return next_ >= whole_.end ? u128(0) : whole_.end - next_; }
+
+  bool exhausted() const { return next_ >= whole_.end; }
+
+  /// Takes the next chunk of at most `max_size` identifiers (possibly
+  /// smaller at the tail; empty once exhausted).
+  Interval take(u128 max_size);
+
+ private:
+  Interval whole_;
+  u128 next_;
+};
+
+}  // namespace gks::keyspace

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "keyspace/codec.h"
+#include "keyspace/generator.h"
+#include "keyspace/space.h"
+
+namespace gks::keyspace {
+
+/// The base-N brute-force enumeration of Section IV: all strings over a
+/// charset with length in [min_length, max_length], exposed through the
+/// dense Generator interface (identifier 0 is the first string of
+/// min_length, not the empty string).
+class KeyspaceGenerator final : public Generator {
+ public:
+  KeyspaceGenerator(KeyCodec codec, unsigned min_length, unsigned max_length)
+      : codec_(std::move(codec)),
+        min_length_(min_length),
+        max_length_(max_length),
+        offset_(first_id_of_length(codec_.charset().size(), min_length)),
+        size_(space_size(codec_.charset().size(), min_length, max_length)) {
+    GKS_REQUIRE(min_length <= max_length, "invalid length range");
+  }
+
+  u128 size() const override { return size_; }
+
+  void generate(u128 id, std::string& out) const override {
+    GKS_REQUIRE(id < size_, "identifier outside the key space");
+    codec_.decode_into(id + offset_, out);
+  }
+
+  /// The incremental step is the codec's Figure-2 operator: O(1)
+  /// amortized versus O(length) for generate().
+  void next(u128 /*id*/, std::string& key) const override {
+    codec_.next_inplace(key);
+  }
+
+  const KeyCodec& codec() const { return codec_; }
+  unsigned min_length() const { return min_length_; }
+  unsigned max_length() const { return max_length_; }
+
+  /// Offset of this range's id 0 in the codec's global enumeration
+  /// (which starts at the empty string).
+  u128 global_offset() const { return offset_; }
+
+ private:
+  KeyCodec codec_;
+  unsigned min_length_;
+  unsigned max_length_;
+  u128 offset_;
+  u128 size_;
+};
+
+}  // namespace gks::keyspace

@@ -1,0 +1,84 @@
+#include "keyspace/markov.h"
+
+#include <algorithm>
+#include <array>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+
+MarkovOrderedGenerator::MarkovOrderedGenerator(
+    const Charset& charset, unsigned length,
+    const std::vector<std::string>& corpus) {
+  GKS_REQUIRE(length >= 1, "length must be at least 1");
+
+  positions_.resize(length);
+  index_.resize(length);
+  for (unsigned pos = 0; pos < length; ++pos) {
+    // Count corpus occurrences of each charset character at `pos`.
+    std::array<std::uint64_t, 256> counts{};
+    for (const std::string& word : corpus) {
+      if (word.size() <= pos) continue;
+      const auto c = static_cast<unsigned char>(word[pos]);
+      if (charset.contains_all(std::string_view(&word[pos], 1))) {
+        ++counts[c];
+      }
+    }
+
+    // Stable sort by descending count: unseen characters keep the
+    // charset's own order behind the seen ones.
+    std::vector<char> order(charset.chars().begin(), charset.chars().end());
+    std::stable_sort(order.begin(), order.end(),
+                     [&counts](char a, char b) {
+                       return counts[static_cast<unsigned char>(a)] >
+                              counts[static_cast<unsigned char>(b)];
+                     });
+    index_[pos].fill(0);
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      index_[pos][static_cast<unsigned char>(order[d])] =
+          static_cast<std::uint32_t>(d);
+    }
+    positions_[pos] = std::move(order);
+  }
+}
+
+u128 MarkovOrderedGenerator::size() const {
+  u128 n(1);
+  for (const auto& p : positions_) {
+    n = u128::checked_mul(n, u128(p.size()));
+  }
+  return n;
+}
+
+void MarkovOrderedGenerator::generate(u128 id, std::string& out) const {
+  GKS_REQUIRE(id < size(), "identifier outside the enumeration");
+  out.resize(positions_.size());
+  for (std::size_t pos = 0; pos < positions_.size(); ++pos) {
+    const u128 base(positions_[pos].size());
+    out[pos] = positions_[pos][(id % base).to_u64()];
+    id /= base;
+  }
+}
+
+const std::vector<char>& MarkovOrderedGenerator::order_at(
+    unsigned position) const {
+  GKS_REQUIRE(position < positions_.size(), "position outside the mask");
+  return positions_[position];
+}
+
+u128 MarkovOrderedGenerator::rank_of(const std::string& key) const {
+  GKS_REQUIRE(key.size() == positions_.size(),
+              "key length does not match the enumeration");
+  u128 rank(0);
+  // Horner evaluation from the most significant (last) position down.
+  for (std::size_t i = positions_.size(); i-- > 0;) {
+    const auto c = static_cast<unsigned char>(key[i]);
+    const std::uint32_t digit = index_[i][c];
+    GKS_REQUIRE(positions_[i][digit] == key[i],
+                "key character outside the charset");
+    rank = u128::checked_mul(rank, u128(positions_[i].size())) + u128(digit);
+  }
+  return rank;
+}
+
+}  // namespace gks::keyspace

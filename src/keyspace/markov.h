@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "keyspace/charset.h"
+#include "keyspace/generator.h"
+
+namespace gks::keyspace {
+
+/// Likelihood-ordered fixed-length enumeration, in the spirit of the
+/// Markov-chain candidate ordering the paper's related work discusses
+/// (Narayanan & Shmatikov [3]; Marechal [2]): instead of walking the
+/// key space alphabetically, walk it so that statistically likely
+/// passwords come first.
+///
+/// This is the practical "Markov-lite" variant shipped by real
+/// crackers: from a training corpus it learns, per key position, the
+/// frequency order of characters, then enumerates with each position's
+/// charset re-ordered most-frequent-first (first position varying
+/// fastest, consistent with the rest of the library). The mapping
+/// stays a bijection with O(length) random access — which is exactly
+/// what the dispatch pattern needs from f(i) (Section III-A notes
+/// f(i) "can follow a heuristics to favor testing of the most likely
+/// solutions").
+class MarkovOrderedGenerator final : public Generator {
+ public:
+  /// Learns per-position frequencies of `charset` characters from the
+  /// corpus (typically a leaked-password wordlist); characters never
+  /// seen at a position keep their charset order after the seen ones.
+  /// Corpus entries longer/shorter than `length` still contribute
+  /// their overlapping positions; characters outside the charset are
+  /// ignored.
+  MarkovOrderedGenerator(const Charset& charset, unsigned length,
+                         const std::vector<std::string>& corpus);
+
+  u128 size() const override;
+  void generate(u128 id, std::string& out) const override;
+
+  /// The learned character order at a position (most frequent first).
+  const std::vector<char>& order_at(unsigned position) const;
+
+  /// Rank of `key` in this enumeration — how many candidates a sweep
+  /// tests before reaching it. The quality metric for the ordering:
+  /// likely passwords should rank far earlier than in alphabetical
+  /// order.
+  u128 rank_of(const std::string& key) const;
+
+ private:
+  std::vector<std::vector<char>> positions_;  ///< reordered charsets
+  std::vector<std::array<std::uint32_t, 256>> index_;  ///< char → digit
+};
+
+}  // namespace gks::keyspace

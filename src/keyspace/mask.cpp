@@ -1,0 +1,88 @@
+#include "keyspace/mask.h"
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+std::vector<char> class_for(char code) {
+  const auto range = [](char lo, char hi) {
+    std::vector<char> v;
+    for (char c = lo; c <= hi; ++c) v.push_back(c);
+    return v;
+  };
+  switch (code) {
+    case 'l': return range('a', 'z');
+    case 'u': return range('A', 'Z');
+    case 'd': return range('0', '9');
+    case 's': {
+      // Printable ASCII that is neither alphanumeric nor space.
+      std::vector<char> v;
+      for (char c = '!'; c <= '~'; ++c) {
+        const bool alnum = (c >= '0' && c <= '9') ||
+                           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+        if (!alnum) v.push_back(c);
+      }
+      return v;
+    }
+    case 'a': return range(' ', '~');
+    case '?': return {'?'};
+    default:
+      throw InvalidArgument(std::string("unknown mask class '?") + code +
+                            "'");
+  }
+}
+
+}  // namespace
+
+MaskGenerator::MaskGenerator(const std::string& mask) {
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == '?') {
+      GKS_REQUIRE(i + 1 < mask.size(), "dangling '?' at end of mask");
+      positions_.push_back(class_for(mask[i + 1]));
+      ++i;
+    } else {
+      positions_.push_back({mask[i]});
+    }
+  }
+  GKS_REQUIRE(!positions_.empty(), "mask must cover at least one position");
+}
+
+u128 MaskGenerator::size() const {
+  u128 n(1);
+  for (const auto& p : positions_) {
+    n = u128::checked_mul(n, u128(p.size()));
+  }
+  return n;
+}
+
+void MaskGenerator::generate(u128 id, std::string& out) const {
+  GKS_REQUIRE(id < size(), "identifier outside the mask space");
+  out.resize(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const u128 base(positions_[i].size());
+    out[i] = positions_[i][(id % base).to_u64()];
+    id /= base;
+  }
+}
+
+void MaskGenerator::next(u128 /*id*/, std::string& key) const {
+  GKS_REQUIRE(key.size() == positions_.size(),
+              "key does not match the mask length");
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const auto& choices = positions_[i];
+    // Locate the current character's index within its class.
+    std::size_t idx = 0;
+    while (idx < choices.size() && choices[idx] != key[i]) ++idx;
+    GKS_REQUIRE(idx < choices.size(), "key character outside its class");
+    if (idx + 1 < choices.size()) {
+      key[i] = choices[idx + 1];
+      return;
+    }
+    key[i] = choices[0];  // carry into the next position
+  }
+  // Wrapped around: back to candidate 0 (mask spaces are fixed-length,
+  // there is no longer string to grow into).
+}
+
+}  // namespace gks::keyspace

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keyspace/charset.h"
+#include "keyspace/generator.h"
+
+namespace gks::keyspace {
+
+/// Mask-based enumeration in the hashcat tradition — per-position
+/// character classes, the machine-readable form of the "list of common
+/// password patterns" Section I's hybrid technique relies on.
+///
+/// Mask syntax (one token per key position):
+///   ?l  lower-case letter        ?u  upper-case letter
+///   ?d  decimal digit            ?s  printable symbol
+///   ?a  any printable ASCII      ??  a literal '?'
+///   c   any other character stands for itself (fixed position)
+///
+/// Example: "?u?l?l?l?d?d" enumerates Capitalized four-letter words
+/// followed by two digits — 26·26³·10² = 45,697,600 candidates.
+/// Identifier order is prefix-fastest (the first position varies
+/// quickest), consistent with the crack kernels' iteration order.
+class MaskGenerator final : public Generator {
+ public:
+  explicit MaskGenerator(const std::string& mask);
+
+  u128 size() const override;
+  void generate(u128 id, std::string& out) const override;
+
+  /// The incremental step: increments position 0's class index and
+  /// carries — O(1) amortized, like the Figure 2 operator.
+  void next(u128 id, std::string& key) const override;
+
+  std::size_t length() const { return positions_.size(); }
+
+ private:
+  /// Character choices for one key position (size 1 for literals).
+  std::vector<std::vector<char>> positions_;
+};
+
+}  // namespace gks::keyspace

@@ -1,0 +1,160 @@
+#include "keyspace/rules.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+char upper(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+bool is_lower(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Rule::Rule(std::string spec) : spec_(std::move(spec)) {
+  GKS_REQUIRE(!spec_.empty(), "empty rule string");
+  for (std::size_t i = 0; i < spec_.size(); ++i) {
+    Op op{spec_[i]};
+    switch (spec_[i]) {
+      case ':':
+      case 'l':
+      case 'u':
+      case 'c':
+      case 'C':
+      case 'r':
+      case 'd':
+      case 't':
+      case '[':
+      case ']':
+        break;
+      case '$':
+      case '^':
+        GKS_REQUIRE(i + 1 < spec_.size(), "rule needs a character argument");
+        op.arg1 = spec_[++i];
+        break;
+      case 's':
+        GKS_REQUIRE(i + 2 < spec_.size(),
+                    "substitution needs two character arguments");
+        op.arg1 = spec_[++i];
+        op.arg2 = spec_[++i];
+        break;
+      default:
+        throw InvalidArgument(std::string("unknown rule operation '") +
+                              spec_[i] + "' in \"" + spec_ + "\"");
+    }
+    ops_.push_back(op);
+  }
+}
+
+std::string Rule::apply(std::string_view word) const {
+  std::string w(word);
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case ':':
+        break;
+      case 'l':
+        for (char& c : w) c = lower(c);
+        break;
+      case 'u':
+        for (char& c : w) c = upper(c);
+        break;
+      case 'c':
+        for (char& c : w) c = lower(c);
+        if (!w.empty()) w[0] = upper(w[0]);
+        break;
+      case 'C':
+        for (char& c : w) c = upper(c);
+        if (!w.empty()) w[0] = lower(w[0]);
+        break;
+      case 'r':
+        std::reverse(w.begin(), w.end());
+        break;
+      case 'd':
+        w += w;
+        break;
+      case 't':
+        for (char& c : w) c = is_lower(c) ? upper(c) : lower(c);
+        break;
+      case '$':
+        w.push_back(op.arg1);
+        break;
+      case '^':
+        w.insert(w.begin(), op.arg1);
+        break;
+      case 's':
+        for (char& c : w) {
+          if (c == op.arg1) c = op.arg2;
+        }
+        break;
+      case '[':
+        if (!w.empty()) w.erase(w.begin());
+        break;
+      case ']':
+        if (!w.empty()) w.pop_back();
+        break;
+    }
+  }
+  return w;
+}
+
+RuleSet::RuleSet(const std::vector<std::string>& specs) {
+  GKS_REQUIRE(!specs.empty(), "rule set must contain at least one rule");
+  rules_.reserve(specs.size());
+  for (const std::string& s : specs) rules_.emplace_back(s);
+}
+
+RuleSet RuleSet::common() {
+  return RuleSet({
+      ":",                 // as is
+      "l", "u", "c",       // case variants
+      "c$1", "c$1$2$3",    // Capitalized + digits
+      "$1", "$1$2$3",      // trailing digits
+      "$2$0$2$4", "$2$0$2$5",  // years
+      "$!",                // trailing bang
+      "sa@se3si1so0",      // leetspeak
+      "csa@se3si1so0",     // Capitalized + leetspeak
+      "r",                 // reversed
+      "d",                 // doubled
+  });
+}
+
+const Rule& RuleSet::at(std::size_t i) const {
+  GKS_REQUIRE(i < rules_.size(), "rule index out of range");
+  return rules_[i];
+}
+
+std::vector<std::string> RuleSet::expand(std::string_view word) const {
+  std::vector<std::string> out;
+  out.reserve(rules_.size());
+  for (const Rule& r : rules_) out.push_back(r.apply(word));
+  return out;
+}
+
+RuledDictionaryGenerator::RuledDictionaryGenerator(
+    const std::vector<std::string>& words, const RuleSet& rules)
+    : words_(words), rules_(rules) {
+  GKS_REQUIRE(!words.empty(), "dictionary must not be empty");
+}
+
+u128 RuledDictionaryGenerator::size() const {
+  return u128::checked_mul(u128(words_.size()), u128(rules_.size()));
+}
+
+void RuledDictionaryGenerator::generate(u128 id, std::string& out) const {
+  GKS_REQUIRE(id < size(), "identifier outside the enumeration");
+  const u128 per_word(rules_.size());
+  const std::uint64_t word_id = (id / per_word).to_u64();
+  const std::uint64_t rule_id = (id % per_word).to_u64();
+  out = rules_.at(rule_id).apply(words_[word_id]);
+}
+
+}  // namespace gks::keyspace

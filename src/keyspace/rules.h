@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keyspace/generator.h"
+
+namespace gks::keyspace {
+
+/// A word-mangling rule in the hashcat/John tradition — the concrete
+/// form of the "list of common password patterns" the paper's hybrid
+/// technique combines with a dictionary (Section I). A rule is a small
+/// program over a word; a RuleSet × dictionary is an enumeration.
+///
+/// Supported rule strings (a practical subset of hashcat syntax):
+///   :     no-op (keep the word as is)
+///   l     lowercase all        u     uppercase all
+///   c     capitalize           C     invert capitalize
+///   r     reverse              d     duplicate word ("pass" → "passpass")
+///   t     toggle case of every character
+///   $X    append character X   ^X    prepend character X
+///   sXY   substitute every X with Y (e.g. "sa@" → leetspeak a→@)
+///   [     delete first char    ]     delete last char
+/// Multiple operations compose left to right within one rule string:
+/// "c$1$2" capitalizes and appends "12".
+class Rule {
+ public:
+  /// Parses a rule string; throws InvalidArgument on unknown syntax.
+  explicit Rule(std::string spec);
+
+  /// Applies the rule to a word.
+  std::string apply(std::string_view word) const;
+
+  const std::string& spec() const { return spec_; }
+
+ private:
+  struct Op {
+    char code;
+    char arg1 = 0;
+    char arg2 = 0;
+  };
+  std::string spec_;
+  std::vector<Op> ops_;
+};
+
+/// A parsed list of rules. `common()` provides the classic starter set
+/// real-world audits begin with.
+class RuleSet {
+ public:
+  explicit RuleSet(const std::vector<std::string>& specs);
+
+  /// The usual suspects: as-is, case variants, years and digits
+  /// appended, basic leetspeak.
+  static RuleSet common();
+
+  std::size_t size() const { return rules_.size(); }
+  const Rule& at(std::size_t i) const;
+
+  /// All variants of one word, in rule order.
+  std::vector<std::string> expand(std::string_view word) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Dictionary × RuleSet as a Generator: candidate id maps to
+/// (word id, rule id) with the rule varying fastest, so all variants
+/// of a word are adjacent — cache-friendly and human-debuggable.
+class RuledDictionaryGenerator final : public Generator {
+ public:
+  /// Both are borrowed; they must outlive the generator.
+  RuledDictionaryGenerator(const std::vector<std::string>& words,
+                           const RuleSet& rules);
+
+  u128 size() const override;
+  void generate(u128 id, std::string& out) const override;
+
+ private:
+  const std::vector<std::string>& words_;
+  const RuleSet& rules_;
+};
+
+}  // namespace gks::keyspace

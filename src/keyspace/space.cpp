@@ -1,0 +1,47 @@
+#include "keyspace/space.h"
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+
+u128 keys_of_length(std::size_t n, unsigned length) {
+  GKS_REQUIRE(n >= 1, "alphabet must have at least one symbol");
+  return u128::checked_pow(u128(static_cast<std::uint64_t>(n)), length);
+}
+
+u128 keys_up_to(std::size_t n, unsigned length) {
+  GKS_REQUIRE(n >= 1, "alphabet must have at least one symbol");
+  if (n == 1) return u128(length + 1);  // Equation (3) with K0 = 0
+  // (n^(L+1) - 1) / (n - 1) computed without forming n^(L+1) when it
+  // would overflow the sum itself does not: accumulate directly.
+  u128 total(1);  // the empty string
+  u128 pow(1);
+  const u128 base(static_cast<std::uint64_t>(n));
+  for (unsigned k = 1; k <= length; ++k) {
+    pow = u128::checked_mul(pow, base);
+    const u128 next = total + pow;
+    GKS_ENSURE(next >= total, "key space size overflows 128 bits");
+    total = next;
+  }
+  return total;
+}
+
+u128 space_size(std::size_t n, unsigned min_length, unsigned max_length) {
+  GKS_REQUIRE(min_length <= max_length,
+              "min_length must not exceed max_length");
+  if (min_length == 0) return keys_up_to(n, max_length);
+  return keys_up_to(n, max_length) - keys_up_to(n, min_length - 1);
+}
+
+u128 first_id_of_length(std::size_t n, unsigned length) {
+  if (length == 0) return u128(0);
+  return keys_up_to(n, length - 1);
+}
+
+unsigned length_of_id(std::size_t n, u128 id) {
+  unsigned length = 0;
+  while (id >= keys_up_to(n, length)) ++length;
+  return length;
+}
+
+}  // namespace gks::keyspace

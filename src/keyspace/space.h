@@ -1,0 +1,31 @@
+#pragma once
+
+#include "support/uint128.h"
+
+namespace gks::keyspace {
+
+/// Number of distinct strings of exactly `length` characters over an
+/// alphabet of `n` symbols: n^length. Throws on 128-bit overflow.
+u128 keys_of_length(std::size_t n, unsigned length);
+
+/// Number of distinct strings with length in [0, length] — including
+/// the empty string: (n^(length+1) - 1) / (n - 1), or length + 1 when
+/// n = 1 (the paper's Equations (2) and (3) with K0 = 0).
+u128 keys_up_to(std::size_t n, unsigned length);
+
+/// The paper's S_{K0}^{K} (Equation 2): number of strings with length
+/// in [min_length, max_length] = (n^(K+1) - n^(K0)) / (n - 1), falling
+/// back to Equation (3), K - K0 + 1, when n = 1.
+u128 space_size(std::size_t n, unsigned min_length, unsigned max_length);
+
+/// First enumeration identifier assigned to strings of exactly
+/// `length` characters (the empty string is id 0, so this equals
+/// keys_up_to(n, length - 1), and 1 when length == 1... i.e. the count
+/// of all shorter strings including epsilon).
+u128 first_id_of_length(std::size_t n, unsigned length);
+
+/// The enumeration length of the string with identifier `id` over an
+/// alphabet of `n` symbols (0 for the empty string).
+unsigned length_of_id(std::size_t n, u128 id);
+
+}  // namespace gks::keyspace

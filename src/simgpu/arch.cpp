@@ -1,0 +1,109 @@
+#include "simgpu/arch.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace gks::simgpu {
+
+MachineMix MachineMix::scaled(double factor) const {
+  MachineMix out;
+  for (std::size_t i = 0; i < kMachineOpCount; ++i) {
+    out.counts[i] =
+        static_cast<std::uint32_t>(std::lround(counts[i] * factor));
+  }
+  return out;
+}
+
+const char* cc_name(ComputeCapability cc) {
+  switch (cc) {
+    case ComputeCapability::kCc1x: return "1.*";
+    case ComputeCapability::kCc20: return "2.0";
+    case ComputeCapability::kCc21: return "2.1";
+    case ComputeCapability::kCc30: return "3.0";
+    case ComputeCapability::kCc35: return "3.5";
+  }
+  return "?";
+}
+
+double MultiprocessorArch::peak_throughput(MachineOp op) const {
+  switch (op) {
+    case MachineOp::kIAdd: return add_throughput + sfu_add_bonus;
+    case MachineOp::kLop: return lop_throughput;
+    case MachineOp::kShift: return shift_throughput;
+    case MachineOp::kMadShift: return mad_throughput;
+    case MachineOp::kPrmt: return shift_throughput;
+    case MachineOp::kFunnel:
+      // Funnel shifts exist only on cc 3.5 where they run at the
+      // shift-unit rate; elsewhere the lowering never emits them.
+      return cc == ComputeCapability::kCc35 ? shift_throughput : 0.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Table I (multiprocessor architecture) merged with Table II
+// (instruction throughput, ops/clock per MP). cc 1.x lists ADD as 8
+// on the regular cores plus 2 on the SFUs, reachable only with ILP —
+// Table II's "10" is the sum.
+const MultiprocessorArch kArchs[] = {
+    {ComputeCapability::kCc1x, /*cores*/ 8, /*groups*/ 1, /*group_size*/ 8,
+     /*issue_cycles*/ 4, /*schedulers*/ 1, /*dual*/ false,
+     /*add*/ 8, /*lop*/ 8, /*shift*/ 8, /*mad*/ 8,
+     /*sfu_add_bonus*/ 2, /*shift_shares_alu*/ true},
+    {ComputeCapability::kCc20, 32, 2, 16, 2, 2, false,
+     32, 32, 16, 16, 0, true},
+    {ComputeCapability::kCc21, 48, 3, 16, 2, 2, true,
+     48, 48, 16, 16, 0, true},
+    {ComputeCapability::kCc30, 192, 6, 32, 1, 4, true,
+     160, 160, 32, 32, 0, false},
+    // cc 3.5: Table I's 3.0 layout plus funnel shift; shift/MAD
+    // throughput doubles, so a full rotation (one funnel instruction at
+    // double the unit speed instead of SHL+IMAD) is 4x faster —
+    // "the overall throughput is quadrupled with respect to compute
+    // capability 3.0" (Section V-B).
+    {ComputeCapability::kCc35, 192, 6, 32, 1, 4, true,
+     160, 160, 64, 64, 0, false},
+};
+
+}  // namespace
+
+const MultiprocessorArch& arch_for(ComputeCapability cc) {
+  for (const auto& a : kArchs) {
+    if (a.cc == cc) return a;
+  }
+  throw InternalError("unknown compute capability");
+}
+
+const std::vector<ComputeCapability>& all_capabilities() {
+  static const std::vector<ComputeCapability> kAll = {
+      ComputeCapability::kCc1x, ComputeCapability::kCc20,
+      ComputeCapability::kCc21, ComputeCapability::kCc30,
+      ComputeCapability::kCc35};
+  return kAll;
+}
+
+const std::vector<DeviceSpec>& paper_devices() {
+  // Table VII: GPU specifications.
+  static const std::vector<DeviceSpec> kDevices = {
+      {"GeForce 8600M GT", ComputeCapability::kCc1x, 4, 32, 950},
+      {"GeForce 8800 GTS 512", ComputeCapability::kCc1x, 16, 128, 1625},
+      {"GeForce GT 540M", ComputeCapability::kCc21, 2, 96, 1344},
+      {"GeForce GTX 550 Ti", ComputeCapability::kCc21, 4, 192, 1800},
+      {"GeForce GTX 660", ComputeCapability::kCc30, 5, 960, 1033},
+  };
+  return kDevices;
+}
+
+const DeviceSpec& device_by_name(const std::string& short_name) {
+  static const std::pair<const char*, std::size_t> kShortNames[] = {
+      {"8600M", 0}, {"8800", 1}, {"540M", 2}, {"550Ti", 3}, {"660", 4},
+  };
+  for (const auto& [name, index] : kShortNames) {
+    if (short_name == name) return paper_devices()[index];
+  }
+  throw InvalidArgument("unknown device short name: " + short_name);
+}
+
+}  // namespace gks::simgpu

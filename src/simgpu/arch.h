@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simgpu/isa.h"
+
+namespace gks::simgpu {
+
+/// CUDA compute capability families the paper distinguishes (Table I),
+/// plus 3.5 which the paper models but could not measure ("we were
+/// unable to get access to such type of device") — we simulate it as an
+/// extension.
+enum class ComputeCapability { kCc1x, kCc20, kCc21, kCc30, kCc35 };
+
+/// Display label ("1.*", "2.0", ...).
+const char* cc_name(ComputeCapability cc);
+
+/// Static multiprocessor description — the paper's Table I rows plus
+/// the per-class instruction throughputs of Table II (instructions per
+/// clock per multiprocessor).
+struct MultiprocessorArch {
+  ComputeCapability cc;
+  unsigned cores_per_mp;    ///< Table I "Cores per MP"
+  unsigned core_groups;     ///< Table I "Groups of cores per MP"
+  unsigned group_size;      ///< Table I "Group size"
+  unsigned issue_cycles;    ///< Table I "Issue time (clock cycles)"
+  unsigned warp_schedulers; ///< Table I "Warp schedulers"
+  bool dual_issue;          ///< Table I single/dual-issue
+
+  // Table II throughputs (ops/clock per MP).
+  double add_throughput;
+  double lop_throughput;
+  double shift_throughput;
+  double mad_throughput;
+
+  /// Extra ADD throughput available from the special function units on
+  /// cc 1.x, usable only when the kernel exposes ILP (Section VI-B:
+  /// "the lack of ILP prevents the SFU to be used to execute
+  /// additions, thus 10 -> 8 instructions/cycle").
+  double sfu_add_bonus = 0.0;
+
+  /// True when shift/MAD instructions execute on a *subset* of the
+  /// same cores that run additions (cc 2.x); false when they own a
+  /// dedicated group (cc 3.x), in which case the two classes overlap
+  /// fully (Section VI-B).
+  bool shift_shares_alu_cores = true;
+
+  /// Instructions per clock for a machine class, assuming the ILP
+  /// needed to reach peak (the theoretical model's view).
+  double peak_throughput(MachineOp op) const;
+};
+
+/// Architecture description for a compute capability (Table I + II).
+const MultiprocessorArch& arch_for(ComputeCapability cc);
+
+/// All modeled capabilities, in Table I column order.
+const std::vector<ComputeCapability>& all_capabilities();
+
+/// A concrete GPU: Table VII of the paper.
+struct DeviceSpec {
+  std::string name;
+  ComputeCapability cc;
+  unsigned mp_count;
+  unsigned cores;
+  double clock_mhz;  ///< shader clock driving the ALUs
+
+  double clock_hz() const { return clock_mhz * 1e6; }
+  const MultiprocessorArch& arch() const { return arch_for(cc); }
+};
+
+/// The paper's five evaluation devices (Table VII): GeForce 8600M GT,
+/// 8800 GTS 512, GT 540M, GTX 550 Ti, GTX 660.
+const std::vector<DeviceSpec>& paper_devices();
+
+/// Lookup by the short names used throughout the paper
+/// ("8600M", "8800", "540M", "550Ti", "660"); throws on unknown names.
+const DeviceSpec& device_by_name(const std::string& short_name);
+
+}  // namespace gks::simgpu

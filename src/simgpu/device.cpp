@@ -1,0 +1,56 @@
+#include "simgpu/device.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace gks::simgpu {
+namespace {
+
+std::string cache_key(const KernelProfile& profile) {
+  std::ostringstream os;
+  for (auto c : profile.per_candidate.counts) os << c << ',';
+  os << "ilp=" << profile.ilp << ",ovh=" << profile.overhead_fraction;
+  return os.str();
+}
+
+}  // namespace
+
+SimulatedGpu::SimulatedGpu(DeviceSpec spec, SimtConfig config,
+                           LaunchPolicy launch)
+    : spec_(std::move(spec)), config_(config), launch_(launch) {
+  GKS_REQUIRE(launch_.target_kernel_s <= launch_.watchdog_limit_s,
+              "target kernel time must respect the watchdog");
+  GKS_REQUIRE(launch_.target_kernel_s > 0, "target kernel time must be > 0");
+}
+
+double SimulatedGpu::sustained_throughput(const KernelProfile& profile) const {
+  const std::string key = cache_key(profile);
+  if (const auto it = throughput_cache_.find(key);
+      it != throughput_cache_.end()) {
+    return it->second;
+  }
+  const double t = SimtSimulator::device_throughput(spec_, profile, config_);
+  throughput_cache_.emplace(key, t);
+  return t;
+}
+
+u128 SimulatedGpu::batch_size(const KernelProfile& profile) const {
+  const double keys = sustained_throughput(profile) * launch_.target_kernel_s;
+  GKS_ENSURE(keys >= 1.0, "device too slow for any batch");
+  return u128(static_cast<std::uint64_t>(keys));
+}
+
+double SimulatedGpu::scan_seconds(const KernelProfile& profile,
+                                  u128 count) const {
+  if (count == u128(0)) return 0.0;
+  const double throughput = sustained_throughput(profile);
+  const u128 batch = batch_size(profile);
+  const double launches =
+      std::ceil(count.to_double() / batch.to_double());
+  return count.to_double() / throughput +
+         launches * launch_.launch_overhead_s;
+}
+
+}  // namespace gks::simgpu

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gks::simgpu {
+
+/// Source-level operations as they appear in the CUDA-C-like kernel
+/// source (what Table III counts: "all the operations that cannot be
+/// evaluated at compile time in the CUDA source code").
+enum class SrcOp : std::uint8_t {
+  kAdd,   ///< 32-bit integer addition (or subtraction, fused negate)
+  kAnd,
+  kOr,
+  kXor,
+  kNot,   ///< unary complement; merged into LOP operands when lowering
+  kShl,
+  kShr,
+  kRotl,  ///< pseudo-op: (x << n) + (x >> (32-n)); expanded per arch
+  kRotr,  ///< pseudo-op: rotate right; expanded like kRotl
+};
+
+/// A recorded source instruction (shift/rotate amount kept because the
+/// lowering of rotations depends on it, e.g. rot16 → PRMT).
+struct SrcInstr {
+  SrcOp op;
+  unsigned amount = 0;
+};
+
+/// Machine instruction classes after lowering — the rows of the
+/// paper's Tables IV, V and VI.
+enum class MachineOp : std::uint8_t {
+  kIAdd,      ///< IADD
+  kLop,       ///< AND/OR/XOR (LOP), with operand negation merged in
+  kShift,     ///< SHR/SHL
+  kMadShift,  ///< IMAD.HI / ISCADD emulating one half of a rotation
+  kPrmt,      ///< PRMT (byte_perm), single-instruction byte rotation
+  kFunnel,    ///< SHF funnel shift (compute capability 3.5)
+};
+
+inline constexpr std::size_t kMachineOpCount = 6;
+
+/// Human-readable mnemonic for a machine class.
+constexpr const char* machine_op_name(MachineOp op) {
+  switch (op) {
+    case MachineOp::kIAdd: return "IADD";
+    case MachineOp::kLop: return "AND/OR/XOR";
+    case MachineOp::kShift: return "SHR/SHL";
+    case MachineOp::kMadShift: return "IMAD/ISCADD";
+    case MachineOp::kPrmt: return "PRMT (byte_perm)";
+    case MachineOp::kFunnel: return "SHF (funnel)";
+  }
+  return "?";
+}
+
+/// Per-class machine instruction counts for one candidate test — the
+/// unit the throughput model and the SIMT simulator consume.
+struct MachineMix {
+  std::array<std::uint32_t, kMachineOpCount> counts{};
+
+  std::uint32_t& operator[](MachineOp op) {
+    return counts[static_cast<std::size_t>(op)];
+  }
+  std::uint32_t operator[](MachineOp op) const {
+    return counts[static_cast<std::size_t>(op)];
+  }
+
+  /// Total instructions per candidate.
+  std::uint32_t total() const {
+    std::uint32_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+
+  /// Instructions executed on the shift/MAD-capable units — the
+  /// bottleneck class on Kepler (Section V-B).
+  std::uint32_t shift_class() const {
+    return (*this)[MachineOp::kShift] + (*this)[MachineOp::kMadShift] +
+           (*this)[MachineOp::kPrmt] + (*this)[MachineOp::kFunnel];
+  }
+
+  /// Instructions executable on any ALU group (additions + logical).
+  std::uint32_t addlop_class() const {
+    return (*this)[MachineOp::kIAdd] + (*this)[MachineOp::kLop];
+  }
+
+  MachineMix& operator+=(const MachineMix& other) {
+    for (std::size_t i = 0; i < kMachineOpCount; ++i)
+      counts[i] += other.counts[i];
+    return *this;
+  }
+
+  /// Scales every class by `factor`, rounding to nearest. Used to fold
+  /// per-iteration overhead (< 1% for the `next` operator, Section V-A)
+  /// into a per-candidate mix.
+  MachineMix scaled(double factor) const;
+};
+
+}  // namespace gks::simgpu

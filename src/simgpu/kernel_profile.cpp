@@ -1,0 +1,184 @@
+#include "simgpu/kernel_profile.h"
+
+#include <array>
+#include <string>
+
+#include "hash/kernel_words.h"
+#include "hash/md5_kernel.h"
+#include "hash/sha1_kernel.h"
+#include "hash/sha256_kernel.h"
+#include "simgpu/trace.h"
+#include "support/error.h"
+
+namespace gks::simgpu {
+namespace {
+
+/// Builds the 16 message words for a key of `key_len` characters:
+/// words that contain key bytes are runtime symbols, everything else
+/// (padding, length) is a compile-time constant taken from a packed
+/// placeholder block.
+std::array<TracedWord, 16> md5_message_words(std::size_t key_len) {
+  const auto block = hash::pack_md5_block(std::string(key_len, 'x'));
+  std::array<TracedWord, 16> m;
+  for (std::size_t w = 0; w < 16; ++w) {
+    m[w] = 4 * w < key_len ? TracedWord::symbol() : TracedWord(block.words[w]);
+  }
+  return m;
+}
+
+std::array<TracedWord, 16> sha_message_words(std::size_t key_len) {
+  const auto block = hash::pack_sha_block(std::string(key_len, 'x'));
+  std::array<TracedWord, 16> m;
+  for (std::size_t w = 0; w < 16; ++w) {
+    m[w] = 4 * w < key_len ? TracedWord::symbol() : TracedWord(block.words[w]);
+  }
+  return m;
+}
+
+hash::Md5State<TracedWord> md5_initial_state() {
+  return {TracedWord(hash::kMd5Init[0]), TracedWord(hash::kMd5Init[1]),
+          TracedWord(hash::kMd5Init[2]), TracedWord(hash::kMd5Init[3])};
+}
+
+hash::Sha1State<TracedWord> sha1_initial_state() {
+  return {TracedWord(hash::kSha1Init[0]), TracedWord(hash::kSha1Init[1]),
+          TracedWord(hash::kSha1Init[2]), TracedWord(hash::kSha1Init[3]),
+          TracedWord(hash::kSha1Init[4])};
+}
+
+}  // namespace
+
+std::vector<SrcInstr> trace_md5(Md5KernelVariant variant,
+                                std::size_t key_len) {
+  GKS_REQUIRE(key_len <= hash::kMaxKernelKeyLength,
+              "key length above the kernel limit");
+  switch (variant) {
+    case Md5KernelVariant::kSource: {
+      // Verbatim source operations of the 64 compression steps — what
+      // Table III counts. Folding is disabled so even the operations
+      // nvcc would evaluate at compile time are recorded.
+      TraceStream stream(/*fold_constants=*/false);
+      TraceScope scope(stream);
+      auto m = md5_message_words(key_len);
+      auto s = md5_initial_state();
+      hash::md5_forward_steps(s, m, 64);
+      return stream.instructions();
+    }
+    case Md5KernelVariant::kPlainCompiled: {
+      // Constant-folded 64-step kernel plus feed-forward — Table IV.
+      TraceStream stream(/*fold_constants=*/true);
+      TraceScope scope(stream);
+      auto m = md5_message_words(key_len);
+      auto s = md5_initial_state();
+      hash::md5_forward_steps(s, m, 64);
+      // The feed-forward and digest comparison materialize the four
+      // pending state additions.
+      s.a.force();
+      s.b.force();
+      s.c.force();
+      s.d.force();
+      return stream.instructions();
+    }
+    case Md5KernelVariant::kReversed: {
+      // The Section V-B kernel: the target is reverted 15 steps once
+      // per chunk, each candidate runs 45 forward steps plus the step
+      // 45 early-exit check — a 46-step common path (the three further
+      // checks execute only on 2^-32 of candidates).
+      TraceStream stream(/*fold_constants=*/true);
+      TraceScope scope(stream);
+      auto m = md5_message_words(key_len);
+      auto s = md5_initial_state();
+      hash::md5_forward_steps(s, m, 46);
+      // Comparing against the reverted target materializes the checked
+      // register (the comparison itself is predicate work the paper
+      // does not count).
+      s.b.force();
+      return stream.instructions();
+    }
+    case Md5KernelVariant::kReversedNoEarlyExit: {
+      // BarsWF-style: the 15-step reversal but no anticipated checks —
+      // every candidate runs all 49 forward steps.
+      TraceStream stream(/*fold_constants=*/true);
+      TraceScope scope(stream);
+      auto m = md5_message_words(key_len);
+      auto s = md5_initial_state();
+      hash::md5_forward_steps(s, m, 49);
+      s.a.force();
+      s.b.force();
+      s.c.force();
+      s.d.force();
+      return stream.instructions();
+    }
+  }
+  throw InternalError("unknown MD5 kernel variant");
+}
+
+std::vector<SrcInstr> trace_sha1(Sha1KernelVariant variant,
+                                 std::size_t key_len) {
+  GKS_REQUIRE(key_len <= hash::kMaxKernelKeyLength,
+              "key length above the kernel limit");
+  switch (variant) {
+    case Sha1KernelVariant::kSource: {
+      TraceStream stream(/*fold_constants=*/false);
+      TraceScope scope(stream);
+      auto m = sha_message_words(key_len);
+      auto s = sha1_initial_state();
+      hash::sha1_forward_steps(s, m, 80);
+      return stream.instructions();
+    }
+    case Sha1KernelVariant::kPlainCompiled: {
+      TraceStream stream(/*fold_constants=*/true);
+      TraceScope scope(stream);
+      auto m = sha_message_words(key_len);
+      auto s = sha1_initial_state();
+      hash::sha1_forward_steps(s, m, 80);
+      s.a.force();
+      s.b.force();
+      s.c.force();
+      s.d.force();
+      s.e.force();
+      return stream.instructions();
+    }
+    case Sha1KernelVariant::kOptimized: {
+      // Feed-forward reverted once per target; early exit after step
+      // 75: the common path is 76 steps plus the rotl(a, 30) feeding
+      // the first comparison.
+      TraceStream stream(/*fold_constants=*/true);
+      TraceScope scope(stream);
+      auto m = sha_message_words(key_len);
+      auto s = sha1_initial_state();
+      hash::sha1_forward_steps(s, m, 76);
+      TracedWord check = rotl(s.a, 30);
+      check.force();
+      return stream.instructions();
+    }
+  }
+  throw InternalError("unknown SHA1 kernel variant");
+}
+
+std::vector<SrcInstr> trace_sha256_nonce() {
+  TraceStream stream(/*fold_constants=*/true);
+  TraceScope scope(stream);
+  // Second block of an 80-byte block header: words 0..2 are the tail of
+  // the merkle root / time / bits (fixed per work unit), word 3 is the
+  // nonce, the rest is padding and length.
+  std::array<TracedWord, 16> m;
+  m[0] = TracedWord(0x11111111u);
+  m[1] = TracedWord(0x22222222u);
+  m[2] = TracedWord(0x33333333u);
+  m[3] = TracedWord::symbol();  // nonce
+  m[4] = TracedWord(0x80000000u);
+  for (std::size_t w = 5; w < 15; ++w) m[w] = TracedWord(0u);
+  m[15] = TracedWord(640u);  // 80 bytes
+
+  hash::Sha256State<TracedWord> s{
+      {TracedWord(hash::kSha256Init[0]), TracedWord(hash::kSha256Init[1]),
+       TracedWord(hash::kSha256Init[2]), TracedWord(hash::kSha256Init[3]),
+       TracedWord(hash::kSha256Init[4]), TracedWord(hash::kSha256Init[5]),
+       TracedWord(hash::kSha256Init[6]), TracedWord(hash::kSha256Init[7])}};
+  sha256_compress(s, m);
+  for (auto& h : s.h) h.force();
+  return stream.instructions();
+}
+
+}  // namespace gks::simgpu

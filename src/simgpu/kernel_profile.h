@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simgpu/isa.h"
+
+namespace gks::simgpu {
+
+/// Which MD5 cracking kernel is being traced. The three variants map
+/// onto the paper's instruction-count tables:
+///   kSource        → Table III  (verbatim source operations)
+///   kPlainCompiled → Table IV   (constant folding, full 64 steps)
+///   kReversed      → Tables V/VI (15-step reversal + early exit:
+///                    the per-candidate common path is 46 steps)
+///   kReversedNoEarlyExit → the BarsWF-style kernel: reversal but all
+///                    49 forward steps per candidate (baseline model)
+enum class Md5KernelVariant {
+  kSource,
+  kPlainCompiled,
+  kReversed,
+  kReversedNoEarlyExit,
+};
+
+/// SHA1 equivalents: source counting, plain compiled (80 steps), and
+/// the optimized kernel (feed-forward reverted once per target, early
+/// exit after step 75 → 76-step common path plus one compare rotate).
+enum class Sha1KernelVariant { kSource, kPlainCompiled, kOptimized };
+
+/// Records the source-level instruction stream of one candidate test
+/// of the MD5 kernel by instantiating the production kernel template
+/// with TracedWord. `key_len` determines which message words are
+/// runtime values (key characters) versus compile-time constants
+/// (padding and length); the paper's reference kernel uses key_len = 4.
+std::vector<SrcInstr> trace_md5(Md5KernelVariant variant,
+                                std::size_t key_len = 4);
+
+/// SHA1 counterpart of trace_md5.
+std::vector<SrcInstr> trace_sha1(Sha1KernelVariant variant,
+                                 std::size_t key_len = 4);
+
+/// One SHA256 compression with the nonce word as the only runtime
+/// value — the per-candidate cost of the Bitcoin-style search
+/// (extension; the paper only motivates this workload in Section I).
+std::vector<SrcInstr> trace_sha256_nonce();
+
+/// A per-thread work profile: the machine mix of one candidate test
+/// plus the instruction-level parallelism the kernel exposes and the
+/// per-candidate loop overhead (the `next` operator etc., measured
+/// "less than 1% of the time spent by the hash function", Section V-B).
+struct KernelProfile {
+  MachineMix per_candidate;
+  unsigned ilp = 1;                 ///< independent streams per thread
+  double overhead_fraction = 0.01;  ///< extra instructions, fraction
+
+  /// Mix including the loop overhead, spread uniformly across classes.
+  MachineMix effective_mix() const {
+    return per_candidate.scaled(1.0 + overhead_fraction);
+  }
+};
+
+}  // namespace gks::simgpu

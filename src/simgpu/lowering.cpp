@@ -1,0 +1,75 @@
+#include "simgpu/lowering.h"
+
+namespace gks::simgpu {
+namespace {
+
+void lower_rotation(const LoweringOptions& opt, MachineMix& out) {
+  if (opt.legacy_rotate) {
+    out[MachineOp::kShift] += 2;
+    out[MachineOp::kIAdd] += 1;
+    return;
+  }
+  switch (opt.cc) {
+    case ComputeCapability::kCc1x:
+      // (x << n) + (x >> 32-n) stays a SHL/SHR pair plus an ADD.
+      out[MachineOp::kShift] += 2;
+      out[MachineOp::kIAdd] += 1;
+      break;
+    case ComputeCapability::kCc20:
+    case ComputeCapability::kCc21:
+    case ComputeCapability::kCc30:
+      // SHL followed by IMAD.HI: the multiply-add emulates the other
+      // shift and performs the addition implicitly ("the number of ADD
+      // decreases since ISCADD, IMAD ... implicitly perform the
+      // addition").
+      out[MachineOp::kShift] += 1;
+      out[MachineOp::kMadShift] += 1;
+      break;
+    case ComputeCapability::kCc35:
+      // Funnel shift: full rotation in one instruction.
+      out[MachineOp::kFunnel] += 1;
+      break;
+  }
+}
+
+}  // namespace
+
+MachineMix lower(const std::vector<SrcInstr>& src,
+                 const LoweringOptions& opt) {
+  MachineMix out;
+  for (const SrcInstr& instr : src) {
+    switch (instr.op) {
+      case SrcOp::kAdd:
+        out[MachineOp::kIAdd] += 1;
+        break;
+      case SrcOp::kAnd:
+      case SrcOp::kOr:
+      case SrcOp::kXor:
+        out[MachineOp::kLop] += 1;
+        break;
+      case SrcOp::kNot:
+        // LOP operands carry a negate modifier from cc 2.x on, and the
+        // cc 1.x assembler folds complements the same way, so a merged
+        // NOT costs nothing.
+        if (!opt.merge_not) out[MachineOp::kLop] += 1;
+        break;
+      case SrcOp::kShl:
+      case SrcOp::kShr:
+        out[MachineOp::kShift] += 1;
+        break;
+      case SrcOp::kRotl:
+      case SrcOp::kRotr:
+        if (opt.use_byte_perm && opt.cc != ComputeCapability::kCc1x &&
+            (instr.amount % 8) == 0) {
+          // Byte-aligned rotation: one PRMT regardless of direction.
+          out[MachineOp::kPrmt] += 1;
+        } else {
+          lower_rotation(opt, out);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gks::simgpu

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "simgpu/arch.h"
+#include "simgpu/isa.h"
+
+namespace gks::simgpu {
+
+/// Per-architecture code generation options — the knobs Section V-B
+/// studies with cuobjdump.
+struct LoweringOptions {
+  ComputeCapability cc = ComputeCapability::kCc30;
+
+  /// Replace 16-bit rotations with a single PRMT (__byte_perm), the
+  /// final Kepler optimization of Table VI ("execute a rotation by 16
+  /// bits in a single instruction").
+  bool use_byte_perm = false;
+
+  /// Merge unary NOT into the consuming logic operation ("the unary NOT
+  /// operations are omitted since they are merged with other
+  /// instructions in the final phase of compilation"). All measured
+  /// architectures do this; disabling it is only useful for inspecting
+  /// raw source counts.
+  bool merge_not = true;
+
+  /// Expand rotations as SHL + SHR + IADD even on cc >= 2.0 — the code
+  /// a pre-Fermi toolchain (or hand-written SASS for older devices, as
+  /// shipped by BarsWF) produces when run unmodified on newer GPUs.
+  /// Used only by the baseline tool models.
+  bool legacy_rotate = false;
+};
+
+/// Lowers a recorded source instruction stream into per-class machine
+/// instruction counts for the target architecture — our stand-in for
+/// `nvcc` + `cuobjdump -sass` (DESIGN.md §1). The rotation pseudo-op
+/// expands per Section V-B:
+///
+///   cc 1.x       : SHL + SHR + IADD
+///   cc 2.x / 3.0 : SHL + IMAD.HI (or SHR + ISCADD — interchangeable),
+///                  the MAD absorbing the addition;
+///                  optionally PRMT for 16-bit rotations
+///   cc 3.5       : one funnel shift (SHF)
+MachineMix lower(const std::vector<SrcInstr>& src, const LoweringOptions& opt);
+
+}  // namespace gks::simgpu

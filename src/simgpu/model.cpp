@@ -1,0 +1,80 @@
+#include "simgpu/model.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace gks::simgpu {
+
+double ThroughputModel::cycles_per_candidate(const MultiprocessorArch& arch,
+                                             const MachineMix& mix) {
+  const double n_add = mix[MachineOp::kIAdd];
+  const double n_lop = mix[MachineOp::kLop];
+  const double n_shm = mix.shift_class();
+  GKS_REQUIRE(n_add + n_lop + n_shm > 0, "empty instruction mix");
+
+  if (arch.cc == ComputeCapability::kCc1x) {
+    // Single single-issue scheduler: classes serialize (Section VI-B,
+    // "all types of warp instructions ... will be serialized"). The
+    // ideal model grants the SFU add bonus (ADD at 10/clock).
+    return n_add / (arch.add_throughput + arch.sfu_add_bonus) +
+           n_lop / arch.lop_throughput + n_shm / arch.shift_throughput;
+  }
+
+  const double addlop = n_add + n_lop;
+  if (arch.shift_shares_alu_cores) {
+    // cc 2.x: shift/MAD occupy one group of the ADD-capable cores, so
+    // both the total issue bandwidth and the shift unit constrain.
+    return std::max((addlop + n_shm) / arch.add_throughput,
+                    n_shm / arch.shift_throughput);
+  }
+  // cc 3.x: dedicated shift/MAD group overlaps fully with ADD/LOP
+  // groups.
+  return std::max(addlop / arch.add_throughput,
+                  n_shm / arch.shift_throughput);
+}
+
+double ThroughputModel::theoretical_throughput(const DeviceSpec& device,
+                                               const MachineMix& mix) {
+  const double cycles = cycles_per_candidate(device.arch(), mix);
+  return device.clock_hz() * device.mp_count / cycles;
+}
+
+namespace {
+
+MachineMix make_mix(std::uint32_t iadd, std::uint32_t lop, std::uint32_t shift,
+                    std::uint32_t mad, std::uint32_t prmt = 0) {
+  MachineMix m;
+  m[MachineOp::kIAdd] = iadd;
+  m[MachineOp::kLop] = lop;
+  m[MachineOp::kShift] = shift;
+  m[MachineOp::kMadShift] = mad;
+  m[MachineOp::kPrmt] = prmt;
+  return m;
+}
+
+}  // namespace
+
+// Table IV — "actual instruction count (MD5)", plain len-4 kernel.
+MachineMix PaperCounts::md5_plain_cc1() { return make_mix(284, 156, 128, 0); }
+MachineMix PaperCounts::md5_plain_cc2() { return make_mix(220, 155, 64, 64); }
+
+// Table V — after the reversal and early-exit optimizations.
+MachineMix PaperCounts::md5_optimized_cc1() {
+  return make_mix(197, 118, 90, 0);
+}
+MachineMix PaperCounts::md5_optimized_cc2() {
+  return make_mix(150, 120, 46, 46);
+}
+
+// Table VI — final kernel with __byte_perm on the byte rotations.
+MachineMix PaperCounts::md5_final_cc1() { return make_mix(197, 118, 90, 0); }
+MachineMix PaperCounts::md5_final_cc2() {
+  return make_mix(150, 120, 43, 43, 3);
+}
+
+MachineMix PaperCounts::md5_final(ComputeCapability cc) {
+  return cc == ComputeCapability::kCc1x ? md5_final_cc1() : md5_final_cc2();
+}
+
+}  // namespace gks::simgpu

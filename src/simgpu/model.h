@@ -1,0 +1,64 @@
+#pragma once
+
+#include "simgpu/arch.h"
+#include "simgpu/isa.h"
+
+namespace gks::simgpu {
+
+/// Analytic throughput model of Section VI-B — the "theoretical" row of
+/// Table VIII. Computes the minimum number of clock cycles one
+/// multiprocessor needs per candidate and scales by clock and MP count.
+///
+/// Per architecture family:
+///   cc 1.*      : a single single-issue scheduler serializes all
+///                 classes: T = N_ADD/X_ADD + N_LOP/X_LOP + N_SHM/X_SHM
+///                 (with the SFU add bonus included, as the model
+///                 assumes ideal ILP);
+///   cc 2.0/2.1  : shift/MAD run on one group of the same cores that
+///                 run additions, so the constraint is
+///                 T = max(N_total/X_ADDLOP, N_SHM/X_SHM);
+///   cc 3.0/3.5  : shift/MAD own a dedicated group that overlaps fully
+///                 with the ADD/LOP groups:
+///                 T = max(N_ADDLOP/X_ADDLOP, N_SHM/X_SHM).
+class ThroughputModel {
+ public:
+  /// Cycles per candidate on one multiprocessor at ideal occupancy.
+  static double cycles_per_candidate(const MultiprocessorArch& arch,
+                                     const MachineMix& mix);
+
+  /// Device-level throughput in candidates per second.
+  static double theoretical_throughput(const DeviceSpec& device,
+                                       const MachineMix& mix);
+
+  /// Same in the paper's reporting unit, MKeys/s.
+  static double theoretical_mkeys(const DeviceSpec& device,
+                                  const MachineMix& mix) {
+    return theoretical_throughput(device, mix) / 1e6;
+  }
+};
+
+/// The machine mixes of the paper's own Tables IV/V/VI, provided as
+/// constants so benches can demonstrate that the model reproduces the
+/// paper's theoretical numbers exactly from the paper's counts, next
+/// to the mixes we trace from our kernels.
+struct PaperCounts {
+  /// Table VI (final optimized MD5), cc 1.* column.
+  static MachineMix md5_final_cc1();
+  /// Table VI (final optimized MD5), cc 2.*/3.0 column.
+  static MachineMix md5_final_cc2();
+  /// Table IV (plain compiled MD5), cc 1.* column.
+  static MachineMix md5_plain_cc1();
+  /// Table IV (plain compiled MD5), cc 2.*/3.0 column.
+  static MachineMix md5_plain_cc2();
+  /// Table V (reversed + early-exit MD5), cc 1.* column.
+  static MachineMix md5_optimized_cc1();
+  /// Table V (reversed + early-exit MD5), cc 2.*/3.0 column.
+  static MachineMix md5_optimized_cc2();
+
+  /// Picks the right column for an architecture. The paper publishes
+  /// no SHA1 instruction tables, so SHA1 rows always use our traced
+  /// counts (see EXPERIMENTS.md).
+  static MachineMix md5_final(ComputeCapability cc);
+};
+
+}  // namespace gks::simgpu

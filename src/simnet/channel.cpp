@@ -1,0 +1,53 @@
+#include "simnet/channel.h"
+
+#include <algorithm>
+
+namespace gks::simnet {
+
+std::optional<Message> Mailbox::pop_deliverable_locked(
+    std::chrono::steady_clock::time_point now) {
+  // Messages are appended in send order but may carry different
+  // delays; deliver the earliest-deadline message that is ready.
+  auto best = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->deliver_at <= now &&
+        (best == queue_.end() || it->deliver_at < best->deliver_at)) {
+      best = it;
+    }
+  }
+  if (best == queue_.end()) return std::nullopt;
+  Message msg = std::move(best->msg);
+  queue_.erase(best);
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_recv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pop_deliverable_locked(std::chrono::steady_clock::now());
+}
+
+std::optional<Message> Mailbox::recv(double timeout_virtual_s) {
+  const bool bounded = timeout_virtual_s >= 0;
+  const auto give_up =
+      bounded ? clock_.deadline(timeout_virtual_s)
+              : std::chrono::steady_clock::time_point::max();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (auto msg = pop_deliverable_locked(now)) return msg;
+    if (bounded && now >= give_up) return std::nullopt;
+
+    // Wake at the earliest of: next in-flight delivery, the timeout,
+    // or a new send (notify).
+    auto wake = give_up;
+    for (const auto& p : queue_) wake = std::min(wake, p.deliver_at);
+    if (wake == std::chrono::steady_clock::time_point::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+}  // namespace gks::simnet

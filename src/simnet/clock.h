@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.h"
+
+namespace gks::simnet {
+
+/// Maps virtual (simulated) time onto real wall-clock time.
+///
+/// The cluster of simulated GPUs computes in *virtual* seconds (a GTX
+/// 660 grinding 10^9 keys takes ~0.5 virtual seconds); running the
+/// experiment in real time would be pointless, so the network scales
+/// virtual durations by `scale` when actually sleeping. With the
+/// default 1e-3, a 100-virtual-second experiment runs in 0.1 s while
+/// preserving the relative timing of every node and link — which is
+/// all the Section III cost model depends on.
+///
+/// A scale of 1.0 makes virtual time real time (used when cluster
+/// nodes do real CPU cracking work).
+class VirtualClock {
+ public:
+  explicit VirtualClock(double scale = 1e-3) : scale_(scale) {
+    GKS_REQUIRE(scale > 0, "time scale must be positive");
+  }
+
+  double scale() const { return scale_; }
+
+  /// Blocks the calling thread for `virtual_seconds` of simulated time.
+  void sleep_virtual(double virtual_seconds) const {
+    if (virtual_seconds <= 0) return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(virtual_seconds * scale_));
+  }
+
+  /// Virtual seconds elapsed between two real-time points.
+  double to_virtual(std::chrono::steady_clock::duration real) const {
+    return std::chrono::duration<double>(real).count() / scale_;
+  }
+
+  /// Real deadline for something `virtual_seconds` in the future.
+  std::chrono::steady_clock::time_point deadline(
+      double virtual_seconds) const {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(virtual_seconds * scale_));
+  }
+
+ private:
+  double scale_;
+};
+
+}  // namespace gks::simnet

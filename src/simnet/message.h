@@ -1,0 +1,25 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+namespace gks::simnet {
+
+/// Identifies a node within a Network. Ids are dense, assigned in
+/// creation order; the root dispatcher is conventionally node 0.
+using NodeId = std::uint32_t;
+
+/// A unit of communication between nodes. The payload is type-erased;
+/// the dispatch layer defines the concrete message structs and
+/// dispatches on them with std::any_cast. `wire_size` feeds the link's
+/// bandwidth model (the scatter/gather payloads of Section III are
+/// small — an interval and a result record — which is why K_scatter
+/// and K_gather become negligible for large problems).
+struct Message {
+  NodeId from = 0;
+  std::any payload;
+  std::size_t wire_size = 64;
+};
+
+}  // namespace gks::simnet

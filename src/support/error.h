@@ -1,0 +1,64 @@
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gks {
+
+/// Base exception type for every error raised by the library.
+///
+/// All invariant violations and misuse of public APIs throw `Error`
+/// (or a subclass) rather than asserting, so that long-running cluster
+/// searches can report a broken node instead of aborting the process.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller passes arguments outside a function's domain
+/// (e.g. an empty charset, a key length above the supported maximum).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant fails; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* expr,
+                                             const std::string& msg,
+                                             std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << loc.file_name() << ":"
+     << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "GKS_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace gks
+
+/// Precondition check on public API arguments; throws InvalidArgument.
+#define GKS_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::gks::detail::throw_check_failure("GKS_REQUIRE", #expr, msg,  \
+                                         std::source_location::current()); \
+  } while (false)
+
+/// Internal invariant check; throws InternalError.
+#define GKS_ENSURE(expr, msg)                                        \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::gks::detail::throw_check_failure("GKS_ENSURE", #expr, msg,   \
+                                         std::source_location::current()); \
+  } while (false)

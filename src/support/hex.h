@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace gks {
+
+/// Lower-case hexadecimal encoding of a byte range ("d41d8cd9...").
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (case-insensitive) into bytes.
+/// Throws InvalidArgument on odd length or non-hex characters.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Fixed-size decode for digest parsing; throws if the string does not
+/// decode to exactly N bytes.
+template <std::size_t N>
+std::array<std::uint8_t, N> from_hex_fixed(std::string_view hex) {
+  const std::vector<std::uint8_t> v = from_hex(hex);
+  if (v.size() != N) {
+    throw InvalidArgument("hex string decodes to " + std::to_string(v.size()) +
+                          " bytes, expected " + std::to_string(N));
+  }
+  std::array<std::uint8_t, N> out{};
+  for (std::size_t i = 0; i < N; ++i) out[i] = v[i];
+  return out;
+}
+
+}  // namespace gks

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gks {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used wherever the library
+/// needs randomness — salt generation, failure injection, workload
+/// sampling — so that every test and benchmark is reproducible from a
+/// seed. Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) without modulo bias for small bounds
+  /// relative to 2^64 (bias is < bound/2^64, negligible for our uses).
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gks

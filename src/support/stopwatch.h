@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace gks {
+
+/// Monotonic wall-clock stopwatch used by the tuning step and the CPU
+/// backend's throughput measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gks

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gks {
+
+/// Plain-text table printer used by the bench binaries to re-print the
+/// paper's tables. Columns are sized to fit the widest cell; the first
+/// row added with header() is separated from the body by a rule.
+///
+/// Example output:
+///
+///   | Compute capability | 1.* | 2.0 | 2.1 | 3.0 |
+///   |--------------------|-----|-----|-----|-----|
+///   | Cores per MP       | 8   | 32  | 48  | 192 |
+class TablePrinter {
+ public:
+  /// Sets the header row (optional; a table may be body-only).
+  void header(std::vector<std::string> cells);
+
+  /// Appends one body row. Rows may have differing cell counts; short
+  /// rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the
+  /// decimal point, trimming trailing zeros ("1851", "962.7", "0.852").
+  static std::string num(double v, int precision = 1);
+
+  /// Renders the table as a string (GitHub-style pipes).
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gks

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gks {
+
+/// Fixed-size worker pool used by the CPU cracking backend (fine-grain
+/// parallelism on the host, the CPU analogue of a CUDA grid) and by the
+/// simulated network to run node event loops.
+///
+/// Work items are `std::function<void()>`; submit() returns a future so
+/// callers can join on completion or propagate exceptions. The pool is
+/// deliberately simple — FIFO queue, no work stealing — because the
+/// search workload is pre-partitioned into equal-cost intervals by the
+/// dispatcher, exactly as the paper's balancing step prescribes.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future carries its result/exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all
+  /// completions. Exceptions from any invocation are rethrown (first
+  /// one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gks

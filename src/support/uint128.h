@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "support/error.h"
+
+namespace gks {
+
+/// Unsigned 128-bit integer used for key-space identifiers.
+///
+/// An 8-character alphanumeric key space already holds 62^8 ≈ 2.2e14
+/// candidates, and the paper's closed form S_{K0}^{K} (Equation 2)
+/// overflows 64 bits well before the 20-character limit the kernels
+/// support, so all key identifiers and interval arithmetic use this
+/// type. Implemented as a thin, value-semantic wrapper over the GCC
+/// builtin `unsigned __int128` with string conversion and checked
+/// narrowing — the builtin alone has no I/O and silently truncates.
+class u128 {
+ public:
+  constexpr u128() : v_(0) {}
+  constexpr u128(std::uint64_t low) : v_(low) {}  // NOLINT(google-explicit-constructor)
+  constexpr u128(std::uint64_t high, std::uint64_t low)
+      : v_((static_cast<unsigned __int128>(high) << 64) | low) {}
+
+  /// Largest representable value, 2^128 - 1.
+  static constexpr u128 max() {
+    return u128(std::numeric_limits<std::uint64_t>::max(),
+                std::numeric_limits<std::uint64_t>::max());
+  }
+
+  /// Parses a decimal string; throws InvalidArgument on bad input or overflow.
+  static u128 parse(std::string_view s) {
+    GKS_REQUIRE(!s.empty(), "empty string is not a number");
+    constexpr unsigned __int128 kTop = ~static_cast<unsigned __int128>(0);
+    u128 r;
+    for (char c : s) {
+      GKS_REQUIRE(c >= '0' && c <= '9', "non-decimal character in u128");
+      const auto digit = static_cast<unsigned>(c - '0');
+      GKS_REQUIRE(r.v_ <= kTop / 10, "u128 overflow while parsing");
+      r.v_ *= 10;
+      GKS_REQUIRE(r.v_ <= kTop - digit, "u128 overflow while parsing");
+      r.v_ += digit;
+    }
+    return r;
+  }
+
+  constexpr std::uint64_t low64() const {
+    return static_cast<std::uint64_t>(v_);
+  }
+  constexpr std::uint64_t high64() const {
+    return static_cast<std::uint64_t>(v_ >> 64);
+  }
+
+  /// Checked conversion to 64 bits; throws if the value does not fit.
+  std::uint64_t to_u64() const {
+    GKS_REQUIRE(high64() == 0, "u128 value does not fit in 64 bits");
+    return low64();
+  }
+
+  /// Conversion to double (lossy for values above 2^53; used only for
+  /// throughput ratios and progress reporting).
+  constexpr double to_double() const {
+    return static_cast<double>(high64()) * 18446744073709551616.0 +
+           static_cast<double>(low64());
+  }
+
+  std::string to_string() const {
+    if (v_ == 0) return "0";
+    std::string out;
+    unsigned __int128 x = v_;
+    while (x != 0) {
+      out.push_back(static_cast<char>('0' + static_cast<unsigned>(x % 10)));
+      x /= 10;
+    }
+    return std::string(out.rbegin(), out.rend());
+  }
+
+  friend constexpr u128 operator+(u128 a, u128 b) { return u128(a.v_ + b.v_, Raw{}); }
+  friend constexpr u128 operator-(u128 a, u128 b) { return u128(a.v_ - b.v_, Raw{}); }
+  friend constexpr u128 operator*(u128 a, u128 b) { return u128(a.v_ * b.v_, Raw{}); }
+  friend constexpr u128 operator/(u128 a, u128 b) { return u128(a.v_ / b.v_, Raw{}); }
+  friend constexpr u128 operator%(u128 a, u128 b) { return u128(a.v_ % b.v_, Raw{}); }
+  friend constexpr u128 operator<<(u128 a, unsigned n) { return u128(a.v_ << n, Raw{}); }
+  friend constexpr u128 operator>>(u128 a, unsigned n) { return u128(a.v_ >> n, Raw{}); }
+
+  u128& operator+=(u128 b) { v_ += b.v_; return *this; }
+  u128& operator-=(u128 b) { v_ -= b.v_; return *this; }
+  u128& operator*=(u128 b) { v_ *= b.v_; return *this; }
+  u128& operator/=(u128 b) { v_ /= b.v_; return *this; }
+  u128& operator++() { ++v_; return *this; }
+  u128 operator++(int) { u128 old = *this; ++v_; return old; }
+  u128& operator--() { --v_; return *this; }
+
+  friend constexpr bool operator==(u128 a, u128 b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(u128 a, u128 b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(u128 a, u128 b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(u128 a, u128 b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(u128 a, u128 b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(u128 a, u128 b) { return a.v_ >= b.v_; }
+
+  /// Saturating addition: clamps at u128::max() instead of wrapping.
+  static constexpr u128 saturating_add(u128 a, u128 b) {
+    u128 s = a + b;
+    return s < a ? max() : s;
+  }
+
+  /// Checked multiplication; throws InternalError on overflow.
+  static u128 checked_mul(u128 a, u128 b) {
+    if (a.v_ == 0 || b.v_ == 0) return u128(0);
+    u128 p = a * b;
+    GKS_ENSURE(p.v_ / a.v_ == b.v_, "u128 multiplication overflow");
+    return p;
+  }
+
+  /// a^n with overflow checking.
+  static u128 checked_pow(u128 a, unsigned n) {
+    u128 r(1);
+    for (unsigned i = 0; i < n; ++i) r = checked_mul(r, a);
+    return r;
+  }
+
+ private:
+  struct Raw {};
+  constexpr u128(unsigned __int128 v, Raw) : v_(v) {}
+  unsigned __int128 v_;
+};
+
+inline std::string to_string(u128 v) { return v.to_string(); }
+
+}  // namespace gks

@@ -1,0 +1,105 @@
+#include "baselines/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "simgpu/simt.h"
+
+namespace gks::baselines {
+namespace {
+
+using simgpu::ComputeCapability;
+
+double mkeys(Tool tool, hash::Algorithm alg, const char* device) {
+  const auto& dev = simgpu::device_by_name(device);
+  return simgpu::SimtSimulator::device_throughput(
+             dev, tool_profile(tool, alg, dev.cc)) /
+         1e6;
+}
+
+TEST(Profiles, ToolNamesAreStable) {
+  EXPECT_STREQ(tool_name(Tool::kOurs), "our approach");
+  EXPECT_STREQ(tool_name(Tool::kBarsWf), "BarsWF");
+  EXPECT_STREQ(tool_name(Tool::kCryptohaze), "Cryptohaze");
+  EXPECT_STREQ(tool_name(Tool::kNaive), "naive");
+}
+
+TEST(Profiles, RankingOnKeplerMatchesTableEight) {
+  // Paper, GTX 660 MD5: ours 1841 > BarsWF 1340 > Cryptohaze 1280.
+  const double ours = mkeys(Tool::kOurs, hash::Algorithm::kMd5, "660");
+  const double barswf = mkeys(Tool::kBarsWf, hash::Algorithm::kMd5, "660");
+  const double crypto =
+      mkeys(Tool::kCryptohaze, hash::Algorithm::kMd5, "660");
+  EXPECT_GT(ours, barswf);
+  EXPECT_GT(barswf, crypto * 0.95);
+  // Ours beats BarsWF clearly on Kepler (paper factor ~1.37).
+  EXPECT_GT(ours / barswf, 1.15);
+}
+
+TEST(Profiles, BarsWfIsCompetitiveOnItsHomeArchitecture) {
+  // Paper, 8800: BarsWF 490 vs ours 480 — essentially equal.
+  const double ours = mkeys(Tool::kOurs, hash::Algorithm::kMd5, "8800");
+  const double barswf = mkeys(Tool::kBarsWf, hash::Algorithm::kMd5, "8800");
+  EXPECT_NEAR(barswf / ours, 1.0, 0.12);
+}
+
+TEST(Profiles, CryptohazeTrailsOursEverywhere) {
+  for (const char* device : {"8600M", "8800", "540M", "550Ti", "660"}) {
+    const double ours = mkeys(Tool::kOurs, hash::Algorithm::kMd5, device);
+    const double crypto =
+        mkeys(Tool::kCryptohaze, hash::Algorithm::kMd5, device);
+    EXPECT_LT(crypto, ours) << device;
+    EXPECT_GT(crypto, 0.4 * ours) << device;  // but same order of magnitude
+  }
+}
+
+TEST(Profiles, NaiveIsTheSlowestTool) {
+  for (const char* device : {"8800", "660"}) {
+    const double naive = mkeys(Tool::kNaive, hash::Algorithm::kMd5, device);
+    for (const Tool tool : {Tool::kOurs, Tool::kBarsWf, Tool::kCryptohaze}) {
+      EXPECT_LT(naive, mkeys(tool, hash::Algorithm::kMd5, device) * 1.02)
+          << device;
+    }
+  }
+}
+
+TEST(Profiles, Sha1SupportedByOursAndCryptohazeOnly) {
+  EXPECT_NO_THROW(
+      tool_profile(Tool::kOurs, hash::Algorithm::kSha1,
+                   ComputeCapability::kCc30));
+  EXPECT_NO_THROW(
+      tool_profile(Tool::kCryptohaze, hash::Algorithm::kSha1,
+                   ComputeCapability::kCc30));
+  EXPECT_THROW(tool_profile(Tool::kBarsWf, hash::Algorithm::kSha1,
+                            ComputeCapability::kCc30),
+               InvalidArgument);
+}
+
+TEST(Profiles, Sha1RatioOursOverCryptohazeMatchesPaperShape) {
+  // Paper, 550 Ti SHA1: ours 310 vs Cryptohaze 185 (x1.68); on the
+  // 660, 390 vs 377 (x1.03). Ours must lead on both, strongly on Fermi.
+  const double ours_550 = mkeys(Tool::kOurs, hash::Algorithm::kSha1, "550Ti");
+  const double cr_550 =
+      mkeys(Tool::kCryptohaze, hash::Algorithm::kSha1, "550Ti");
+  EXPECT_GT(ours_550 / cr_550, 1.2);
+  const double ours_660 = mkeys(Tool::kOurs, hash::Algorithm::kSha1, "660");
+  const double cr_660 =
+      mkeys(Tool::kCryptohaze, hash::Algorithm::kSha1, "660");
+  EXPECT_GT(ours_660 / cr_660, 1.0);
+}
+
+TEST(Profiles, BarsWfLegacyRotateOnlyOnKepler) {
+  using simgpu::MachineOp;
+  const auto kepler =
+      tool_profile(Tool::kBarsWf, hash::Algorithm::kMd5,
+                   ComputeCapability::kCc30);
+  EXPECT_EQ(kepler.per_candidate[MachineOp::kMadShift], 0u);  // legacy SHL/SHR
+  const auto fermi =
+      tool_profile(Tool::kBarsWf, hash::Algorithm::kMd5,
+                   ComputeCapability::kCc21);
+  EXPECT_GT(fermi.per_candidate[MachineOp::kMadShift], 0u);
+}
+
+}  // namespace
+}  // namespace gks::baselines

@@ -1,0 +1,71 @@
+#include "core/cpu_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/md5.h"
+
+namespace gks::core {
+namespace {
+
+CrackRequest small_request(const std::string& plaintext) {
+  CrackRequest r;
+  r.algorithm = hash::Algorithm::kMd5;
+  r.target_hex = hash::Md5::digest(plaintext).to_hex();
+  r.charset = keyspace::Charset("abcd");
+  r.min_length = 1;
+  r.max_length = 5;
+  return r;
+}
+
+TEST(CpuBackend, FindsTheKeyAcrossThreads) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    CpuSearcher searcher(small_request("dcba"), threads);
+    const auto out = searcher.scan(small_request("x").space_interval());
+    ASSERT_EQ(out.found.size(), 1u) << threads << " threads";
+    EXPECT_EQ(out.found[0].value, "dcba");
+  }
+}
+
+TEST(CpuBackend, TestedCountEqualsIntervalSize) {
+  CpuSearcher searcher(small_request("aa"), 3);
+  const keyspace::Interval interval(u128(10), u128(1000));
+  const auto out = searcher.scan(interval);
+  EXPECT_EQ(out.tested, interval.size());
+  EXPECT_GT(out.busy_virtual_s, 0.0);
+}
+
+TEST(CpuBackend, EmptyIntervalShortCircuits) {
+  CpuSearcher searcher(small_request("aa"), 2);
+  const auto out = searcher.scan(keyspace::Interval(u128(5), u128(5)));
+  EXPECT_EQ(out.tested, u128(0));
+  EXPECT_TRUE(out.found.empty());
+}
+
+TEST(CpuBackend, IsARealDevice) {
+  CpuSearcher searcher(small_request("aa"), 2);
+  EXPECT_FALSE(searcher.is_simulated());
+  EXPECT_NE(searcher.description().find("CPU"), std::string::npos);
+  EXPECT_NE(searcher.description().find("MD5"), std::string::npos);
+}
+
+TEST(CpuBackend, TheoreticalThroughputIsCachedAndPositive) {
+  CpuSearcher searcher(small_request("aa"), 2);
+  const double first = searcher.theoretical_throughput();
+  EXPECT_GT(first, 0.0);
+  EXPECT_DOUBLE_EQ(searcher.theoretical_throughput(), first);
+}
+
+TEST(CpuBackend, MultithreadedScanMatchesSingleThreaded) {
+  const auto req = small_request("cdcd");
+  CpuSearcher one(req, 1);
+  CpuSearcher many(req, 4);
+  const keyspace::Interval space = req.space_interval();
+  const auto a = one.scan(space);
+  const auto b = many.scan(space);
+  ASSERT_EQ(a.found.size(), b.found.size());
+  EXPECT_EQ(a.found[0].id, b.found[0].id);
+  EXPECT_EQ(a.tested, b.tested);
+}
+
+}  // namespace
+}  // namespace gks::core

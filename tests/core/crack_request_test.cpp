@@ -1,0 +1,85 @@
+#include "core/crack_request.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "hash/md5.h"
+#include "hash/sha1.h"
+
+namespace gks::core {
+namespace {
+
+CrackRequest md5_request(const std::string& plaintext) {
+  CrackRequest r;
+  r.algorithm = hash::Algorithm::kMd5;
+  r.target_hex = hash::Md5::digest(plaintext).to_hex();
+  r.charset = keyspace::Charset::lower();
+  r.min_length = 1;
+  r.max_length = 5;
+  return r;
+}
+
+TEST(CrackRequest, MatchesRecognizesThePlaintext) {
+  const CrackRequest r = md5_request("abcde");
+  EXPECT_TRUE(r.matches("abcde"));
+  EXPECT_FALSE(r.matches("abcdf"));
+  EXPECT_FALSE(r.matches(""));
+}
+
+TEST(CrackRequest, MatchesAppliesTheSalt) {
+  CrackRequest r;
+  r.algorithm = hash::Algorithm::kSha1;
+  r.salt = {hash::SaltPosition::kSuffix, "NaCl"};
+  r.target_hex = hash::Sha1::digest("pwNaCl").to_hex();
+  EXPECT_TRUE(r.matches("pw"));
+  EXPECT_FALSE(r.matches("pwNaCl"));  // salt must not be typed by users
+}
+
+TEST(CrackRequest, SpaceSizeMatchesEquationTwo) {
+  CrackRequest r = md5_request("ab");
+  r.min_length = 1;
+  r.max_length = 3;
+  EXPECT_EQ(r.space_size(), u128(26 + 26 * 26 + 26 * 26 * 26));
+  EXPECT_EQ(r.space_interval().begin, u128(0));
+  EXPECT_EQ(r.space_interval().end, r.space_size());
+}
+
+TEST(CrackRequest, GeneratorUsesPrefixFastestOrder) {
+  CrackRequest r = md5_request("x");
+  const auto gen = r.make_generator();
+  EXPECT_EQ(gen.codec().order(), keyspace::DigitOrder::kPrefixFastest);
+  EXPECT_EQ(gen.at(u128(0)), "a");
+}
+
+TEST(CrackRequest, ValidateAcceptsAWellFormedRequest) {
+  EXPECT_NO_THROW(md5_request("abc").validate());
+}
+
+TEST(CrackRequest, ValidateRejectsBadLengths) {
+  CrackRequest r = md5_request("abc");
+  r.min_length = 0;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+  r.min_length = 6;
+  r.max_length = 5;
+  EXPECT_THROW(r.validate(), InvalidArgument);
+  r.min_length = 1;
+  r.max_length = 21;  // beyond the kernel limit
+  EXPECT_THROW(r.validate(), InvalidArgument);
+}
+
+TEST(CrackRequest, ValidateRejectsDigestAlgorithmMismatch) {
+  CrackRequest r = md5_request("abc");
+  r.algorithm = hash::Algorithm::kSha1;  // 16-byte digest vs SHA1's 20
+  EXPECT_THROW(r.validate(), InvalidArgument);
+}
+
+TEST(CrackRequest, ValidateRejectsOversizedSalt) {
+  CrackRequest r = md5_request("abc");
+  r.max_length = 20;
+  r.salt = {hash::SaltPosition::kSuffix, std::string(40, 's')};
+  EXPECT_THROW(r.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::core

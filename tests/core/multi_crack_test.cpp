@@ -1,0 +1,130 @@
+#include "core/multi_crack.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "keyspace/space.h"
+#include "support/error.h"
+
+namespace gks::core {
+namespace {
+
+MultiCrackRequest md5_batch(const std::vector<std::string>& keys,
+                            keyspace::Charset charset, unsigned min_len,
+                            unsigned max_len, hash::SaltSpec salt = {}) {
+  MultiCrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.charset = std::move(charset);
+  request.min_length = min_len;
+  request.max_length = max_len;
+  request.salt = salt;
+  for (const auto& k : keys) {
+    request.target_hexes.push_back(
+        hash::Md5::digest(salt.apply(k)).to_hex());
+  }
+  return request;
+}
+
+TEST(MultiCrack, RecoversEveryKeyInOneSweep) {
+  const std::vector<std::string> keys = {"cat", "dog", "fish", "a"};
+  const auto request =
+      md5_batch(keys, keyspace::Charset("acdfghiost"), 1, 4);
+  const auto result = multi_crack(request, 2);
+
+  EXPECT_EQ(result.cracked, keys.size());
+  ASSERT_EQ(result.targets.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(result.targets[i].found) << keys[i];
+    EXPECT_EQ(result.targets[i].key, keys[i]);
+  }
+}
+
+TEST(MultiCrack, UncrackableDigestStaysOutstanding) {
+  auto request = md5_batch({"ab"}, keyspace::Charset("ab"), 1, 3);
+  request.target_hexes.push_back(
+      hash::Md5::digest("NOT-in-space").to_hex());
+  const auto result = multi_crack(request, 2);
+  EXPECT_EQ(result.cracked, 1u);
+  EXPECT_TRUE(result.targets[0].found);
+  EXPECT_FALSE(result.targets[1].found);
+  // The whole space was swept for the missing one.
+  EXPECT_EQ(result.tested, u128(2 + 4 + 8));
+}
+
+TEST(MultiCrack, StopsEarlyWhenAllFound) {
+  // Keys early in the enumeration: the sweep must not test the whole
+  // 5-character space.
+  const auto request = md5_batch({"a", "b"}, keyspace::Charset::lower(), 1, 5);
+  const auto result = multi_crack(request, 2);
+  EXPECT_EQ(result.cracked, 2u);
+  EXPECT_LT(result.tested,
+            keyspace::space_size(26, 1, 5));
+}
+
+TEST(MultiCrack, Sha1BatchWorks) {
+  MultiCrackRequest request;
+  request.algorithm = hash::Algorithm::kSha1;
+  request.charset = keyspace::Charset("abc");
+  request.min_length = 1;
+  request.max_length = 4;
+  for (const char* k : {"abc", "cba", "bb"}) {
+    request.target_hexes.push_back(hash::Sha1::digest(k).to_hex());
+  }
+  const auto result = multi_crack(request, 2);
+  EXPECT_EQ(result.cracked, 3u);
+  EXPECT_EQ(result.targets[1].key, "cba");
+}
+
+TEST(MultiCrack, SharedSuffixSaltBatch) {
+  const hash::SaltSpec salt{hash::SaltPosition::kSuffix, "2024"};
+  const auto request =
+      md5_batch({"pass", "word"}, keyspace::Charset("adoprsw"), 4, 4, salt);
+  const auto result = multi_crack(request, 2);
+  EXPECT_EQ(result.cracked, 2u);
+  EXPECT_EQ(result.targets[0].key, "pass");
+  EXPECT_EQ(result.targets[1].key, "word");
+}
+
+TEST(MultiCrack, DuplicateDigestsBothReported) {
+  const auto request = md5_batch({"ba", "ba"}, keyspace::Charset("ab"), 1, 2);
+  const auto result = multi_crack(request, 1);
+  EXPECT_EQ(result.cracked, 2u);
+  EXPECT_EQ(result.targets[0].key, "ba");
+  EXPECT_EQ(result.targets[1].key, "ba");
+}
+
+TEST(MultiCrack, PrefixSaltUsesGenericPathCorrectly) {
+  const hash::SaltSpec salt{hash::SaltPosition::kPrefix, "S!"};
+  const auto request =
+      md5_batch({"ba", "ab"}, keyspace::Charset("ab"), 1, 3, salt);
+  const auto result = multi_crack(request, 2);
+  EXPECT_EQ(result.cracked, 2u);
+}
+
+TEST(MultiCrack, ValidatesItsRequest) {
+  MultiCrackRequest empty;
+  EXPECT_THROW(multi_crack(empty), InvalidArgument);
+
+  MultiCrackRequest sha256;
+  sha256.algorithm = hash::Algorithm::kSha256;
+  sha256.target_hexes = {std::string(64, 'a')};
+  EXPECT_THROW(multi_crack(sha256), InvalidArgument);
+
+  MultiCrackRequest bad_digest;
+  bad_digest.target_hexes = {"abcd"};  // wrong length for MD5
+  EXPECT_THROW(multi_crack(bad_digest), InvalidArgument);
+}
+
+TEST(MultiCrack, BatchAgreesWithIndividualCracks) {
+  const std::vector<std::string> keys = {"aa", "abc", "ccba"};
+  const auto request = md5_batch(keys, keyspace::Charset("abc"), 1, 4);
+  const auto batch = multi_crack(request, 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(batch.targets[i].found);
+    EXPECT_EQ(batch.targets[i].key, keys[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gks::core

@@ -1,0 +1,90 @@
+#include "core/nonce_search.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace gks::core {
+namespace {
+
+TEST(NonceSearch, PowHashIsDeterministic) {
+  const BlockHeader h = BlockHeader::sample(1);
+  EXPECT_EQ(block_pow_hash(h), block_pow_hash(h));
+  BlockHeader other = h;
+  other.set_nonce(42);
+  EXPECT_NE(block_pow_hash(h), block_pow_hash(other));
+}
+
+TEST(NonceSearch, LeadingZeroBitsCountsCorrectly) {
+  hash::Sha256Digest d{};  // all zero
+  EXPECT_EQ(leading_zero_bits(d), 256u);
+  d.bytes[0] = 0x80;
+  EXPECT_EQ(leading_zero_bits(d), 0u);
+  d.bytes[0] = 0x01;
+  EXPECT_EQ(leading_zero_bits(d), 7u);
+  d.bytes[0] = 0x00;
+  d.bytes[1] = 0x20;
+  EXPECT_EQ(leading_zero_bits(d), 10u);
+}
+
+TEST(NonceSearch, FindsANonceForAnEasyTarget) {
+  const BlockHeader h = BlockHeader::sample(7);
+  // 8 zero bits: expected ~256 attempts.
+  const MiningResult r = mine_nonce(h, 8, 0, 1u << 16, 2);
+  ASSERT_TRUE(r.nonce.has_value());
+  BlockHeader solved = h;
+  solved.set_nonce(*r.nonce);
+  EXPECT_GE(leading_zero_bits(block_pow_hash(solved)), 8u);
+}
+
+TEST(NonceSearch, ReturnsTheSmallestSatisfyingNonce) {
+  const BlockHeader h = BlockHeader::sample(11);
+  const MiningResult a = mine_nonce(h, 6, 0, 1u << 14, 1);
+  const MiningResult b = mine_nonce(h, 6, 0, 1u << 14, 4);
+  ASSERT_TRUE(a.nonce.has_value());
+  ASSERT_TRUE(b.nonce.has_value());
+  EXPECT_EQ(*a.nonce, *b.nonce);  // thread count must not change it
+}
+
+TEST(NonceSearch, ImpossibleTargetExhaustsTheRange) {
+  const BlockHeader h = BlockHeader::sample(3);
+  const MiningResult r = mine_nonce(h, 200, 0, 4096, 2);
+  EXPECT_FALSE(r.nonce.has_value());
+  EXPECT_EQ(r.tested, 4096u);
+}
+
+TEST(NonceSearch, RangePartitioningIsRespected) {
+  const BlockHeader h = BlockHeader::sample(7);
+  const MiningResult full = mine_nonce(h, 8, 0, 1u << 16, 2);
+  ASSERT_TRUE(full.nonce.has_value());
+  // Searching only beyond the first solution finds a different one (or
+  // none), never the excluded nonce.
+  const MiningResult later = mine_nonce(h, 8, *full.nonce + 1, 1u << 16, 2);
+  if (later.nonce.has_value()) {
+    EXPECT_GT(*later.nonce, *full.nonce);
+  }
+}
+
+TEST(NonceSearch, ZeroBitTargetAcceptsImmediately) {
+  const BlockHeader h = BlockHeader::sample(5);
+  const MiningResult r = mine_nonce(h, 0, 17, 1000, 1);
+  ASSERT_TRUE(r.nonce.has_value());
+  EXPECT_EQ(*r.nonce, 17u);
+}
+
+TEST(NonceSearch, InvalidRangesRejected) {
+  const BlockHeader h = BlockHeader::sample(5);
+  EXPECT_THROW(mine_nonce(h, 8, 100, 50, 1), InvalidArgument);
+  EXPECT_THROW(mine_nonce(h, 8, 0, (1ull << 32) + 1, 1), InvalidArgument);
+  EXPECT_THROW(mine_nonce(h, 300, 0, 10, 1), InvalidArgument);
+}
+
+TEST(NonceSearch, EmptyRangeTestsNothing) {
+  const BlockHeader h = BlockHeader::sample(5);
+  const MiningResult r = mine_nonce(h, 8, 5, 5, 1);
+  EXPECT_FALSE(r.nonce.has_value());
+  EXPECT_EQ(r.tested, 0u);
+}
+
+}  // namespace
+}  // namespace gks::core

@@ -1,0 +1,199 @@
+#include "dispatch/agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fake_searcher.h"
+
+namespace gks::dispatch {
+namespace {
+
+using testing::FakeSearcher;
+
+AgentConfig fast_config() {
+  AgentConfig config;
+  config.tune.start_batch = u128(1u << 16);
+  config.round_virtual_target_s = 5.0;
+  config.min_timeout_real_s = 0.2;
+  return config;
+}
+
+std::unique_ptr<FakeSearcher> device(const std::string& name, double peak,
+                                     std::vector<u128> planted = {}) {
+  return std::make_unique<FakeSearcher>(name, peak, 1e-3,
+                                        std::move(planted));
+}
+
+keyspace::Interval space(std::uint64_t n) {
+  return keyspace::Interval(u128(0), u128(n));
+}
+
+TEST(Agent, SingleNodeExhaustsTheSpace) {
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  std::vector<std::unique_ptr<IntervalSearcher>> devices;
+  devices.push_back(device("d0", 1e9));
+  NodeAgent agent(net, root, std::move(devices), fast_config());
+
+  const SearchReport report =
+      agent.run_root(space(20'000'000'000ull), space(1u << 24));
+  EXPECT_TRUE(report.found.empty());
+  EXPECT_EQ(report.tested, u128(20'000'000'000ull));
+  EXPECT_EQ(report.failures_detected, 0u);
+  EXPECT_GT(report.throughput, 0.0);
+  // The cost ledger saw every round and shows low dispatch overhead.
+  EXPECT_FALSE(report.costs.empty());
+  EXPECT_EQ(report.costs.rounds().size(), report.rounds);
+  EXPECT_LT(report.costs.mean_overhead_fraction(), 0.5);
+  net.join_all();
+}
+
+TEST(Agent, SingleNodeFindsPlantedSolutionAndStopsEarly) {
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  std::vector<std::unique_ptr<IntervalSearcher>> devices;
+  devices.push_back(device("d0", 1e9, {u128(123456789)}));
+  NodeAgent agent(net, root, std::move(devices), fast_config());
+
+  const u128 total(1'000'000'000'000ull);
+  const SearchReport report =
+      agent.run_root(keyspace::Interval(u128(0), total), space(1u << 24));
+  ASSERT_EQ(report.found.size(), 1u);
+  EXPECT_EQ(report.found[0].id, u128(123456789));
+  EXPECT_LT(report.tested, total);  // stopped before exhausting
+  net.join_all();
+}
+
+TEST(Agent, TwoDevicesSplitWorkByThroughput) {
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  std::vector<std::unique_ptr<IntervalSearcher>> devices;
+  devices.push_back(device("fast", 3e9));
+  devices.push_back(device("slow", 1e9));
+  NodeAgent agent(net, root, std::move(devices), fast_config());
+
+  const SearchReport report =
+      agent.run_root(space(40'000'000'000ull), space(1u << 24));
+  ASSERT_EQ(report.members.size(), 2u);
+  const double ratio = report.members[0].tested.to_double() /
+                       report.members[1].tested.to_double();
+  EXPECT_NEAR(ratio, 3.0, 0.45);
+  net.join_all();
+}
+
+TEST(Agent, ChildNodeContributesThroughTheNetwork) {
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, leaf);
+
+  std::vector<std::unique_ptr<IntervalSearcher>> root_devices;
+  root_devices.push_back(device("root-dev", 1e9));
+  NodeAgent root_agent(net, root, std::move(root_devices), fast_config());
+
+  std::vector<std::unique_ptr<IntervalSearcher>> leaf_devices;
+  leaf_devices.push_back(device("leaf-dev", 1e9));
+  NodeAgent leaf_agent(net, leaf, std::move(leaf_devices), fast_config());
+  net.start(leaf, [&leaf_agent] { leaf_agent.serve(); });
+
+  const SearchReport report =
+      root_agent.run_root(space(30'000'000'000ull), space(1u << 24));
+  net.join_all();
+
+  EXPECT_EQ(report.tested, u128(30'000'000'000ull));
+  ASSERT_EQ(report.members.size(), 2u);
+  // Both members (local device and child) did real work.
+  EXPECT_GT(report.members[0].tested, u128(0));
+  EXPECT_GT(report.members[1].tested, u128(0));
+}
+
+TEST(Agent, HierarchyAggregatesGrandchildren) {
+  // root -> mid -> leaf, work flows two hops down and results return.
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  const auto mid = net.add_node("mid");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, mid);
+  net.connect(mid, leaf);
+
+  std::vector<std::unique_ptr<IntervalSearcher>> root_devices;
+  root_devices.push_back(device("root-dev", 5e8));
+  NodeAgent root_agent(net, root, std::move(root_devices), fast_config());
+
+  std::vector<std::unique_ptr<IntervalSearcher>> mid_devices;
+  mid_devices.push_back(device("mid-dev", 5e8));
+  NodeAgent mid_agent(net, mid, std::move(mid_devices), fast_config());
+
+  std::vector<std::unique_ptr<IntervalSearcher>> leaf_devices;
+  leaf_devices.push_back(device("leaf-dev", 2e9));
+  NodeAgent leaf_agent(net, leaf, std::move(leaf_devices), fast_config());
+
+  net.start(mid, [&mid_agent] { mid_agent.serve(); });
+  net.start(leaf, [&leaf_agent] { leaf_agent.serve(); });
+
+  const SearchReport report =
+      root_agent.run_root(space(30'000'000'000ull), space(1u << 24));
+  net.join_all();
+
+  EXPECT_EQ(report.tested, u128(30'000'000'000ull));
+  // The mid subtree (mid + leaf = 2.5e9) should report ~5x the root
+  // device's share.
+  ASSERT_EQ(report.members.size(), 2u);
+  EXPECT_NEAR(report.members[1].tested.to_double() /
+                  report.members[0].tested.to_double(),
+              5.0, 1.0);
+}
+
+TEST(Agent, FindInChildPropagatesToRoot) {
+  // The root is a pure dispatcher (no local devices), so the child is
+  // guaranteed to own the planted identifier's interval.
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, leaf);
+
+  NodeAgent root_agent(net, root, {}, fast_config());
+
+  std::vector<std::unique_ptr<IntervalSearcher>> leaf_devices;
+  leaf_devices.push_back(device("leaf-dev", 1e9, {u128(29'000'000'000ull)}));
+  NodeAgent leaf_agent(net, leaf, std::move(leaf_devices), fast_config());
+  net.start(leaf, [&leaf_agent] { leaf_agent.serve(); });
+
+  const SearchReport report =
+      root_agent.run_root(space(30'000'000'000ull), space(1u << 24));
+  net.join_all();
+
+  bool found_planted = false;
+  for (const Found& f : report.found) {
+    if (f.id == u128(29'000'000'000ull)) found_planted = true;
+  }
+  EXPECT_TRUE(found_planted);
+}
+
+TEST(Agent, DeadChildAtTuneTimeIsExcludedNotFatal) {
+  simnet::Network net(1e-4);
+  const auto root = net.add_node("root");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, leaf);
+  net.set_node_down(leaf, true);  // never answers
+
+  std::vector<std::unique_ptr<IntervalSearcher>> root_devices;
+  root_devices.push_back(device("root-dev", 1e9));
+  AgentConfig config = fast_config();
+  config.min_timeout_real_s = 0.05;  // keep the test fast
+  NodeAgent root_agent(net, root, std::move(root_devices), config);
+
+  const SearchReport report =
+      root_agent.run_root(space(5'000'000'000ull), space(1u << 24));
+  net.join_all();
+
+  EXPECT_EQ(report.tested, u128(5'000'000'000ull));  // full coverage anyway
+  EXPECT_EQ(report.failures_detected, 1u);
+  ASSERT_EQ(report.members.size(), 2u);
+  EXPECT_TRUE(report.members[1].failed);
+  EXPECT_EQ(report.members[1].tested, u128(0));
+}
+
+}  // namespace
+}  // namespace gks::dispatch

@@ -1,0 +1,95 @@
+#include "dispatch/balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace gks::dispatch {
+namespace {
+
+Capability cap(double throughput, std::uint64_t min_batch,
+               double theoretical = 0, std::size_t devices = 1) {
+  Capability c;
+  c.throughput = throughput;
+  c.min_batch = u128(min_batch);
+  c.theoretical_sum = theoretical > 0 ? theoretical : throughput;
+  c.device_count = devices;
+  return c;
+}
+
+TEST(Balancer, QuotasAreProportionalToThroughput) {
+  // Section III: N_j = N_max * X_j / X_max.
+  const auto quotas =
+      balance_quotas({cap(1e9, 1000), cap(5e8, 1000), cap(25e7, 1000)});
+  ASSERT_EQ(quotas.size(), 3u);
+  EXPECT_NEAR(quotas[0].to_double() / quotas[1].to_double(), 2.0, 0.01);
+  EXPECT_NEAR(quotas[0].to_double() / quotas[2].to_double(), 4.0, 0.01);
+}
+
+TEST(Balancer, EveryQuotaMeetsItsMinBatch) {
+  // N_max = max_j (n_j * X_max / X_j) guarantees N_j >= n_j even when
+  // a slow node needs a large batch.
+  const auto quotas = balance_quotas(
+      {cap(1e9, 1000), cap(1e7, 500000), cap(5e8, 200)});
+  EXPECT_GE(quotas[0], u128(1000));
+  EXPECT_GE(quotas[1], u128(500000));
+  EXPECT_GE(quotas[2], u128(200));
+}
+
+TEST(Balancer, QuotaTimesAreEqualAcrossMembers) {
+  // The whole point: every member exhausts its quota in the same time.
+  const std::vector<Capability> members = {
+      cap(1.8e9, 4096), cap(3.5e8, 100000), cap(7.4e7, 8192)};
+  const auto quotas = balance_quotas(members);
+  const double t0 = quotas[0].to_double() / members[0].throughput;
+  for (std::size_t j = 1; j < members.size(); ++j) {
+    const double tj = quotas[j].to_double() / members[j].throughput;
+    EXPECT_NEAR(tj / t0, 1.0, 0.01) << "member " << j;
+  }
+}
+
+TEST(Balancer, SingleMemberGetsItsMinBatch) {
+  const auto quotas = balance_quotas({cap(1e9, 12345)});
+  ASSERT_EQ(quotas.size(), 1u);
+  EXPECT_EQ(quotas[0], u128(12345));
+}
+
+TEST(Balancer, EqualMembersGetEqualQuotas) {
+  const auto quotas =
+      balance_quotas({cap(5e8, 1000), cap(5e8, 1000), cap(5e8, 1000)});
+  EXPECT_EQ(quotas[0], quotas[1]);
+  EXPECT_EQ(quotas[1], quotas[2]);
+}
+
+TEST(Balancer, RejectsDegenerateInput) {
+  EXPECT_THROW(balance_quotas({}), InvalidArgument);
+  EXPECT_THROW(balance_quotas({cap(0, 1000)}), InvalidArgument);
+}
+
+TEST(Aggregate, SumsThroughputAndTheoretical) {
+  // Section III: a subtree reports X = ΣX_j and N_node = ΣN_j.
+  const std::vector<Capability> members = {cap(1e9, 1000, 1.2e9, 2),
+                                           cap(5e8, 2000, 6e8, 1)};
+  const Capability agg = aggregate_capability(members);
+  EXPECT_DOUBLE_EQ(agg.throughput, 1.5e9);
+  EXPECT_DOUBLE_EQ(agg.theoretical_sum, 1.8e9);
+  EXPECT_EQ(agg.device_count, 3u);
+
+  const auto quotas = balance_quotas(members);
+  u128 sum(0);
+  for (const auto& q : quotas) sum += q;
+  EXPECT_EQ(agg.min_batch, sum);
+}
+
+TEST(Aggregate, NestedAggregationIsConsistent) {
+  // Aggregating {A, aggregate({B, C})} preserves total throughput.
+  const Capability a = cap(3.5e8, 5000);
+  const Capability b = cap(1.8e9, 4000);
+  const Capability c = cap(5e8, 3000);
+  const Capability bc = aggregate_capability({b, c});
+  const Capability total = aggregate_capability({a, bc});
+  EXPECT_DOUBLE_EQ(total.throughput, 3.5e8 + 1.8e9 + 5e8);
+}
+
+}  // namespace
+}  // namespace gks::dispatch

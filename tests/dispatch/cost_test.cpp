@@ -1,0 +1,66 @@
+#include "dispatch/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace gks::dispatch {
+namespace {
+
+RoundCosts round_of(double scatter, double smin, double smax,
+                    double gather) {
+  RoundCosts r;
+  r.scatter_s = scatter;
+  r.search_min_s = smin;
+  r.search_max_s = smax;
+  r.gather_s = gather;
+  r.members = 3;
+  return r;
+}
+
+TEST(RoundCosts, TotalAndImbalance) {
+  const RoundCosts r = round_of(0.1, 8.0, 10.0, 0.4);
+  EXPECT_DOUBLE_EQ(r.total_s(), 10.5);
+  EXPECT_DOUBLE_EQ(r.imbalance(), 0.2);
+}
+
+TEST(RoundCosts, PerfectBalanceIsZeroImbalance) {
+  EXPECT_DOUBLE_EQ(round_of(0, 5, 5, 0).imbalance(), 0.0);
+}
+
+TEST(RoundCosts, EmptySearchWindowIsZeroImbalance) {
+  EXPECT_DOUBLE_EQ(round_of(0.1, 0, 0, 0.1).imbalance(), 0.0);
+}
+
+TEST(CostLedger, MeanOverheadFraction) {
+  CostLedger ledger;
+  // overhead (scatter+gather)/total: (0.5+0.5)/10 = 0.1 and
+  // (1+1)/12 = 1/6.
+  ledger.record(round_of(0.5, 9, 9, 0.5));
+  ledger.record(round_of(1.0, 10, 10, 1.0));
+  EXPECT_NEAR(ledger.mean_overhead_fraction(), (0.1 + 1.0 / 6.0) / 2, 1e-9);
+}
+
+TEST(CostLedger, MeanImbalance) {
+  CostLedger ledger;
+  ledger.record(round_of(0, 5, 10, 0));   // 0.5
+  ledger.record(round_of(0, 10, 10, 0));  // 0.0
+  EXPECT_DOUBLE_EQ(ledger.mean_imbalance(), 0.25);
+}
+
+TEST(CostLedger, EmptyLedgerIsWellDefined) {
+  const CostLedger ledger;
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_DOUBLE_EQ(ledger.mean_overhead_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.mean_imbalance(), 0.0);
+  EXPECT_NE(ledger.summary().find("rounds=0"), std::string::npos);
+}
+
+TEST(CostLedger, SummaryMentionsCounts) {
+  CostLedger ledger;
+  ledger.record(round_of(0.1, 1, 2, 0.1));
+  const std::string s = ledger.summary();
+  EXPECT_NE(s.find("rounds=1"), std::string::npos);
+  EXPECT_NE(s.find("mean_overhead"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gks::dispatch

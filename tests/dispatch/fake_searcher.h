@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "dispatch/search.h"
+
+namespace gks::dispatch::testing {
+
+/// Deterministic stand-in for a device: linear scan cost plus a fixed
+/// per-scan overhead (which is what the tuning step must amortize),
+/// and analytic matches against planted identifiers.
+class FakeSearcher final : public IntervalSearcher {
+ public:
+  FakeSearcher(std::string name, double peak_keys_per_s,
+               double fixed_overhead_s = 1e-3,
+               std::vector<u128> planted = {})
+      : name_(std::move(name)),
+        peak_(peak_keys_per_s),
+        overhead_(fixed_overhead_s),
+        planted_(std::move(planted)) {}
+
+  ScanOutcome scan(const keyspace::Interval& interval) override {
+    ++scans_;
+    ScanOutcome out;
+    out.tested = interval.size();
+    out.busy_virtual_s =
+        interval.size().to_double() / peak_ + overhead_;
+    for (const u128& id : planted_) {
+      if (interval.contains(id)) {
+        out.found.push_back({id, "planted-" + id.to_string()});
+      }
+    }
+    return out;
+  }
+
+  bool is_simulated() const override { return true; }
+  double theoretical_throughput() const override { return peak_; }
+  std::string description() const override { return name_; }
+
+  int scans() const { return scans_.load(); }
+
+ private:
+  std::string name_;
+  double peak_;
+  double overhead_;
+  std::vector<u128> planted_;
+  std::atomic<int> scans_{0};
+};
+
+}  // namespace gks::dispatch::testing

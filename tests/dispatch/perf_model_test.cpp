@@ -1,0 +1,98 @@
+#include "dispatch/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_searcher.h"
+#include "support/error.h"
+
+namespace gks::dispatch {
+namespace {
+
+using testing::FakeSearcher;
+
+TEST(PerfModel, FitRecoversExactAffineCost) {
+  // t = n/1e9 + 2ms, sampled exactly.
+  std::vector<std::pair<u128, double>> samples;
+  for (const std::uint64_t n : {1000ull, 100000ull, 10000000ull}) {
+    samples.emplace_back(u128(n), n / 1e9 + 2e-3);
+  }
+  const PerfModel model = PerfModel::fit(samples);
+  EXPECT_NEAR(model.peak_throughput(), 1e9, 1e6);
+  EXPECT_NEAR(model.fixed_overhead_s(), 2e-3, 1e-5);
+}
+
+TEST(PerfModel, PredictionsMatchTheAffineForm) {
+  const PerfModel model(1e9, 1e-3);
+  EXPECT_NEAR(model.predicted_seconds(u128(1000000)), 2e-3, 1e-9);
+  EXPECT_NEAR(model.predicted_efficiency(u128(1000000)), 0.5, 1e-9);
+  EXPECT_NEAR(model.predicted_efficiency(u128(9000000)), 0.9, 1e-9);
+}
+
+TEST(PerfModel, MinBatchIsClosedForm) {
+  // n_min(e) = e/(1-e) * X*c: for e=0.9, X=1e9, c=1ms -> 9e6.
+  const PerfModel model(1e9, 1e-3);
+  EXPECT_NEAR(model.min_batch_for(0.9).to_double(), 9e6, 1.0);
+  EXPECT_NEAR(model.min_batch_for(0.5).to_double(), 1e6, 1.0);
+  // And the prediction at that batch hits the target exactly.
+  EXPECT_NEAR(model.predicted_efficiency(model.min_batch_for(0.95)), 0.95,
+              1e-6);
+}
+
+TEST(PerfModel, CalibrationMatchesLiveTuning) {
+  // The paper's "skip the tuning step": a model calibrated offline must
+  // produce a capability equivalent to what tune_searcher measures.
+  FakeSearcher device("dev", 2e9, 5e-4);
+  const keyspace::Interval scratch(u128(0), u128(1ull << 40));
+
+  const PerfModel model = PerfModel::calibrate(device, scratch);
+  EXPECT_NEAR(model.peak_throughput(), 2e9, 0.05e9);
+  EXPECT_NEAR(model.fixed_overhead_s(), 5e-4, 5e-5);
+
+  const Capability from_model = model.to_capability(0.9);
+  const Capability from_tuning = tune_searcher(device, scratch);
+  EXPECT_NEAR(from_model.throughput / from_tuning.throughput, 1.0, 0.1);
+  // Both batches reach >= 90% efficiency on the true cost curve.
+  const auto true_eff = [](const u128& n) {
+    const double work = n.to_double() / 2e9;
+    return work / (work + 5e-4);
+  };
+  EXPECT_GE(true_eff(from_model.min_batch), 0.9);
+  EXPECT_GE(true_eff(from_tuning.min_batch), 0.88);
+}
+
+TEST(PerfModel, SerializeParseRoundTrip) {
+  const PerfModel model(1.8412e9, 2.5e-4);
+  const PerfModel back = PerfModel::parse(model.serialize());
+  EXPECT_NEAR(back.peak_throughput(), model.peak_throughput(), 1.0);
+  EXPECT_NEAR(back.fixed_overhead_s(), model.fixed_overhead_s(), 1e-12);
+}
+
+TEST(PerfModel, ParseRejectsGarbage) {
+  EXPECT_THROW(PerfModel::parse("not a model"), InvalidArgument);
+  EXPECT_THROW(PerfModel::parse("X=1e9"), InvalidArgument);
+}
+
+TEST(PerfModel, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(PerfModel::fit({}), InvalidArgument);
+  EXPECT_THROW(PerfModel::fit({{u128(10), 1.0}}), InvalidArgument);
+  // Same batch size twice: no slope.
+  EXPECT_THROW(PerfModel::fit({{u128(10), 1.0}, {u128(10), 1.1}}),
+               InvalidArgument);
+}
+
+TEST(PerfModel, InvalidParametersRejected) {
+  EXPECT_THROW(PerfModel(0, 1e-3), InvalidArgument);
+  EXPECT_THROW(PerfModel(1e9, -1.0), InvalidArgument);
+  const PerfModel model(1e9, 1e-3);
+  EXPECT_THROW(model.min_batch_for(0.0), InvalidArgument);
+  EXPECT_THROW(model.min_batch_for(1.0), InvalidArgument);
+}
+
+TEST(PerfModel, ZeroOverheadDeviceNeedsMinimalBatch) {
+  const PerfModel model(1e9, 0.0);
+  EXPECT_EQ(model.min_batch_for(0.99), u128(1));
+  EXPECT_NEAR(model.predicted_efficiency(u128(1)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gks::dispatch

@@ -1,0 +1,85 @@
+#include "dispatch/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "fake_searcher.h"
+
+namespace gks::dispatch {
+namespace {
+
+using testing::FakeSearcher;
+
+keyspace::Interval scratch(std::uint64_t n = 1ull << 40) {
+  return keyspace::Interval(u128(0), u128(n));
+}
+
+TEST(Tuner, RecoversThePeakThroughput) {
+  FakeSearcher dev("dev", 1e9, /*overhead=*/1e-3);
+  const Capability cap = tune_searcher(dev, scratch());
+  EXPECT_NEAR(cap.throughput, 1e9, 0.05e9);
+  EXPECT_EQ(cap.device_count, 1u);
+  EXPECT_DOUBLE_EQ(cap.theoretical_sum, 1e9);
+}
+
+TEST(Tuner, MinBatchAmortizesTheFixedOverhead) {
+  // With peak 1e9 keys/s and 1 ms fixed overhead, 90% efficiency needs
+  // a batch around 9e6 keys: eff = n / (n + peak*overhead).
+  FakeSearcher dev("dev", 1e9, 1e-3);
+  TuneConfig config;
+  config.target_efficiency = 0.9;
+  const Capability cap = tune_searcher(dev, scratch(), config);
+  const double n = cap.min_batch.to_double();
+  const double efficiency = n / (n + 1e9 * 1e-3);
+  EXPECT_GE(efficiency, 0.9);
+  // But not absurdly larger than needed (one growth factor of slack).
+  EXPECT_LT(n, 9e6 * 6);
+}
+
+TEST(Tuner, FasterDevicesNeedLargerBatches) {
+  FakeSearcher slow("slow", 1e7, 1e-3);
+  FakeSearcher fast("fast", 1e9, 1e-3);
+  const Capability a = tune_searcher(slow, scratch());
+  const Capability b = tune_searcher(fast, scratch());
+  EXPECT_LT(a.min_batch, b.min_batch);
+}
+
+TEST(Tuner, ZeroOverheadDeviceIsEfficientImmediately) {
+  FakeSearcher dev("dev", 1e8, /*overhead=*/1e-12);
+  TuneConfig config;
+  config.start_batch = u128(1000);
+  const Capability cap = tune_searcher(dev, scratch(), config);
+  EXPECT_EQ(cap.min_batch, u128(1000));
+}
+
+TEST(Tuner, ScratchSmallerThanProbeStillWorks) {
+  FakeSearcher dev("dev", 1e8, 1e-4);
+  const Capability cap = tune_searcher(dev, scratch(2000));
+  EXPECT_GT(cap.throughput, 0);
+  EXPECT_LE(cap.min_batch, u128(2000));
+}
+
+TEST(Tuner, InvalidConfigRejected) {
+  FakeSearcher dev("dev", 1e8);
+  TuneConfig bad;
+  bad.target_efficiency = 0;
+  EXPECT_THROW(tune_searcher(dev, scratch(), bad), InvalidArgument);
+  TuneConfig zero_batch;
+  zero_batch.start_batch = u128(0);
+  EXPECT_THROW(tune_searcher(dev, scratch(), zero_batch), InvalidArgument);
+  TuneConfig growth;
+  growth.growth = 1;
+  EXPECT_THROW(tune_searcher(dev, scratch(), growth), InvalidArgument);
+}
+
+TEST(Tuner, ProbeCountIsBounded) {
+  FakeSearcher dev("dev", 1e12, 10.0);  // pathological overhead
+  TuneConfig config;
+  config.max_probes = 5;
+  (void)tune_searcher(dev, scratch(), config);
+  EXPECT_LE(dev.scans(), 5);
+}
+
+}  // namespace
+}  // namespace gks::dispatch

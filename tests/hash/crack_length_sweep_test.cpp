@@ -1,0 +1,67 @@
+// Parameterized property sweep: for every supported key length (1..20)
+// and both algorithms, the optimized crack context must (a) accept the
+// true key's word 0 and (b) agree with the unoptimized full-hash test
+// on random candidates. This pins the reversal/early-exit algebra at
+// every padding layout word 0 can take.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1.h"
+#include "hash/sha1_crack.h"
+#include "support/rng.h"
+
+namespace gks::hash {
+namespace {
+
+std::string key_of_length(std::size_t len, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::string pool =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string key;
+  for (std::size_t i = 0; i < len; ++i) key.push_back(pool[rng.below(62)]);
+  return key;
+}
+
+class CrackLengthSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CrackLengthSweep, OptimizedKernelAgreesWithReference) {
+  const auto [alg, len] = GetParam();
+  const std::string key = key_of_length(len, 1000 + len + alg * 100);
+  const std::string tail = key.size() > 4 ? key.substr(4) : std::string();
+  SplitMix64 rng(len * 7919 + alg);
+
+  if (alg == 0) {
+    const Md5CrackContext ctx(Md5::digest(key), tail, key.size());
+    EXPECT_TRUE(ctx.test(pack_md5_word0(key.data(), key.size())));
+    for (int i = 0; i < 400; ++i) {
+      const auto m0 = static_cast<std::uint32_t>(rng());
+      EXPECT_EQ(ctx.test(m0), ctx.test_plain(m0)) << "len " << len;
+    }
+  } else {
+    const Sha1CrackContext ctx(Sha1::digest(key), tail, key.size());
+    EXPECT_TRUE(ctx.test(pack_sha_word0(key.data(), key.size())));
+    for (int i = 0; i < 400; ++i) {
+      const auto w0 = static_cast<std::uint32_t>(rng());
+      EXPECT_EQ(ctx.test(w0), ctx.test_plain(w0)) << "len " << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLengths, CrackLengthSweep,
+    ::testing::Combine(::testing::Values(0, 1),  // 0 = MD5, 1 = SHA1
+                       ::testing::Range<std::size_t>(1, 21)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::size_t>>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "Md5" : "Sha1") +
+             "Len" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gks::hash

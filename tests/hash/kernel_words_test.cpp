@@ -1,0 +1,70 @@
+#include "hash/kernel_words.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace gks::hash {
+namespace {
+
+TEST(KernelWords, RotlRotrAreInverses) {
+  const std::uint32_t x = 0x12345678;
+  for (unsigned n = 1; n < 32; ++n) {
+    EXPECT_EQ(rotr(rotl(x, n), n), x) << n;
+    EXPECT_EQ(rotl(x, n), rotr(x, 32 - n)) << n;
+  }
+}
+
+TEST(KernelWords, PackMd5BlockIsLittleEndianWithPadding) {
+  const auto b = pack_md5_block("abcd");
+  EXPECT_EQ(b.words[0], 0x64636261u);  // 'a'..'d' little-endian
+  EXPECT_EQ(b.words[1], 0x00000080u);  // pad byte directly after
+  EXPECT_EQ(b.words[14], 32u);         // bit length
+  EXPECT_EQ(b.words[15], 0u);
+  EXPECT_EQ(b.length, 4u);
+}
+
+TEST(KernelWords, PackMd5BlockShortKeyPadsInsideWord0) {
+  const auto b = pack_md5_block("ab");
+  EXPECT_EQ(b.words[0], 0x00806261u);
+  EXPECT_EQ(b.words[14], 16u);
+}
+
+TEST(KernelWords, PackMd5BlockEmptyKey) {
+  const auto b = pack_md5_block("");
+  EXPECT_EQ(b.words[0], 0x00000080u);
+  EXPECT_EQ(b.words[14], 0u);
+}
+
+TEST(KernelWords, PackShaBlockIsBigEndian) {
+  const auto b = pack_sha_block("abcd");
+  EXPECT_EQ(b.words[0], 0x61626364u);
+  EXPECT_EQ(b.words[1], 0x80000000u);
+  EXPECT_EQ(b.words[15], 32u);
+  EXPECT_EQ(b.words[14], 0u);
+}
+
+TEST(KernelWords, PackRejectsOversizedKeys) {
+  const std::string long_key(56, 'x');
+  EXPECT_THROW(pack_md5_block(long_key), InvalidArgument);
+  EXPECT_THROW(pack_sha_block(long_key), InvalidArgument);
+  EXPECT_NO_THROW(pack_md5_block(std::string(55, 'x')));
+}
+
+TEST(KernelWords, Word0FastPathMatchesFullPacking) {
+  for (const char* key : {"a", "ab", "abc", "abcd", "abcdef"}) {
+    const std::string_view k(key);
+    EXPECT_EQ(pack_md5_word0(k.data(), k.size()),
+              pack_md5_block(k).words[0])
+        << key;
+    EXPECT_EQ(pack_sha_word0(k.data(), k.size()), pack_sha_block(k).words[0])
+        << key;
+  }
+}
+
+TEST(KernelWords, MaxKernelKeyLengthFitsOneBlock) {
+  EXPECT_LE(kMaxKernelKeyLength, 55u);
+}
+
+}  // namespace
+}  // namespace gks::hash

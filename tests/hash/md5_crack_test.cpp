@@ -1,0 +1,175 @@
+#include "hash/md5_crack.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <set>
+#include <string>
+
+#include "hash/md5.h"
+#include "support/rng.h"
+
+namespace gks::hash {
+namespace {
+
+Md5CrackContext context_for(const std::string& key) {
+  const auto target = Md5::digest(key);
+  const std::string tail = key.size() > 4 ? key.substr(4) : std::string();
+  return Md5CrackContext(target, tail, key.size());
+}
+
+TEST(Md5Crack, FindsTheMatchingPrefix) {
+  const std::string key = "zxQ9rest";  // prefix "zxQ9", tail "rest"
+  const auto ctx = context_for(key);
+  EXPECT_TRUE(ctx.test(pack_md5_word0(key.data(), key.size())));
+}
+
+TEST(Md5Crack, RejectsNonMatchingPrefixes) {
+  const auto ctx = context_for("zxQ9rest");
+  EXPECT_FALSE(ctx.test(pack_md5_word0("zxQ8", 8)));
+  EXPECT_FALSE(ctx.test(pack_md5_word0("aaaa", 8)));
+  EXPECT_FALSE(ctx.test(0));
+}
+
+TEST(Md5Crack, OptimizedTestAgreesWithPlainTestOnRandomCandidates) {
+  const auto ctx = context_for("Pa55word");
+  SplitMix64 rng(2014);
+  for (int i = 0; i < 5000; ++i) {
+    const auto m0 = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(ctx.test(m0), ctx.test_plain(m0)) << "m0=" << m0;
+  }
+}
+
+TEST(Md5Crack, ShortKeysPackPaddingIntoWord0) {
+  for (const std::string key : {"a", "ab", "abc"}) {
+    const auto ctx = context_for(key);
+    EXPECT_TRUE(ctx.test(pack_md5_word0(key.data(), key.size()))) << key;
+    // A different length with same chars must not match.
+    const std::string longer = key + "a";
+    EXPECT_FALSE(ctx.test(pack_md5_word0(longer.data(), longer.size())))
+        << key;
+  }
+}
+
+TEST(Md5Crack, ExactlyFourCharKey) {
+  const auto ctx = context_for("Wxyz");
+  EXPECT_TRUE(ctx.test(pack_md5_word0("Wxyz", 4)));
+  EXPECT_FALSE(ctx.test(pack_md5_word0("Wxyy", 4)));
+}
+
+TEST(Md5Crack, LongestSupportedKey) {
+  const std::string key = "ABCDEFGHIJKLMNOPQRST";  // 20 chars
+  const auto ctx = context_for(key);
+  EXPECT_TRUE(ctx.test(pack_md5_word0(key.data(), key.size())));
+}
+
+TEST(Md5Crack, SaltedSuffixFoldsIntoTail) {
+  // Suffix salt is just extra fixed tail bytes: context over key+salt.
+  const std::string key = "pin1";
+  const std::string salt = "NaCl";
+  const auto target = Md5::digest(key + salt);
+  Md5CrackContext ctx(target, salt, key.size() + salt.size());
+  EXPECT_TRUE(ctx.test(pack_md5_word0(key.data(), key.size() + salt.size())));
+}
+
+TEST(Md5Crack, RejectsOversizedMessages) {
+  const auto target = Md5::digest("x");
+  EXPECT_THROW(Md5CrackContext(target, std::string(52, 'a'), 56),
+               InvalidArgument);
+  EXPECT_THROW(Md5CrackContext(target, "toolong", 4), InvalidArgument);
+  EXPECT_THROW(Md5CrackContext(target, "x", 3), InvalidArgument);
+}
+
+TEST(PrefixWord0Iterator, EnumeratesAllCombinationsOnce) {
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, /*big_endian=*/false);
+  std::set<std::uint32_t> seen;
+  do {
+    seen.insert(it.word0());
+  } while (it.advance());
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_EQ(it.combinations(), 9u);
+}
+
+TEST(PrefixWord0Iterator, FirstCharacterVariesFastest) {
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, /*big_endian=*/false);
+  // Order must be aa, ba, ca, ab, bb, ... (paper mapping (4)).
+  EXPECT_EQ(it.word0(), pack_md5_word0("aa", 2));
+  it.advance();
+  EXPECT_EQ(it.word0(), pack_md5_word0("ba", 2));
+  it.advance();
+  EXPECT_EQ(it.word0(), pack_md5_word0("ca", 2));
+  it.advance();
+  EXPECT_EQ(it.word0(), pack_md5_word0("ab", 2));
+}
+
+TEST(PrefixWord0Iterator, WrapsAroundAndReportsIt) {
+  const std::string cs = "xy";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 1, 1, false);
+  EXPECT_TRUE(it.advance());   // x -> y
+  EXPECT_FALSE(it.advance());  // wraps back to x
+  EXPECT_EQ(it.word0(), pack_md5_word0("x", 1));
+}
+
+TEST(PrefixWord0Iterator, SeekJumpsToDigits) {
+  const std::string cs = "abcde";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 3, 3, false);
+  const std::uint32_t digits[3] = {4, 0, 2};  // "eac"
+  it.seek(digits);
+  EXPECT_EQ(it.word0(), pack_md5_word0("eac", 3));
+}
+
+TEST(PrefixWord0Iterator, BigEndianModeMatchesShaPacking) {
+  const std::string cs = "ab";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, /*big_endian=*/true);
+  EXPECT_EQ(it.word0(), pack_sha_word0("aa", 2));
+  it.advance();
+  EXPECT_EQ(it.word0(), pack_sha_word0("ba", 2));
+}
+
+TEST(PrefixWord0Iterator, ShortKeyIncludesPadByte) {
+  const std::string cs = "ab";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, false);
+  EXPECT_EQ(it.word0(), pack_md5_word0("aa", 2));
+}
+
+TEST(PrefixWord0Iterator, RejectsInvalidConfiguration) {
+  const std::string cs = "ab";
+  const std::span<const char> s{cs.data(), cs.size()};
+  EXPECT_THROW(PrefixWord0Iterator(s, 0, 8, false), InvalidArgument);
+  EXPECT_THROW(PrefixWord0Iterator(s, 5, 8, false), InvalidArgument);
+  EXPECT_THROW(PrefixWord0Iterator(s, 3, 2, false), InvalidArgument);
+  // The varying window must cover min(4, key_len) exactly.
+  EXPECT_THROW(PrefixWord0Iterator(s, 2, 8, false), InvalidArgument);
+  EXPECT_NO_THROW(PrefixWord0Iterator(s, 4, 8, false));
+}
+
+TEST(Md5ScanPrefixes, FindsKeyAtCorrectOffset) {
+  // Key "ca" over charset abc: prefix-major order aa, ba, ca -> offset 2.
+  const auto ctx = context_for("ca");
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, false);
+  const auto hit = md5_scan_prefixes(ctx, it, 9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2u);
+}
+
+TEST(Md5ScanPrefixes, ReturnsNulloptWhenAbsent) {
+  const auto ctx = context_for("zz");  // 'z' not in charset
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, false);
+  EXPECT_FALSE(md5_scan_prefixes(ctx, it, 9).has_value());
+}
+
+TEST(Md5ScanPrefixes, ScanAdvancesIteratorPastRange) {
+  const auto ctx = context_for("zz");
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, false);
+  md5_scan_prefixes(ctx, it, 4);  // consumed aa, ba, ca, ab
+  EXPECT_EQ(it.word0(), pack_md5_word0("bb", 2));
+}
+
+}  // namespace
+}  // namespace gks::hash

@@ -1,0 +1,97 @@
+#include "hash/multi_crack.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1.h"
+#include "hash/sha1_crack.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace gks::hash {
+namespace {
+
+TEST(Md5Multi, FindsEachTargetAtItsOwnPrefix) {
+  // Three 8-char keys sharing the tail "rest": the contexts differ only
+  // in their first words.
+  const std::vector<std::string> keys = {"aaaarest", "bbbbrest", "zQ9xrest"};
+  std::vector<Md5Digest> targets;
+  for (const auto& k : keys) targets.push_back(Md5::digest(k));
+
+  const Md5MultiContext multi(targets, "rest", 8);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(multi.test(pack_md5_word0(keys[i].data(), 8)), i) << keys[i];
+  }
+  EXPECT_EQ(multi.test(pack_md5_word0("nope", 8)), Md5MultiContext::npos);
+}
+
+TEST(Md5Multi, AgreesWithSingleTargetContext) {
+  const std::string key = "Pa55word";
+  const auto target = Md5::digest(key);
+  const Md5MultiContext multi({target}, "word", 8);
+  const Md5CrackContext single(target, "word", 8);
+  SplitMix64 rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const auto m0 = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(multi.test(m0) == 0u, single.test(m0)) << m0;
+  }
+}
+
+TEST(Md5Multi, ManyTargetsNoFalsePositives) {
+  // 32 random targets; random candidates must never match.
+  SplitMix64 rng(12);
+  std::vector<Md5Digest> targets;
+  for (int i = 0; i < 32; ++i) {
+    Md5Digest d;
+    for (auto& b : d.bytes) b = static_cast<std::uint8_t>(rng());
+    targets.push_back(d);
+  }
+  const Md5MultiContext multi(targets, "xxxx", 8);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(multi.test(static_cast<std::uint32_t>(rng())),
+              Md5MultiContext::npos);
+  }
+}
+
+TEST(Sha1Multi, FindsEachTargetAtItsOwnPrefix) {
+  const std::vector<std::string> keys = {"aaaarest", "bbbbrest", "zQ9xrest"};
+  std::vector<Sha1Digest> targets;
+  for (const auto& k : keys) targets.push_back(Sha1::digest(k));
+
+  const Sha1MultiContext multi(targets, "rest", 8);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(multi.test(pack_sha_word0(keys[i].data(), 8)), i) << keys[i];
+  }
+  EXPECT_EQ(multi.test(pack_sha_word0("nope", 8)), Sha1MultiContext::npos);
+}
+
+TEST(Sha1Multi, AgreesWithSingleTargetContext) {
+  const std::string key = "Pa55word";
+  const auto target = Sha1::digest(key);
+  const Sha1MultiContext multi({target}, "word", 8);
+  const Sha1CrackContext single(target, "word", 8);
+  SplitMix64 rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    const auto w0 = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(multi.test(w0) == 0u, single.test(w0)) << w0;
+  }
+}
+
+TEST(MultiContexts, RejectDegenerateInput) {
+  EXPECT_THROW(Md5MultiContext({}, "rest", 8), InvalidArgument);
+  EXPECT_THROW(Sha1MultiContext({}, "rest", 8), InvalidArgument);
+  EXPECT_THROW(Md5MultiContext({Md5Digest{}}, "waytoolongtail", 8),
+               InvalidArgument);
+}
+
+TEST(MultiContexts, ShortKeysSupported) {
+  const auto target = Md5::digest("ab");
+  const Md5MultiContext multi({target}, "", 2);
+  EXPECT_EQ(multi.test(pack_md5_word0("ab", 2)), 0u);
+  EXPECT_EQ(multi.test(pack_md5_word0("ba", 2)), Md5MultiContext::npos);
+}
+
+}  // namespace
+}  // namespace gks::hash

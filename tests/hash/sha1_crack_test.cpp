@@ -1,0 +1,95 @@
+#include "hash/sha1_crack.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <string>
+
+#include "hash/kernel_words.h"
+#include "hash/sha1.h"
+#include "support/rng.h"
+
+namespace gks::hash {
+namespace {
+
+Sha1CrackContext context_for(const std::string& key) {
+  const auto target = Sha1::digest(key);
+  const std::string tail = key.size() > 4 ? key.substr(4) : std::string();
+  return Sha1CrackContext(target, tail, key.size());
+}
+
+TEST(Sha1Crack, FindsTheMatchingPrefix) {
+  const std::string key = "zxQ9rest";
+  const auto ctx = context_for(key);
+  EXPECT_TRUE(ctx.test(pack_sha_word0(key.data(), key.size())));
+}
+
+TEST(Sha1Crack, RejectsNonMatchingPrefixes) {
+  const auto ctx = context_for("zxQ9rest");
+  EXPECT_FALSE(ctx.test(pack_sha_word0("zxQ8", 8)));
+  EXPECT_FALSE(ctx.test(pack_sha_word0("aaaa", 8)));
+  EXPECT_FALSE(ctx.test(0));
+}
+
+TEST(Sha1Crack, OptimizedTestAgreesWithPlainTestOnRandomCandidates) {
+  const auto ctx = context_for("Pa55word");
+  SplitMix64 rng(1974);
+  for (int i = 0; i < 5000; ++i) {
+    const auto w0 = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(ctx.test(w0), ctx.test_plain(w0)) << "w0=" << w0;
+  }
+}
+
+TEST(Sha1Crack, ShortKeysPackPaddingIntoWord0) {
+  for (const std::string key : {"a", "ab", "abc"}) {
+    const auto ctx = context_for(key);
+    EXPECT_TRUE(ctx.test(pack_sha_word0(key.data(), key.size()))) << key;
+  }
+}
+
+TEST(Sha1Crack, ExactlyFourCharKey) {
+  const auto ctx = context_for("Wxyz");
+  EXPECT_TRUE(ctx.test(pack_sha_word0("Wxyz", 4)));
+  EXPECT_FALSE(ctx.test(pack_sha_word0("Wxyy", 4)));
+}
+
+TEST(Sha1Crack, LongestSupportedKey) {
+  const std::string key = "ABCDEFGHIJKLMNOPQRST";
+  const auto ctx = context_for(key);
+  EXPECT_TRUE(ctx.test(pack_sha_word0(key.data(), key.size())));
+}
+
+TEST(Sha1Crack, SaltedSuffixFoldsIntoTail) {
+  const std::string key = "pin1";
+  const std::string salt = "NaCl";
+  const auto target = Sha1::digest(key + salt);
+  Sha1CrackContext ctx(target, salt, key.size() + salt.size());
+  EXPECT_TRUE(ctx.test(pack_sha_word0(key.data(), key.size() + salt.size())));
+}
+
+TEST(Sha1Crack, RejectsInvalidConstruction) {
+  const auto target = Sha1::digest("x");
+  EXPECT_THROW(Sha1CrackContext(target, std::string(52, 'a'), 56),
+               InvalidArgument);
+  EXPECT_THROW(Sha1CrackContext(target, "bad", 4), InvalidArgument);
+}
+
+TEST(Sha1ScanPrefixes, FindsKeyAtCorrectOffset) {
+  const auto ctx = context_for("ca");
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, /*big_endian=*/true);
+  const auto hit = sha1_scan_prefixes(ctx, it, 9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2u);
+}
+
+TEST(Sha1ScanPrefixes, ReturnsNulloptWhenAbsent) {
+  const auto ctx = context_for("zz");
+  const std::string cs = "abc";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 2, 2, true);
+  EXPECT_FALSE(sha1_scan_prefixes(ctx, it, 9).has_value());
+}
+
+}  // namespace
+}  // namespace gks::hash

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/cracker.h"
+#include "core/scan_engine.h"
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "keyspace/dictionary.h"
+#include "keyspace/keyspace_generator.h"
+#include "support/rng.h"
+
+namespace gks {
+namespace {
+
+using core::ClusterCracker;
+using core::ClusterDevice;
+using core::ClusterNode;
+using core::ClusterOptions;
+using core::CrackRequest;
+using core::SimGpuMode;
+
+TEST(EndToEnd, RandomKeysRoundTripThroughTheLocalCracker) {
+  // Property: hash a random key, crack it back, recover exactly it.
+  SplitMix64 rng(99);
+  const keyspace::Charset cs("abcdef");
+  const core::LocalCracker cracker(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t len = 1 + rng.below(4);
+    std::string key;
+    for (std::size_t i = 0; i < len; ++i) key.push_back(cs.at(rng.below(6)));
+
+    CrackRequest req;
+    req.algorithm =
+        trial % 2 == 0 ? hash::Algorithm::kMd5 : hash::Algorithm::kSha1;
+    req.charset = cs;
+    req.min_length = 1;
+    req.max_length = 4;
+    req.target_hex = req.algorithm == hash::Algorithm::kMd5
+                         ? hash::Md5::digest(key).to_hex()
+                         : hash::Sha1::digest(key).to_hex();
+
+    const auto result = cracker.crack(req);
+    EXPECT_TRUE(result.found) << key;
+    // Another preimage is astronomically unlikely in a space this
+    // small, so expect the exact key back.
+    EXPECT_EQ(result.key, key);
+  }
+}
+
+TEST(EndToEnd, ExecuteModeClusterCracksForReal) {
+  // Small mixed cluster in execute mode: simulated GPUs really scan.
+  ClusterNode leaf{"leaf", {ClusterDevice::gpu("8600M")}, {}, {}};
+  ClusterNode root{"root", {ClusterDevice::gpu("540M")}, {leaf}, {}};
+
+  ClusterOptions opts;
+  opts.time_scale = 1e-3;
+  opts.gpu_mode = SimGpuMode::kExecute;
+  opts.tune_scratch = u128(1u << 14);
+  opts.agent.round_virtual_target_s = 0.2;
+  opts.agent.tune.start_batch = u128(2048);
+
+  CrackRequest req;
+  req.algorithm = hash::Algorithm::kMd5;
+  req.target_hex = hash::Md5::digest("eddc").to_hex();
+  req.charset = keyspace::Charset("cde");
+  req.min_length = 1;
+  req.max_length = 5;
+
+  ClusterCracker cluster(root, opts);
+  const auto report = cluster.crack(req);
+  ASSERT_FALSE(report.found.empty());
+  EXPECT_EQ(report.found[0].value, "eddc");
+}
+
+TEST(EndToEnd, ModelAndExecuteClustersAgree) {
+  // The two device modes must reach the same conclusion on the same
+  // request (the duality cross-check of DESIGN.md).
+  CrackRequest req;
+  req.algorithm = hash::Algorithm::kSha1;
+  req.target_hex = hash::Sha1::digest("ddc").to_hex();
+  req.charset = keyspace::Charset("cd");
+  req.min_length = 1;
+  req.max_length = 6;
+
+  ClusterNode solo{"solo", {ClusterDevice::gpu("660")}, {}, {}};
+
+  ClusterOptions execute;
+  execute.gpu_mode = SimGpuMode::kExecute;
+  execute.tune_scratch = u128(1u << 12);
+  execute.agent.round_virtual_target_s = 0.1;
+  execute.agent.tune.start_batch = u128(1024);
+  const auto exec_report =
+      ClusterCracker(solo, execute).crack(req);
+
+  ClusterOptions model = execute;
+  model.gpu_mode = SimGpuMode::kModel;
+  model.planted_key = "ddc";
+  const auto model_report = ClusterCracker(solo, model).crack(req);
+
+  ASSERT_FALSE(exec_report.found.empty());
+  ASSERT_FALSE(model_report.found.empty());
+  EXPECT_EQ(exec_report.found[0].id, model_report.found[0].id);
+  EXPECT_EQ(exec_report.found[0].value, model_report.found[0].value);
+}
+
+TEST(EndToEnd, MixedCpuAndGpuNodeCracksTogether) {
+  // A node holding a real CPU device *and* a simulated GPU — the
+  // heterogeneity the paper's pattern is built for, across device
+  // kinds, not just GPU models. Execute mode so both really scan.
+  ClusterNode root{"hybrid-node",
+                   {ClusterDevice::cpu(2), ClusterDevice::gpu("8600M")},
+                   {},
+                   {}};
+
+  ClusterOptions opts;
+  opts.time_scale = 1.0;  // the CPU device lives in real time
+  opts.gpu_mode = SimGpuMode::kExecute;
+  opts.tune_scratch = u128(1u << 14);
+  opts.agent.round_virtual_target_s = 0.1;
+  opts.agent.tune.start_batch = u128(2048);
+
+  CrackRequest req;
+  req.algorithm = hash::Algorithm::kMd5;
+  req.target_hex = hash::Md5::digest("feeb").to_hex();
+  req.charset = keyspace::Charset("bdefz");
+  req.min_length = 1;
+  req.max_length = 5;
+
+  ClusterCracker cluster(root, opts);
+  const auto report = cluster.crack(req);
+  ASSERT_FALSE(report.found.empty());
+  EXPECT_EQ(report.found[0].value, "feeb");
+  ASSERT_EQ(report.members.size(), 2u);
+  // Both device kinds were tuned and participated in the split.
+  EXPECT_GT(report.members[0].throughput, 0.0);
+  EXPECT_GT(report.members[1].throughput, 0.0);
+}
+
+TEST(EndToEnd, DictionaryHybridAttackThroughTheGenericPattern) {
+  // Pattern generality: a dictionary × digits enumeration cracked via
+  // exhaustive testing of generator candidates.
+  const keyspace::DictionaryGenerator words(
+      {"password", "dragon", "letmein"},
+      keyspace::DictionaryGenerator::Mangle::kCommonCase);
+  const keyspace::KeyspaceGenerator digits(
+      keyspace::KeyCodec(keyspace::Charset::digits(),
+                         keyspace::DigitOrder::kSuffixFastest),
+      2, 2);
+  const keyspace::HybridGenerator hybrid(words, digits);
+
+  const std::string secret = "Dragon42";
+  const auto target = hash::Md5::digest(secret);
+  std::string found;
+  std::string candidate;
+  for (u128 id(0); id < hybrid.size(); ++id) {
+    hybrid.generate(id, candidate);
+    if (hash::Md5::digest(candidate) == target) {
+      found = candidate;
+      break;
+    }
+  }
+  EXPECT_EQ(found, secret);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "hash/md5.h"
+
+namespace gks {
+namespace {
+
+using core::ClusterCracker;
+using core::ClusterDevice;
+using core::ClusterNode;
+using core::ClusterOptions;
+using core::CrackRequest;
+using core::SimGpuMode;
+
+CrackRequest planted_request(const std::string& key) {
+  CrackRequest r;
+  r.algorithm = hash::Algorithm::kMd5;
+  r.target_hex = hash::Md5::digest(key).to_hex();
+  r.charset = keyspace::Charset::alphanumeric();
+  r.min_length = 1;
+  r.max_length = 8;
+  return r;
+}
+
+ClusterOptions base_options(const std::string& key) {
+  ClusterOptions opts;
+  opts.time_scale = 5e-4;
+  opts.gpu_mode = SimGpuMode::kModel;
+  opts.planted_key = key;
+  opts.agent.round_virtual_target_s = 20.0;
+  opts.agent.child_timeout_factor = 3.0;
+  opts.agent.min_timeout_real_s = 0.1;
+  return opts;
+}
+
+TEST(FaultTolerance, LeafCrashMidSearchIsDetectedAndCovered) {
+  // Two leaves; one dies mid-search. The search must still find the
+  // planted key (its interval gets requeued onto survivors) and the
+  // failure must be reported.
+  ClusterNode left{"left", {ClusterDevice::gpu("660")}, {}, {}};
+  ClusterNode right{"right", {ClusterDevice::gpu("550Ti")}, {}, {}};
+  ClusterNode root{"root", {ClusterDevice::gpu("540M")}, {left, right}, {}};
+
+  const std::string key = "zYx9Qw7a";  // deep in the space
+  auto opts = base_options(key);
+  opts.failures = {{"right", 40.0}};  // dies during round 2
+
+  ClusterCracker cluster(root, opts);
+  const auto report = cluster.crack(planted_request(key));
+
+  EXPECT_GE(report.failures_detected, 1u);
+  ASSERT_FALSE(report.found.empty());
+  EXPECT_EQ(report.found[0].value, key);
+}
+
+TEST(FaultTolerance, SurvivorsAbsorbTheDeadNodesShare) {
+  ClusterNode left{"left", {ClusterDevice::gpu("660")}, {}, {}};
+  ClusterNode right{"right", {ClusterDevice::gpu("8800")}, {}, {}};
+  ClusterNode root{"root", {ClusterDevice::gpu("540M")}, {left, right}, {}};
+
+  const std::string key = "zzZZ99Xq";  // very deep: long search
+  auto opts = base_options(key);
+  opts.failures = {{"right", 30.0}};
+
+  ClusterCracker cluster(root, opts);
+  const auto report = cluster.crack(planted_request(key));
+
+  ASSERT_EQ(report.members.size(), 3u);
+  // The dead child stops contributing but the others keep going; the
+  // search still terminates with the key.
+  ASSERT_FALSE(report.found.empty());
+  bool right_failed = false;
+  for (const auto& m : report.members) {
+    if (m.name == "right" && m.failed) right_failed = true;
+  }
+  EXPECT_TRUE(right_failed);
+}
+
+TEST(FaultTolerance, DispatcherSubtreeLossBlocksOnlyItsBranch) {
+  // The paper's caveat: "the inactivity of a dispatching node would
+  // block the contribution of all the nodes in the dispatching sub
+  // tree". Kill the mid-level dispatcher: its leaf is lost too, but
+  // the root still completes with its own devices.
+  ClusterNode deep_leaf{"deep-leaf", {ClusterDevice::gpu("8800")}, {}, {}};
+  ClusterNode mid{"mid", {ClusterDevice::gpu("8600M")}, {deep_leaf}, {}};
+  ClusterNode root{"root", {ClusterDevice::gpu("660")}, {mid}, {}};
+
+  const std::string key = "Qq7Zz9aa";
+  auto opts = base_options(key);
+  opts.failures = {{"mid", 35.0}};
+
+  ClusterCracker cluster(root, opts);
+  const auto report = cluster.crack(planted_request(key));
+
+  EXPECT_GE(report.failures_detected, 1u);
+  ASSERT_FALSE(report.found.empty());
+  EXPECT_EQ(report.found[0].value, key);
+}
+
+TEST(FaultTolerance, NoFailuresMeansNoFalsePositives) {
+  ClusterNode left{"left", {ClusterDevice::gpu("660")}, {}, {}};
+  ClusterNode root{"root", {ClusterDevice::gpu("540M")}, {left}, {}};
+  const std::string key = "abZ93kx";
+  ClusterCracker cluster(root, base_options(key));
+  const auto report = cluster.crack(planted_request(key));
+  EXPECT_EQ(report.failures_detected, 0u);
+  for (const auto& m : report.members) EXPECT_FALSE(m.failed);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,145 @@
+// Cross-module checks that the paper's quantitative *shape* holds:
+// who wins, by what rough factor, and where the crossovers fall.
+// Absolute MKey/s values are our simulator's, not the authors'
+// testbed's — see EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "baselines/profiles.h"
+#include "core/cluster.h"
+#include "core/gpu_backend.h"
+#include "hash/md5.h"
+#include "simgpu/lowering.h"
+#include "simgpu/model.h"
+#include "simgpu/simt.h"
+
+namespace gks {
+namespace {
+
+using baselines::Tool;
+using simgpu::SimtSimulator;
+
+double ours_mkeys(hash::Algorithm alg, const char* device) {
+  const auto& dev = simgpu::device_by_name(device);
+  return SimtSimulator::device_throughput(
+             dev, core::our_kernel_profile(alg, dev.cc)) /
+         1e6;
+}
+
+TEST(PaperShape, TableEightDeviceRankingMd5) {
+  // Paper: 8600M 71 < 540M 214 < 8800 480 < 550Ti 654 < 660 1841.
+  const double d8600 = ours_mkeys(hash::Algorithm::kMd5, "8600M");
+  const double d540 = ours_mkeys(hash::Algorithm::kMd5, "540M");
+  const double d8800 = ours_mkeys(hash::Algorithm::kMd5, "8800");
+  const double d550 = ours_mkeys(hash::Algorithm::kMd5, "550Ti");
+  const double d660 = ours_mkeys(hash::Algorithm::kMd5, "660");
+  EXPECT_LT(d8600, d540);
+  EXPECT_LT(d540, d8800);
+  EXPECT_LT(d8800, d550);
+  EXPECT_LT(d550, d660);
+}
+
+TEST(PaperShape, TableEightRoughFactorsMd5) {
+  // The Kepler flagship leads the laptop Fermi part by ~5x in the
+  // paper (1841/214 = 8.6 measured; with our ILP-2 Fermi kernel the
+  // gap narrows). Keep a broad but meaningful band.
+  const double d540 = ours_mkeys(hash::Algorithm::kMd5, "540M");
+  const double d660 = ours_mkeys(hash::Algorithm::kMd5, "660");
+  EXPECT_GT(d660 / d540, 3.0);
+  EXPECT_LT(d660 / d540, 12.0);
+}
+
+TEST(PaperShape, Sha1IsSeveralTimesSlowerThanMd5) {
+  // Paper, 660: MD5 1841 vs SHA1 390 — a factor ~4.7.
+  const double md5 = ours_mkeys(hash::Algorithm::kMd5, "660");
+  const double sha1 = ours_mkeys(hash::Algorithm::kSha1, "660");
+  EXPECT_GT(md5 / sha1, 2.5);
+  EXPECT_LT(md5 / sha1, 7.0);
+}
+
+TEST(PaperShape, OursBeatsOrMatchesEveryToolOnEveryDevice) {
+  // Table VIII: "in most cases outperforms well-known brute-force
+  // tools on a single GPU" — never loses by more than a whisker.
+  for (const char* device : {"8600M", "8800", "540M", "550Ti", "660"}) {
+    const auto& dev = simgpu::device_by_name(device);
+    const double ours = SimtSimulator::device_throughput(
+        dev, baselines::tool_profile(Tool::kOurs, hash::Algorithm::kMd5,
+                                     dev.cc));
+    for (const Tool tool : {Tool::kBarsWf, Tool::kCryptohaze}) {
+      const double other = SimtSimulator::device_throughput(
+          dev, baselines::tool_profile(tool, hash::Algorithm::kMd5, dev.cc));
+      EXPECT_GT(ours, other * 0.93)
+          << baselines::tool_name(tool) << " on " << device;
+    }
+  }
+}
+
+TEST(PaperShape, EfficiencyVersusTheoreticalPerFamily) {
+  // Paper efficiency vs theoretical: 8600M 86%, 8800 85%, 540M 60%,
+  // 550Ti 68%, 660 99.5%. The family-level pattern: cc 1.x high,
+  // Fermi ~2/3 (without ILP), Kepler near 1. Our Fermi kernel uses
+  // ILP=2, so we check the kernel the paper measured (ILP=1) here.
+  const auto efficiency = [](const char* device) {
+    const auto& dev = simgpu::device_by_name(device);
+    auto profile = core::our_kernel_profile(hash::Algorithm::kMd5, dev.cc);
+    profile.ilp = 1;
+    const double measured = SimtSimulator::device_throughput(dev, profile);
+    const double theoretical = simgpu::ThroughputModel::theoretical_throughput(
+        dev, profile.per_candidate);
+    return measured / theoretical;
+  };
+  EXPECT_GT(efficiency("8800"), 0.80);
+  EXPECT_NEAR(efficiency("550Ti"), 2.0 / 3.0, 0.07);
+  EXPECT_GT(efficiency("660"), 0.93);
+}
+
+TEST(PaperShape, TableNineNetworkEfficiency) {
+  // Table IX: the full network reaches ≈ the sum of its devices'
+  // throughput (0.852 of theoretical for MD5 in the paper; our
+  // device-level simulation sits closer to its own theoretical bound,
+  // so the network efficiency lands higher — the dispatch loss itself
+  // is what must stay small).
+  const std::string key = "zWq9R2xZ";
+  core::ClusterOptions opts;
+  opts.time_scale = 5e-4;
+  opts.gpu_mode = core::SimGpuMode::kModel;
+  opts.planted_key = key;
+  opts.agent.round_virtual_target_s = 25.0;
+
+  core::CrackRequest req;
+  req.algorithm = hash::Algorithm::kMd5;
+  req.target_hex = hash::Md5::digest(key).to_hex();
+  req.charset = keyspace::Charset::alphanumeric();
+  req.min_length = 1;
+  req.max_length = 8;
+
+  core::ClusterCracker cluster(core::ClusterCracker::paper_topology(), opts);
+  const auto report = cluster.crack(req);
+
+  double device_sum = 0;
+  for (const auto& m : report.members) device_sum += m.throughput;
+  const double dispatch_efficiency = report.throughput / device_sum;
+  EXPECT_GT(dispatch_efficiency, 0.80);  // near-perfect parallelism
+  EXPECT_GT(report.efficiency, 0.75);    // vs theoretical, paper: 0.852
+}
+
+TEST(PaperShape, ReversalAblationSpeedupNearOneQuarter) {
+  // Section V-B: the reversal trick is "a speedup of about 1.25 in
+  // almost all architectures" — measure it in the simulator on the
+  // 8800 (cc 1.x, where no other effect interferes).
+  const auto& dev = simgpu::device_by_name("8800");
+  simgpu::LoweringOptions opt{dev.cc};
+  simgpu::KernelProfile plain;
+  plain.per_candidate = simgpu::lower(
+      simgpu::trace_md5(simgpu::Md5KernelVariant::kPlainCompiled), opt);
+  simgpu::KernelProfile reversed;
+  reversed.per_candidate = simgpu::lower(
+      simgpu::trace_md5(simgpu::Md5KernelVariant::kReversed), opt);
+  const double speedup =
+      SimtSimulator::device_throughput(dev, reversed) /
+      SimtSimulator::device_throughput(dev, plain);
+  EXPECT_NEAR(speedup, 1.25, 0.20);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,134 @@
+// Dynamic-network reconfiguration (Section III): "the proposed pattern
+// can be extended to a dynamic network ... executing the above
+// mentioned steps each time the number of depending nodes or their
+// actual performance metrics vary", including nodes that become
+// "temporarily inactive". A child partitioned mid-search is declared
+// dead and its work requeued; when the path heals, the periodic
+// re-probe restores it and quotas grow back.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "dispatch/agent.h"
+#include "simnet/network.h"
+
+namespace gks {
+namespace {
+
+using dispatch::AgentConfig;
+using dispatch::IntervalSearcher;
+using dispatch::NodeAgent;
+using dispatch::ScanOutcome;
+
+class SteadySearcher final : public IntervalSearcher {
+ public:
+  explicit SteadySearcher(double peak) : peak_(peak) {}
+  ScanOutcome scan(const keyspace::Interval& interval) override {
+    ScanOutcome out;
+    out.tested = interval.size();
+    out.busy_virtual_s = interval.size().to_double() / peak_ + 1e-3;
+    return out;
+  }
+  bool is_simulated() const override { return true; }
+  double theoretical_throughput() const override { return peak_; }
+  std::string description() const override { return "steady"; }
+
+ private:
+  double peak_;
+};
+
+TEST(Rejoin, PartitionedChildRejoinsWhenThePathHeals) {
+  simnet::Network net(2e-3, /*seed=*/3);
+  const auto root = net.add_node("root");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, leaf);
+
+  AgentConfig config;
+  config.tune.start_batch = u128(1u << 16);
+  config.round_virtual_target_s = 2.0;
+  config.min_timeout_real_s = 0.05;
+  config.orphan_timeout_real_s = 30.0;  // survive the partition
+  config.allow_rejoin = true;
+  config.reprobe_every_rounds = 2;
+
+  std::vector<std::unique_ptr<IntervalSearcher>> root_devices;
+  root_devices.push_back(std::make_unique<SteadySearcher>(1e9));
+  NodeAgent root_agent(net, root, std::move(root_devices), config);
+
+  std::vector<std::unique_ptr<IntervalSearcher>> leaf_devices;
+  leaf_devices.push_back(std::make_unique<SteadySearcher>(1e9));
+  NodeAgent leaf_agent(net, leaf, std::move(leaf_devices), config);
+  net.start(leaf, [&leaf_agent] { leaf_agent.serve(); });
+
+  // Partition the link shortly after the search starts; heal it later.
+  std::thread chaos([&net, root, leaf] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    net.set_link_loss(root, leaf, 1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(160));
+    net.set_link_loss(root, leaf, 0.0);
+  });
+
+  // Big enough that rounds continue long after the heal.
+  const keyspace::Interval space(u128(0), u128(120'000'000'000ull));
+  const auto report =
+      root_agent.run_root(space, keyspace::Interval(u128(0), u128(1u << 22)));
+  chaos.join();
+  net.join_all();
+
+  // Full coverage despite the partition, the failure was detected, and
+  // the healed child worked again afterwards (it is alive at the end
+  // and contributed more than its pre-partition rounds alone could).
+  EXPECT_EQ(report.tested, space.size());
+  EXPECT_GE(report.failures_detected, 1u);
+  ASSERT_EQ(report.members.size(), 2u);
+  EXPECT_FALSE(report.members[1].failed) << "child should have rejoined";
+  EXPECT_GT(report.members[1].tested, u128(0));
+}
+
+TEST(Rejoin, DisabledRejoinKeepsTheChildDead) {
+  simnet::Network net(2e-3, /*seed=*/4);
+  const auto root = net.add_node("root");
+  const auto leaf = net.add_node("leaf");
+  net.connect(root, leaf);
+
+  AgentConfig config;
+  config.tune.start_batch = u128(1u << 16);
+  config.round_virtual_target_s = 2.0;
+  config.min_timeout_real_s = 0.05;
+  // Long enough to survive the 160 ms partition; short enough that the
+  // leaf unwinds promptly if the root's final StopSearch was lost in it.
+  config.orphan_timeout_real_s = 1.0;
+  config.allow_rejoin = false;
+
+  std::vector<std::unique_ptr<IntervalSearcher>> root_devices;
+  root_devices.push_back(std::make_unique<SteadySearcher>(1e9));
+  NodeAgent root_agent(net, root, std::move(root_devices), config);
+
+  std::vector<std::unique_ptr<IntervalSearcher>> leaf_devices;
+  leaf_devices.push_back(std::make_unique<SteadySearcher>(1e9));
+  NodeAgent leaf_agent(net, leaf, std::move(leaf_devices), config);
+  net.start(leaf, [&leaf_agent] { leaf_agent.serve(); });
+
+  std::thread chaos([&net, root, leaf] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    net.set_link_loss(root, leaf, 1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(160));
+    net.set_link_loss(root, leaf, 0.0);
+  });
+
+  const keyspace::Interval space(u128(0), u128(60'000'000'000ull));
+  const auto report =
+      root_agent.run_root(space, keyspace::Interval(u128(0), u128(1u << 22)));
+  chaos.join();
+  net.join_all();
+
+  EXPECT_EQ(report.tested, space.size());
+  EXPECT_GE(report.failures_detected, 1u);
+  ASSERT_EQ(report.members.size(), 2u);
+  EXPECT_TRUE(report.members[1].failed);  // stays dead without rejoin
+}
+
+}  // namespace
+}  // namespace gks

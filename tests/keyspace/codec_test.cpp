@@ -1,0 +1,136 @@
+#include "keyspace/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace gks::keyspace {
+namespace {
+
+KeyCodec abc_codec(DigitOrder order) { return KeyCodec(Charset("abc"), order); }
+
+TEST(Codec, SuffixFastestMatchesPaperMapping1) {
+  // [0..] -> [ε, a, b, c, aa, ab, ac, ba, bb, ...]   (Equation 1)
+  const KeyCodec codec = abc_codec(DigitOrder::kSuffixFastest);
+  const std::vector<std::string> expected = {"",   "a",  "b",  "c",  "aa",
+                                             "ab", "ac", "ba", "bb", "bc",
+                                             "ca", "cb", "cc", "aaa"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(codec.decode(u128(i)), expected[i]) << "id " << i;
+  }
+}
+
+TEST(Codec, PrefixFastestMatchesPaperMapping4) {
+  // [0..] -> [ε, a, b, c, aa, ba, ca, ab, bb, ...]   (Equation 4)
+  const KeyCodec codec = abc_codec(DigitOrder::kPrefixFastest);
+  const std::vector<std::string> expected = {"",   "a",  "b",  "c",  "aa",
+                                             "ba", "ca", "ab", "bb", "cb",
+                                             "ac", "bc", "cc", "aaa"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(codec.decode(u128(i)), expected[i]) << "id " << i;
+  }
+}
+
+class CodecOrderTest : public ::testing::TestWithParam<DigitOrder> {};
+
+TEST_P(CodecOrderTest, EncodeIsInverseOfDecodeExhaustively) {
+  const KeyCodec codec = abc_codec(GetParam());
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(codec.encode(codec.decode(u128(id))), u128(id)) << id;
+  }
+}
+
+TEST_P(CodecOrderTest, DecodeIsInjectiveOnAPrefix) {
+  const KeyCodec codec = abc_codec(GetParam());
+  std::vector<std::string> seen;
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    seen.push_back(codec.decode(u128(id)));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST_P(CodecOrderTest, NextInplaceMatchesDecodeOfSuccessor) {
+  const KeyCodec codec = abc_codec(GetParam());
+  std::string key = codec.decode(u128(0));
+  for (std::uint64_t id = 0; id < 400; ++id) {
+    codec.next_inplace(key);
+    EXPECT_EQ(key, codec.decode(u128(id + 1))) << "id " << id;
+  }
+}
+
+TEST_P(CodecOrderTest, RoundTripOnLargeRandomIds) {
+  const KeyCodec codec(Charset::alphanumeric(), GetParam());
+  SplitMix64 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const u128 id(rng(), rng());
+    EXPECT_EQ(codec.encode(codec.decode(id)), id);
+  }
+}
+
+TEST_P(CodecOrderTest, NextGrowsStringAtLengthRollover) {
+  const KeyCodec codec = abc_codec(GetParam());
+  std::string key = "ccc";
+  codec.next_inplace(key);
+  EXPECT_EQ(key, "aaaa");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, CodecOrderTest,
+                         ::testing::Values(DigitOrder::kSuffixFastest,
+                                           DigitOrder::kPrefixFastest));
+
+TEST(Codec, DecodeIntoReusesStorage) {
+  const KeyCodec codec = abc_codec(DigitOrder::kPrefixFastest);
+  std::string key;
+  key.reserve(16);
+  codec.decode_into(u128(5), key);
+  EXPECT_EQ(key, "ba");
+  codec.decode_into(u128(1), key);
+  EXPECT_EQ(key, "a");
+}
+
+TEST(Codec, EncodeRejectsForeignCharacters) {
+  const KeyCodec codec = abc_codec(DigitOrder::kSuffixFastest);
+  EXPECT_THROW(codec.encode("abz"), InvalidArgument);
+}
+
+TEST(Codec, EmptyStringIsIdZero) {
+  const KeyCodec codec = abc_codec(DigitOrder::kSuffixFastest);
+  EXPECT_EQ(codec.encode(""), u128(0));
+  EXPECT_EQ(codec.decode(u128(0)), "");
+}
+
+TEST(Codec, SingleSymbolAlphabetIsUnary) {
+  const KeyCodec codec(Charset("x"), DigitOrder::kSuffixFastest);
+  EXPECT_EQ(codec.decode(u128(0)), "");
+  EXPECT_EQ(codec.decode(u128(3)), "xxx");
+  EXPECT_EQ(codec.encode("xxxx"), u128(4));
+}
+
+TEST(Codec, OrdersAgreeOnSingleCharacterStrings) {
+  const KeyCodec a = abc_codec(DigitOrder::kSuffixFastest);
+  const KeyCodec b = abc_codec(DigitOrder::kPrefixFastest);
+  for (std::uint64_t id = 0; id <= 3; ++id) {
+    EXPECT_EQ(a.decode(u128(id)), b.decode(u128(id)));
+  }
+}
+
+TEST(Codec, PrefixFastestVariesFirstCharacterBetweenConsecutiveIds) {
+  // The property the crack kernels rely on: within a length class,
+  // consecutive identifiers differ in the first character.
+  const KeyCodec codec(Charset::alphanumeric(), DigitOrder::kPrefixFastest);
+  std::string key = codec.decode(u128(100000));
+  std::string next = key;
+  codec.next_inplace(next);
+  ASSERT_EQ(key.size(), next.size());
+  EXPECT_NE(key[0], next[0]);
+  EXPECT_EQ(key.substr(1), next.substr(1));
+}
+
+}  // namespace
+}  // namespace gks::keyspace

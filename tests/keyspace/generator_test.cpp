@@ -1,0 +1,123 @@
+#include "keyspace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <set>
+
+#include "keyspace/dictionary.h"
+#include "keyspace/keyspace_generator.h"
+
+namespace gks::keyspace {
+namespace {
+
+TEST(KeyspaceGenerator, SizeMatchesSpaceFormula) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("abc"), DigitOrder::kSuffixFastest), 1, 3);
+  EXPECT_EQ(gen.size(), u128(3 + 9 + 27));
+}
+
+TEST(KeyspaceGenerator, IdZeroIsFirstStringOfMinLength) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("abc"), DigitOrder::kSuffixFastest), 2, 3);
+  EXPECT_EQ(gen.at(u128(0)), "aa");
+}
+
+TEST(KeyspaceGenerator, EnumeratesAllLengthsInRange) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("ab"), DigitOrder::kSuffixFastest), 1, 3);
+  std::set<std::string> keys;
+  for (std::uint64_t id = 0; id < gen.size().to_u64(); ++id) {
+    keys.insert(gen.at(u128(id)));
+  }
+  EXPECT_EQ(keys.size(), 2u + 4u + 8u);
+  EXPECT_TRUE(keys.count("a"));
+  EXPECT_TRUE(keys.count("bbb"));
+  EXPECT_FALSE(keys.count(""));
+  EXPECT_FALSE(keys.count("aaaa"));
+}
+
+TEST(KeyspaceGenerator, NextMatchesGenerate) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("abc"), DigitOrder::kPrefixFastest), 1, 3);
+  std::string key = gen.at(u128(0));
+  for (std::uint64_t id = 0; id + 1 < gen.size().to_u64(); ++id) {
+    gen.next(u128(id), key);
+    EXPECT_EQ(key, gen.at(u128(id + 1))) << id;
+  }
+}
+
+TEST(KeyspaceGenerator, RejectsOutOfRangeIds) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("ab"), DigitOrder::kSuffixFastest), 1, 2);
+  std::string out;
+  EXPECT_THROW(gen.generate(gen.size(), out), InvalidArgument);
+}
+
+TEST(KeyspaceGenerator, FixedLengthRange) {
+  const KeyspaceGenerator gen(
+      KeyCodec(Charset("ab"), DigitOrder::kSuffixFastest), 2, 2);
+  EXPECT_EQ(gen.size(), u128(4));
+  EXPECT_EQ(gen.at(u128(0)), "aa");
+  EXPECT_EQ(gen.at(u128(3)), "bb");
+}
+
+TEST(DictionaryGenerator, PlainEnumeration) {
+  const DictionaryGenerator dict({"password", "letmein", "dragon"});
+  EXPECT_EQ(dict.size(), u128(3));
+  EXPECT_EQ(dict.at(u128(0)), "password");
+  EXPECT_EQ(dict.at(u128(2)), "dragon");
+}
+
+TEST(DictionaryGenerator, CommonCaseManglingTriplesTheSpace) {
+  const DictionaryGenerator dict({"pass", "word"},
+                                 DictionaryGenerator::Mangle::kCommonCase);
+  EXPECT_EQ(dict.size(), u128(6));
+  EXPECT_EQ(dict.at(u128(0)), "pass");
+  EXPECT_EQ(dict.at(u128(1)), "Pass");
+  EXPECT_EQ(dict.at(u128(2)), "PASS");
+  EXPECT_EQ(dict.at(u128(3)), "word");
+  EXPECT_EQ(dict.at(u128(4)), "Word");
+}
+
+TEST(DictionaryGenerator, RejectsEmptyDictionaryAndBadIds) {
+  EXPECT_THROW(DictionaryGenerator({}), InvalidArgument);
+  const DictionaryGenerator dict({"one"});
+  std::string out;
+  EXPECT_THROW(dict.generate(u128(1), out), InvalidArgument);
+}
+
+TEST(HybridGenerator, CartesianProductOfWordAndTail) {
+  const DictionaryGenerator words({"pass", "admin"});
+  const KeyspaceGenerator digits(
+      KeyCodec(Charset::digits(), DigitOrder::kSuffixFastest), 2, 2);
+  const HybridGenerator hybrid(words, digits);
+  EXPECT_EQ(hybrid.size(), u128(200));
+  EXPECT_EQ(hybrid.at(u128(0)), "pass00");
+  EXPECT_EQ(hybrid.at(u128(99)), "pass99");
+  EXPECT_EQ(hybrid.at(u128(100)), "admin00");
+  EXPECT_EQ(hybrid.at(u128(199)), "admin99");
+}
+
+TEST(HybridGenerator, CoversWholeProductSpaceUniquely) {
+  const DictionaryGenerator words({"a", "b", "c"});
+  const KeyspaceGenerator tails(
+      KeyCodec(Charset("xy"), DigitOrder::kSuffixFastest), 1, 2);
+  const HybridGenerator hybrid(words, tails);
+  std::set<std::string> seen;
+  for (std::uint64_t id = 0; id < hybrid.size().to_u64(); ++id) {
+    seen.insert(hybrid.at(u128(id)));
+  }
+  EXPECT_EQ(u128(seen.size()), hybrid.size());
+}
+
+TEST(GeneratorDefaultNext, FallsBackToGenerate) {
+  const DictionaryGenerator dict({"x", "y", "z"});
+  std::string key = dict.at(u128(0));
+  dict.next(u128(0), key);
+  EXPECT_EQ(key, "y");
+}
+
+}  // namespace
+}  // namespace gks::keyspace

@@ -1,0 +1,127 @@
+#include "keyspace/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+void expect_partition(const Interval& whole,
+                      const std::vector<Interval>& parts) {
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(parts.front().begin, whole.begin);
+  EXPECT_EQ(parts.back().end, whole.end);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].begin, parts[i - 1].end) << "gap at part " << i;
+  }
+  u128 total(0);
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, whole.size());
+}
+
+TEST(Interval, BasicAccessors) {
+  const Interval i(u128(10), u128(25));
+  EXPECT_EQ(i.size(), u128(15));
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(i.contains(u128(10)));
+  EXPECT_TRUE(i.contains(u128(24)));
+  EXPECT_FALSE(i.contains(u128(25)));
+  EXPECT_TRUE(Interval(u128(5), u128(5)).empty());
+}
+
+class SplitEvenTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(SplitEvenTest, PartitionsExactly) {
+  const auto [size, parts] = GetParam();
+  const Interval whole(u128(1000), u128(1000) + u128(size));
+  const auto out = split_even(whole, parts);
+  ASSERT_EQ(out.size(), parts);
+  expect_partition(whole, out);
+  // Sizes differ by at most one.
+  u128 mn = u128::max(), mx(0);
+  for (const auto& p : out) {
+    mn = std::min(mn, p.size());
+    mx = std::max(mx, p.size());
+  }
+  EXPECT_LE(mx - mn, u128(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SplitEvenTest,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 7ull, 100ull, 1000001ull),
+                       ::testing::Values(1u, 2u, 3u, 7u, 64u)));
+
+TEST(SplitEven, RejectsZeroParts) {
+  EXPECT_THROW(split_even(Interval(u128(0), u128(10)), 0), InvalidArgument);
+}
+
+TEST(SplitWeighted, ProportionalToWeights) {
+  const Interval whole(u128(0), u128(1000));
+  const auto out = split_weighted(whole, {1.0, 3.0, 6.0});
+  expect_partition(whole, out);
+  EXPECT_EQ(out[0].size(), u128(100));
+  EXPECT_EQ(out[1].size(), u128(300));
+  EXPECT_EQ(out[2].size(), u128(600));
+}
+
+TEST(SplitWeighted, HeaviestAbsorbsRounding) {
+  const Interval whole(u128(0), u128(10));
+  const auto out = split_weighted(whole, {1.0, 1.0, 1.0});
+  expect_partition(whole, out);
+  // 3+3 go to the non-heaviest (first is chosen as heaviest on ties);
+  // whatever the tie-break, everything is covered and no part exceeds
+  // the whole.
+}
+
+TEST(SplitWeighted, ZeroWeightGetsEmptyInterval) {
+  const Interval whole(u128(0), u128(100));
+  const auto out = split_weighted(whole, {0.0, 1.0});
+  expect_partition(whole, out);
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(out[1].size(), u128(100));
+}
+
+TEST(SplitWeighted, HugeIntervalStaysExact) {
+  const Interval whole(u128(0), u128(1, 0));  // 2^64 ids
+  const auto out = split_weighted(whole, {1.0, 1.0});
+  expect_partition(whole, out);
+}
+
+TEST(SplitWeighted, RejectsBadWeights) {
+  const Interval whole(u128(0), u128(10));
+  EXPECT_THROW(split_weighted(whole, {}), InvalidArgument);
+  EXPECT_THROW(split_weighted(whole, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(split_weighted(whole, {-1.0, 2.0}), InvalidArgument);
+}
+
+TEST(IntervalCursor, HandsOutConsecutiveChunks) {
+  IntervalCursor cur(Interval(u128(0), u128(10)));
+  EXPECT_EQ(cur.take(u128(4)), Interval(u128(0), u128(4)));
+  EXPECT_EQ(cur.take(u128(4)), Interval(u128(4), u128(8)));
+  EXPECT_EQ(cur.take(u128(4)), Interval(u128(8), u128(10)));  // tail
+  EXPECT_TRUE(cur.exhausted());
+  EXPECT_TRUE(cur.take(u128(4)).empty());
+}
+
+TEST(IntervalCursor, RemainingTracksProgress) {
+  IntervalCursor cur(Interval(u128(100), u128(200)));
+  EXPECT_EQ(cur.remaining(), u128(100));
+  cur.take(u128(30));
+  EXPECT_EQ(cur.remaining(), u128(70));
+  cur.take(u128(1000));
+  EXPECT_EQ(cur.remaining(), u128(0));
+}
+
+TEST(IntervalCursor, ZeroSizedTakeIsEmpty) {
+  IntervalCursor cur(Interval(u128(0), u128(5)));
+  EXPECT_TRUE(cur.take(u128(0)).empty());
+  EXPECT_EQ(cur.remaining(), u128(5));
+}
+
+}  // namespace
+}  // namespace gks::keyspace

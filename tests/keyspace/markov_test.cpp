@@ -1,0 +1,104 @@
+#include "keyspace/markov.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "keyspace/codec.h"
+#include "keyspace/space.h"
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+const std::vector<std::string> kCorpus = {
+    "pass", "pale", "palm", "pony", "poll", "ring", "rant", "ruin",
+    "sale", "salt", "sand", "song", "rope", "page", "part", "pain",
+};
+
+TEST(Markov, LearnsPerPositionFrequencyOrder) {
+  const MarkovOrderedGenerator gen(Charset::lower(), 4, kCorpus);
+  // Position 0: 'p' appears 8 times, 'r' 4, 's' 4 — 'p' first.
+  EXPECT_EQ(gen.order_at(0).front(), 'p');
+  // Position 1: 'a' dominates (pass pale palm rant sale salt sand page
+  // part pain = 10 of 16).
+  EXPECT_EQ(gen.order_at(1).front(), 'a');
+}
+
+TEST(Markov, FirstCandidateIsTheMostLikelyString) {
+  const MarkovOrderedGenerator gen(Charset::lower(), 4, kCorpus);
+  std::string first;
+  gen.generate(u128(0), first);
+  ASSERT_EQ(first.size(), 4u);
+  for (unsigned pos = 0; pos < 4; ++pos) {
+    EXPECT_EQ(first[pos], gen.order_at(pos).front()) << pos;
+  }
+}
+
+TEST(Markov, EnumerationIsBijective) {
+  const MarkovOrderedGenerator gen(Charset("abcd"), 3, {"abc", "bca"});
+  std::set<std::string> seen;
+  std::string out;
+  for (u128 id(0); id < gen.size(); ++id) {
+    gen.generate(id, out);
+    seen.insert(out);
+  }
+  EXPECT_EQ(u128(seen.size()), gen.size());
+  EXPECT_EQ(gen.size(), u128(64));
+}
+
+TEST(Markov, RankInvertsGenerate) {
+  const MarkovOrderedGenerator gen(Charset("abcde"), 3, kCorpus);
+  std::string out;
+  for (std::uint64_t id = 0; id < 125; ++id) {
+    gen.generate(u128(id), out);
+    EXPECT_EQ(gen.rank_of(out), u128(id)) << out;
+  }
+}
+
+TEST(Markov, LikelyPasswordsRankEarlierThanAlphabetical) {
+  // The entire point of the ordering: a corpus-like password should be
+  // reached much sooner than its alphabetical rank.
+  const MarkovOrderedGenerator gen(Charset::lower(), 4, kCorpus);
+  const KeyCodec alphabetical(Charset::lower(),
+                              DigitOrder::kPrefixFastest);
+  const std::string likely = "palt";  // corpus-shaped, not in corpus
+  const u128 markov_rank = gen.rank_of(likely);
+  // Alphabetical rank within the 4-char class:
+  const u128 alpha_rank =
+      alphabetical.encode(likely) - first_id_of_length(26, 4);
+  EXPECT_LT(markov_rank, alpha_rank / u128(10));
+}
+
+TEST(Markov, UnseenCharactersKeepCharsetOrderBehindSeenOnes) {
+  const MarkovOrderedGenerator gen(Charset("abcz"), 1, {"c", "c", "a"});
+  const auto& order = gen.order_at(0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 'c');
+  EXPECT_EQ(order[1], 'a');
+  EXPECT_EQ(order[2], 'b');  // unseen: original order
+  EXPECT_EQ(order[3], 'z');
+}
+
+TEST(Markov, EmptyCorpusDegradesToPlainOrder) {
+  const MarkovOrderedGenerator gen(Charset("xyz"), 2, {});
+  std::string out;
+  gen.generate(u128(0), out);
+  EXPECT_EQ(out, "xx");
+  gen.generate(u128(1), out);
+  EXPECT_EQ(out, "yx");  // first position fastest
+}
+
+TEST(Markov, RejectsBadArguments) {
+  const MarkovOrderedGenerator gen(Charset("ab"), 2, {});
+  std::string out;
+  EXPECT_THROW(gen.generate(u128(4), out), InvalidArgument);
+  EXPECT_THROW(gen.rank_of("abc"), InvalidArgument);
+  EXPECT_THROW(gen.rank_of("aZ"), InvalidArgument);
+  EXPECT_THROW((void)gen.order_at(2), InvalidArgument);
+  EXPECT_THROW(MarkovOrderedGenerator(Charset("ab"), 0, {}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::keyspace

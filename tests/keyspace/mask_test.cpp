@@ -1,0 +1,98 @@
+#include "keyspace/mask.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+TEST(Mask, SizeIsProductOfClassSizes) {
+  EXPECT_EQ(MaskGenerator("?l").size(), u128(26));
+  EXPECT_EQ(MaskGenerator("?l?d").size(), u128(260));
+  EXPECT_EQ(MaskGenerator("?u?l?l?l?d?d").size(),
+            u128(26ull * 26 * 26 * 26 * 10 * 10));
+  EXPECT_EQ(MaskGenerator("abc").size(), u128(1));  // all literals
+}
+
+TEST(Mask, FirstPositionVariesFastest) {
+  const MaskGenerator mask("?l?d");
+  EXPECT_EQ(mask.at(u128(0)), "a0");
+  EXPECT_EQ(mask.at(u128(1)), "b0");
+  EXPECT_EQ(mask.at(u128(25)), "z0");
+  EXPECT_EQ(mask.at(u128(26)), "a1");
+  EXPECT_EQ(mask.at(u128(259)), "z9");
+}
+
+TEST(Mask, LiteralsAreFixedPositions) {
+  const MaskGenerator mask("pass?d?d");
+  EXPECT_EQ(mask.size(), u128(100));
+  EXPECT_EQ(mask.at(u128(0)), "pass00");
+  EXPECT_EQ(mask.at(u128(99)), "pass99");
+}
+
+TEST(Mask, QuestionMarkEscape) {
+  const MaskGenerator mask("a???d");
+  EXPECT_EQ(mask.size(), u128(10));
+  EXPECT_EQ(mask.at(u128(3)), "a?3");
+}
+
+TEST(Mask, SymbolClassExcludesAlphanumerics) {
+  const MaskGenerator mask("?s");
+  std::string out;
+  for (u128 id(0); id < mask.size(); ++id) {
+    mask.generate(id, out);
+    const char c = out[0];
+    EXPECT_FALSE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9'))
+        << c;
+  }
+}
+
+TEST(Mask, EnumerationIsBijective) {
+  const MaskGenerator mask("?d?l");
+  std::set<std::string> seen;
+  std::string out;
+  for (u128 id(0); id < mask.size(); ++id) {
+    mask.generate(id, out);
+    seen.insert(out);
+  }
+  EXPECT_EQ(u128(seen.size()), mask.size());
+}
+
+TEST(Mask, NextMatchesGenerate) {
+  const MaskGenerator mask("?d?l");
+  std::string key = mask.at(u128(0));
+  for (std::uint64_t id = 0; id + 1 < mask.size().to_u64(); ++id) {
+    mask.next(u128(id), key);
+    EXPECT_EQ(key, mask.at(u128(id + 1))) << id;
+  }
+}
+
+TEST(Mask, NextWrapsAroundAtTheEnd) {
+  const MaskGenerator mask("?d");
+  std::string key = "9";
+  mask.next(u128(9), key);
+  EXPECT_EQ(key, "0");
+}
+
+TEST(Mask, RejectsMalformedMasks) {
+  EXPECT_THROW(MaskGenerator(""), InvalidArgument);
+  EXPECT_THROW(MaskGenerator("?"), InvalidArgument);
+  EXPECT_THROW(MaskGenerator("?x"), InvalidArgument);
+}
+
+TEST(Mask, GenerateRejectsOutOfRangeIds) {
+  const MaskGenerator mask("?d");
+  std::string out;
+  EXPECT_THROW(mask.generate(u128(10), out), InvalidArgument);
+}
+
+TEST(Mask, AnyClassCoversPrintableAscii) {
+  EXPECT_EQ(MaskGenerator("?a").size(), u128(95));
+}
+
+}  // namespace
+}  // namespace gks::keyspace

@@ -1,0 +1,104 @@
+#include "keyspace/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+std::string apply(const char* spec, const char* word) {
+  return Rule(spec).apply(word);
+}
+
+TEST(Rule, SingleOperations) {
+  EXPECT_EQ(apply(":", "PassWord"), "PassWord");
+  EXPECT_EQ(apply("l", "PassWord"), "password");
+  EXPECT_EQ(apply("u", "PassWord"), "PASSWORD");
+  EXPECT_EQ(apply("c", "passWORD"), "Password");
+  EXPECT_EQ(apply("C", "password"), "pASSWORD");
+  EXPECT_EQ(apply("r", "abc"), "cba");
+  EXPECT_EQ(apply("d", "ab"), "abab");
+  EXPECT_EQ(apply("t", "aBc"), "AbC");
+  EXPECT_EQ(apply("$1", "pass"), "pass1");
+  EXPECT_EQ(apply("^!", "pass"), "!pass");
+  EXPECT_EQ(apply("sa@", "banana"), "b@n@n@");
+  EXPECT_EQ(apply("[", "pass"), "ass");
+  EXPECT_EQ(apply("]", "pass"), "pas");
+}
+
+TEST(Rule, OperationsComposeLeftToRight) {
+  EXPECT_EQ(apply("c$1$2", "dragon"), "Dragon12");
+  EXPECT_EQ(apply("sa@se3", "release"), "r3l3@s3");
+  EXPECT_EQ(apply("r$x", "ab"), "bax");
+  EXPECT_EQ(apply("$xr", "ab"), "xba");  // order matters
+}
+
+TEST(Rule, EdgeCasesOnEmptyAndShortWords) {
+  EXPECT_EQ(apply("c", ""), "");
+  EXPECT_EQ(apply("[", ""), "");
+  EXPECT_EQ(apply("]", ""), "");
+  EXPECT_EQ(apply("d", ""), "");
+  EXPECT_EQ(apply("[", "a"), "");
+}
+
+TEST(Rule, RejectsMalformedSpecs) {
+  EXPECT_THROW(Rule(""), InvalidArgument);
+  EXPECT_THROW(Rule("q"), InvalidArgument);
+  EXPECT_THROW(Rule("$"), InvalidArgument);   // missing argument
+  EXPECT_THROW(Rule("sa"), InvalidArgument);  // substitution needs two
+}
+
+TEST(RuleSet, ExpandProducesOneVariantPerRule) {
+  const RuleSet rules({":", "u", "c$1"});
+  const auto variants = rules.expand("dog");
+  ASSERT_EQ(variants.size(), 3u);
+  EXPECT_EQ(variants[0], "dog");
+  EXPECT_EQ(variants[1], "DOG");
+  EXPECT_EQ(variants[2], "Dog1");
+}
+
+TEST(RuleSet, CommonSetCoversTheClassicPatterns) {
+  const RuleSet rules = RuleSet::common();
+  const auto variants = rules.expand("password");
+  const std::set<std::string> set(variants.begin(), variants.end());
+  EXPECT_TRUE(set.count("password"));
+  EXPECT_TRUE(set.count("Password"));
+  EXPECT_TRUE(set.count("PASSWORD"));
+  EXPECT_TRUE(set.count("Password123"));
+  EXPECT_TRUE(set.count("password1"));
+  EXPECT_TRUE(set.count("p@ssw0rd"));
+  EXPECT_TRUE(set.count("drowssap"));
+}
+
+TEST(RuleSet, RejectsEmptyAndBadIndices) {
+  EXPECT_THROW(RuleSet({}), InvalidArgument);
+  const RuleSet rules({":"});
+  EXPECT_THROW((void)rules.at(1), InvalidArgument);
+}
+
+TEST(RuledDictionary, EnumeratesWordByWordRuleFastest) {
+  const std::vector<std::string> words = {"dog", "cat"};
+  const RuleSet rules({":", "u"});
+  const RuledDictionaryGenerator gen(words, rules);
+  EXPECT_EQ(gen.size(), u128(4));
+  EXPECT_EQ(gen.at(u128(0)), "dog");
+  EXPECT_EQ(gen.at(u128(1)), "DOG");
+  EXPECT_EQ(gen.at(u128(2)), "cat");
+  EXPECT_EQ(gen.at(u128(3)), "CAT");
+}
+
+TEST(RuledDictionary, OutOfRangeAndEmptyRejected) {
+  const std::vector<std::string> words = {"a"};
+  const RuleSet rules({":"});
+  const RuledDictionaryGenerator gen(words, rules);
+  std::string out;
+  EXPECT_THROW(gen.generate(u128(1), out), InvalidArgument);
+  const std::vector<std::string> empty;
+  EXPECT_THROW(RuledDictionaryGenerator(empty, rules), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::keyspace

@@ -1,0 +1,107 @@
+#include "keyspace/space.h"
+
+#include <gtest/gtest.h>
+
+#include "keyspace/codec.h"
+#include "support/error.h"
+
+namespace gks::keyspace {
+namespace {
+
+TEST(Space, KeysOfLengthIsPower) {
+  EXPECT_EQ(keys_of_length(3, 0), u128(1));
+  EXPECT_EQ(keys_of_length(3, 2), u128(9));
+  EXPECT_EQ(keys_of_length(62, 8).to_string(), "218340105584896");
+}
+
+TEST(Space, KeysUpToSumsAllLengths) {
+  // N=3: 1 + 3 + 9 + 27 = 40
+  EXPECT_EQ(keys_up_to(3, 3), u128(40));
+  EXPECT_EQ(keys_up_to(3, 0), u128(1));
+}
+
+TEST(Space, Equation2ClosedFormHolds) {
+  // S_{K0}^{K} = (N^{K+1} - N^{K0}) / (N - 1) — cross-check against the
+  // direct sum for a grid of parameters.
+  for (std::size_t n : {2u, 3u, 10u, 62u}) {
+    for (unsigned k0 : {0u, 1u, 3u}) {
+      for (unsigned k : {3u, 5u, 8u}) {
+        if (k0 > k) continue;
+        const u128 base(static_cast<std::uint64_t>(n));
+        const u128 closed = (u128::checked_pow(base, k + 1) -
+                             u128::checked_pow(base, k0)) /
+                            u128(static_cast<std::uint64_t>(n - 1));
+        EXPECT_EQ(space_size(n, k0, k), closed)
+            << "n=" << n << " k0=" << k0 << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Space, Equation3UnaryAlphabet) {
+  // N = 1: S = K - K0 + 1 (Equation 3).
+  EXPECT_EQ(space_size(1, 2, 7), u128(6));
+  EXPECT_EQ(space_size(1, 0, 0), u128(1));
+  EXPECT_EQ(keys_up_to(1, 9), u128(10));
+}
+
+TEST(Space, PaperSectionOneExamples) {
+  // "the number of strings containing at most 8 alphabetic characters
+  //  (both lower and upper case) is ≈ 54,508 billions"
+  const double alpha8 = space_size(52, 1, 8).to_double();
+  EXPECT_NEAR(alpha8 / 1e9, 54508.0, 1.0);
+  // "with 10 characters it becomes ≈ 147,389,520 billions"
+  const double alpha10 = space_size(52, 1, 10).to_double();
+  EXPECT_NEAR(alpha10 / 1e9, 147389520.0, 1000.0);
+}
+
+TEST(Space, EvaluationKeyspaceSize) {
+  // The paper's experiments search "up to 8 alphanumeric characters,
+  // both lower and upper cases" — 62 symbols, lengths 1..8.
+  EXPECT_EQ(space_size(62, 1, 8).to_string(), "221919451578090");
+}
+
+TEST(Space, SizeMatchesCodecEnumerationExhaustively) {
+  const KeyCodec codec(Charset("abcd"), DigitOrder::kSuffixFastest);
+  // Count ids whose decoded length is in [2, 3]: must equal S_2^3.
+  std::uint64_t count = 0;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const auto len = codec.decode(u128(id)).size();
+    if (len >= 2 && len <= 3) ++count;
+  }
+  EXPECT_EQ(u128(count), space_size(4, 2, 3));
+}
+
+TEST(Space, FirstIdOfLengthAlignsWithCodec) {
+  const KeyCodec codec(Charset("abc"), DigitOrder::kSuffixFastest);
+  for (unsigned len = 0; len <= 4; ++len) {
+    const u128 first = first_id_of_length(3, len);
+    EXPECT_EQ(codec.decode(first).size(), len) << "len " << len;
+    if (first > u128(0)) {
+      EXPECT_EQ(codec.decode(first - u128(1)).size(), len - 1);
+    }
+  }
+}
+
+TEST(Space, LengthOfIdInvertsFirstIdOfLength) {
+  for (unsigned len = 0; len <= 6; ++len) {
+    const u128 first = first_id_of_length(5, len);
+    EXPECT_EQ(length_of_id(5, first), len);
+    if (len > 0) {
+      EXPECT_EQ(length_of_id(5, first - u128(1)), len - 1);
+    }
+  }
+}
+
+TEST(Space, OverflowIsDetected) {
+  EXPECT_THROW(keys_of_length(62, 30), InternalError);
+  EXPECT_THROW(keys_up_to(62, 30), Error);
+}
+
+TEST(Space, RejectsBadArguments) {
+  EXPECT_THROW(keys_of_length(0, 3), InvalidArgument);
+  EXPECT_THROW(space_size(3, 5, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::keyspace

@@ -1,0 +1,140 @@
+#include "simgpu/arch.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace gks::simgpu {
+namespace {
+
+TEST(Arch, TableOneRowsMatchThePaper) {
+  // Table I: multiprocessor architecture.
+  const auto& cc1 = arch_for(ComputeCapability::kCc1x);
+  EXPECT_EQ(cc1.cores_per_mp, 8u);
+  EXPECT_EQ(cc1.core_groups, 1u);
+  EXPECT_EQ(cc1.group_size, 8u);
+  EXPECT_EQ(cc1.issue_cycles, 4u);
+  EXPECT_EQ(cc1.warp_schedulers, 1u);
+  EXPECT_FALSE(cc1.dual_issue);
+
+  const auto& cc20 = arch_for(ComputeCapability::kCc20);
+  EXPECT_EQ(cc20.cores_per_mp, 32u);
+  EXPECT_EQ(cc20.core_groups, 2u);
+  EXPECT_EQ(cc20.group_size, 16u);
+  EXPECT_EQ(cc20.issue_cycles, 2u);
+  EXPECT_EQ(cc20.warp_schedulers, 2u);
+  EXPECT_FALSE(cc20.dual_issue);
+
+  const auto& cc21 = arch_for(ComputeCapability::kCc21);
+  EXPECT_EQ(cc21.cores_per_mp, 48u);
+  EXPECT_EQ(cc21.core_groups, 3u);
+  EXPECT_TRUE(cc21.dual_issue);
+
+  const auto& cc30 = arch_for(ComputeCapability::kCc30);
+  EXPECT_EQ(cc30.cores_per_mp, 192u);
+  EXPECT_EQ(cc30.core_groups, 6u);
+  EXPECT_EQ(cc30.group_size, 32u);
+  EXPECT_EQ(cc30.issue_cycles, 1u);
+  EXPECT_EQ(cc30.warp_schedulers, 4u);
+  EXPECT_TRUE(cc30.dual_issue);
+}
+
+TEST(Arch, TableTwoThroughputsMatchThePaper) {
+  // Table II: instruction throughput (ops/clock per MP). ADD on cc 1.x
+  // is 8 regular + 2 SFU = the paper's 10.
+  const auto& cc1 = arch_for(ComputeCapability::kCc1x);
+  EXPECT_DOUBLE_EQ(cc1.peak_throughput(MachineOp::kIAdd), 10);
+  EXPECT_DOUBLE_EQ(cc1.peak_throughput(MachineOp::kLop), 8);
+  EXPECT_DOUBLE_EQ(cc1.peak_throughput(MachineOp::kShift), 8);
+  EXPECT_DOUBLE_EQ(cc1.peak_throughput(MachineOp::kMadShift), 8);
+
+  const auto& cc20 = arch_for(ComputeCapability::kCc20);
+  EXPECT_DOUBLE_EQ(cc20.peak_throughput(MachineOp::kIAdd), 32);
+  EXPECT_DOUBLE_EQ(cc20.peak_throughput(MachineOp::kShift), 16);
+
+  const auto& cc21 = arch_for(ComputeCapability::kCc21);
+  EXPECT_DOUBLE_EQ(cc21.peak_throughput(MachineOp::kIAdd), 48);
+  EXPECT_DOUBLE_EQ(cc21.peak_throughput(MachineOp::kLop), 48);
+  EXPECT_DOUBLE_EQ(cc21.peak_throughput(MachineOp::kShift), 16);
+  EXPECT_DOUBLE_EQ(cc21.peak_throughput(MachineOp::kMadShift), 16);
+
+  const auto& cc30 = arch_for(ComputeCapability::kCc30);
+  EXPECT_DOUBLE_EQ(cc30.peak_throughput(MachineOp::kIAdd), 160);
+  EXPECT_DOUBLE_EQ(cc30.peak_throughput(MachineOp::kLop), 160);
+  EXPECT_DOUBLE_EQ(cc30.peak_throughput(MachineOp::kShift), 32);
+  EXPECT_DOUBLE_EQ(cc30.peak_throughput(MachineOp::kMadShift), 32);
+}
+
+TEST(Arch, Cc35FunnelShiftQuadruplesRotationThroughput) {
+  // Section V-B: one funnel instruction at double the shift rate
+  // replaces the SHL+IMAD pair — 4x rotation throughput vs cc 3.0.
+  const auto& cc30 = arch_for(ComputeCapability::kCc30);
+  const auto& cc35 = arch_for(ComputeCapability::kCc35);
+  const double rot30 = cc30.peak_throughput(MachineOp::kShift) / 2;
+  const double rot35 = cc35.peak_throughput(MachineOp::kFunnel);
+  EXPECT_DOUBLE_EQ(rot35 / rot30, 4.0);
+  // Funnel shifts do not exist below 3.5.
+  EXPECT_DOUBLE_EQ(cc30.peak_throughput(MachineOp::kFunnel), 0.0);
+}
+
+TEST(Arch, TableSevenDeviceSpecs) {
+  const auto& devices = paper_devices();
+  ASSERT_EQ(devices.size(), 5u);
+
+  const auto& d8600 = device_by_name("8600M");
+  EXPECT_EQ(d8600.mp_count, 4u);
+  EXPECT_EQ(d8600.cores, 32u);
+  EXPECT_DOUBLE_EQ(d8600.clock_mhz, 950);
+  EXPECT_EQ(d8600.cc, ComputeCapability::kCc1x);
+
+  const auto& d8800 = device_by_name("8800");
+  EXPECT_EQ(d8800.mp_count, 16u);
+  EXPECT_EQ(d8800.cores, 128u);
+  EXPECT_DOUBLE_EQ(d8800.clock_mhz, 1625);
+
+  const auto& d540 = device_by_name("540M");
+  EXPECT_EQ(d540.mp_count, 2u);
+  EXPECT_EQ(d540.cores, 96u);
+  EXPECT_EQ(d540.cc, ComputeCapability::kCc21);
+
+  const auto& d550 = device_by_name("550Ti");
+  EXPECT_EQ(d550.mp_count, 4u);
+  EXPECT_EQ(d550.cores, 192u);
+  EXPECT_DOUBLE_EQ(d550.clock_mhz, 1800);
+
+  const auto& d660 = device_by_name("660");
+  EXPECT_EQ(d660.mp_count, 5u);
+  EXPECT_EQ(d660.cores, 960u);
+  EXPECT_DOUBLE_EQ(d660.clock_mhz, 1033);
+  EXPECT_EQ(d660.cc, ComputeCapability::kCc30);
+}
+
+TEST(Arch, CoresAreGroupsTimesGroupSize) {
+  for (const auto cc : all_capabilities()) {
+    const auto& a = arch_for(cc);
+    EXPECT_EQ(a.cores_per_mp, a.core_groups * a.group_size) << cc_name(cc);
+  }
+}
+
+TEST(Arch, UnknownDeviceNameThrows) {
+  EXPECT_THROW(device_by_name("Titan"), InvalidArgument);
+}
+
+TEST(Arch, MachineMixAccessorsAndScaling) {
+  MachineMix mix;
+  mix[MachineOp::kIAdd] = 150;
+  mix[MachineOp::kLop] = 120;
+  mix[MachineOp::kShift] = 43;
+  mix[MachineOp::kMadShift] = 43;
+  mix[MachineOp::kPrmt] = 3;
+  EXPECT_EQ(mix.total(), 359u);
+  EXPECT_EQ(mix.shift_class(), 89u);
+  EXPECT_EQ(mix.addlop_class(), 270u);
+
+  const MachineMix grown = mix.scaled(1.10);
+  EXPECT_EQ(grown[MachineOp::kIAdd], 165u);
+  EXPECT_EQ(grown[MachineOp::kPrmt], 3u);  // rounding keeps tiny classes
+}
+
+}  // namespace
+}  // namespace gks::simgpu

@@ -1,0 +1,101 @@
+#include "simgpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "simgpu/model.h"
+
+namespace gks::simgpu {
+namespace {
+
+KernelProfile test_profile() {
+  KernelProfile p;
+  p.per_candidate = PaperCounts::md5_final_cc2();
+  p.ilp = 1;
+  return p;
+}
+
+TEST(Device, SustainedThroughputIsCachedAndPositive) {
+  SimulatedGpu gpu(device_by_name("660"));
+  const double a = gpu.sustained_throughput(test_profile());
+  const double b = gpu.sustained_throughput(test_profile());
+  EXPECT_GT(a, 1e8);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Device, BatchSizeRespectsTheWatchdog) {
+  LaunchPolicy policy;
+  policy.target_kernel_s = 0.25;
+  policy.watchdog_limit_s = 2.0;
+  SimulatedGpu gpu(device_by_name("550Ti"), {}, policy);
+  const auto profile = test_profile();
+  const double throughput = gpu.sustained_throughput(profile);
+  const double batch_time =
+      gpu.batch_size(profile).to_double() / throughput;
+  EXPECT_LT(batch_time, policy.watchdog_limit_s);
+  EXPECT_NEAR(batch_time, policy.target_kernel_s, 0.01);
+}
+
+TEST(Device, ScanSecondsScalesLinearlyForLargeCounts) {
+  SimulatedGpu gpu(device_by_name("660"));
+  const auto profile = test_profile();
+  const double t1 = gpu.scan_seconds(profile, u128(1) << 32);
+  const double t2 = gpu.scan_seconds(profile, u128(1) << 33);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(Device, SmallScansPayTheLaunchOverhead) {
+  LaunchPolicy policy;
+  policy.launch_overhead_s = 20e-6;
+  SimulatedGpu gpu(device_by_name("660"), {}, policy);
+  const auto profile = test_profile();
+  // One candidate still costs a launch.
+  EXPECT_GE(gpu.scan_seconds(profile, u128(1)), policy.launch_overhead_s);
+  EXPECT_DOUBLE_EQ(gpu.scan_seconds(profile, u128(0)), 0.0);
+}
+
+TEST(Device, ManyLaunchesAccumulateOverhead) {
+  LaunchPolicy policy;
+  policy.launch_overhead_s = 1e-3;  // exaggerated for visibility
+  policy.target_kernel_s = 0.01;
+  SimulatedGpu gpu(device_by_name("660"), {}, policy);
+  const auto profile = test_profile();
+  const u128 batch = gpu.batch_size(profile);
+  const double one_batch = gpu.scan_seconds(profile, batch);
+  const double ten_batches =
+      gpu.scan_seconds(profile, u128::checked_mul(batch, u128(10)));
+  EXPECT_NEAR(ten_batches, 10 * one_batch, one_batch * 0.01);
+}
+
+TEST(Device, EfficiencyGrowsWithScanSize) {
+  // The premise of the tuning step: larger intervals amortize fixed
+  // costs (Section III).
+  SimulatedGpu gpu(device_by_name("540M"));
+  const auto profile = test_profile();
+  const double peak = gpu.sustained_throughput(profile);
+  const auto efficiency = [&](std::uint64_t n) {
+    return (n / gpu.scan_seconds(profile, u128(n))) / peak;
+  };
+  EXPECT_LT(efficiency(10000), efficiency(1000000));
+  EXPECT_LT(efficiency(1000000), efficiency(400000000));
+  EXPECT_GT(efficiency(400000000), 0.95);
+}
+
+TEST(Device, InvalidLaunchPolicyRejected) {
+  LaunchPolicy bad;
+  bad.target_kernel_s = 5.0;
+  bad.watchdog_limit_s = 2.0;
+  EXPECT_THROW(SimulatedGpu(device_by_name("660"), {}, bad), InvalidArgument);
+}
+
+TEST(Device, TheoreticalMatchesModel) {
+  SimulatedGpu gpu(device_by_name("550Ti"));
+  const MachineMix mix = PaperCounts::md5_final_cc2();
+  EXPECT_DOUBLE_EQ(
+      gpu.theoretical_throughput(mix),
+      ThroughputModel::theoretical_throughput(device_by_name("550Ti"), mix));
+}
+
+}  // namespace
+}  // namespace gks::simgpu

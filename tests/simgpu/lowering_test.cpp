@@ -1,0 +1,103 @@
+#include "simgpu/lowering.h"
+
+#include <gtest/gtest.h>
+
+namespace gks::simgpu {
+namespace {
+
+std::vector<SrcInstr> one(SrcOp op, unsigned amount = 0) {
+  return {{op, amount}};
+}
+
+TEST(Lowering, BasicOpsMapToTheirClasses) {
+  LoweringOptions opt{ComputeCapability::kCc30};
+  EXPECT_EQ(lower(one(SrcOp::kAdd), opt)[MachineOp::kIAdd], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kAnd), opt)[MachineOp::kLop], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kOr), opt)[MachineOp::kLop], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kXor), opt)[MachineOp::kLop], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kShl), opt)[MachineOp::kShift], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kShr), opt)[MachineOp::kShift], 1u);
+}
+
+TEST(Lowering, NotIsMergedByDefault) {
+  LoweringOptions opt{ComputeCapability::kCc21};
+  EXPECT_EQ(lower(one(SrcOp::kNot), opt).total(), 0u);
+  opt.merge_not = false;
+  EXPECT_EQ(lower(one(SrcOp::kNot), opt)[MachineOp::kLop], 1u);
+}
+
+TEST(Lowering, RotationOnCc1xIsShlShrAdd) {
+  LoweringOptions opt{ComputeCapability::kCc1x};
+  const MachineMix mix = lower(one(SrcOp::kRotl, 7), opt);
+  EXPECT_EQ(mix[MachineOp::kShift], 2u);
+  EXPECT_EQ(mix[MachineOp::kIAdd], 1u);
+  EXPECT_EQ(mix.total(), 3u);
+}
+
+TEST(Lowering, RotationOnCc2xAndCc30IsShlPlusMad) {
+  for (const auto cc : {ComputeCapability::kCc20, ComputeCapability::kCc21,
+                        ComputeCapability::kCc30}) {
+    LoweringOptions opt{cc};
+    const MachineMix mix = lower(one(SrcOp::kRotl, 7), opt);
+    EXPECT_EQ(mix[MachineOp::kShift], 1u) << cc_name(cc);
+    EXPECT_EQ(mix[MachineOp::kMadShift], 1u) << cc_name(cc);
+    EXPECT_EQ(mix[MachineOp::kIAdd], 0u)
+        << "the MAD absorbs the addition, " << cc_name(cc);
+  }
+}
+
+TEST(Lowering, RotationOnCc35IsOneFunnelShift) {
+  LoweringOptions opt{ComputeCapability::kCc35};
+  const MachineMix mix = lower(one(SrcOp::kRotl, 7), opt);
+  EXPECT_EQ(mix[MachineOp::kFunnel], 1u);
+  EXPECT_EQ(mix.total(), 1u);
+}
+
+TEST(Lowering, BytePermHandlesByteAlignedRotations) {
+  LoweringOptions opt{ComputeCapability::kCc30};
+  opt.use_byte_perm = true;
+  EXPECT_EQ(lower(one(SrcOp::kRotl, 16), opt)[MachineOp::kPrmt], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kRotl, 8), opt)[MachineOp::kPrmt], 1u);
+  EXPECT_EQ(lower(one(SrcOp::kRotr, 24), opt)[MachineOp::kPrmt], 1u);
+  // Non-byte-aligned rotations still expand.
+  const MachineMix mix = lower(one(SrcOp::kRotl, 7), opt);
+  EXPECT_EQ(mix[MachineOp::kPrmt], 0u);
+  EXPECT_EQ(mix[MachineOp::kShift], 1u);
+}
+
+TEST(Lowering, BytePermUnavailableOnCc1x) {
+  LoweringOptions opt{ComputeCapability::kCc1x};
+  opt.use_byte_perm = true;
+  EXPECT_EQ(lower(one(SrcOp::kRotl, 16), opt)[MachineOp::kPrmt], 0u);
+}
+
+TEST(Lowering, LegacyRotateForcesOldExpansionOnNewArch) {
+  LoweringOptions opt{ComputeCapability::kCc30};
+  opt.legacy_rotate = true;
+  const MachineMix mix = lower(one(SrcOp::kRotl, 7), opt);
+  EXPECT_EQ(mix[MachineOp::kShift], 2u);
+  EXPECT_EQ(mix[MachineOp::kIAdd], 1u);
+  EXPECT_EQ(mix[MachineOp::kMadShift], 0u);
+}
+
+TEST(Lowering, RotrLowersLikeRotl) {
+  LoweringOptions opt{ComputeCapability::kCc21};
+  EXPECT_EQ(lower(one(SrcOp::kRotr, 11), opt).counts,
+            lower(one(SrcOp::kRotl, 11), opt).counts);
+}
+
+TEST(Lowering, MixedStreamAccumulates) {
+  LoweringOptions opt{ComputeCapability::kCc30};
+  std::vector<SrcInstr> stream = {
+      {SrcOp::kAdd, 0}, {SrcOp::kAdd, 0},  {SrcOp::kXor, 0},
+      {SrcOp::kNot, 0}, {SrcOp::kRotl, 7}, {SrcOp::kShr, 3},
+  };
+  const MachineMix mix = lower(stream, opt);
+  EXPECT_EQ(mix[MachineOp::kIAdd], 2u);
+  EXPECT_EQ(mix[MachineOp::kLop], 1u);
+  EXPECT_EQ(mix[MachineOp::kShift], 2u);  // rotl's SHL + the SHR
+  EXPECT_EQ(mix[MachineOp::kMadShift], 1u);
+}
+
+}  // namespace
+}  // namespace gks::simgpu

@@ -1,0 +1,136 @@
+#include "simgpu/simt.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "simgpu/model.h"
+
+namespace gks::simgpu {
+namespace {
+
+KernelProfile md5_profile(ComputeCapability cc, unsigned ilp) {
+  KernelProfile p;
+  p.per_candidate = PaperCounts::md5_final(cc);
+  p.ilp = ilp;
+  p.overhead_fraction = 0.01;
+  return p;
+}
+
+double mkeys(const char* device, unsigned ilp) {
+  const DeviceSpec& dev = device_by_name(device);
+  return SimtSimulator::device_throughput(dev, md5_profile(dev.cc, ilp)) /
+         1e6;
+}
+
+TEST(Simt, Cc1xDevicesLandNearPaperMeasurements) {
+  // Paper Table VIII "our approach": 71 on the 8600M, 480 on the 8800.
+  EXPECT_NEAR(mkeys("8600M", 1), 71, 8);
+  EXPECT_NEAR(mkeys("8800", 1), 480, 45);
+}
+
+TEST(Simt, FermiWithoutIlpSitsAtTwoThirdsOfPeak) {
+  // The headline Fermi result: 2 single-issue-effective schedulers can
+  // start only 2 of 3 groups per slot. Paper: 654 measured vs 962.7
+  // theoretical on the 550 Ti.
+  const double measured = mkeys("550Ti", 1);
+  EXPECT_NEAR(measured, 654, 60);
+  const double theoretical = ThroughputModel::theoretical_mkeys(
+      device_by_name("550Ti"), PaperCounts::md5_final_cc2());
+  EXPECT_NEAR(measured / theoretical, 2.0 / 3.0, 0.05);
+}
+
+TEST(Simt, FermiIlpInterleavingRecoversThePeak) {
+  // "A better ILP factor ... is nevertheless a good choice on Fermi."
+  const double ilp1 = mkeys("550Ti", 1);
+  const double ilp2 = mkeys("550Ti", 2);
+  EXPECT_GT(ilp2 / ilp1, 1.3);
+  const double theoretical = ThroughputModel::theoretical_mkeys(
+      device_by_name("550Ti"), PaperCounts::md5_final_cc2());
+  EXPECT_GT(ilp2 / theoretical, 0.9);
+}
+
+TEST(Simt, KeplerReachesNearMaximalThroughputWithoutIlp) {
+  // Paper: 1841 of 1851 theoretical on the GTX 660 (99.46%).
+  const double measured = mkeys("660", 1);
+  const double theoretical = ThroughputModel::theoretical_mkeys(
+      device_by_name("660"), PaperCounts::md5_final_cc2());
+  EXPECT_GT(measured / theoretical, 0.93);
+  EXPECT_NEAR(measured, 1841, 130);
+}
+
+TEST(Simt, KeplerGainsLittleFromIlp) {
+  // "Providing a better ILP factor would be pointless on cc 3.0."
+  const double ilp1 = mkeys("660", 1);
+  const double ilp2 = mkeys("660", 2);
+  EXPECT_LT(ilp2 / ilp1, 1.10);
+}
+
+TEST(Simt, DualIssueFractionIsStructurallyZeroWithoutIlp) {
+  // The profiler observation of Section V-B: "the number of
+  // instructions dispatched in a dual-issue fashion is very low".
+  const DeviceSpec& dev = device_by_name("550Ti");
+  SimtSimulator sim(dev.arch());
+  const SimtResult r = sim.run(md5_profile(dev.cc, 1));
+  EXPECT_LT(r.dual_issue_fraction, 0.10);
+
+  const SimtResult r2 = sim.run(md5_profile(dev.cc, 2));
+  EXPECT_GT(r2.dual_issue_fraction, 0.25);
+}
+
+TEST(Simt, ThroughputNeverExceedsTheAnalyticBound) {
+  for (const auto& dev : paper_devices()) {
+    for (unsigned ilp : {1u, 2u, 4u}) {
+      const double sim =
+          SimtSimulator::device_throughput(dev, md5_profile(dev.cc, ilp));
+      const double bound = ThroughputModel::theoretical_throughput(
+          dev, md5_profile(dev.cc, ilp).effective_mix());
+      EXPECT_LE(sim, bound * 1.005) << dev.name << " ilp " << ilp;
+    }
+  }
+}
+
+TEST(Simt, ShiftGroupIsTheBusiestOnKepler) {
+  const DeviceSpec& dev = device_by_name("660");
+  SimtSimulator sim(dev.arch());
+  const SimtResult r = sim.run(md5_profile(dev.cc, 1));
+  ASSERT_EQ(r.group_utilization.size(), 6u);
+  // Group 0 is the shift/MAD group; the kernel is shift-bound.
+  EXPECT_GT(r.group_utilization[0], 0.9);
+}
+
+TEST(Simt, ResultIsDeterministic) {
+  const DeviceSpec& dev = device_by_name("660");
+  SimtSimulator sim(dev.arch());
+  const auto a = sim.run(md5_profile(dev.cc, 1));
+  const auto b = sim.run(md5_profile(dev.cc, 1));
+  EXPECT_DOUBLE_EQ(a.candidates_per_cycle, b.candidates_per_cycle);
+}
+
+TEST(Simt, FewResidentWarpsStarveTheSchedulers) {
+  const DeviceSpec& dev = device_by_name("660");
+  SimtConfig starved;
+  starved.resident_warps = 4;
+  SimtConfig healthy;
+  const double low =
+      SimtSimulator::device_throughput(dev, md5_profile(dev.cc, 1), starved);
+  const double high =
+      SimtSimulator::device_throughput(dev, md5_profile(dev.cc, 1), healthy);
+  EXPECT_LT(low, 0.6 * high);
+}
+
+TEST(Simt, InvalidConfigurationRejected) {
+  const auto& arch = arch_for(ComputeCapability::kCc30);
+  SimtConfig bad;
+  bad.resident_warps = 0;
+  EXPECT_THROW(SimtSimulator(arch, bad), InvalidArgument);
+  SimtConfig empty_window;
+  empty_window.measure_cycles = 0;
+  EXPECT_THROW(SimtSimulator(arch, empty_window), InvalidArgument);
+  SimtSimulator sim(arch);
+  KernelProfile empty;
+  EXPECT_THROW(sim.run(empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::simgpu

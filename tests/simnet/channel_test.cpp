@@ -1,0 +1,106 @@
+#include "simnet/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace gks::simnet {
+namespace {
+
+Message text_msg(NodeId from, const std::string& text,
+                 std::size_t wire = 64) {
+  return Message{from, std::any(text), wire};
+}
+
+TEST(Mailbox, DeliversAfterLatency) {
+  const VirtualClock clock(1e-3);
+  LinkSpec spec;
+  spec.latency_s = 10.0;  // 10 virtual seconds = 10 ms real
+  Mailbox box(clock, spec);
+  box.send(text_msg(1, "hello"));
+  // Not deliverable immediately.
+  EXPECT_FALSE(box.try_recv().has_value());
+  // Blocking recv waits it out.
+  const auto msg = box.recv(100.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::any_cast<std::string>(msg->payload), "hello");
+  EXPECT_EQ(msg->from, 1u);
+}
+
+TEST(Mailbox, RecvTimesOutWhenEmpty) {
+  const VirtualClock clock(1e-3);
+  Mailbox box(clock, LinkSpec{});
+  EXPECT_FALSE(box.recv(5.0).has_value());
+}
+
+TEST(Mailbox, ZeroLatencyDeliversPromptly) {
+  const VirtualClock clock(1e-3);
+  LinkSpec spec;
+  spec.latency_s = 0.0;
+  Mailbox box(clock, spec);
+  box.send(text_msg(2, "now", 0));
+  EXPECT_TRUE(box.recv(1.0).has_value());
+}
+
+TEST(Mailbox, BandwidthDelaysLargeMessages) {
+  const VirtualClock clock(1e-3);
+  LinkSpec spec;
+  spec.latency_s = 0.0;
+  spec.bandwidth_bps = 8.0;  // 1 byte per virtual second
+  EXPECT_NEAR(spec.transfer_seconds(100), 100.0, 1e-9);
+  Mailbox box(clock, spec);
+  box.send(text_msg(1, "big", 50));  // 50 virtual seconds = 50 ms real
+  EXPECT_FALSE(box.try_recv().has_value());
+  EXPECT_TRUE(box.recv(200.0).has_value());
+}
+
+TEST(Mailbox, ExplicitDelayOverridesSpec) {
+  const VirtualClock clock(1e-3);
+  LinkSpec slow;
+  slow.latency_s = 1000.0;
+  Mailbox box(clock, slow);
+  box.send_with_delay(text_msg(1, "fast"), 0.0);
+  EXPECT_TRUE(box.recv(1.0).has_value());
+}
+
+TEST(Mailbox, EarliestDeadlineDeliveredFirst) {
+  const VirtualClock clock(1e-3);
+  Mailbox box(clock, LinkSpec{});
+  box.send_with_delay(text_msg(1, "late"), 20.0);
+  box.send_with_delay(text_msg(1, "early"), 1.0);
+  const auto msg = box.recv(100.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::any_cast<std::string>(msg->payload), "early");
+}
+
+TEST(Mailbox, CrossThreadSendWakesReceiver) {
+  const VirtualClock clock(1e-3);
+  LinkSpec spec;
+  spec.latency_s = 1.0;
+  Mailbox box(clock, spec);
+  std::thread sender([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.send(text_msg(7, "wake"));
+  });
+  const auto msg = box.recv(5000.0);
+  sender.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 7u);
+}
+
+TEST(Mailbox, ManyMessagesAllArrive) {
+  const VirtualClock clock(1e-3);
+  LinkSpec spec;
+  spec.latency_s = 0.5;
+  Mailbox box(clock, spec);
+  for (int i = 0; i < 100; ++i) box.send(text_msg(1, std::to_string(i)));
+  int received = 0;
+  while (box.recv(50.0).has_value()) {
+    if (++received == 100) break;
+  }
+  EXPECT_EQ(received, 100);
+}
+
+}  // namespace
+}  // namespace gks::simnet

@@ -1,0 +1,53 @@
+#include "simnet/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace gks::simnet {
+namespace {
+
+TEST(VirtualClock, SleepScalesVirtualToReal) {
+  const VirtualClock clock(1e-3);
+  gks::Stopwatch timer;
+  clock.sleep_virtual(20.0);  // 20 virtual seconds = 20 ms real
+  const double real = timer.seconds();
+  EXPECT_GE(real, 0.018);
+  EXPECT_LT(real, 0.2);  // generous upper bound for CI jitter
+}
+
+TEST(VirtualClock, NonPositiveSleepReturnsImmediately) {
+  const VirtualClock clock(1e-3);
+  gks::Stopwatch timer;
+  clock.sleep_virtual(0.0);
+  clock.sleep_virtual(-5.0);
+  EXPECT_LT(timer.seconds(), 0.01);
+}
+
+TEST(VirtualClock, ToVirtualInvertsTheScale) {
+  const VirtualClock clock(1e-2);
+  const auto real = std::chrono::milliseconds(50);
+  EXPECT_NEAR(clock.to_virtual(real), 5.0, 1e-9);
+}
+
+TEST(VirtualClock, DeadlineIsInTheScaledFuture) {
+  const VirtualClock clock(1e-3);
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = clock.deadline(100.0);  // 100 ms real
+  const double delta = std::chrono::duration<double>(deadline - now).count();
+  EXPECT_NEAR(delta, 0.1, 0.01);
+}
+
+TEST(VirtualClock, UnitScalePreservesRealTime) {
+  const VirtualClock clock(1.0);
+  EXPECT_NEAR(clock.to_virtual(std::chrono::milliseconds(250)), 0.25, 1e-9);
+}
+
+TEST(VirtualClock, RejectsNonPositiveScale) {
+  EXPECT_THROW(VirtualClock(0.0), InvalidArgument);
+  EXPECT_THROW(VirtualClock(-1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks::simnet

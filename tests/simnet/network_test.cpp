@@ -1,0 +1,171 @@
+#include "simnet/network.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <atomic>
+#include <string>
+
+namespace gks::simnet {
+namespace {
+
+TEST(Network, TopologyAccessors) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  const NodeId c = net.add_node("C");
+  net.connect(a, b);
+  net.connect(a, c);
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.name_of(a), "A");
+  EXPECT_FALSE(net.parent_of(a).has_value());
+  EXPECT_EQ(net.parent_of(b), a);
+  EXPECT_EQ(net.children_of(a).size(), 2u);
+  EXPECT_TRUE(net.children_of(b).empty());
+}
+
+TEST(Network, MessageRoundTripBothDirections) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  net.connect(a, b);
+
+  net.send(a, b, std::string("down"));
+  auto down = net.recv(b, 50.0);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(std::any_cast<std::string>(down->payload), "down");
+  EXPECT_EQ(down->from, a);
+
+  net.send(b, a, std::string("up"));
+  auto up = net.recv(a, 50.0);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(std::any_cast<std::string>(up->payload), "up");
+}
+
+TEST(Network, UnconnectedNodesCannotTalk) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  const NodeId c = net.add_node("C");
+  net.connect(a, b);
+  EXPECT_THROW(net.send(a, c, 1), InvalidArgument);
+  EXPECT_THROW(net.send(b, c, 1), InvalidArgument);
+}
+
+TEST(Network, InvalidTopologyRejected) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  const NodeId c = net.add_node("C");
+  EXPECT_THROW(net.connect(a, a), InvalidArgument);
+  net.connect(a, b);
+  EXPECT_THROW(net.connect(c, b), InvalidArgument);  // second parent
+}
+
+TEST(Network, DownNodeDropsTraffic) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  net.connect(a, b);
+
+  net.set_node_down(b, true);
+  EXPECT_TRUE(net.is_down(b));
+  net.send(a, b, 1);                       // to a dead node: dropped
+  net.send(b, a, 2);                       // from a dead node: dropped
+  EXPECT_FALSE(net.recv(b, 5.0).has_value());
+  EXPECT_FALSE(net.recv(a, 5.0).has_value());
+
+  net.set_node_down(b, false);
+  net.send(a, b, 3);
+  EXPECT_TRUE(net.recv(b, 50.0).has_value());
+}
+
+TEST(Network, LossyLinkDropsApproximatelyTheConfiguredFraction) {
+  Network net(1e-3, /*seed=*/7);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  LinkSpec lossy;
+  lossy.latency_s = 0.0;
+  lossy.loss_probability = 0.5;
+  net.connect(a, b, lossy);
+
+  int delivered = 0;
+  for (int i = 0; i < 400; ++i) {
+    net.send(a, b, i);
+    if (net.recv(b, 1.0).has_value()) ++delivered;
+  }
+  EXPECT_GT(delivered, 120);
+  EXPECT_LT(delivered, 280);
+}
+
+TEST(Network, LinkLossCanBeChangedAtRuntime) {
+  Network net(1e-3, /*seed=*/11);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  net.connect(a, b);
+
+  net.set_link_loss(a, b, 1.0);  // partition
+  net.send(a, b, 1);
+  EXPECT_FALSE(net.recv(b, 5.0).has_value());
+
+  net.set_link_loss(a, b, 0.0);  // heal
+  net.send(a, b, 2);
+  auto msg = net.recv(b, 50.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::any_cast<int>(msg->payload), 2);
+  // Both directions are affected symmetrically.
+  net.set_link_loss(a, b, 1.0);
+  net.send(b, a, 3);
+  EXPECT_FALSE(net.recv(a, 5.0).has_value());
+}
+
+TEST(Network, SetLinkLossValidatesItsArguments) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  const NodeId b = net.add_node("B");
+  const NodeId c = net.add_node("C");
+  net.connect(a, b);
+  EXPECT_THROW(net.set_link_loss(a, c, 0.5), InvalidArgument);
+  EXPECT_THROW(net.set_link_loss(a, b, 1.5), InvalidArgument);
+  EXPECT_THROW(net.set_link_loss(a, b, -0.1), InvalidArgument);
+}
+
+TEST(Network, NodeThreadsExchangeMessages) {
+  Network net(1e-3);
+  const NodeId parent = net.add_node("parent");
+  const NodeId child = net.add_node("child");
+  net.connect(parent, child);
+
+  std::atomic<int> echoed{0};
+  net.start(child, [&net, parent, child] {
+    for (int i = 0; i < 10; ++i) {
+      auto msg = net.recv(child, 1000.0);
+      if (!msg) return;
+      net.send(child, parent, std::any_cast<int>(msg->payload) * 2);
+    }
+  });
+
+  for (int i = 1; i <= 10; ++i) net.send(parent, child, i);
+  int sum = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto msg = net.recv(parent, 1000.0);
+    ASSERT_TRUE(msg.has_value());
+    sum += std::any_cast<int>(msg->payload);
+    ++echoed;
+  }
+  net.join_all();
+  EXPECT_EQ(echoed.load(), 10);
+  EXPECT_EQ(sum, 2 * (10 * 11) / 2);
+}
+
+TEST(Network, StartTwiceRejected) {
+  Network net(1e-3);
+  const NodeId a = net.add_node("A");
+  net.start(a, [] {});
+  EXPECT_THROW(net.start(a, [] {}), InvalidArgument);
+  net.join_all();
+}
+
+}  // namespace
+}  // namespace gks::simnet

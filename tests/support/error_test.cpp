@@ -1,0 +1,37 @@
+#include "support/error.h"
+
+#include <gtest/gtest.h>
+
+namespace gks {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    GKS_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("math is broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, EnsureThrowsInternalError) {
+  EXPECT_THROW(GKS_ENSURE(false, "invariant"), InternalError);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(GKS_REQUIRE(true, ""));
+  EXPECT_NO_THROW(GKS_ENSURE(true, ""));
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw InvalidArgument("x"); }, Error);
+  EXPECT_THROW(
+      { throw InternalError("y"); }, Error);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,46 @@
+#include "support/hex.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace gks {
+namespace {
+
+TEST(Hex, EncodeEmpty) {
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>{}), "");
+}
+
+TEST(Hex, EncodeKnownBytes) {
+  const std::uint8_t bytes[] = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(to_hex(bytes), "000fa5ff");
+}
+
+TEST(Hex, DecodeLowerAndUpperCase) {
+  EXPECT_EQ(from_hex("0a1B2c"), (std::vector<std::uint8_t>{0x0a, 0x1b, 0x2c}));
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), InvalidArgument);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), InvalidArgument);
+  EXPECT_THROW(from_hex("0g"), InvalidArgument);
+}
+
+TEST(Hex, FixedSizeDecode) {
+  const auto a = from_hex_fixed<4>("deadbeef");
+  EXPECT_EQ(a[0], 0xde);
+  EXPECT_EQ(a[3], 0xef);
+  EXPECT_THROW(from_hex_fixed<3>("deadbeef"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,40 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gks {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsToWidestCell) {
+  TablePrinter t;
+  t.header({"name", "x"});
+  t.row({"a", "10"});
+  t.row({"longer", "7"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | x  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| longer | 7  |"), std::string::npos) << s;
+}
+
+TEST(TablePrinter, BodyOnlyTableHasNoRule) {
+  TablePrinter t;
+  t.row({"a", "b"});
+  EXPECT_EQ(t.str().find('-'), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| 1 |   |   |"), std::string::npos) << s;
+}
+
+TEST(TablePrinter, NumTrimsTrailingZeros) {
+  EXPECT_EQ(TablePrinter::num(1851.0), "1851");
+  EXPECT_EQ(TablePrinter::num(962.7), "962.7");
+  EXPECT_EQ(TablePrinter::num(0.852, 3), "0.852");
+  EXPECT_EQ(TablePrinter::num(0.8999, 3), "0.9");
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,116 @@
+#include "support/uint128.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include <cstdint>
+
+namespace gks {
+namespace {
+
+TEST(U128, DefaultIsZero) {
+  EXPECT_EQ(u128().to_string(), "0");
+  EXPECT_EQ(u128(), u128(0));
+}
+
+TEST(U128, SmallArithmetic) {
+  EXPECT_EQ(u128(2) + u128(3), u128(5));
+  EXPECT_EQ(u128(7) - u128(5), u128(2));
+  EXPECT_EQ(u128(6) * u128(7), u128(42));
+  EXPECT_EQ(u128(42) / u128(5), u128(8));
+  EXPECT_EQ(u128(42) % u128(5), u128(2));
+}
+
+TEST(U128, CarriesAcross64BitBoundary) {
+  const u128 big(~std::uint64_t{0});
+  const u128 sum = big + u128(1);
+  EXPECT_EQ(sum.high64(), 1u);
+  EXPECT_EQ(sum.low64(), 0u);
+  EXPECT_EQ(sum - u128(1), big);
+}
+
+TEST(U128, ToStringRoundTripsThroughParse) {
+  const u128 values[] = {u128(0), u128(1), u128(12345),
+                         u128(~std::uint64_t{0}),
+                         u128(0x1234567890abcdefULL, 0xfedcba0987654321ULL),
+                         u128::max()};
+  for (const u128& v : values) {
+    EXPECT_EQ(u128::parse(v.to_string()), v) << v.to_string();
+  }
+}
+
+TEST(U128, KnownLargeDecimal) {
+  // 2^64 = 18446744073709551616
+  EXPECT_EQ(u128(1, 0).to_string(), "18446744073709551616");
+  // 2^127
+  EXPECT_EQ((u128(1) << 127).to_string(),
+            "170141183460469231731687303715884105728");
+}
+
+TEST(U128, ParseRejectsGarbage) {
+  EXPECT_THROW(u128::parse(""), InvalidArgument);
+  EXPECT_THROW(u128::parse("12x4"), InvalidArgument);
+  EXPECT_THROW(u128::parse("-5"), InvalidArgument);
+}
+
+TEST(U128, ParseRejectsOverflow) {
+  // 2^128 = 340282366920938463463374607431768211456
+  EXPECT_THROW(u128::parse("340282366920938463463374607431768211456"),
+               InvalidArgument);
+  EXPECT_EQ(u128::parse("340282366920938463463374607431768211455"),
+            u128::max());
+}
+
+TEST(U128, ToU64ChecksRange) {
+  EXPECT_EQ(u128(42).to_u64(), 42u);
+  EXPECT_THROW(u128(1, 0).to_u64(), InvalidArgument);
+}
+
+TEST(U128, ToDoubleApproximatesLargeValues) {
+  EXPECT_DOUBLE_EQ(u128(1000).to_double(), 1000.0);
+  EXPECT_NEAR(u128(1, 0).to_double(), 1.8446744073709552e19, 1e5);
+}
+
+TEST(U128, ComparisonOperators) {
+  EXPECT_LT(u128(1), u128(2));
+  EXPECT_LT(u128(~std::uint64_t{0}), u128(1, 0));
+  EXPECT_GE(u128::max(), u128(0, ~std::uint64_t{0}));
+  EXPECT_NE(u128(1, 0), u128(0, 1));
+}
+
+TEST(U128, ShiftOperators) {
+  EXPECT_EQ(u128(1) << 64, u128(1, 0));
+  EXPECT_EQ(u128(1, 0) >> 64, u128(1));
+}
+
+TEST(U128, IncrementDecrement) {
+  u128 v(41);
+  EXPECT_EQ(++v, u128(42));
+  EXPECT_EQ(v++, u128(42));
+  EXPECT_EQ(v, u128(43));
+  EXPECT_EQ(--v, u128(42));
+}
+
+TEST(U128, SaturatingAddClampsAtMax) {
+  EXPECT_EQ(u128::saturating_add(u128(1), u128(2)), u128(3));
+  EXPECT_EQ(u128::saturating_add(u128::max(), u128(1)), u128::max());
+  EXPECT_EQ(u128::saturating_add(u128::max(), u128::max()), u128::max());
+}
+
+TEST(U128, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(u128::checked_mul(u128(1) << 64, u128(3)), u128(3) << 64);
+  EXPECT_THROW(u128::checked_mul(u128(1) << 64, u128(1) << 64), InternalError);
+}
+
+TEST(U128, CheckedPowMatchesRepeatedMultiplication) {
+  EXPECT_EQ(u128::checked_pow(u128(62), 0), u128(1));
+  EXPECT_EQ(u128::checked_pow(u128(62), 1), u128(62));
+  EXPECT_EQ(u128::checked_pow(u128(2), 100), u128(1) << 100);
+  // 62^8 = 218340105584896, the paper's 8-char alphanumeric class size.
+  EXPECT_EQ(u128::checked_pow(u128(62), 8).to_string(), "218340105584896");
+  EXPECT_THROW(u128::checked_pow(u128(62), 30), InternalError);
+}
+
+}  // namespace
+}  // namespace gks
