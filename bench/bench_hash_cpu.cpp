@@ -8,6 +8,7 @@
 
 #include "hash/lane.h"
 #include "hash/lane_scan.h"
+#include "hash/simd/dispatch.h"
 #include "hash/md5.h"
 #include "hash/md5_crack.h"
 #include "hash/sha1.h"
@@ -89,7 +90,8 @@ void BM_Md5ScanPrefixes(benchmark::State& state) {
 BENCHMARK(BM_Md5ScanPrefixes);
 
 void BM_Md5ScanPrefixesLanes(benchmark::State& state) {
-  // The vectorized scanner the CPU backend actually uses.
+  // The runtime-dispatched SIMD scanner at the widest width the host
+  // can execute — what the CPU backend runs by default.
   const Md5CrackContext ctx(Md5::digest("zzzzzzzz"), "zzzz", 8);
   const std::string cs =
       "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
@@ -101,6 +103,74 @@ void BM_Md5ScanPrefixesLanes(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_Md5ScanPrefixesLanes);
+
+void BM_Sha1ScanPrefixes(benchmark::State& state) {
+  const Sha1CrackContext ctx(Sha1::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, true);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha1_scan_prefixes(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Sha1ScanPrefixes);
+
+void BM_Sha1ScanPrefixesLanes(benchmark::State& state) {
+  const Sha1CrackContext ctx(Sha1::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, true);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha1_scan_prefixes_lanes(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Sha1ScanPrefixesLanes);
+
+void BM_Md5ScanWidth(benchmark::State& state) {
+  // One specific vector width (Arg), skipped when the host cannot
+  // execute it — isolates the per-width codegen from the dispatcher.
+  const auto* k =
+      simd::kernels_for_width(static_cast<unsigned>(state.range(0)));
+  if (k == nullptr) {
+    state.SkipWithError("width not executable on this host");
+    return;
+  }
+  const Md5CrackContext ctx(Md5::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, false);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->md5_scan(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(k->isa);
+}
+BENCHMARK(BM_Md5ScanWidth)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Sha1ScanWidth(benchmark::State& state) {
+  const auto* k =
+      simd::kernels_for_width(static_cast<unsigned>(state.range(0)));
+  if (k == nullptr) {
+    state.SkipWithError("width not executable on this host");
+    return;
+  }
+  const Sha1CrackContext ctx(Sha1::digest("zzzzzzzz"), "zzzz", 8);
+  const std::string cs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  PrefixWord0Iterator it({cs.data(), cs.size()}, 4, 8, true);
+  const std::uint64_t batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->sha1_scan(ctx, it, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(k->isa);
+}
+BENCHMARK(BM_Sha1ScanWidth)->Arg(4)->Arg(8)->Arg(16);
 
 template <std::size_t N>
 void BM_Md5Laned(benchmark::State& state) {

@@ -1,0 +1,140 @@
+// Lane-width sweep for the runtime-dispatched SIMD scanners: times the
+// scalar engine and every vector width the host can execute (4/8/16)
+// over the same word-0 keyspace slice, for MD5 and SHA1. Prints a
+// human-readable table and emits a JSON document on stdout so the
+// results can be diffed across hosts and compiler flags.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1.h"
+#include "hash/sha1_crack.h"
+#include "hash/simd/dispatch.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace gks::hash;
+
+constexpr std::uint64_t kWarmup = 1u << 14;
+constexpr std::uint64_t kBatch = 1u << 21;
+const std::string kCharset =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+PrefixWord0Iterator fresh_iterator(bool big_endian) {
+  return PrefixWord0Iterator({kCharset.data(), kCharset.size()}, 4, 8,
+                             big_endian);
+}
+
+// Built without operator+(const char*, string&&): GCC 12 trips a
+// -Wrestrict false positive on that form at -O2 (PR 105651).
+std::string width_name(unsigned width) {
+  std::string out = "w";
+  out += std::to_string(width);
+  return out;
+}
+
+/// Keys/s of one scan engine over kBatch candidates. The target is
+/// outside the slice, so the early exit never fires and every
+/// candidate pays the full kernel cost.
+template <class Ctx, class ScanFn>
+double measure(const Ctx& ctx, bool big_endian, const ScanFn& scan) {
+  auto it = fresh_iterator(big_endian);
+  scan(ctx, it, kWarmup);
+  gks::Stopwatch timer;
+  scan(ctx, it, kBatch);
+  return static_cast<double>(kBatch) / timer.seconds();
+}
+
+struct Row {
+  std::string algorithm;
+  std::string engine;
+  unsigned width;  // 1 == scalar
+  std::string isa;
+  double keys_per_s;
+};
+
+void emit(const std::vector<Row>& rows) {
+  gks::TablePrinter table;
+  table.header({"algorithm", "engine", "isa", "MKey/s", "vs scalar"});
+  double scalar_md5 = 0, scalar_sha1 = 0;
+  for (const auto& r : rows) {
+    if (r.width == 1) (r.algorithm == "md5" ? scalar_md5 : scalar_sha1) =
+        r.keys_per_s;
+  }
+  for (const auto& r : rows) {
+    const double base = r.algorithm == "md5" ? scalar_md5 : scalar_sha1;
+    table.row({r.algorithm, r.engine, r.isa,
+               gks::TablePrinter::num(r.keys_per_s / 1e6, 2),
+               gks::TablePrinter::num(r.keys_per_s / base, 2) + "x"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("{\n  \"bench\": \"lane_width\",\n  \"batch\": %llu,\n"
+              "  \"results\": [\n",
+              static_cast<unsigned long long>(kBatch));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("    {\"algorithm\": \"%s\", \"engine\": \"%s\", "
+                "\"width\": %u, \"isa\": \"%s\", \"keys_per_s\": %.0f}%s\n",
+                r.algorithm.c_str(), r.engine.c_str(), r.width,
+                r.isa.c_str(), r.keys_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main() {
+  const Md5CrackContext md5_ctx(Md5::digest("\x01off-space"), "zzzz", 8);
+  const Sha1CrackContext sha1_ctx(Sha1::digest("\x01off-space"), "zzzz", 8);
+
+  std::vector<Row> rows;
+  rows.push_back({"md5", "scalar", 1, "scalar",
+                  measure(md5_ctx, false,
+                          [](const Md5CrackContext& c, PrefixWord0Iterator& it,
+                             std::uint64_t n) {
+                            return md5_scan_prefixes(c, it, n);
+                          })});
+  for (const auto& k : simd::available_kernels()) {
+    rows.push_back({"md5", width_name(k.width), k.width, k.isa,
+                    measure(md5_ctx, false,
+                            [&](const Md5CrackContext& c,
+                                PrefixWord0Iterator& it, std::uint64_t n) {
+                              return k.md5_scan(c, it, n);
+                            })});
+  }
+  rows.push_back({"sha1", "scalar", 1, "scalar",
+                  measure(sha1_ctx, true,
+                          [](const Sha1CrackContext& c,
+                             PrefixWord0Iterator& it, std::uint64_t n) {
+                            return sha1_scan_prefixes(c, it, n);
+                          })});
+  for (const auto& k : simd::available_kernels()) {
+    rows.push_back({"sha1", width_name(k.width), k.width, k.isa,
+                    measure(sha1_ctx, true,
+                            [&](const Sha1CrackContext& c,
+                                PrefixWord0Iterator& it, std::uint64_t n) {
+                              return k.sha1_scan(c, it, n);
+                            })});
+  }
+  emit(rows);
+
+  for (const auto& k : simd::compiled_kernels()) {
+    bool runnable = false;
+    for (const auto& a : simd::available_kernels()) {
+      if (a.width == k.width) runnable = true;
+    }
+    if (!runnable) {
+      std::printf("note: w%u (%s) compiled but not executable on this "
+                  "host — skipped\n",
+                  k.width, k.isa);
+    }
+  }
+  return 0;
+}

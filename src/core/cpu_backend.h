@@ -11,8 +11,11 @@ namespace gks::core {
 /// Real multithreaded cracking on the host CPU — the fine-grain
 /// parallelization of the pattern applied to a multicore instead of a
 /// CUDA grid (the paper's future-work target, Section VII). Each scan
-/// splits its interval evenly across the worker threads, each of which
-/// runs the same word-0 kernel loop a GPU thread would.
+/// is drained by self-scheduled chunk claiming (an atomic cursor over
+/// the interval), every worker running the same word-0 kernel loop a
+/// GPU thread would — by default through the runtime-dispatched SIMD
+/// lane engine, with the scalar-vs-lane choice pinned once by a
+/// measured calibration probe (ScanPlan::calibrate_lane_choice).
 class CpuSearcher final : public dispatch::IntervalSearcher {
  public:
   /// `threads` = 0 uses the hardware concurrency.
@@ -23,8 +26,9 @@ class CpuSearcher final : public dispatch::IntervalSearcher {
   bool is_simulated() const override { return false; }
 
   /// CPUs have no published instruction-throughput bound, so the
-  /// "theoretical" reference is the measured peak of a calibration
-  /// scan (cached after the first call).
+  /// "theoretical" reference is the measured peak of a short
+  /// whole-pool calibration scan (cached after the first call) —
+  /// pool-parallel so SMT and shared-cache contention are priced in.
   double theoretical_throughput() const override;
 
   std::string description() const override;
@@ -34,7 +38,9 @@ class CpuSearcher final : public dispatch::IntervalSearcher {
 
  private:
   ScanPlan plan_;
-  ThreadPool pool_;
+  /// mutable: theoretical_throughput() is a const measurement that
+  /// runs probe work on the pool.
+  mutable ThreadPool pool_;
   mutable double calibrated_peak_ = 0;
 };
 

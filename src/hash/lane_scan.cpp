@@ -1,54 +1,19 @@
 #include "hash/lane_scan.h"
 
-#include "hash/lane.h"
-#include "hash/md5_kernel.h"
+#include "hash/simd/dispatch.h"
 
 namespace gks::hash {
 
 std::optional<std::uint64_t> md5_scan_prefixes_lanes(
     const Md5CrackContext& ctx, PrefixWord0Iterator& it,
     std::uint64_t count) {
-  using W = Lane<std::uint32_t, kScanLanes>;
+  return simd::best_kernels().md5_scan(ctx, it, count);
+}
 
-  // Broadcast the fixed message words once; only word 0 varies.
-  std::array<W, 16> m;
-  for (std::size_t w = 1; w < 16; ++w) m[w] = W(ctx.message_words()[w]);
-  const Md5State<std::uint32_t>& rev = ctx.reverted_target();
-
-  std::uint64_t scanned = 0;
-  while (count - scanned >= kScanLanes) {
-    // Keep the block's start so a hit can reposition the iterator to
-    // the candidate after the match, exactly like the scalar scanner.
-    const PrefixWord0Iterator block_start = it;
-    std::array<std::uint32_t, kScanLanes> word0s;
-    for (std::size_t l = 0; l < kScanLanes; ++l) {
-      word0s[l] = it.word0();
-      it.advance();
-    }
-    for (std::size_t l = 0; l < kScanLanes; ++l) m[0][l] = word0s[l];
-
-    Md5State<W> s{W(kMd5Init[0]), W(kMd5Init[1]), W(kMd5Init[2]),
-                  W(kMd5Init[3])};
-    md5_forward_steps(s, m, 49);
-
-    for (std::size_t l = 0; l < kScanLanes; ++l) {
-      if (s.a[l] == rev.a && s.b[l] == rev.b && s.c[l] == rev.c &&
-          s.d[l] == rev.d) {
-        it = block_start;
-        for (std::size_t skip = 0; skip <= l; ++skip) it.advance();
-        return scanned + l;
-      }
-    }
-    scanned += kScanLanes;
-  }
-
-  // Scalar tail (and it also re-verifies nothing was skipped: the two
-  // engines share PrefixWord0Iterator semantics).
-  if (scanned < count) {
-    const auto hit = md5_scan_prefixes(ctx, it, count - scanned);
-    if (hit) return scanned + *hit;
-  }
-  return std::nullopt;
+std::optional<std::uint64_t> sha1_scan_prefixes_lanes(
+    const Sha1CrackContext& ctx, PrefixWord0Iterator& it,
+    std::uint64_t count) {
+  return simd::best_kernels().sha1_scan(ctx, it, count);
 }
 
 }  // namespace gks::hash

@@ -4,19 +4,18 @@
 #include <optional>
 
 #include "hash/md5_crack.h"
+#include "hash/sha1_crack.h"
 
 namespace gks::hash {
 
-/// Number of interleaved candidates per pass of the lane scanner.
-/// Eight 32-bit lanes fill an AVX2 register; the compiler vectorizes
-/// the Lane-instantiated compression core accordingly.
-inline constexpr std::size_t kScanLanes = 8;
-
-/// Lane-parallel variant of md5_scan_prefixes: tests kScanLanes
-/// candidates per kernel pass through the Lane-instantiated MD5 core —
-/// the CPU analogue of a warp's data parallelism. Trades the scalar
-/// path's early exit (46 steps/candidate) for uniform 49-step blocks
-/// the compiler can vectorize 8-wide, a large net win on SIMD hosts.
+/// Lane-parallel variant of md5_scan_prefixes: tests N candidates per
+/// kernel pass through the LaneVec-instantiated MD5 core — the CPU
+/// analogue of a warp's data parallelism — where N is the widest vector
+/// width the host supports (runtime-dispatched, see simd/dispatch.h).
+/// The paper's early exit survives vectorization: only the step-45
+/// value is compared against the reverted target's `a` word with an
+/// any-lane test, and steps 46..48 run only for the rare block that
+/// passes.
 ///
 /// Semantics are identical to md5_scan_prefixes: scans `count`
 /// prefix-major candidates from the iterator's position, returns the
@@ -24,6 +23,13 @@ inline constexpr std::size_t kScanLanes = 8;
 /// range.
 std::optional<std::uint64_t> md5_scan_prefixes_lanes(
     const Md5CrackContext& ctx, PrefixWord0Iterator& it,
+    std::uint64_t count);
+
+/// SHA1 counterpart: identical iterator semantics to sha1_scan_prefixes,
+/// N lanes per pass, early exit after step 75 against the unfed
+/// target's `e` word.
+std::optional<std::uint64_t> sha1_scan_prefixes_lanes(
+    const Sha1CrackContext& ctx, PrefixWord0Iterator& it,
     std::uint64_t count);
 
 }  // namespace gks::hash

@@ -39,6 +39,10 @@ class Sha1CrackContext {
   /// Fixed message words (word 0 is a placeholder).
   const std::array<std::uint32_t, 16>& message_words() const { return m_; }
 
+  /// The feed-forward-stripped state the forward steps are compared
+  /// against (used by the lane scanners).
+  const Sha1State<std::uint32_t>& unfed_target() const { return unfed_; }
+
   /// The target digest this context was built for.
   const Sha1Digest& target() const { return target_; }
 

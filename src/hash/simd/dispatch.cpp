@@ -1,0 +1,101 @@
+#include "hash/simd/dispatch.h"
+
+#include <vector>
+
+#include "hash/simd/scan_kernels.h"
+#include "support/error.h"
+
+namespace gks::hash::simd {
+namespace {
+
+// Which ISA each width's translation unit was compiled for. CMake sets
+// the GKS_SIMD_W*_ macros in lockstep with the per-TU target flags, so
+// a variant's runtime requirement always matches its codegen. Without
+// flags (non-x86, GKS_SIMD=OFF, or an old compiler) everything is
+// baseline code and unconditionally executable.
+enum class IsaReq { kBaseline, kAvx2, kAvx512f };
+
+bool host_supports(IsaReq req) {
+  switch (req) {
+    case IsaReq::kBaseline:
+      return true;
+    case IsaReq::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case IsaReq::kAvx512f:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+#if defined(GKS_SIMD_PORTABLE)
+constexpr const char* kBaseIsaName = "portable";
+#else
+constexpr const char* kBaseIsaName = "baseline";
+#endif
+
+struct Variant {
+  ScanKernels kernels;
+  IsaReq requires_isa;
+};
+
+constexpr Variant kVariants[] = {
+    {{4, kBaseIsaName, &md5_scan_w4, &sha1_scan_w4}, IsaReq::kBaseline},
+#if defined(GKS_SIMD_W8_AVX2)
+    {{8, "avx2", &md5_scan_w8, &sha1_scan_w8}, IsaReq::kAvx2},
+#else
+    {{8, kBaseIsaName, &md5_scan_w8, &sha1_scan_w8}, IsaReq::kBaseline},
+#endif
+#if defined(GKS_SIMD_W16_AVX512)
+    {{16, "avx512f", &md5_scan_w16, &sha1_scan_w16}, IsaReq::kAvx512f},
+#else
+    {{16, kBaseIsaName, &md5_scan_w16, &sha1_scan_w16}, IsaReq::kBaseline},
+#endif
+};
+
+const std::vector<ScanKernels>& compiled_table() {
+  static const std::vector<ScanKernels> table = [] {
+    std::vector<ScanKernels> v;
+    for (const Variant& variant : kVariants) v.push_back(variant.kernels);
+    return v;
+  }();
+  return table;
+}
+
+const std::vector<ScanKernels>& available_table() {
+  static const std::vector<ScanKernels> table = [] {
+    std::vector<ScanKernels> v;
+    for (const Variant& variant : kVariants) {
+      if (host_supports(variant.requires_isa)) v.push_back(variant.kernels);
+    }
+    GKS_ENSURE(!v.empty(), "the baseline lane variant must always run");
+    return v;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::span<const ScanKernels> compiled_kernels() { return compiled_table(); }
+
+std::span<const ScanKernels> available_kernels() { return available_table(); }
+
+const ScanKernels& best_kernels() { return available_table().back(); }
+
+const ScanKernels* kernels_for_width(unsigned width) {
+  for (const ScanKernels& k : available_table()) {
+    if (k.width == width) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace gks::hash::simd

@@ -1,0 +1,57 @@
+#pragma once
+
+// Runtime dispatch for the SIMD lane-scan engine. The library compiles
+// the lane scanners at widths 4, 8 and 16 in separate translation units
+// with per-TU target flags (SSE2-baseline / AVX2 / AVX-512 where the
+// compiler supports them); this header exposes the table of compiled
+// variants and selects, once per process via CPUID, the subset the host
+// can actually execute. See docs/simd.md for the full ladder.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace gks::hash {
+class Md5CrackContext;
+class PrefixWord0Iterator;
+class Sha1CrackContext;
+}  // namespace gks::hash
+
+namespace gks::hash::simd {
+
+using Md5ScanFn = std::optional<std::uint64_t> (*)(const Md5CrackContext&,
+                                                   PrefixWord0Iterator&,
+                                                   std::uint64_t);
+using Sha1ScanFn = std::optional<std::uint64_t> (*)(const Sha1CrackContext&,
+                                                    PrefixWord0Iterator&,
+                                                    std::uint64_t);
+
+/// One compiled scan-engine variant: both algorithms at one lane width.
+/// Semantics of the function pointers match md5_scan_prefixes /
+/// sha1_scan_prefixes exactly (first-match offset, iterator left past
+/// the scanned range or just past the hit).
+struct ScanKernels {
+  unsigned width;   ///< candidates per kernel pass (vector lanes)
+  const char* isa;  ///< codegen target the TU was built for
+  Md5ScanFn md5_scan;
+  Sha1ScanFn sha1_scan;
+};
+
+/// Every variant compiled into this binary, width-ascending — including
+/// ones the running host may not be able to execute.
+std::span<const ScanKernels> compiled_kernels();
+
+/// The variants the host supports (CPUID-filtered once, then cached),
+/// width-ascending. Never empty: the width-4 variant uses baseline
+/// codegen and is always executable.
+std::span<const ScanKernels> available_kernels();
+
+/// The widest available variant — the default engine when no
+/// calibration has run.
+const ScanKernels& best_kernels();
+
+/// The available variant of exactly `width`, or nullptr if that width
+/// was not compiled or the host cannot run it.
+const ScanKernels* kernels_for_width(unsigned width);
+
+}  // namespace gks::hash::simd

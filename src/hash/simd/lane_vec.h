@@ -1,0 +1,136 @@
+#pragma once
+
+// LaneVec<N>: N independent 32-bit words in one hardware vector — the
+// explicit-SIMD sibling of Lane<std::uint32_t, N> (lane.h). Where Lane
+// leaves vectorization to the optimizer, LaneVec is backed by GCC/Clang
+// vector extensions (`__attribute__((vector_size)))`, so every + / ^ /
+// rotl in the templated hash cores lowers to one vector instruction per
+// N lanes when the translation unit is compiled for a wide enough ISA
+// (see src/hash/CMakeLists.txt for the per-width target flags and
+// simd/dispatch.h for the runtime selection).
+//
+// When the build opts out (-DGKS_SIMD=OFF) or the compiler has no
+// vector extensions, LaneVec falls back to the portable array-based
+// Lane — identical semantics, scalar codegen.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/lane.h"
+
+#if defined(GKS_SIMD_PORTABLE) || !(defined(__GNUC__) || defined(__clang__))
+#define GKS_SIMD_HAVE_VECTOR_EXT 0
+#else
+#define GKS_SIMD_HAVE_VECTOR_EXT 1
+#endif
+
+namespace gks::hash::simd {
+
+#if GKS_SIMD_HAVE_VECTOR_EXT
+
+template <std::size_t N>
+struct LaneVec {
+  typedef std::uint32_t Vec
+      __attribute__((vector_size(N * sizeof(std::uint32_t))));
+
+  Vec v;
+
+  LaneVec() : v{} {}
+
+  /// Broadcast constructor (constants are shared across lanes).
+  explicit LaneVec(std::uint32_t scalar) : v(Vec{} + scalar) {}
+
+  friend LaneVec operator+(LaneVec a, const LaneVec& b) {
+    a.v += b.v;
+    return a;
+  }
+  friend LaneVec operator-(LaneVec a, const LaneVec& b) {
+    a.v -= b.v;
+    return a;
+  }
+  friend LaneVec operator&(LaneVec a, const LaneVec& b) {
+    a.v &= b.v;
+    return a;
+  }
+  friend LaneVec operator|(LaneVec a, const LaneVec& b) {
+    a.v |= b.v;
+    return a;
+  }
+  friend LaneVec operator^(LaneVec a, const LaneVec& b) {
+    a.v ^= b.v;
+    return a;
+  }
+  friend LaneVec operator~(LaneVec a) {
+    a.v = ~a.v;
+    return a;
+  }
+};
+
+/// Elementwise rotate-left (ADL customization point used by kernels).
+template <std::size_t N>
+inline LaneVec<N> rotl(LaneVec<N> a, unsigned n) {
+  a.v = (a.v << n) | (a.v >> (32u - n));
+  return a;
+}
+
+/// Elementwise rotate-right.
+template <std::size_t N>
+inline LaneVec<N> rotr(LaneVec<N> a, unsigned n) {
+  a.v = (a.v >> n) | (a.v << (32u - n));
+  return a;
+}
+
+/// Elementwise logical shift-right.
+template <std::size_t N>
+inline LaneVec<N> shr(LaneVec<N> a, unsigned n) {
+  a.v >>= n;
+  return a;
+}
+
+template <std::size_t N>
+inline std::uint32_t lane_get(const LaneVec<N>& a, std::size_t i) {
+  return a.v[i];
+}
+
+template <std::size_t N>
+inline void lane_set(LaneVec<N>& a, std::size_t i, std::uint32_t x) {
+  a.v[i] = x;
+}
+
+/// Movemask-style test: does any lane equal `s`? One vector compare
+/// (lanes become all-ones/all-zeros), then an OR-reduction the compiler
+/// folds into ptest/vptest/kortest.
+template <std::size_t N>
+inline bool any_lane_eq(const LaneVec<N>& a, std::uint32_t s) {
+  const auto m = a.v == (typename LaneVec<N>::Vec{} + s);
+  std::int32_t any = 0;
+  for (std::size_t i = 0; i < N; ++i) any |= m[i];
+  return any != 0;
+}
+
+#else  // portable fallback: the array-based Lane with the same surface
+
+template <std::size_t N>
+using LaneVec = Lane<std::uint32_t, N>;
+
+template <std::size_t N>
+inline std::uint32_t lane_get(const LaneVec<N>& a, std::size_t i) {
+  return a[i];
+}
+
+template <std::size_t N>
+inline void lane_set(LaneVec<N>& a, std::size_t i, std::uint32_t x) {
+  a[i] = x;
+}
+
+template <std::size_t N>
+inline bool any_lane_eq(const LaneVec<N>& a, std::uint32_t s) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (a[i] == s) return true;
+  }
+  return false;
+}
+
+#endif  // GKS_SIMD_HAVE_VECTOR_EXT
+
+}  // namespace gks::hash::simd

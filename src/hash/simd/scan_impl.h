@@ -1,0 +1,132 @@
+#pragma once
+
+// Width-generic lane scanners over LaneVec<N>. This header is included
+// by exactly one translation unit per width (scan_w4/w8/w16.cpp), each
+// compiled with its own target flags, so every instantiation gets the
+// codegen of its ISA rung. Do not include it anywhere else — the
+// dispatch table (simd/dispatch.h) is the public surface.
+//
+// Semantics are bit-identical to the scalar engines: scan `count`
+// prefix-major candidates from the iterator's position, return the
+// offset of the first match, leave the iterator past the scanned range
+// (just past the hit on a match). The paper's early exit survives
+// vectorization as a movemask-style any-lane test: MD5 compares only
+// the step-45 value against the reverted target's `a` word and skips
+// steps 46..48 for the whole block when no lane can match (Section V-B
+// "save three more steps"); SHA1 compares the step-75 value against the
+// unfed target's `e` and skips the last four steps plus their message
+// expansion. Rare any-lane passes (true hit, or a ~N·2^-32 partial-word
+// collision) are confirmed lane by lane with the scalar kernel, which
+// also preserves exact first-match ordering.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "hash/md5_crack.h"
+#include "hash/md5_kernel.h"
+#include "hash/sha1_crack.h"
+#include "hash/sha1_kernel.h"
+#include "hash/simd/lane_vec.h"
+
+namespace gks::hash::simd {
+
+template <std::size_t N>
+std::optional<std::uint64_t> md5_scan_prefixes_vec(const Md5CrackContext& ctx,
+                                                   PrefixWord0Iterator& it,
+                                                   std::uint64_t count) {
+  using W = LaneVec<N>;
+
+  // Broadcast the fixed message words once; only word 0 varies.
+  std::array<W, 16> m;
+  for (std::size_t w = 1; w < 16; ++w) m[w] = W(ctx.message_words()[w]);
+  const Md5State<std::uint32_t>& rev = ctx.reverted_target();
+
+  std::uint64_t scanned = 0;
+  std::array<std::uint32_t, N> word0s;
+  while (count - scanned >= N) {
+    // Keep the block's start so a hit can reposition the iterator to
+    // the candidate after the match, exactly like the scalar scanner.
+    const PrefixWord0Iterator block_start = it;
+    for (std::size_t l = 0; l < N; ++l) {
+      word0s[l] = it.word0();
+      it.advance();
+    }
+    for (std::size_t l = 0; l < N; ++l) lane_set(m[0], l, word0s[l]);
+
+    Md5State<W> s{W(kMd5Init[0]), W(kMd5Init[1]), W(kMd5Init[2]),
+                  W(kMd5Init[3])};
+    md5_forward_steps(s, m, 45);
+
+    // The value produced at step 45 settles into register a of the
+    // after-step-48 state, so comparing it against the reverted
+    // target's a rejects the whole block without steps 46..48.
+    const W f45 = md5_round_fn(45, s.b, s.c, s.d);
+    const W t45 =
+        s.b + rotl(s.a + f45 + m[md5_msg_index(45)] + W(kMd5K[45]), kMd5S[45]);
+    if (any_lane_eq(t45, rev.a)) {
+      for (std::size_t l = 0; l < N; ++l) {
+        if (ctx.test(word0s[l])) {
+          it = block_start;
+          for (std::size_t skip = 0; skip <= l; ++skip) it.advance();
+          return scanned + l;
+        }
+      }
+    }
+    scanned += N;
+  }
+
+  // Scalar tail: fewer than N candidates left.
+  if (scanned < count) {
+    const auto hit = md5_scan_prefixes(ctx, it, count - scanned);
+    if (hit) return scanned + *hit;
+  }
+  return std::nullopt;
+}
+
+template <std::size_t N>
+std::optional<std::uint64_t> sha1_scan_prefixes_vec(
+    const Sha1CrackContext& ctx, PrefixWord0Iterator& it,
+    std::uint64_t count) {
+  using W = LaneVec<N>;
+
+  std::array<W, 16> m;
+  for (std::size_t w = 1; w < 16; ++w) m[w] = W(ctx.message_words()[w]);
+  const Sha1State<std::uint32_t>& unfed = ctx.unfed_target();
+
+  std::uint64_t scanned = 0;
+  std::array<std::uint32_t, N> word0s;
+  while (count - scanned >= N) {
+    const PrefixWord0Iterator block_start = it;
+    for (std::size_t l = 0; l < N; ++l) {
+      word0s[l] = it.word0();
+      it.advance();
+    }
+    for (std::size_t l = 0; l < N; ++l) lane_set(m[0], l, word0s[l]);
+
+    Sha1State<W> s{W(kSha1Init[0]), W(kSha1Init[1]), W(kSha1Init[2]),
+                   W(kSha1Init[3]), W(kSha1Init[4])};
+    // The value produced at step 75 settles (rotated) into the final
+    // state's e; comparing it rejects the block without steps 76..79
+    // and their expansion work.
+    sha1_forward_steps(s, m, 76);
+    if (any_lane_eq(rotl(s.a, 30), unfed.e)) {
+      for (std::size_t l = 0; l < N; ++l) {
+        if (ctx.test(word0s[l])) {
+          it = block_start;
+          for (std::size_t skip = 0; skip <= l; ++skip) it.advance();
+          return scanned + l;
+        }
+      }
+    }
+    scanned += N;
+  }
+
+  if (scanned < count) {
+    const auto hit = sha1_scan_prefixes(ctx, it, count - scanned);
+    if (hit) return scanned + *hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gks::hash::simd

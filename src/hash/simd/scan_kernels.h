@@ -1,0 +1,39 @@
+#pragma once
+
+// Internal: entry points of the per-width scanner translation units
+// (scan_w4/w8/w16.cpp). The dispatch table (dispatch.cpp) is the only
+// consumer; user code goes through simd/dispatch.h.
+
+#include <cstdint>
+#include <optional>
+
+namespace gks::hash {
+class Md5CrackContext;
+class PrefixWord0Iterator;
+class Sha1CrackContext;
+}  // namespace gks::hash
+
+namespace gks::hash::simd {
+
+std::optional<std::uint64_t> md5_scan_w4(const Md5CrackContext& ctx,
+                                         PrefixWord0Iterator& it,
+                                         std::uint64_t count);
+std::optional<std::uint64_t> sha1_scan_w4(const Sha1CrackContext& ctx,
+                                          PrefixWord0Iterator& it,
+                                          std::uint64_t count);
+
+std::optional<std::uint64_t> md5_scan_w8(const Md5CrackContext& ctx,
+                                         PrefixWord0Iterator& it,
+                                         std::uint64_t count);
+std::optional<std::uint64_t> sha1_scan_w8(const Sha1CrackContext& ctx,
+                                          PrefixWord0Iterator& it,
+                                          std::uint64_t count);
+
+std::optional<std::uint64_t> md5_scan_w16(const Md5CrackContext& ctx,
+                                          PrefixWord0Iterator& it,
+                                          std::uint64_t count);
+std::optional<std::uint64_t> sha1_scan_w16(const Sha1CrackContext& ctx,
+                                           PrefixWord0Iterator& it,
+                                           std::uint64_t count);
+
+}  // namespace gks::hash::simd

@@ -1,0 +1,22 @@
+// 16-lane scanners: one 512-bit vector of 32-bit words. Compiled with
+// -mavx512f when the compiler supports it (see src/hash/CMakeLists.txt);
+// runtime dispatch guarantees these run only on AVX-512 hosts.
+
+#include "hash/simd/scan_impl.h"
+#include "hash/simd/scan_kernels.h"
+
+namespace gks::hash::simd {
+
+std::optional<std::uint64_t> md5_scan_w16(const Md5CrackContext& ctx,
+                                          PrefixWord0Iterator& it,
+                                          std::uint64_t count) {
+  return md5_scan_prefixes_vec<16>(ctx, it, count);
+}
+
+std::optional<std::uint64_t> sha1_scan_w16(const Sha1CrackContext& ctx,
+                                           PrefixWord0Iterator& it,
+                                           std::uint64_t count) {
+  return sha1_scan_prefixes_vec<16>(ctx, it, count);
+}
+
+}  // namespace gks::hash::simd

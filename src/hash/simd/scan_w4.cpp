@@ -1,0 +1,21 @@
+// 4-lane scanners: one 128-bit vector of 32-bit words. SSE2 codegen on
+// x86-64 baseline — always executable, the floor of the dispatch ladder.
+
+#include "hash/simd/scan_impl.h"
+#include "hash/simd/scan_kernels.h"
+
+namespace gks::hash::simd {
+
+std::optional<std::uint64_t> md5_scan_w4(const Md5CrackContext& ctx,
+                                         PrefixWord0Iterator& it,
+                                         std::uint64_t count) {
+  return md5_scan_prefixes_vec<4>(ctx, it, count);
+}
+
+std::optional<std::uint64_t> sha1_scan_w4(const Sha1CrackContext& ctx,
+                                          PrefixWord0Iterator& it,
+                                          std::uint64_t count) {
+  return sha1_scan_prefixes_vec<4>(ctx, it, count);
+}
+
+}  // namespace gks::hash::simd

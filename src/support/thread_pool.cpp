@@ -1,6 +1,7 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace gks {
 
@@ -46,6 +47,32 @@ void ThreadPool::parallel_for(std::size_t n,
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::parallel_chunks(
+    std::uint64_t n, std::uint64_t chunk,
+    const std::function<void(std::size_t, std::uint64_t, std::uint64_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::uint64_t n_chunks = (n + chunk - 1) / chunk;
+  const std::size_t workers = static_cast<std::size_t>(
+      std::min<std::uint64_t>(size(), n_chunks));
+
+  // Stack state is safe: every future is joined before returning.
+  std::atomic<std::uint64_t> cursor{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(submit([&fn, &cursor, n, chunk, w] {
+      for (;;) {
+        const std::uint64_t begin =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        fn(w, begin, std::min(begin + chunk, n));
+      }
+    }));
   }
   for (auto& f : futures) f.get();
 }

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -16,10 +17,11 @@ namespace gks {
 /// simulated network to run node event loops.
 ///
 /// Work items are `std::function<void()>`; submit() returns a future so
-/// callers can join on completion or propagate exceptions. The pool is
-/// deliberately simple — FIFO queue, no work stealing — because the
-/// search workload is pre-partitioned into equal-cost intervals by the
-/// dispatcher, exactly as the paper's balancing step prescribes.
+/// callers can join on completion or propagate exceptions. The queue is
+/// plain FIFO with no work stealing; callers whose items have uneven
+/// cost (early hash exits, heterogeneous cores) use parallel_chunks,
+/// which self-schedules over an atomic cursor instead of relying on a
+/// static pre-partition.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -53,6 +55,20 @@ class ThreadPool {
   /// completions. Exceptions from any invocation are rethrown (first
   /// one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Self-scheduled loop over an index range: the `n` items are claimed
+  /// in chunks of at most `chunk` (minimum 1) by whichever worker is
+  /// free, via an atomic cursor, so uneven chunk costs no longer leave
+  /// workers idle the way a static even split does. fn(worker, begin,
+  /// end) is called with a dense worker index in [0, k), k =
+  /// min(size(), ceil(n/chunk)), usable for per-worker accumulators;
+  /// chunks are claimed in ascending order but may execute
+  /// concurrently. Waits for completion; exceptions are rethrown
+  /// (first submitted worker wins).
+  void parallel_chunks(
+      std::uint64_t n, std::uint64_t chunk,
+      const std::function<void(std::size_t, std::uint64_t, std::uint64_t)>&
+          fn);
 
  private:
   void worker_loop();

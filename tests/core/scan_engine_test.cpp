@@ -6,6 +6,7 @@
 
 #include "hash/md5.h"
 #include "hash/sha1.h"
+#include "hash/sha256.h"
 
 namespace gks::core {
 namespace {
@@ -176,13 +177,13 @@ TEST(ScanEngine, AlphanumericEightCharKeySliceScan) {
 }
 
 TEST(ScanEngine, LaneScannerProducesIdenticalResults) {
-  // The opt-in vectorized engine must agree with the scalar default on
-  // hits, ids and coverage.
+  // The default vectorized engine must agree with the forced-scalar
+  // engine on hits, ids and coverage.
   const auto req = request_for(hash::Algorithm::kMd5, "fade",
                                keyspace::Charset("abcdef"), 1, 4);
   ScanPlan scalar(req);
+  scalar.set_lane_scanning(false);
   ScanPlan lanes(req);
-  lanes.set_lane_scanning(true);
   const auto space = req.space_interval();
   const auto a = scalar.scan(space);
   const auto b = lanes.scan(space);
@@ -197,13 +198,48 @@ TEST(ScanEngine, LaneScannerHandlesSubIntervalBoundaries) {
   const auto req = request_for(hash::Algorithm::kMd5, "decade",
                                keyspace::Charset("acde"), 6, 6);
   ScanPlan lanes(req);
-  lanes.set_lane_scanning(true);
   const u128 id = lanes.id_of("decade");
   // Odd-sized interval straddling the hit: exercises the scalar tail.
   const auto out =
       lanes.scan(keyspace::Interval(id - u128(3), id + u128(5)));
   ASSERT_EQ(out.found.size(), 1u);
   EXPECT_EQ(out.found[0].value, "decade");
+}
+
+TEST(ScanEngine, LaneKernelsDefaultToWidestAndRespectToggle) {
+  const auto req = request_for(hash::Algorithm::kMd5, "fade",
+                               keyspace::Charset("abcdef"), 1, 4);
+  ScanPlan plan(req);
+  ASSERT_NE(plan.lane_kernels(), nullptr);
+  EXPECT_EQ(plan.lane_kernels(), &hash::simd::best_kernels());
+  plan.set_lane_scanning(false);
+  EXPECT_EQ(plan.lane_kernels(), nullptr);
+}
+
+TEST(ScanEngine, CalibrationIsCachedAndScanStaysCorrect) {
+  const auto req = request_for(hash::Algorithm::kSha1, "fade",
+                               keyspace::Charset("abcdef"), 1, 4);
+  ScanPlan plan(req);
+  const auto* choice = plan.calibrate_lane_choice();
+  // Idempotent: the probe ran once, the pinned choice is stable and is
+  // what scan() uses from now on.
+  EXPECT_EQ(plan.calibrate_lane_choice(), choice);
+  EXPECT_EQ(plan.lane_kernels(), choice);
+  const auto out = plan.scan(req.space_interval());
+  ASSERT_EQ(out.found.size(), 1u);
+  EXPECT_EQ(out.found[0].value, "fade");
+}
+
+TEST(ScanEngine, CalibrationOnGenericPathPicksScalar) {
+  // SHA256 has no word-0 fast path, so there is nothing to calibrate.
+  CrackRequest req;
+  req.algorithm = hash::Algorithm::kSha256;
+  req.charset = keyspace::Charset("abc");
+  req.min_length = 1;
+  req.max_length = 4;
+  req.target_hex = hash::Sha256::digest("abc").to_hex();
+  ScanPlan plan(req);
+  EXPECT_EQ(plan.calibrate_lane_choice(), nullptr);
 }
 
 }  // namespace

@@ -65,6 +65,69 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, ParallelChunksCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_chunks(1000, 7,
+                       [&hits](std::size_t, std::uint64_t begin,
+                               std::uint64_t end) {
+                         for (std::uint64_t i = begin; i < end; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelChunksWorkerIdsAreDense) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  // 2 chunks over 3 workers: worker ids must stay below
+  // min(size, n_chunks).
+  pool.parallel_chunks(20, 10,
+                       [&bad](std::size_t worker, std::uint64_t,
+                              std::uint64_t) {
+                         if (worker >= 2) bad.fetch_add(1);
+                       });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, ParallelChunksHandlesEdgeShapes) {
+  ThreadPool pool(2);
+  // n == 0: no calls.
+  pool.parallel_chunks(0, 8, [](std::size_t, std::uint64_t, std::uint64_t) {
+    FAIL() << "no chunks expected";
+  });
+  // chunk larger than n: one call covering everything.
+  std::atomic<int> calls{0};
+  pool.parallel_chunks(5, 100,
+                       [&calls](std::size_t, std::uint64_t begin,
+                                std::uint64_t end) {
+                         calls.fetch_add(1);
+                         EXPECT_EQ(begin, 0u);
+                         EXPECT_EQ(end, 5u);
+                       });
+  EXPECT_EQ(calls.load(), 1);
+  // chunk == 0 is clamped to 1.
+  std::atomic<int> covered{0};
+  pool.parallel_chunks(3, 0,
+                       [&covered](std::size_t, std::uint64_t begin,
+                                  std::uint64_t end) {
+                         covered.fetch_add(static_cast<int>(end - begin));
+                       });
+  EXPECT_EQ(covered.load(), 3);
+}
+
+TEST(ThreadPool, ParallelChunksPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_chunks(100, 10,
+                           [](std::size_t, std::uint64_t begin,
+                              std::uint64_t) {
+                             if (begin == 50) throw std::runtime_error("x");
+                           }),
+      std::runtime_error);
+}
+
 TEST(ThreadPool, SingleThreadPoolIsSequentialAndComplete) {
   ThreadPool pool(1);
   std::vector<int> order;
