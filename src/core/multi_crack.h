@@ -12,9 +12,10 @@ namespace gks::core {
 
 /// A batch hash-reversal job: many digests, one key space, one sweep.
 /// This is the efficient form of the auditing session (Section I) —
-/// with the multi-target contexts the per-candidate cost is one hash
-/// computation plus one compare per outstanding digest, so auditing a
-/// whole credential store costs barely more than cracking one hash.
+/// with the multi-target contexts' shared TargetIndex the per-candidate
+/// cost is one hash computation plus one O(1) filter probe regardless
+/// of target count, so auditing a whole credential store sweeps at
+/// essentially the single-target rate (see docs/multi_target.md).
 ///
 /// All targets must share the algorithm, charset, length range and
 /// salt scheme; differently-salted credentials need separate sweeps
@@ -27,6 +28,13 @@ struct MultiCrackRequest {
   unsigned min_length = 1;
   unsigned max_length = 8;
   hash::SaltSpec salt;
+
+  /// Toggles the lane-vectorized multi-target scanners. On by default:
+  /// the sweep probes the scalar engine against every lane width the
+  /// host supports (the same calibration the single-target ScanPlan
+  /// runs) and uses the winner. Off forces the scalar engine —
+  /// ablation benches and scalar-vs-lane differential tests.
+  bool lane_scanning = true;
 
   void validate() const;
 };

@@ -108,27 +108,29 @@ constexpr Md5State<W> md5_single_block(const std::array<W, M>& m) {
   return s;
 }
 
-/// Inverts MD5 steps [to_step, 63] on concrete 32-bit state: given the
-/// register values *after* step 63 (with the feed-forward already
-/// subtracted), produces the values after step `to_step - 1`. Only
-/// valid on plain words (the inverse is never traced or laned).
+/// Inverts MD5 steps [to_step, 63]: given the register values *after*
+/// step 63 (with the feed-forward already subtracted), produces the
+/// values after step `to_step - 1`. Templated over the word type like
+/// the forward core — a multi-target context reverts whole batches of
+/// digests in vector lanes (every target shares the fixed message
+/// words, so lanes never diverge).
 ///
 /// This is the BarsWF reversal trick of Section V-B: message word 0 is
 /// not consumed by steps 49..63, so a thread that varies only the first
 /// four characters can revert the target once and compare 15 steps
 /// early.
-inline void md5_reverse_steps(Md5State<std::uint32_t>& s,
-                              const std::array<std::uint32_t, 16>& m,
+template <class W>
+inline void md5_reverse_steps(Md5State<W>& s, const std::array<W, 16>& m,
                               unsigned to_step) {
   for (unsigned i = 63; i + 1 > to_step; --i) {
     // Forward step i mapped (a,b,c,d) -> (d, bnew, b, c); undo it.
-    const std::uint32_t a_out = s.a, b_out = s.b, c_out = s.c, d_out = s.d;
-    const std::uint32_t b = c_out;
-    const std::uint32_t c = d_out;
-    const std::uint32_t d = a_out;
-    const std::uint32_t f = md5_round_fn(i, b, c, d);
-    const std::uint32_t a =
-        rotr(b_out - c_out, kMd5S[i]) - f - m[md5_msg_index(i)] - kMd5K[i];
+    const W a_out = s.a, b_out = s.b, c_out = s.c, d_out = s.d;
+    const W b = c_out;
+    const W c = d_out;
+    const W d = a_out;
+    const W f = md5_round_fn(i, b, c, d);
+    const W a = rotr(b_out - c_out, kMd5S[i]) - f - m[md5_msg_index(i)] -
+                W(kMd5K[i]);
     s = {a, b, c, d};
   }
 }

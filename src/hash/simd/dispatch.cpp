@@ -49,16 +49,26 @@ struct Variant {
 };
 
 constexpr Variant kVariants[] = {
-    {{4, kBaseIsaName, &md5_scan_w4, &sha1_scan_w4}, IsaReq::kBaseline},
+    {{4, kBaseIsaName, &md5_scan_w4, &sha1_scan_w4, &md5_multi_scan_w4,
+      &sha1_multi_scan_w4},
+     IsaReq::kBaseline},
 #if defined(GKS_SIMD_W8_AVX2)
-    {{8, "avx2", &md5_scan_w8, &sha1_scan_w8}, IsaReq::kAvx2},
+    {{8, "avx2", &md5_scan_w8, &sha1_scan_w8, &md5_multi_scan_w8,
+      &sha1_multi_scan_w8},
+     IsaReq::kAvx2},
 #else
-    {{8, kBaseIsaName, &md5_scan_w8, &sha1_scan_w8}, IsaReq::kBaseline},
+    {{8, kBaseIsaName, &md5_scan_w8, &sha1_scan_w8, &md5_multi_scan_w8,
+      &sha1_multi_scan_w8},
+     IsaReq::kBaseline},
 #endif
 #if defined(GKS_SIMD_W16_AVX512)
-    {{16, "avx512f", &md5_scan_w16, &sha1_scan_w16}, IsaReq::kAvx512f},
+    {{16, "avx512f", &md5_scan_w16, &sha1_scan_w16, &md5_multi_scan_w16,
+      &sha1_multi_scan_w16},
+     IsaReq::kAvx512f},
 #else
-    {{16, kBaseIsaName, &md5_scan_w16, &sha1_scan_w16}, IsaReq::kBaseline},
+    {{16, kBaseIsaName, &md5_scan_w16, &sha1_scan_w16, &md5_multi_scan_w16,
+      &sha1_multi_scan_w16},
+     IsaReq::kBaseline},
 #endif
 };
 

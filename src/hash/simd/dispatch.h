@@ -10,11 +10,15 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 namespace gks::hash {
 class Md5CrackContext;
+class Md5MultiContext;
+struct MultiHit;
 class PrefixWord0Iterator;
 class Sha1CrackContext;
+class Sha1MultiContext;
 }  // namespace gks::hash
 
 namespace gks::hash::simd {
@@ -25,16 +29,24 @@ using Md5ScanFn = std::optional<std::uint64_t> (*)(const Md5CrackContext&,
 using Sha1ScanFn = std::optional<std::uint64_t> (*)(const Sha1CrackContext&,
                                                     PrefixWord0Iterator&,
                                                     std::uint64_t);
+using Md5MultiScanFn = void (*)(const Md5MultiContext&, PrefixWord0Iterator&,
+                                std::uint64_t, std::vector<MultiHit>&);
+using Sha1MultiScanFn = void (*)(const Sha1MultiContext&, PrefixWord0Iterator&,
+                                 std::uint64_t, std::vector<MultiHit>&);
 
 /// One compiled scan-engine variant: both algorithms at one lane width.
-/// Semantics of the function pointers match md5_scan_prefixes /
-/// sha1_scan_prefixes exactly (first-match offset, iterator left past
-/// the scanned range or just past the hit).
+/// Semantics of the single-target function pointers match
+/// md5_scan_prefixes / sha1_scan_prefixes exactly (first-match offset,
+/// iterator left past the scanned range or just past the hit); the
+/// multi-target pointers match md5_multi_scan_prefixes /
+/// sha1_multi_scan_prefixes (every hit appended, no early stop).
 struct ScanKernels {
   unsigned width;   ///< candidates per kernel pass (vector lanes)
   const char* isa;  ///< codegen target the TU was built for
   Md5ScanFn md5_scan;
   Sha1ScanFn sha1_scan;
+  Md5MultiScanFn md5_multi_scan;
+  Sha1MultiScanFn sha1_multi_scan;
 };
 
 /// Every variant compiled into this binary, width-ascending — including

@@ -97,6 +97,15 @@ inline void lane_set(LaneVec<N>& a, std::size_t i, std::uint32_t x) {
   a.v[i] = x;
 }
 
+/// Spill all N lanes to out[0..N): one vector store. Reading lanes one
+/// by one with lane_get costs a cross-lane extract each — cheap for the
+/// low 128 bits, an extract-then-extract chain for the upper lanes of
+/// wide vectors — so per-block spills on the hot path must use this.
+template <std::size_t N>
+inline void lane_store(const LaneVec<N>& a, std::uint32_t* out) {
+  __builtin_memcpy(out, &a.v, N * sizeof(std::uint32_t));
+}
+
 /// Movemask-style test: does any lane equal `s`? One vector compare
 /// (lanes become all-ones/all-zeros), then an OR-reduction the compiler
 /// folds into ptest/vptest/kortest.
@@ -121,6 +130,11 @@ inline std::uint32_t lane_get(const LaneVec<N>& a, std::size_t i) {
 template <std::size_t N>
 inline void lane_set(LaneVec<N>& a, std::size_t i, std::uint32_t x) {
   a[i] = x;
+}
+
+template <std::size_t N>
+inline void lane_store(const LaneVec<N>& a, std::uint32_t* out) {
+  for (std::size_t i = 0; i < N; ++i) out[i] = a[i];
 }
 
 template <std::size_t N>

@@ -20,14 +20,18 @@
 // also preserves exact first-match ordering.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "hash/md5_crack.h"
 #include "hash/md5_kernel.h"
+#include "hash/multi_crack.h"
 #include "hash/sha1_crack.h"
 #include "hash/sha1_kernel.h"
 #include "hash/simd/lane_vec.h"
+#include "hash/target_index.h"
 
 namespace gks::hash::simd {
 
@@ -127,6 +131,141 @@ std::optional<std::uint64_t> sha1_scan_prefixes_vec(
     if (hit) return scanned + *hit;
   }
   return std::nullopt;
+}
+
+/// Lanes whose early-exit word hits the target index's bit filter,
+/// as a bitmask. The words leave the vector registers through one
+/// lane_store spill (per-lane extracts would dominate the block); the
+/// filter probes themselves are one scalar load per lane (a bit-array
+/// gather has no portable vector-extension form), accumulated
+/// branchlessly so the hot loop keeps its single
+/// almost-never-taken branch.
+template <std::size_t N>
+inline std::uint32_t filter_hit_lanes(const LaneVec<N>& words,
+                                      const TargetIndex& index) {
+  std::array<std::uint32_t, N> w;
+  lane_store(words, w.data());
+  std::uint32_t mask = 0;
+  for (std::size_t l = 0; l < N; ++l) {
+    mask |= static_cast<std::uint32_t>(index.may_match(w[l])) << l;
+  }
+  return mask;
+}
+
+// Multi-target lane scanners: same block structure as the single-target
+// kernels above, but the early-exit word of every lane is tested
+// against the shared TargetIndex instead of one reverted word, so the
+// per-candidate cost stays O(1) in the target count. No early return —
+// a batch sweep reports every hit in the range — and filter hits are
+// resolved through the context's confirm_hits from the state already
+// sitting in the vector registers: a false positive (~1/32 of
+// candidates) costs one slot lookup, never a scalar hash recompute.
+// Hit order (offset ascending, slots ascending per candidate) is
+// bit-identical to the scalar md5/sha1_multi_scan_prefixes.
+
+template <std::size_t N>
+void md5_multi_scan_vec(const Md5MultiContext& ctx, PrefixWord0Iterator& it,
+                        std::uint64_t count, std::vector<MultiHit>& hits) {
+  using W = LaneVec<N>;
+
+  std::array<W, 16> m;
+  for (std::size_t w = 1; w < 16; ++w) m[w] = W(ctx.message_words()[w]);
+  const TargetIndex& index = ctx.index();
+
+  std::uint64_t scanned = 0;
+  std::array<std::uint32_t, N> word0s;
+  while (count - scanned >= N) {
+    for (std::size_t l = 0; l < N; ++l) {
+      word0s[l] = it.word0();
+      it.advance();
+    }
+    for (std::size_t l = 0; l < N; ++l) lane_set(m[0], l, word0s[l]);
+
+    Md5State<W> s{W(kMd5Init[0]), W(kMd5Init[1]), W(kMd5Init[2]),
+                  W(kMd5Init[3])};
+    md5_forward_steps(s, m, 45);
+    const W f45 = md5_round_fn(45, s.b, s.c, s.d);
+    const W t45 =
+        s.b + rotl(s.a + f45 + m[md5_msg_index(45)] + W(kMd5K[45]), kMd5S[45]);
+
+    std::uint32_t lanes = filter_hit_lanes(t45, index);
+    while (lanes != 0) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(lanes));
+      lanes &= lanes - 1;
+      const Md5State<std::uint32_t> s_l{lane_get(s.a, l), lane_get(s.b, l),
+                                        lane_get(s.c, l), lane_get(s.d, l)};
+      ctx.confirm_hits(word0s[l], s_l, lane_get(t45, l), scanned + l, hits);
+    }
+    scanned += N;
+  }
+
+  // Scalar tail: fewer than N candidates left.
+  if (scanned < count) {
+    const std::size_t before = hits.size();
+    md5_multi_scan_prefixes(ctx, it, count - scanned, hits);
+    for (std::size_t i = before; i < hits.size(); ++i) {
+      hits[i].offset += scanned;
+    }
+  }
+}
+
+template <std::size_t N>
+void sha1_multi_scan_vec(const Sha1MultiContext& ctx, PrefixWord0Iterator& it,
+                         std::uint64_t count, std::vector<MultiHit>& hits) {
+  using W = LaneVec<N>;
+
+  std::array<W, 16> m;
+  for (std::size_t w = 1; w < 16; ++w) m[w] = W(ctx.message_words()[w]);
+  const TargetIndex& index = ctx.index();
+
+  std::uint64_t scanned = 0;
+  std::array<std::uint32_t, N> word0s;
+  while (count - scanned >= N) {
+    for (std::size_t l = 0; l < N; ++l) {
+      word0s[l] = it.word0();
+      it.advance();
+    }
+    for (std::size_t l = 0; l < N; ++l) lane_set(m[0], l, word0s[l]);
+
+    // Open-coded 76 steps (rather than sha1_forward_steps, which keeps
+    // its ring private): confirm_hits needs the schedule ring as of
+    // step 76, and extracting it from vector registers on the rare
+    // filter hit is far cheaper than recomputing 76 scalar steps.
+    std::array<W, 16> ring = m;
+    W a = W(kSha1Init[0]), b = W(kSha1Init[1]), c = W(kSha1Init[2]),
+      d = W(kSha1Init[3]), e = W(kSha1Init[4]);
+    const auto advance = [&](unsigned t, const W& wt) {
+      const W f = sha1_round_fn(t, b, c, d);
+      const W temp = rotl(a, 5) + f + e + wt + W(kSha1K[t / 20]);
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = temp;
+    };
+    for (unsigned t = 0; t < 16; ++t) advance(t, ring[t]);
+    for (unsigned t = 16; t < 76; ++t) advance(t, sha1_expand(ring, t));
+
+    std::uint32_t lanes = filter_hit_lanes(rotl(a, 30), index);
+    while (lanes != 0) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(lanes));
+      lanes &= lanes - 1;
+      std::array<std::uint32_t, 16> ring_l;
+      for (std::size_t k = 0; k < 16; ++k) ring_l[k] = lane_get(ring[k], l);
+      ctx.confirm_hits(ring_l, lane_get(a, l), lane_get(b, l),
+                       lane_get(c, l), lane_get(d, l), lane_get(e, l),
+                       scanned + l, hits);
+    }
+    scanned += N;
+  }
+
+  if (scanned < count) {
+    const std::size_t before = hits.size();
+    sha1_multi_scan_prefixes(ctx, it, count - scanned, hits);
+    for (std::size_t i = before; i < hits.size(); ++i) {
+      hits[i].offset += scanned;
+    }
+  }
 }
 
 }  // namespace gks::hash::simd

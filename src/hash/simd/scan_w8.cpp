@@ -19,4 +19,14 @@ std::optional<std::uint64_t> sha1_scan_w8(const Sha1CrackContext& ctx,
   return sha1_scan_prefixes_vec<8>(ctx, it, count);
 }
 
+void md5_multi_scan_w8(const Md5MultiContext& ctx, PrefixWord0Iterator& it,
+                       std::uint64_t count, std::vector<MultiHit>& hits) {
+  md5_multi_scan_vec<8>(ctx, it, count, hits);
+}
+
+void sha1_multi_scan_w8(const Sha1MultiContext& ctx, PrefixWord0Iterator& it,
+                        std::uint64_t count, std::vector<MultiHit>& hits) {
+  sha1_multi_scan_vec<8>(ctx, it, count, hits);
+}
+
 }  // namespace gks::hash::simd

@@ -1,0 +1,90 @@
+#include "hash/target_index.h"
+
+#include <algorithm>
+#include <array>
+
+namespace gks::hash {
+namespace {
+
+/// Smallest power of two >= x (x <= 2^31).
+std::uint32_t next_pow2(std::uint32_t x) {
+  std::uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Stable LSD radix sort of packed (word << 32 | slot) entries by the
+/// word: four 8-bit counting-sort passes over the high half. Stability
+/// keeps equal words' slots ascending, which matches()'s contract
+/// relies on. ~4n moves, versus std::sort's n·log n branchy compares —
+/// the difference is what a 64k-target sweep pays per tail block, once
+/// per context build.
+void radix_sort_by_word(std::vector<std::uint64_t>& v) {
+  std::vector<std::uint64_t> tmp(v.size());
+  for (unsigned pass = 0; pass < 4; ++pass) {
+    const unsigned shift = 32 + pass * 8;
+    std::array<std::uint32_t, 257> count{};
+    for (const std::uint64_t x : v) ++count[((x >> shift) & 0xff) + 1];
+    for (std::size_t i = 0; i < 256; ++i) count[i + 1] += count[i];
+    for (const std::uint64_t x : v) tmp[count[(x >> shift) & 0xff]++] = x;
+    v.swap(tmp);
+  }
+}
+
+}  // namespace
+
+TargetIndex::TargetIndex(std::span<const std::uint32_t> words) {
+  const std::size_t n = words.size();
+
+  // >= 64 filter bits per target keeps the false-positive rate <= 1/64,
+  // cheap enough that even wide lane scanners (one probe per lane) stay
+  // within a few percent of their single-target throughput; the 64-bit
+  // floor keeps the tiny-batch filter one whole word. Capped at 2^27
+  // bits (16 MiB) — beyond ~2M targets the sorted array dominates
+  // memory anyway and the filter saturates gracefully.
+  const std::uint32_t want = static_cast<std::uint32_t>(
+      std::min<std::size_t>(n, (std::size_t{1} << 21)) * 64);
+  const std::uint32_t buckets = std::min(next_pow2(std::max(64u, want)),
+                                         1u << 27);
+  bucket_mask_ = buckets - 1;
+  bits_.assign(buckets / 64, 0);
+
+  // Sort (word, slot) pairs packed into one uint64 so equal words keep
+  // their slots ascending without a custom comparator. Large batches
+  // take the radix path — comparison sorting is the dominant cost of a
+  // big context build otherwise; small ones stay with std::sort, which
+  // wins below the histogram overhead.
+  std::vector<std::uint64_t> packed;
+  packed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packed.push_back(static_cast<std::uint64_t>(words[i]) << 32 | i);
+  }
+  if (n >= 4096) {
+    radix_sort_by_word(packed);
+  } else {
+    std::sort(packed.begin(), packed.end());
+  }
+
+  words_.reserve(n);
+  slots_.reserve(n);
+  for (const std::uint64_t p : packed) {
+    const auto word = static_cast<std::uint32_t>(p >> 32);
+    words_.push_back(word);
+    slots_.push_back(static_cast<std::uint32_t>(p));
+    const std::uint32_t b = word & bucket_mask_;
+    bits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+}
+
+std::span<const std::uint32_t> TargetIndex::matches(std::uint32_t word) const {
+  // One binary search, then a linear walk over the (rare, short) run of
+  // equal words — half the probing of equal_range, and this is the hot
+  // cost of every filter false positive.
+  const auto lo = std::lower_bound(words_.begin(), words_.end(), word);
+  auto hi = lo;
+  while (hi != words_.end() && *hi == word) ++hi;
+  const auto first = static_cast<std::size_t>(lo - words_.begin());
+  return {slots_.data() + first, static_cast<std::size_t>(hi - lo)};
+}
+
+}  // namespace gks::hash

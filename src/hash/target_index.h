@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gks::hash {
+
+/// Shared lookup structure over the 32-bit early-exit words of a batch
+/// of crack targets (t45 for MD5, the rotated step-75 value for SHA1).
+///
+/// The multi-target contexts used to pay one compare per outstanding
+/// digest per candidate — linear in the batch size, which defeats the
+/// point of auditing a whole credential store in one sweep. The index
+/// makes the per-candidate test O(1) expected regardless of target
+/// count, in two layers:
+///
+///   1. a power-of-two *bit filter* indexed by the low bits of the
+///      word: one load answers "could any target have this word?".
+///      Sized at >= 64 bits per target, so on a miss (the
+///      overwhelmingly common case — candidate words are effectively
+///      uniform) the test costs one load and the false-positive rate
+///      stays <= 1/64;
+///   2. a (word, slot) array sorted by word, binary-searched only on
+///      filter hits, returning *every* slot whose word matches — not
+///      just the first. Distinct digests collide on the 32-bit word at
+///      birthday rates (likely beyond ~77k targets), and a
+///      first-match-only lookup would silently drop the colliding
+///      target behind it.
+///
+/// Slots are the caller's target indices (0..n-1 in construction
+/// order); duplicate words are fine and all their slots are returned,
+/// ascending.
+class TargetIndex {
+ public:
+  /// words[i] is the early-exit word of target slot i.
+  explicit TargetIndex(std::span<const std::uint32_t> words);
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// One-load filter: false means *no* target has this word
+  /// (definitive); true means "run matches()". Hot-path inline.
+  bool may_match(std::uint32_t word) const {
+    const std::uint32_t b = word & bucket_mask_;
+    return (bits_[b >> 6] >> (b & 63)) & 1u;
+  }
+
+  /// Every slot whose word equals `word`, ascending. Binary search over
+  /// the sorted array — call only after may_match (it is correct
+  /// regardless, just slower than the filter on misses).
+  std::span<const std::uint32_t> matches(std::uint32_t word) const;
+
+  /// Filter geometry, exposed for tests and the lane kernels' docs.
+  std::uint32_t bucket_mask() const { return bucket_mask_; }
+
+ private:
+  std::vector<std::uint64_t> bits_;   ///< the bit filter
+  std::uint32_t bucket_mask_ = 0;     ///< bucket count - 1 (power of two)
+  std::vector<std::uint32_t> words_;  ///< sorted early-exit words
+  std::vector<std::uint32_t> slots_;  ///< slots_[i] owns words_[i]
+};
+
+}  // namespace gks::hash

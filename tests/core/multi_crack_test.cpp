@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "hash/md5.h"
 #include "hash/sha1.h"
+#include "keyspace/codec.h"
 #include "keyspace/space.h"
 #include "support/error.h"
 
@@ -124,6 +127,75 @@ TEST(MultiCrack, BatchAgreesWithIndividualCracks) {
     EXPECT_TRUE(batch.targets[i].found);
     EXPECT_EQ(batch.targets[i].key, keys[i]);
   }
+}
+
+TEST(MultiCrack, LaneAndScalarEnginesAgree) {
+  // The calibrated lane engine and the forced-scalar engine must
+  // produce identical sweeps: same verdicts, same keys, same count of
+  // tested candidates.
+  const std::vector<std::string> keys = {"fish", "cat", "dog", "cat"};
+  auto request = md5_batch(keys, keyspace::Charset("acdfghiost"), 1, 4);
+  request.target_hexes.push_back(hash::Md5::digest("MISSING").to_hex());
+
+  auto scalar_request = request;
+  scalar_request.lane_scanning = false;
+
+  const auto lanes = multi_crack(request, 2);
+  const auto scalar = multi_crack(scalar_request, 2);
+  EXPECT_EQ(lanes.cracked, scalar.cracked);
+  EXPECT_EQ(lanes.tested, scalar.tested);
+  ASSERT_EQ(lanes.targets.size(), scalar.targets.size());
+  for (std::size_t i = 0; i < lanes.targets.size(); ++i) {
+    EXPECT_EQ(lanes.targets[i].found, scalar.targets[i].found) << i;
+    EXPECT_EQ(lanes.targets[i].key, scalar.targets[i].key) << i;
+  }
+}
+
+TEST(MultiCrack, TenThousandTargetSweep) {
+  // The auditing scenario at scale: every key of a 10^4 space as its
+  // own target (with a duplicated credential thrown in). One sweep must
+  // recover them all — the per-candidate cost is O(1) in the target
+  // count, so this runs in the same ballpark as a single-target sweep.
+  const keyspace::Charset charset("abcdefghij");
+  MultiCrackRequest request;
+  request.algorithm = hash::Algorithm::kMd5;
+  request.charset = charset;
+  request.min_length = 4;
+  request.max_length = 4;
+  std::string key = "aaaa";
+  const keyspace::KeyCodec codec(charset,
+                                 keyspace::DigitOrder::kPrefixFastest);
+  for (int i = 0; i < 10000; ++i) {
+    request.target_hexes.push_back(hash::Md5::digest(key).to_hex());
+    codec.next_inplace(key);
+  }
+  request.target_hexes.push_back(request.target_hexes.front());  // duplicate
+
+  const auto result = multi_crack(request, 0);
+  EXPECT_EQ(result.cracked, result.targets.size());
+  EXPECT_EQ(result.tested, u128(10000));
+  for (const auto& verdict : result.targets) {
+    EXPECT_TRUE(verdict.found) << verdict.digest_hex;
+    EXPECT_EQ(hash::Md5::digest(verdict.key).to_hex(), verdict.digest_hex);
+  }
+}
+
+TEST(MultiCrack, MixedCaseDuplicateHexesResolveTogether) {
+  // The digest->slots map keys on parsed bytes, so upper- and
+  // lower-case spellings of the same digest are one unique target.
+  const std::string lower = hash::Md5::digest("ba").to_hex();
+  std::string upper = lower;
+  for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+
+  MultiCrackRequest request;
+  request.charset = keyspace::Charset("ab");
+  request.min_length = 1;
+  request.max_length = 2;
+  request.target_hexes = {upper, lower};
+  const auto result = multi_crack(request, 1);
+  EXPECT_EQ(result.cracked, 2u);
+  EXPECT_EQ(result.targets[0].key, "ba");
+  EXPECT_EQ(result.targets[1].key, "ba");
 }
 
 }  // namespace

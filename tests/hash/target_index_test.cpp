@@ -1,0 +1,96 @@
+#include "hash/target_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace gks::hash {
+namespace {
+
+TEST(TargetIndex, FindsEverySlotOfAWord) {
+  const std::vector<std::uint32_t> words = {5, 9, 5, 7, 5};
+  const TargetIndex index(words);
+  EXPECT_EQ(index.size(), words.size());
+
+  const auto m5 = index.matches(5);
+  ASSERT_EQ(m5.size(), 3u);
+  // Colliding words report every slot, ascending — a first-match-only
+  // lookup would silently drop the later ones.
+  EXPECT_EQ(m5[0], 0u);
+  EXPECT_EQ(m5[1], 2u);
+  EXPECT_EQ(m5[2], 4u);
+
+  const auto m7 = index.matches(7);
+  ASSERT_EQ(m7.size(), 1u);
+  EXPECT_EQ(m7[0], 3u);
+
+  EXPECT_TRUE(index.matches(6).empty());
+}
+
+TEST(TargetIndex, FilterHasNoFalseNegatives) {
+  SplitMix64 rng(42);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 5000; ++i) {
+    words.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  const TargetIndex index(words);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_TRUE(index.may_match(words[i])) << words[i];
+    const auto slots = index.matches(words[i]);
+    EXPECT_TRUE(std::find(slots.begin(), slots.end(),
+                          static_cast<std::uint32_t>(i)) != slots.end());
+  }
+}
+
+TEST(TargetIndex, FilterRejectsMostForeignWords) {
+  SplitMix64 rng(7);
+  std::set<std::uint32_t> in_set;
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4096; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    words.push_back(w);
+    in_set.insert(w);
+  }
+  const TargetIndex index(words);
+
+  // Sized at >= 64 bits per target, the expected false-positive rate is
+  // <= 1/64; assert a generous 1/8 so the test never flakes.
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    if (in_set.count(w)) continue;
+    if (index.may_match(w)) {
+      ++false_positives;
+      // A filter pass on a foreign word must still resolve to no match.
+      EXPECT_TRUE(index.matches(w).empty()) << w;
+    }
+  }
+  EXPECT_LT(false_positives, probes / 8);
+}
+
+TEST(TargetIndex, SingleTargetAndMinimumFilter) {
+  const std::vector<std::uint32_t> words = {0xdeadbeefu};
+  const TargetIndex index(words);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_GE(index.bucket_mask() + 1u, 64u);  // 64-bit floor
+  EXPECT_TRUE(index.may_match(0xdeadbeefu));
+  ASSERT_EQ(index.matches(0xdeadbeefu).size(), 1u);
+  EXPECT_EQ(index.matches(0xdeadbeefu)[0], 0u);
+}
+
+TEST(TargetIndex, FilterScalesWithTargetCount) {
+  std::vector<std::uint32_t> words(65536);
+  SplitMix64 rng(3);
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng());
+  const TargetIndex index(words);
+  // 64 bits per target, next power of two: 2^22 buckets.
+  EXPECT_EQ(index.bucket_mask() + 1u, 1u << 22);
+}
+
+}  // namespace
+}  // namespace gks::hash
