@@ -82,6 +82,7 @@ MultiCrackResult crack_generator(const keyspace::Generator& generator,
     });
 
     result.tested += round.size();
+    result.intervals += sub.size();
     for (const auto& part : hits) {
       for (const Hit& hit : part) {
         MultiTargetVerdict& verdict = result.targets[hit.target_index];

@@ -1,368 +1,17 @@
 #include "core/multi_crack.h"
 
 #include <algorithm>
-#include <map>
-#include <memory>
-#include <set>
-#include <string>
-#include <type_traits>
-#include <utility>
 #include <vector>
 
+#include "core/multi_sweep.h"
 #include "hash/kernel_words.h"
-#include "hash/md5.h"
-#include "hash/md5_crack.h"
-#include "hash/multi_crack.h"
-#include "hash/sha1.h"
-#include "hash/simd/dispatch.h"
-#include "keyspace/codec.h"
 #include "keyspace/interval.h"
-#include "keyspace/space.h"
 #include "support/error.h"
 #include "support/hex.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace gks::core {
-namespace {
-
-/// The request's digests parsed once, deduplicated by digest bytes.
-/// Everything downstream works on unique digests; the request slots
-/// sharing a digest (users sharing a password — common in real audits)
-/// are resolved through `request_slots` when the key is recovered.
-struct ParsedTargets {
-  std::vector<hash::Md5Digest> md5;    ///< unique digests (MD5 runs)
-  std::vector<hash::Sha1Digest> sha1;  ///< unique digests (SHA1 runs)
-  /// request_slots[u] = indices into request.target_hexes with digest u.
-  std::vector<std::vector<std::size_t>> request_slots;
-
-  std::size_t unique_count() const { return request_slots.size(); }
-};
-
-/// Parses one algorithm's digests and groups duplicate digests by
-/// sorting — no per-entry node allocations, which matters at audit
-/// batch sizes (10^5 digests). Unique indices come out in digest order.
-template <class DigestT>
-void dedup_targets(const std::vector<std::string>& hexes,
-                   std::vector<DigestT>& unique,
-                   std::vector<std::vector<std::size_t>>& request_slots) {
-  std::vector<std::pair<DigestT, std::size_t>> entries;
-  entries.reserve(hexes.size());
-  for (std::size_t i = 0; i < hexes.size(); ++i) {
-    entries.emplace_back(DigestT::from_hex(hexes[i]), i);
-  }
-  std::sort(entries.begin(), entries.end());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (i == 0 || entries[i].first != entries[i - 1].first) {
-      unique.push_back(entries[i].first);
-      request_slots.emplace_back();
-    }
-    request_slots.back().push_back(entries[i].second);
-  }
-}
-
-ParsedTargets parse_targets(const MultiCrackRequest& request) {
-  ParsedTargets parsed;
-  // Deduplicated on the digest bytes — hex spelling (case) never splits
-  // a digest into two targets.
-  if (request.algorithm == hash::Algorithm::kMd5) {
-    dedup_targets(request.target_hexes, parsed.md5, parsed.request_slots);
-  } else {
-    dedup_targets(request.target_hexes, parsed.sha1, parsed.request_slots);
-  }
-  return parsed;
-}
-
-/// A hit found by one slice worker: which unique digest, and the
-/// recovered key.
-struct Hit {
-  std::size_t unique_index;
-  std::string key;
-};
-
-/// Shared, immutable-per-slice state for the sweep workers. The codec
-/// and parsed targets are built once per request; only the outstanding
-/// view is rebuilt, and only after a recovery shrank it.
-struct SweepContext {
-  const MultiCrackRequest& request;
-  const ParsedTargets& parsed;
-  const keyspace::KeyCodec& codec;
-  u128 offset;  ///< global codec id of generator-relative id 0
-  /// Calibrated lane engine for the fast path (nullptr = scalar).
-  const hash::simd::ScanKernels* kernels = nullptr;
-  /// Outstanding unique digests: indices into `parsed` and their
-  /// parsed digests (exactly one of md5/sha1 populated).
-  std::vector<std::size_t> outstanding;
-  std::vector<hash::Md5Digest> md5_targets;
-  std::vector<hash::Sha1Digest> sha1_targets;
-  /// Per-slice fast-path contexts keyed by (key length, fixed tail),
-  /// prebuilt before the parallel scan: every interval worker shares
-  /// one sorted TargetIndex per tail instead of re-sorting the target
-  /// words for each chunk it touches. Read-only during the scan.
-  std::map<std::pair<std::size_t, std::string>,
-           std::unique_ptr<hash::Md5MultiContext>>
-      md5_contexts;
-  std::map<std::pair<std::size_t, std::string>,
-           std::unique_ptr<hash::Sha1MultiContext>>
-      sha1_contexts;
-};
-
-bool fast_path_applicable(const MultiCrackRequest& request,
-                          std::size_t key_len);
-
-/// The fixed message bytes after the candidate's first word: key tail
-/// plus any suffix salt.
-std::string chunk_tail(const MultiCrackRequest& request,
-                       const std::string& first_key) {
-  std::string tail;
-  if (first_key.size() > 4) tail = first_key.substr(4);
-  if (request.salt.position == hash::SaltPosition::kSuffix) {
-    tail += request.salt.salt;
-  }
-  return tail;
-}
-
-/// Walks `interval` in the same tail-block chunks the scan uses,
-/// invoking fn(begin_id, count, first_key) for each. All candidates of
-/// one chunk share their length and tail.
-template <class Fn>
-void for_each_chunk(const SweepContext& ctx,
-                    const keyspace::Interval& interval, Fn&& fn) {
-  const std::size_t n = ctx.request.charset.size();
-  u128 id = interval.begin;
-  std::string key;
-  while (id < interval.end) {
-    ctx.codec.decode_into(id + ctx.offset, key);
-    const std::size_t key_len = key.size();
-    const auto prefix_chars =
-        static_cast<unsigned>(std::min<std::size_t>(4, key_len));
-    const u128 block = keyspace::keys_of_length(n, prefix_chars);
-    const u128 first_of_len =
-        keyspace::first_id_of_length(n, static_cast<unsigned>(key_len)) -
-        ctx.offset;
-    const u128 within = (id - first_of_len) % block;
-    const u128 chunk = std::min(interval.end - id, block - within);
-    fn(id, chunk, key);
-    id += chunk;
-  }
-}
-
-/// Builds the fast-path contexts for every distinct (length, tail) the
-/// round touches, in parallel — the sort behind each TargetIndex is the
-/// expensive part of a context, and scan workers must not repeat it per
-/// chunk. The cache persists across rounds: a fixed-length sweep cycles
-/// through the same tails every round (prefix digits are fastest), so
-/// later rounds find every context already built. Entries for tails the
-/// round does not touch are evicted first, keeping memory bounded by
-/// one round's tail count when the tail space is genuinely large. The
-/// main loop clears the cache outright after a recovery — the cached
-/// slot numbering is stale once the outstanding target set shrinks.
-void prebuild_fast_contexts(SweepContext& ctx,
-                            const keyspace::Interval& round,
-                            ThreadPool& pool) {
-  std::set<std::pair<std::size_t, std::string>> needed;
-  for_each_chunk(ctx, round,
-                 [&](u128 /*id*/, u128 /*count*/, const std::string& key) {
-                   if (!fast_path_applicable(ctx.request, key.size())) return;
-                   needed.emplace(key.size(), chunk_tail(ctx.request, key));
-                 });
-
-  const auto sync = [&](auto& cache, const auto& targets) {
-    std::erase_if(cache,
-                  [&](const auto& e) { return needed.count(e.first) == 0; });
-    std::vector<typename std::decay_t<decltype(cache)>::iterator> fresh;
-    for (const auto& k : needed) {
-      const auto [it, inserted] = cache.emplace(k, nullptr);
-      if (inserted) fresh.push_back(it);
-    }
-    pool.parallel_for(fresh.size(), [&](std::size_t i) {
-      const auto& [key_len, tail] = fresh[i]->first;
-      using Ctx =
-          typename std::decay_t<decltype(cache)>::mapped_type::element_type;
-      fresh[i]->second = std::make_unique<Ctx>(
-          targets, tail, key_len + ctx.request.salt.extra_length());
-    });
-  };
-  if (ctx.request.algorithm == hash::Algorithm::kMd5) {
-    sync(ctx.md5_contexts, ctx.md5_targets);
-  } else {
-    sync(ctx.sha1_contexts, ctx.sha1_targets);
-  }
-}
-
-bool fast_path_applicable(const MultiCrackRequest& request,
-                          std::size_t key_len) {
-  if (request.algorithm == hash::Algorithm::kSha256) return false;
-  switch (request.salt.position) {
-    case hash::SaltPosition::kNone: return true;
-    case hash::SaltPosition::kPrefix: return false;
-    case hash::SaltPosition::kSuffix: return key_len >= 4;
-  }
-  return false;
-}
-
-/// Picks the fast-path engine for this request — scalar multi scan or
-/// one of the lane widths — by timing each over a short probe of the
-/// request's own keyspace, mirroring ScanPlan::calibrate_lane_choice.
-/// Runs once per multi_crack call, before the sweep fans out. Returns
-/// nullptr for the scalar engine (also when lane scanning is disabled
-/// or the fast path never applies).
-const hash::simd::ScanKernels* calibrate_multi_kernels(
-    const MultiCrackRequest& request, const ParsedTargets& parsed) {
-  if (!request.lane_scanning) return nullptr;
-
-  std::size_t key_len = 0;
-  for (std::size_t len = request.min_length; len <= request.max_length;
-       ++len) {
-    if (fast_path_applicable(request, len)) {
-      key_len = len;
-      break;
-    }
-  }
-  if (key_len == 0) return nullptr;
-
-  const auto prefix_chars =
-      static_cast<unsigned>(std::min<std::size_t>(4, key_len));
-  const std::string probe_key(key_len, request.charset.chars()[0]);
-  std::string tail = key_len > 4 ? probe_key.substr(4) : std::string();
-  if (request.salt.position == hash::SaltPosition::kSuffix) {
-    tail += request.salt.salt;
-  }
-  const std::size_t total_len = key_len + request.salt.extra_length();
-  const bool big_endian = request.algorithm == hash::Algorithm::kSha1;
-  const hash::PrefixWord0Iterator start(request.charset.chars(), prefix_chars,
-                                        key_len, big_endian);
-
-  constexpr std::uint64_t kWarmup = 1024;
-  constexpr std::uint64_t kProbe = 8192;
-  std::vector<hash::MultiHit> scratch;
-  // Times one engine: a short warmup pass, then the measured pass.
-  const auto measure = [&](const auto& scan) {
-    auto it = start;
-    scratch.clear();
-    scan(it, kWarmup);
-    Stopwatch timer;
-    scan(it, kProbe);
-    return timer.seconds();
-  };
-
-  const hash::simd::ScanKernels* winner = nullptr;
-  double best = 0;
-  if (request.algorithm == hash::Algorithm::kMd5) {
-    const hash::Md5MultiContext ctx(parsed.md5, tail, total_len);
-    best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
-      hash::md5_multi_scan_prefixes(ctx, it, n, scratch);
-    });
-    for (const auto& k : hash::simd::available_kernels()) {
-      const double t =
-          measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
-            k.md5_multi_scan(ctx, it, n, scratch);
-          });
-      if (t < best) {
-        best = t;
-        winner = &k;
-      }
-    }
-  } else {
-    const hash::Sha1MultiContext ctx(parsed.sha1, tail, total_len);
-    best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
-      hash::sha1_multi_scan_prefixes(ctx, it, n, scratch);
-    });
-    for (const auto& k : hash::simd::available_kernels()) {
-      const double t =
-          measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
-            k.sha1_multi_scan(ctx, it, n, scratch);
-          });
-      if (t < best) {
-        best = t;
-        winner = &k;
-      }
-    }
-  }
-  return winner;
-}
-
-/// Scans one tail-block chunk (all candidates share tail characters)
-/// against every outstanding unique digest through the calibrated
-/// engine — lane kernels when they won the probe, scalar otherwise.
-/// The chunk's context comes from the prebuilt per-slice cache.
-void scan_fast_chunk(const SweepContext& ctx, u128 begin_id, u128 count,
-                     const std::string& first_key, std::vector<Hit>& hits) {
-  const std::size_t key_len = first_key.size();
-  const auto prefix_chars =
-      static_cast<unsigned>(std::min<std::size_t>(4, key_len));
-  const auto cache_key =
-      std::make_pair(key_len, chunk_tail(ctx.request, first_key));
-
-  const bool big_endian = ctx.request.algorithm == hash::Algorithm::kSha1;
-  hash::PrefixWord0Iterator it(ctx.request.charset.chars(), prefix_chars,
-                               key_len, big_endian);
-  std::vector<std::uint32_t> digits(prefix_chars);
-  for (unsigned i = 0; i < prefix_chars; ++i) {
-    digits[i] = static_cast<std::uint32_t>(
-        ctx.request.charset.index_of(first_key[i]));
-  }
-  it.seek(digits);
-
-  const std::uint64_t n = count.to_u64();
-  std::vector<hash::MultiHit> found;
-  if (ctx.request.algorithm == hash::Algorithm::kMd5) {
-    const hash::Md5MultiContext& multi = *ctx.md5_contexts.at(cache_key);
-    if (ctx.kernels) {
-      ctx.kernels->md5_multi_scan(multi, it, n, found);
-    } else {
-      hash::md5_multi_scan_prefixes(multi, it, n, found);
-    }
-  } else {
-    const hash::Sha1MultiContext& multi = *ctx.sha1_contexts.at(cache_key);
-    if (ctx.kernels) {
-      ctx.kernels->sha1_multi_scan(multi, it, n, found);
-    } else {
-      hash::sha1_multi_scan_prefixes(multi, it, n, found);
-    }
-  }
-  for (const hash::MultiHit& h : found) {
-    hits.push_back({ctx.outstanding[h.slot],
-                    ctx.codec.decode(begin_id + u128(h.offset) + ctx.offset)});
-  }
-}
-
-/// Scans a generator-relative interval on the calling thread.
-void scan_interval(const SweepContext& ctx,
-                   const keyspace::Interval& interval,
-                   std::vector<Hit>& hits) {
-  for_each_chunk(ctx, interval, [&](u128 id, u128 chunk, std::string& key) {
-    if (fast_path_applicable(ctx.request, key.size())) {
-      scan_fast_chunk(ctx, id, chunk, key, hits);
-      return;
-    }
-    // Generic path: full digest per candidate, compared to every
-    // outstanding unique digest.
-    u128 togo = chunk;
-    while (togo > u128(0)) {
-      const std::string message = ctx.request.salt.apply(key);
-      if (ctx.request.algorithm == hash::Algorithm::kMd5) {
-        const auto digest = hash::Md5::digest(message);
-        for (std::size_t t = 0; t < ctx.md5_targets.size(); ++t) {
-          if (digest == ctx.md5_targets[t]) {
-            hits.push_back({ctx.outstanding[t], key});
-          }
-        }
-      } else {
-        const auto digest = hash::Sha1::digest(message);
-        for (std::size_t t = 0; t < ctx.sha1_targets.size(); ++t) {
-          if (digest == ctx.sha1_targets[t]) {
-            hits.push_back({ctx.outstanding[t], key});
-          }
-        }
-      }
-      ctx.codec.next_inplace(key);
-      --togo;
-    }
-  });
-}
-
-}  // namespace
 
 void MultiCrackRequest::validate() const {
   GKS_REQUIRE(!target_hexes.empty(), "batch must contain at least one digest");
@@ -383,97 +32,44 @@ void MultiCrackRequest::validate() const {
 
 MultiCrackResult multi_crack(const MultiCrackRequest& request,
                              std::size_t threads) {
-  request.validate();
   Stopwatch timer;
 
-  MultiCrackResult result;
-  result.targets.resize(request.target_hexes.size());
-  for (std::size_t i = 0; i < request.target_hexes.size(); ++i) {
-    result.targets[i].digest_hex = request.target_hexes[i];
-  }
-
-  // Parse and deduplicate once per request — not per 4 Mi-key slice.
-  const ParsedTargets parsed = parse_targets(request);
-  std::vector<bool> unique_found(parsed.unique_count(), false);
-  const keyspace::KeyCodec codec(request.charset,
-                                 keyspace::DigitOrder::kPrefixFastest);
-  const hash::simd::ScanKernels* kernels =
-      calibrate_multi_kernels(request, parsed);
-
-  const u128 space =
-      keyspace::space_size(request.charset.size(), request.min_length,
-                           request.max_length);
-  keyspace::IntervalCursor cursor(keyspace::Interval(u128(0), space));
+  // The sweep engine owns target parsing/dedup, the calibrated
+  // scalar-vs-lane choice, and the per-(length, tail) context caches;
+  // this function is just the whole-space dispatch loop over it (the
+  // job service drives the same engine one scheduler quantum at a
+  // time — see src/service/).
+  MultiSweeper sweeper(request);
+  sweeper.calibrate();
 
   ThreadPool pool(threads);
+  keyspace::IntervalCursor cursor(sweeper.space_interval());
   const u128 slice(static_cast<std::uint64_t>(4) << 20);
 
-  SweepContext ctx{request,
-                   parsed,
-                   codec,
-                   keyspace::first_id_of_length(request.charset.size(),
-                                                request.min_length),
-                   kernels,
-                   {},
-                   {},
-                   {},
-                   {},
-                   {}};
-  bool outstanding_stale = true;
-
-  while (!cursor.exhausted() &&
-         result.cracked < result.targets.size()) {
-    // Refresh the outstanding-target view only after a recovery —
-    // recovered digests drop out, shrinking the per-chunk contexts.
-    if (outstanding_stale) {
-      ctx.outstanding.clear();
-      ctx.md5_targets.clear();
-      ctx.sha1_targets.clear();
-      for (std::size_t u = 0; u < parsed.unique_count(); ++u) {
-        if (unique_found[u]) continue;
-        ctx.outstanding.push_back(u);
-        if (request.algorithm == hash::Algorithm::kMd5) {
-          ctx.md5_targets.push_back(parsed.md5[u]);
-        } else {
-          ctx.sha1_targets.push_back(parsed.sha1[u]);
-        }
-      }
-      // The cached contexts index into the target vectors just
-      // rebuilt — their slot numbering is stale.
-      ctx.md5_contexts.clear();
-      ctx.sha1_contexts.clear();
-      outstanding_stale = false;
-    }
-
+  MultiCrackResult result;
+  while (!cursor.exhausted() && !sweeper.all_found()) {
     const keyspace::Interval round = cursor.take(slice);
-    prebuild_fast_contexts(ctx, round, pool);
+    sweeper.prepare(round, pool);
     const auto parts = static_cast<std::size_t>(std::min<std::uint64_t>(
         static_cast<std::uint64_t>(round.size().to_double() / 4096) + 1,
         pool.size()));
     const auto sub = keyspace::split_even(round, parts);
 
-    std::vector<std::vector<Hit>> hits(sub.size());
-    pool.parallel_for(sub.size(), [&ctx, &sub, &hits](std::size_t i) {
-      scan_interval(ctx, sub[i], hits[i]);
+    std::vector<std::vector<SweepHit>> hits(sub.size());
+    pool.parallel_for(sub.size(), [&sweeper, &sub, &hits](std::size_t i) {
+      sweeper.scan(sub[i], hits[i]);
     });
 
     result.tested += round.size();
+    result.intervals += sub.size();
     for (const auto& part : hits) {
-      for (const Hit& hit : part) {
-        // One recovered unique digest resolves every request slot
-        // sharing it, through the map built at parse time.
-        if (unique_found[hit.unique_index]) continue;
-        unique_found[hit.unique_index] = true;
-        outstanding_stale = true;
-        for (const std::size_t slot : parsed.request_slots[hit.unique_index]) {
-          result.targets[slot].found = true;
-          result.targets[slot].key = hit.key;
-          ++result.cracked;
-        }
+      for (const SweepHit& hit : part) {
+        sweeper.mark_found(hit.unique_index, hit.key);
       }
     }
   }
 
+  sweeper.fill_results(result);
   result.elapsed_s = timer.seconds();
   return result;
 }

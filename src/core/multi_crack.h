@@ -51,6 +51,9 @@ struct MultiCrackResult {
   std::vector<MultiTargetVerdict> targets;  ///< in request order
   std::size_t cracked = 0;
   u128 tested{0};
+  /// Identifier intervals dispatched to workers over the sweep — the
+  /// dispatch-granularity observable tools report in --json mode.
+  std::uint64_t intervals = 0;
   double elapsed_s = 0;
 };
 

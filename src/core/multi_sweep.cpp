@@ -1,0 +1,487 @@
+#include "core/multi_sweep.h"
+
+#include <algorithm>
+#include <set>
+#include <type_traits>
+
+#include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/md5_crack.h"
+#include "hash/sha1.h"
+#include "keyspace/space.h"
+#include "support/error.h"
+#include "support/hex.h"
+#include "support/stopwatch.h"
+
+namespace gks::core {
+
+/// The request's digests parsed once, deduplicated by digest bytes.
+/// Request slots sharing a digest (users sharing a password — common
+/// in real audits) are resolved through `request_slots` on recovery.
+struct MultiSweeper::Parsed {
+  std::vector<hash::Md5Digest> md5;    ///< unique digests (MD5 runs)
+  std::vector<hash::Sha1Digest> sha1;  ///< unique digests (SHA1 runs)
+  /// request_slots[u] = indices into request.target_hexes with digest u.
+  std::vector<std::vector<std::size_t>> request_slots;
+
+  std::size_t unique_count() const { return request_slots.size(); }
+};
+
+/// An immutable view of the outstanding targets plus the fast-path
+/// contexts built for it. Scans pin one snapshot for their whole
+/// interval; recoveries publish a fresh (shrunk) snapshot, so slot
+/// indices inside a context are always consistent with the snapshot
+/// it belongs to.
+struct MultiSweeper::Snapshot {
+  /// Unique-digest indices still outstanding; context slots map back
+  /// through this.
+  std::vector<std::size_t> outstanding;
+  std::vector<hash::Md5Digest> md5;
+  std::vector<hash::Sha1Digest> sha1;
+
+  /// Fast-path contexts keyed by (key length, fixed tail), built on
+  /// demand under the lock — one sorted TargetIndex per tail, shared
+  /// by every worker that scans chunks with that tail.
+  mutable std::shared_mutex mu;
+  mutable std::map<std::pair<std::size_t, std::string>,
+                   std::unique_ptr<hash::Md5MultiContext>>
+      md5_ctx;
+  mutable std::map<std::pair<std::size_t, std::string>,
+                   std::unique_ptr<hash::Sha1MultiContext>>
+      sha1_ctx;
+};
+
+namespace {
+
+/// Parses one algorithm's digests and groups duplicates by sorting —
+/// no per-entry node allocations, which matters at audit batch sizes.
+template <class DigestT>
+void dedup_targets(const std::vector<std::string>& hexes,
+                   std::vector<DigestT>& unique,
+                   std::vector<std::vector<std::size_t>>& request_slots) {
+  std::vector<std::pair<DigestT, std::size_t>> entries;
+  entries.reserve(hexes.size());
+  for (std::size_t i = 0; i < hexes.size(); ++i) {
+    entries.emplace_back(DigestT::from_hex(hexes[i]), i);
+  }
+  std::sort(entries.begin(), entries.end());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i == 0 || entries[i].first != entries[i - 1].first) {
+      unique.push_back(entries[i].first);
+      request_slots.emplace_back();
+    }
+    request_slots.back().push_back(entries[i].second);
+  }
+}
+
+bool fast_path_applicable(const MultiCrackRequest& request,
+                          std::size_t key_len) {
+  if (request.algorithm == hash::Algorithm::kSha256) return false;
+  switch (request.salt.position) {
+    case hash::SaltPosition::kNone: return true;
+    case hash::SaltPosition::kPrefix: return false;
+    case hash::SaltPosition::kSuffix: return key_len >= 4;
+  }
+  return false;
+}
+
+/// The fixed message bytes after the candidate's first word: key tail
+/// plus any suffix salt.
+std::string chunk_tail(const MultiCrackRequest& request,
+                       const std::string& first_key) {
+  std::string tail;
+  if (first_key.size() > 4) tail = first_key.substr(4);
+  if (request.salt.position == hash::SaltPosition::kSuffix) {
+    tail += request.salt.salt;
+  }
+  return tail;
+}
+
+/// Walks `interval` in the tail-block chunks the scan uses, invoking
+/// fn(begin_id, count, first_key). All candidates of one chunk share
+/// their length and tail characters (prefix-fastest mapping).
+template <class Fn>
+void for_each_chunk(const MultiCrackRequest& request,
+                    const keyspace::KeyCodec& codec, const u128& offset,
+                    const keyspace::Interval& interval, Fn&& fn) {
+  const std::size_t n = request.charset.size();
+  u128 id = interval.begin;
+  std::string key;
+  while (id < interval.end) {
+    codec.decode_into(id + offset, key);
+    const std::size_t key_len = key.size();
+    const auto prefix_chars =
+        static_cast<unsigned>(std::min<std::size_t>(4, key_len));
+    const u128 block = keyspace::keys_of_length(n, prefix_chars);
+    const u128 first_of_len =
+        keyspace::first_id_of_length(n, static_cast<unsigned>(key_len)) -
+        offset;
+    const u128 within = (id - first_of_len) % block;
+    const u128 chunk = std::min(interval.end - id, block - within);
+    if (!fn(id, chunk, key)) return;
+    id += chunk;
+  }
+}
+
+/// Picks the fast-path engine — scalar multi scan or one of the lane
+/// widths — by timing each over a short probe of the request's own
+/// keyspace. Returns nullptr for the scalar engine (also when lane
+/// scanning is disabled or the fast path never applies).
+const hash::simd::ScanKernels* calibrate_multi_kernels(
+    const MultiCrackRequest& request,
+    const std::vector<hash::Md5Digest>& md5,
+    const std::vector<hash::Sha1Digest>& sha1) {
+  if (!request.lane_scanning) return nullptr;
+
+  std::size_t key_len = 0;
+  for (std::size_t len = request.min_length; len <= request.max_length;
+       ++len) {
+    if (fast_path_applicable(request, len)) {
+      key_len = len;
+      break;
+    }
+  }
+  if (key_len == 0) return nullptr;
+
+  const auto prefix_chars =
+      static_cast<unsigned>(std::min<std::size_t>(4, key_len));
+  const std::string probe_key(key_len, request.charset.chars()[0]);
+  std::string tail = key_len > 4 ? probe_key.substr(4) : std::string();
+  if (request.salt.position == hash::SaltPosition::kSuffix) {
+    tail += request.salt.salt;
+  }
+  const std::size_t total_len = key_len + request.salt.extra_length();
+  const bool big_endian = request.algorithm == hash::Algorithm::kSha1;
+  const hash::PrefixWord0Iterator start(request.charset.chars(), prefix_chars,
+                                        key_len, big_endian);
+
+  constexpr std::uint64_t kWarmup = 1024;
+  constexpr std::uint64_t kProbe = 8192;
+  std::vector<hash::MultiHit> scratch;
+  const auto measure = [&](const auto& scan) {
+    auto it = start;
+    scratch.clear();
+    scan(it, kWarmup);
+    Stopwatch timer;
+    scan(it, kProbe);
+    return timer.seconds();
+  };
+
+  const hash::simd::ScanKernels* winner = nullptr;
+  double best = 0;
+  if (request.algorithm == hash::Algorithm::kMd5) {
+    const hash::Md5MultiContext ctx(md5, tail, total_len);
+    best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
+      hash::md5_multi_scan_prefixes(ctx, it, n, scratch);
+    });
+    for (const auto& k : hash::simd::available_kernels()) {
+      const double t =
+          measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
+            k.md5_multi_scan(ctx, it, n, scratch);
+          });
+      if (t < best) {
+        best = t;
+        winner = &k;
+      }
+    }
+  } else {
+    const hash::Sha1MultiContext ctx(sha1, tail, total_len);
+    best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
+      hash::sha1_multi_scan_prefixes(ctx, it, n, scratch);
+    });
+    for (const auto& k : hash::simd::available_kernels()) {
+      const double t =
+          measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
+            k.sha1_multi_scan(ctx, it, n, scratch);
+          });
+      if (t < best) {
+        best = t;
+        winner = &k;
+      }
+    }
+  }
+  return winner;
+}
+
+/// Looks up (or builds) the fast-path context for one (length, tail)
+/// in a snapshot's cache. Builds happen outside the exclusive lock;
+/// when two workers race on the same tail, the loser's build is
+/// discarded — rare (once per tail per snapshot) and cheaper than
+/// serializing every build behind the lock.
+template <class CtxMap, class Builder>
+const typename CtxMap::mapped_type::element_type& snapshot_context(
+    std::shared_mutex& mu, CtxMap& cache,
+    const std::pair<std::size_t, std::string>& key, const Builder& build) {
+  {
+    std::shared_lock lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end() && it->second != nullptr) return *it->second;
+  }
+  auto fresh = build();
+  std::unique_lock lock(mu);
+  auto& slot = cache[key];
+  if (slot == nullptr) slot = std::move(fresh);
+  return *slot;
+}
+
+}  // namespace
+
+MultiSweeper::MultiSweeper(MultiCrackRequest request)
+    : request_(std::move(request)),
+      parsed_(std::make_unique<Parsed>()),
+      codec_((request_.validate(), request_.charset),
+             keyspace::DigitOrder::kPrefixFastest),
+      offset_(keyspace::first_id_of_length(request_.charset.size(),
+                                           request_.min_length)),
+      space_(keyspace::space_size(request_.charset.size(),
+                                  request_.min_length, request_.max_length)) {
+  if (request_.algorithm == hash::Algorithm::kMd5) {
+    dedup_targets(request_.target_hexes, parsed_->md5,
+                  parsed_->request_slots);
+  } else {
+    dedup_targets(request_.target_hexes, parsed_->sha1,
+                  parsed_->request_slots);
+  }
+  unique_found_.assign(parsed_->unique_count(), false);
+  unique_keys_.assign(parsed_->unique_count(), std::string());
+  snap_ = build_snapshot();
+  outstanding_count_.store(parsed_->unique_count(),
+                           std::memory_order_release);
+}
+
+MultiSweeper::~MultiSweeper() = default;
+
+std::size_t MultiSweeper::unique_count() const {
+  return parsed_->unique_count();
+}
+
+std::shared_ptr<const MultiSweeper::Snapshot> MultiSweeper::build_snapshot()
+    const {
+  auto snap = std::make_shared<Snapshot>();
+  for (std::size_t u = 0; u < parsed_->unique_count(); ++u) {
+    if (unique_found_[u]) continue;
+    snap->outstanding.push_back(u);
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      snap->md5.push_back(parsed_->md5[u]);
+    } else {
+      snap->sha1.push_back(parsed_->sha1[u]);
+    }
+  }
+  return snap;
+}
+
+std::shared_ptr<const MultiSweeper::Snapshot> MultiSweeper::snapshot() const {
+  std::lock_guard lock(state_mu_);
+  return snap_;
+}
+
+void MultiSweeper::calibrate() const {
+  std::call_once(calibrate_once_, [this] {
+    kernels_ = calibrate_multi_kernels(request_, parsed_->md5, parsed_->sha1);
+  });
+}
+
+u128 MultiSweeper::scan(const keyspace::Interval& interval,
+                        std::vector<SweepHit>& hits,
+                        const std::atomic<bool>* interrupt) const {
+  if (interval.empty()) return u128(0);
+  calibrate();
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  // With nothing outstanding every candidate trivially fails the
+  // condition; report the interval as fully tested so completion
+  // accounting (and journaled coverage) stays exact.
+  if (snap->outstanding.empty()) return interval.size();
+
+  u128 tested(0);
+  for_each_chunk(
+      request_, codec_, offset_, interval,
+      [&](u128 id, u128 count, const std::string& first_key) {
+        if (interrupt != nullptr &&
+            interrupt->load(std::memory_order_acquire)) {
+          return false;  // cooperative yield: remainder stays untested
+        }
+        const std::size_t key_len = first_key.size();
+        if (fast_path_applicable(request_, key_len)) {
+          const auto prefix_chars =
+              static_cast<unsigned>(std::min<std::size_t>(4, key_len));
+          const auto cache_key =
+              std::make_pair(key_len, chunk_tail(request_, first_key));
+          const std::size_t total_len =
+              key_len + request_.salt.extra_length();
+
+          const bool big_endian =
+              request_.algorithm == hash::Algorithm::kSha1;
+          hash::PrefixWord0Iterator it(request_.charset.chars(), prefix_chars,
+                                       key_len, big_endian);
+          std::vector<std::uint32_t> digits(prefix_chars);
+          for (unsigned i = 0; i < prefix_chars; ++i) {
+            digits[i] = static_cast<std::uint32_t>(
+                request_.charset.index_of(first_key[i]));
+          }
+          it.seek(digits);
+
+          const std::uint64_t n = count.to_u64();
+          std::vector<hash::MultiHit> found;
+          if (request_.algorithm == hash::Algorithm::kMd5) {
+            const auto& multi = snapshot_context(
+                snap->mu, snap->md5_ctx, cache_key, [&] {
+                  return std::make_unique<hash::Md5MultiContext>(
+                      snap->md5, cache_key.second, total_len);
+                });
+            if (kernels_ != nullptr) {
+              kernels_->md5_multi_scan(multi, it, n, found);
+            } else {
+              hash::md5_multi_scan_prefixes(multi, it, n, found);
+            }
+          } else {
+            const auto& multi = snapshot_context(
+                snap->mu, snap->sha1_ctx, cache_key, [&] {
+                  return std::make_unique<hash::Sha1MultiContext>(
+                      snap->sha1, cache_key.second, total_len);
+                });
+            if (kernels_ != nullptr) {
+              kernels_->sha1_multi_scan(multi, it, n, found);
+            } else {
+              hash::sha1_multi_scan_prefixes(multi, it, n, found);
+            }
+          }
+          for (const hash::MultiHit& h : found) {
+            hits.push_back({snap->outstanding[h.slot],
+                            codec_.decode(id + u128(h.offset) + offset_)});
+          }
+        } else {
+          // Generic path: full digest per candidate, compared to every
+          // outstanding unique digest.
+          std::string key = first_key;
+          u128 togo = count;
+          while (togo > u128(0)) {
+            const std::string message = request_.salt.apply(key);
+            if (request_.algorithm == hash::Algorithm::kMd5) {
+              const auto digest = hash::Md5::digest(message);
+              for (std::size_t t = 0; t < snap->md5.size(); ++t) {
+                if (digest == snap->md5[t]) {
+                  hits.push_back({snap->outstanding[t], key});
+                }
+              }
+            } else {
+              const auto digest = hash::Sha1::digest(message);
+              for (std::size_t t = 0; t < snap->sha1.size(); ++t) {
+                if (digest == snap->sha1[t]) {
+                  hits.push_back({snap->outstanding[t], key});
+                }
+              }
+            }
+            codec_.next_inplace(key);
+            --togo;
+          }
+        }
+        tested += count;
+        return true;
+      });
+  return tested;
+}
+
+void MultiSweeper::prepare(const keyspace::Interval& round,
+                           ThreadPool& pool) {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap->outstanding.empty()) return;
+
+  std::set<std::pair<std::size_t, std::string>> needed;
+  for_each_chunk(request_, codec_, offset_, round,
+                 [&](u128 /*id*/, u128 /*count*/, const std::string& key) {
+                   if (fast_path_applicable(request_, key.size())) {
+                     needed.emplace(key.size(),
+                                    chunk_tail(request_, key));
+                   }
+                   return true;
+                 });
+
+  const auto sync = [&](auto& cache, const auto& targets) {
+    std::unique_lock lock(snap->mu);
+    // Entries the round does not touch are evicted first, keeping
+    // memory bounded by one round's tail count when the tail space is
+    // genuinely large; a fixed-length sweep cycles through the same
+    // tails every round and finds everything already built.
+    std::erase_if(cache,
+                  [&](const auto& e) { return needed.count(e.first) == 0; });
+    std::vector<typename std::decay_t<decltype(cache)>::iterator> fresh;
+    for (const auto& k : needed) {
+      const auto [it, inserted] = cache.emplace(k, nullptr);
+      if (inserted) fresh.push_back(it);
+    }
+    lock.unlock();
+    // Distinct map elements are written concurrently — safe, and the
+    // sort behind each TargetIndex is exactly the work worth fanning
+    // out at audit-scale target counts.
+    pool.parallel_for(fresh.size(), [&](std::size_t i) {
+      const auto& [key_len, tail] = fresh[i]->first;
+      using Ctx =
+          typename std::decay_t<decltype(cache)>::mapped_type::element_type;
+      fresh[i]->second = std::make_unique<Ctx>(
+          targets, tail, key_len + request_.salt.extra_length());
+    });
+  };
+  if (request_.algorithm == hash::Algorithm::kMd5) {
+    sync(snap->md5_ctx, snap->md5);
+  } else {
+    sync(snap->sha1_ctx, snap->sha1);
+  }
+}
+
+std::vector<std::size_t> MultiSweeper::mark_found(std::size_t unique_index,
+                                                  const std::string& key) {
+  GKS_REQUIRE(unique_index < parsed_->unique_count(),
+              "unique digest index out of range");
+  std::lock_guard lock(state_mu_);
+  if (unique_found_[unique_index]) return {};
+  unique_found_[unique_index] = true;
+  unique_keys_[unique_index] = key;
+  found_log_.emplace_back(
+      request_.target_hexes[parsed_->request_slots[unique_index].front()],
+      key);
+  snap_ = build_snapshot();
+  outstanding_count_.store(snap_->outstanding.size(),
+                           std::memory_order_release);
+  return parsed_->request_slots[unique_index];
+}
+
+std::vector<std::size_t> MultiSweeper::mark_found_hex(
+    const std::string& digest_hex, const std::string& key) {
+  if (request_.algorithm == hash::Algorithm::kMd5) {
+    const auto digest = hash::Md5Digest::from_hex(digest_hex);
+    for (std::size_t u = 0; u < parsed_->md5.size(); ++u) {
+      if (parsed_->md5[u] == digest) return mark_found(u, key);
+    }
+  } else {
+    const auto digest = hash::Sha1Digest::from_hex(digest_hex);
+    for (std::size_t u = 0; u < parsed_->sha1.size(); ++u) {
+      if (parsed_->sha1[u] == digest) return mark_found(u, key);
+    }
+  }
+  return {};
+}
+
+void MultiSweeper::fill_results(MultiCrackResult& out) const {
+  std::lock_guard lock(state_mu_);
+  out.targets.resize(request_.target_hexes.size());
+  out.cracked = 0;
+  for (std::size_t i = 0; i < request_.target_hexes.size(); ++i) {
+    out.targets[i].digest_hex = request_.target_hexes[i];
+  }
+  for (std::size_t u = 0; u < parsed_->unique_count(); ++u) {
+    if (!unique_found_[u]) continue;
+    for (const std::size_t slot : parsed_->request_slots[u]) {
+      out.targets[slot].found = true;
+      out.targets[slot].key = unique_keys_[u];
+      ++out.cracked;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> MultiSweeper::found_so_far()
+    const {
+  std::lock_guard lock(state_mu_);
+  return found_log_;
+}
+
+}  // namespace gks::core

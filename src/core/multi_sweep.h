@@ -1,0 +1,149 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/multi_crack.h"
+#include "hash/multi_crack.h"
+#include "hash/simd/dispatch.h"
+#include "keyspace/codec.h"
+#include "keyspace/interval.h"
+#include "support/thread_pool.h"
+#include "support/uint128.h"
+
+namespace gks::core {
+
+/// One hit from a sweep scan: which unique digest matched and the
+/// recovered key. `unique_index` is stable for the sweeper's lifetime
+/// (indices into the deduplicated digest set), so hits from stale
+/// snapshots remain meaningful after other targets were recovered.
+struct SweepHit {
+  std::size_t unique_index;
+  std::string key;
+};
+
+/// The multi-target sweep engine behind multi_crack(), factored out so
+/// long-lived callers — the job service above all — can drive it one
+/// bounded interval at a time instead of one synchronous whole-space
+/// call. Responsibilities:
+///
+///  - parse + deduplicate the request's digests once (users sharing a
+///    password share a unique digest; see docs/multi_target.md);
+///  - scan arbitrary generator-relative intervals against the
+///    *outstanding* targets through the calibrated scalar-or-lane
+///    kernels, with a cooperative interrupt check between tail-block
+///    chunks (the preemption hook the fair-share scheduler relies on);
+///  - account recoveries (mark_found) and expose per-slot results.
+///
+/// Thread model: scan() is const and safe to call concurrently from
+/// many workers — each call pins an immutable snapshot of the
+/// outstanding-target set (per-snapshot fast-path context caches are
+/// built on demand under a shared_mutex). mark_found() may run
+/// concurrently with scans; it atomically publishes a shrunk snapshot,
+/// and scans still on the old snapshot at worst re-report an
+/// already-found digest, which mark_found deduplicates. prepare() is
+/// the one exception: it prunes cache entries, so it must not overlap
+/// scan() calls (multi_crack alternates prepare/scan phases; the job
+/// service never calls it).
+class MultiSweeper {
+ public:
+  /// Validates the request and parses the targets. Does not calibrate:
+  /// the first scan (or an explicit calibrate()) does, once.
+  explicit MultiSweeper(MultiCrackRequest request);
+  ~MultiSweeper();
+
+  MultiSweeper(const MultiSweeper&) = delete;
+  MultiSweeper& operator=(const MultiSweeper&) = delete;
+
+  const MultiCrackRequest& request() const { return request_; }
+
+  /// Total candidates, and the dense identifier interval [0, size).
+  u128 space_size() const { return space_; }
+  keyspace::Interval space_interval() const {
+    return keyspace::Interval(u128(0), space_);
+  }
+
+  /// Deduplicated digest count / digests not yet recovered.
+  std::size_t unique_count() const;
+  std::size_t outstanding_count() const {
+    return outstanding_count_.load(std::memory_order_acquire);
+  }
+  bool all_found() const { return outstanding_count() == 0; }
+
+  /// Pins the scalar-vs-lane engine choice with a short measured probe
+  /// (idempotent, thread-safe; scan() triggers it lazily otherwise).
+  void calibrate() const;
+
+  /// Scans [interval.begin, interval.end) of generator-relative ids on
+  /// the calling thread, appending hits. Returns the number of
+  /// candidates actually tested: equal to interval.size() on a full
+  /// scan, smaller when `interrupt` became true between chunks — the
+  /// untested remainder is [begin + returned, end), which the caller
+  /// re-dispatches later. A null interrupt never yields.
+  u128 scan(const keyspace::Interval& interval, std::vector<SweepHit>& hits,
+            const std::atomic<bool>* interrupt = nullptr) const;
+
+  /// Prebuilds the fast-path contexts `round` touches, in parallel on
+  /// the pool, and evicts entries the round no longer needs. Purely a
+  /// throughput optimization for phase-structured callers; must not
+  /// run concurrently with scan().
+  void prepare(const keyspace::Interval& round, ThreadPool& pool);
+
+  /// Marks a unique digest recovered and publishes the shrunk
+  /// outstanding snapshot. Returns the request-slot indices this
+  /// recovery resolves — empty if it was already recorded (duplicate
+  /// hit from a stale snapshot). Thread-safe.
+  std::vector<std::size_t> mark_found(std::size_t unique_index,
+                                      const std::string& key);
+
+  /// mark_found by digest hex instead of unique index — journal replay
+  /// on resume, where only the recorded (digest, key) pair is known.
+  /// Returns the resolved request slots; empty when the hex matches no
+  /// target or the digest was already recovered. Thread-safe.
+  std::vector<std::size_t> mark_found_hex(const std::string& digest_hex,
+                                          const std::string& key);
+
+  /// Digest hex (as given in the request) and recovery state per
+  /// request slot; used to fill results incrementally.
+  std::size_t slot_count() const { return request_.target_hexes.size(); }
+
+  /// Writes per-slot verdicts + cracked count into `out.targets` /
+  /// `out.cracked` (other fields untouched). Thread-safe.
+  void fill_results(MultiCrackResult& out) const;
+
+  /// The recovered (digest_hex, key) pairs so far, in recovery order.
+  /// Thread-safe; returns a copy.
+  std::vector<std::pair<std::string, std::string>> found_so_far() const;
+
+ private:
+  struct Snapshot;
+  struct Parsed;
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  std::shared_ptr<const Snapshot> build_snapshot() const;
+
+  MultiCrackRequest request_;
+  std::unique_ptr<Parsed> parsed_;
+  keyspace::KeyCodec codec_;
+  u128 offset_;  ///< global codec id of generator-relative id 0
+  u128 space_;
+
+  mutable std::once_flag calibrate_once_;
+  mutable const hash::simd::ScanKernels* kernels_ = nullptr;
+
+  mutable std::mutex state_mu_;  ///< guards found state + snapshot swap
+  std::vector<bool> unique_found_;
+  std::vector<std::string> unique_keys_;
+  std::vector<std::pair<std::string, std::string>> found_log_;
+  std::shared_ptr<const Snapshot> snap_;
+  std::atomic<std::size_t> outstanding_count_{0};
+};
+
+}  // namespace gks::core

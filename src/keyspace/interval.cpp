@@ -9,6 +9,14 @@ namespace gks::keyspace {
 
 std::vector<Interval> split_even(const Interval& whole, std::size_t parts) {
   GKS_REQUIRE(parts >= 1, "cannot split into zero parts");
+  // Degenerate shapes are handled here, not by caller discipline: an
+  // empty (or inverted — size() would wrap) interval yields `parts`
+  // empty slices, and parts > size() yields size-1 slices followed by
+  // empty ones, so every caller gets exactly `parts` intervals whose
+  // union is `whole`.
+  if (whole.empty()) {
+    return std::vector<Interval>(parts, Interval(whole.begin, whole.begin));
+  }
   const u128 n = whole.size();
   const u128 p(static_cast<std::uint64_t>(parts));
   const u128 base = n / p;
@@ -36,6 +44,13 @@ std::vector<Interval> split_weighted(const Interval& whole,
     total += w;
   }
   GKS_REQUIRE(total > 0, "at least one weight must be positive");
+
+  // Same degenerate-shape guarantee as split_even: an empty or
+  // inverted interval splits into all-empty parts.
+  if (whole.empty()) {
+    return std::vector<Interval>(weights.size(),
+                                 Interval(whole.begin, whole.begin));
+  }
 
   const double n = whole.size().to_double();
   const std::size_t heaviest = static_cast<std::size_t>(

@@ -28,7 +28,10 @@ struct Interval {
 /// Splits an interval into `parts` consecutive sub-intervals whose
 /// sizes differ by at most one (remainder spread over the leading
 /// parts). Used for fine-grain splitting inside a node (one slice per
-/// GPU thread block in the paper's terms).
+/// GPU thread block in the paper's terms). Degenerate shapes are
+/// well-defined: an empty (or inverted) interval yields `parts` empty
+/// slices, and `parts` > size() yields size() one-id slices followed
+/// by empty ones — callers never have to pre-clamp.
 std::vector<Interval> split_even(const Interval& whole, std::size_t parts);
 
 /// Splits an interval into consecutive sub-intervals proportional to

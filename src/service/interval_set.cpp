@@ -1,0 +1,72 @@
+#include "service/interval_set.h"
+
+#include <algorithm>
+
+namespace gks::service {
+
+u128 IntervalSet::add(const keyspace::Interval& iv) {
+  if (iv.empty()) return u128(0);
+  u128 merged_begin = iv.begin;
+  u128 merged_end = iv.end;
+  u128 overlap(0);
+
+  // First piece that could overlap or touch [begin, end): the
+  // predecessor if it reaches begin, else the first piece starting
+  // inside.
+  auto it = pieces_.upper_bound(iv.begin);
+  if (it != pieces_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= iv.begin) it = prev;
+  }
+  // Absorb every piece that overlaps or is adjacent.
+  while (it != pieces_.end() && it->first <= merged_end) {
+    const u128 lo = std::max(it->first, iv.begin);
+    const u128 hi = std::min(it->second, iv.end);
+    if (hi > lo) overlap += hi - lo;
+    merged_begin = std::min(merged_begin, it->first);
+    merged_end = std::max(merged_end, it->second);
+    it = pieces_.erase(it);
+  }
+  pieces_.emplace(merged_begin, merged_end);
+
+  const u128 newly = iv.size() - overlap;
+  covered_ += newly;
+  return newly;
+}
+
+bool IntervalSet::covers(const keyspace::Interval& whole) const {
+  if (whole.empty()) return true;
+  auto it = pieces_.upper_bound(whole.begin);
+  if (it == pieces_.begin()) return false;
+  const auto& piece = *std::prev(it);
+  return piece.first <= whole.begin && piece.second >= whole.end;
+}
+
+std::vector<keyspace::Interval> IntervalSet::gaps(
+    const keyspace::Interval& whole) const {
+  std::vector<keyspace::Interval> out;
+  if (whole.empty()) return out;
+  u128 cursor = whole.begin;
+  auto it = pieces_.upper_bound(whole.begin);
+  // A predecessor piece may reach into `whole` and cover its start.
+  if (it != pieces_.begin()) {
+    const auto& prev = *std::prev(it);
+    if (prev.second > cursor) cursor = prev.second;
+  }
+  for (; it != pieces_.end() && it->first < whole.end && cursor < whole.end;
+       ++it) {
+    if (it->first > cursor) out.emplace_back(cursor, it->first);
+    cursor = it->second;
+  }
+  if (cursor < whole.end) out.emplace_back(cursor, whole.end);
+  return out;
+}
+
+std::vector<keyspace::Interval> IntervalSet::pieces() const {
+  std::vector<keyspace::Interval> out;
+  out.reserve(pieces_.size());
+  for (const auto& [b, e] : pieces_) out.emplace_back(b, e);
+  return out;
+}
+
+}  // namespace gks::service

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "keyspace/interval.h"
+#include "support/uint128.h"
+
+namespace gks::service {
+
+/// A set of identifiers maintained as disjoint, non-adjacent
+/// half-open intervals — the coverage ledger behind checkpoint/resume.
+/// add() reports how many ids were *newly* covered, which is what lets
+/// the resume tests prove the union of journaled intervals covers the
+/// space exactly once: every add over a crash-consistent journal must
+/// return the full interval size.
+class IntervalSet {
+ public:
+  /// Inserts [iv.begin, iv.end), merging with existing coverage.
+  /// Returns the number of newly covered ids: equal to iv.size() iff
+  /// the interval was disjoint from everything already present.
+  u128 add(const keyspace::Interval& iv);
+
+  /// Total ids covered.
+  u128 covered() const { return covered_; }
+
+  /// Number of maximal disjoint pieces.
+  std::size_t piece_count() const { return pieces_.size(); }
+
+  bool empty() const { return pieces_.empty(); }
+
+  /// True when every id of `whole` is covered.
+  bool covers(const keyspace::Interval& whole) const;
+
+  /// The uncovered sub-intervals of `whole`, in ascending order — the
+  /// work a resumed job still has to dispatch.
+  std::vector<keyspace::Interval> gaps(const keyspace::Interval& whole) const;
+
+  /// The covered pieces, in ascending order.
+  std::vector<keyspace::Interval> pieces() const;
+
+ private:
+  std::map<u128, u128> pieces_;  ///< begin → end, disjoint, non-adjacent
+  u128 covered_{0};
+};
+
+}  // namespace gks::service

@@ -1,0 +1,35 @@
+#include "service/job.h"
+
+#include "support/error.h"
+
+namespace gks::service {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPaused: return "paused";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+JobState job_state_from_name(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "paused") return JobState::kPaused;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  GKS_REQUIRE(false, "unknown job state: " + std::string(name));
+  return JobState::kQueued;  // unreachable
+}
+
+}  // namespace gks::service

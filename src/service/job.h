@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/multi_crack.h"
+#include "support/uint128.h"
+
+namespace gks::service {
+
+/// Handle for a submitted job; unique within one JobManager.
+using JobId = std::uint64_t;
+
+/// Job lifecycle (docs/service.md):
+///
+///   queued ──▶ running ◀──▶ paused
+///     │           │            │
+///     └──────┬────┴────┬───────┘
+///            ▼         ▼
+///   done / failed / cancelled          (terminal)
+///
+/// `queued` means runnable but no quantum dispatched yet; `running`
+/// means at least one quantum has been dispatched and the job still
+/// has work pending or in flight.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kPaused,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* job_state_name(JobState s);
+bool is_terminal(JobState s);
+/// Inverse of job_state_name; throws InvalidArgument on unknown names
+/// (journal corruption).
+JobState job_state_from_name(std::string_view name);
+
+/// What a tenant submits: a multi-target crack request plus the
+/// scheduling knobs. A single-digest job is simply a one-element
+/// batch — the service runs everything through the multi-target sweep
+/// engine.
+struct JobSpec {
+  /// Identity: unique among live jobs in a manager, and the key the
+  /// journal uses to reassemble progress on resume.
+  std::string name;
+  core::MultiCrackRequest request;
+  /// Scheduling share doubles per priority step (see
+  /// FairShareScheduler); 0 is the normal class.
+  int priority = 0;
+  /// Fair-share weight within a priority class; must be positive.
+  double weight = 1.0;
+};
+
+/// Point-in-time observability view of one job, safe to read after the
+/// job (or the manager) is gone.
+struct JobSnapshot {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  double weight = 1.0;
+
+  u128 space{0};    ///< total candidates in the key space
+  u128 scanned{0};  ///< candidates retired (journaled coverage)
+  std::uint64_t intervals_issued = 0;   ///< quanta dispatched to workers
+  std::uint64_t intervals_retired = 0;  ///< quanta (incl. partials) retired
+  std::size_t targets_total = 0;        ///< request slots
+  std::size_t targets_found = 0;        ///< slots resolved so far
+
+  /// Aggregate measured rate (candidates/s of wall time since first
+  /// dispatch) — reflects the fair-share slice the job is actually
+  /// receiving, not the hardware peak.
+  double keys_per_s = 0;
+  /// Remaining / keys_per_s under the affine scan-cost model of
+  /// dispatch::PerfModel (t = n/X + c with the per-quantum overhead c
+  /// already amortized into the measured rate); 0 when unknown.
+  double eta_s = 0;
+  /// Wall seconds since the first quantum was dispatched.
+  double elapsed_s = 0;
+
+  /// Recovered (digest hex, key) pairs, in recovery order.
+  std::vector<std::pair<std::string, std::string>> found;
+  /// Failure reason when state == kFailed.
+  std::string error;
+
+  /// Fraction of the key space retired, in [0, 1].
+  double progress() const {
+    return space > u128(0) ? scanned.to_double() / space.to_double() : 1.0;
+  }
+};
+
+}  // namespace gks::service

@@ -1,0 +1,377 @@
+#include "service/job_manager.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "support/error.h"
+
+namespace gks::service {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+JobManager::JobManager(JobServiceConfig config) : config_(std::move(config)) {
+  GKS_REQUIRE(config_.quantum_slice_s > 0, "quantum slice must be positive");
+  GKS_REQUIRE(config_.min_quantum > u128(0), "min quantum must be positive");
+  GKS_REQUIRE(config_.min_quantum <= config_.max_quantum,
+              "min quantum above max quantum");
+  if (!config_.journal_path.empty()) store_.open(config_.journal_path);
+
+  std::size_t n = config_.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    // Preempt in-flight scans at their next chunk boundary; untested
+    // remainders never get journaled as covered, so non-terminal jobs
+    // stay exactly resumable.
+    for (auto& [id, job] : jobs_) {
+      job->interrupt.store(true, std::memory_order_release);
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+JobManager::JobImpl& JobManager::job_ref(JobId id) {
+  const auto it = jobs_.find(id);
+  GKS_REQUIRE(it != jobs_.end(), "unknown job id " + std::to_string(id));
+  return *it->second;
+}
+
+const JobManager::JobImpl& JobManager::job_ref(JobId id) const {
+  const auto it = jobs_.find(id);
+  GKS_REQUIRE(it != jobs_.end(), "unknown job id " + std::to_string(id));
+  return *it->second;
+}
+
+bool JobManager::runnable(const JobImpl& job) const {
+  return !job.pending.empty() && !job.cancel_requested && job.error.empty() &&
+         (job.state == JobState::kQueued || job.state == JobState::kRunning);
+}
+
+bool JobManager::work_available() const {
+  return scheduler_.pick().has_value();
+}
+
+u128 JobManager::quantum_for(const JobImpl& job) const {
+  // Per-worker rate: total ids retired over total worker-seconds spent
+  // scanning them. Sized so one quantum costs ~quantum_slice_s of wall
+  // time, bounding how long a worker runs between scheduler visits.
+  const double rate =
+      job.busy_s > 0 ? job.scanned.to_double() / job.busy_s : 0;
+  if (rate <= 0) return config_.min_quantum;
+  const double target = rate * config_.quantum_slice_s;
+  if (target <= config_.min_quantum.to_double()) return config_.min_quantum;
+  if (target >= config_.max_quantum.to_double()) return config_.max_quantum;
+  return u128(static_cast<std::uint64_t>(target));
+}
+
+JobId JobManager::submit(JobSpec spec) {
+  GKS_REQUIRE(!spec.name.empty(), "job name must not be empty");
+  GKS_REQUIRE(spec.weight > 0, "job weight must be positive");
+
+  auto job = std::make_unique<JobImpl>();
+  job->spec = spec;
+  // Validates the request and parses the targets.
+  job->sweeper = std::make_unique<core::MultiSweeper>(spec.request);
+  job->pending.push_back(job->sweeper->space_interval());
+
+  std::unique_lock lock(mu_);
+  GKS_REQUIRE(!stopping_, "submit on a JobManager that is shutting down");
+  for (const auto& [id, other] : jobs_) {
+    GKS_REQUIRE(is_terminal(other->state) || other->spec.name != spec.name,
+                "a live job named '" + spec.name + "' already exists");
+  }
+  const JobId id = next_id_++;
+  job->id = id;
+  store_.record_job(spec);
+  scheduler_.add(id, spec.weight, spec.priority);
+  jobs_.emplace(id, std::move(job));
+  lock.unlock();
+  work_cv_.notify_all();
+  return id;
+}
+
+std::size_t JobManager::resume_from(const std::string& journal_path) {
+  std::size_t brought_back = 0;
+  for (JobStore::RecoveredJob& rec : JobStore::load(journal_path)) {
+    if (rec.final_state.has_value()) continue;  // already terminal
+
+    auto job = std::make_unique<JobImpl>();
+    job->spec = rec.spec;
+    job->sweeper = std::make_unique<core::MultiSweeper>(rec.spec.request);
+    // Replay recoveries first so an all-found job completes without
+    // re-dispatching its gaps.
+    for (const auto& [hex, key] : rec.found) {
+      job->targets_found += job->sweeper->mark_found_hex(hex, key).size();
+    }
+    job->coverage = std::move(rec.scanned);
+    job->scanned = job->coverage.covered();
+    const auto gaps = job->coverage.gaps(job->sweeper->space_interval());
+    job->pending.assign(gaps.begin(), gaps.end());
+    if (job->sweeper->all_found()) job->pending.clear();
+
+    std::unique_lock lock(mu_);
+    GKS_REQUIRE(!stopping_, "resume on a JobManager that is shutting down");
+    for (const auto& [id, other] : jobs_) {
+      GKS_REQUIRE(
+          is_terminal(other->state) || other->spec.name != rec.spec.name,
+          "a live job named '" + rec.spec.name + "' already exists");
+    }
+    const JobId id = next_id_++;
+    job->id = id;
+    // Resuming into a *different* journal: re-record everything so the
+    // new journal is self-contained. Resuming into the same file keeps
+    // the existing records (load() keeps a job's first spec record).
+    if (store_.persistent() && store_.path() != journal_path) {
+      store_.record_job(job->spec);
+      for (const keyspace::Interval& piece : job->coverage.pieces()) {
+        store_.record_interval(job->spec.name, piece);
+      }
+      for (const auto& [hex, key] : rec.found) {
+        store_.record_found(job->spec.name, hex, key);
+      }
+    }
+    JobImpl& ref = *job;
+    jobs_.emplace(id, std::move(job));
+    if (ref.pending.empty()) {
+      // Nothing left to dispatch — the crash happened after the last
+      // quantum was journaled (or every target is already recovered).
+      finish(ref, JobState::kDone);
+    } else {
+      scheduler_.add(id, ref.spec.weight, ref.spec.priority);
+    }
+    lock.unlock();
+    work_cv_.notify_all();
+    ++brought_back;
+  }
+  return brought_back;
+}
+
+void JobManager::cancel(JobId id) {
+  std::lock_guard lock(mu_);
+  JobImpl& job = job_ref(id);
+  if (is_terminal(job.state)) return;
+  job.cancel_requested = true;
+  job.interrupt.store(true, std::memory_order_release);
+  scheduler_.set_runnable(id, false);
+  maybe_complete(job);
+}
+
+void JobManager::pause(JobId id) {
+  std::lock_guard lock(mu_);
+  JobImpl& job = job_ref(id);
+  if (is_terminal(job.state) || job.state == JobState::kPaused) return;
+  job.state = JobState::kPaused;
+  job.interrupt.store(true, std::memory_order_release);
+  scheduler_.set_runnable(id, false);
+}
+
+void JobManager::resume(JobId id) {
+  std::lock_guard lock(mu_);
+  JobImpl& job = job_ref(id);
+  if (job.state != JobState::kPaused) return;
+  job.state = job.dispatched_once ? JobState::kRunning : JobState::kQueued;
+  job.interrupt.store(false, std::memory_order_release);
+  scheduler_.set_runnable(id, runnable(job));
+  maybe_complete(job);  // the sweep may have finished before the pause
+  work_cv_.notify_all();
+}
+
+JobSnapshot JobManager::status(JobId id) const {
+  std::lock_guard lock(mu_);
+  return snapshot_locked(job_ref(id));
+}
+
+std::vector<JobSnapshot> JobManager::snapshot_all() const {
+  std::lock_guard lock(mu_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(*job));
+  return out;
+}
+
+std::optional<JobId> JobManager::find_job(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  std::optional<JobId> found;
+  for (const auto& [id, job] : jobs_) {
+    if (job->spec.name == name) found = id;  // latest submission wins
+  }
+  return found;
+}
+
+bool JobManager::wait(JobId id, double timeout_s) const {
+  std::unique_lock lock(mu_);
+  const auto done = [&] { return is_terminal(job_ref(id).state); };
+  if (timeout_s < 0) {
+    done_cv_.wait(lock, done);
+    return true;
+  }
+  return done_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                           done);
+}
+
+void JobManager::wait_all() const {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& e) {
+      return is_terminal(e.second->state);
+    });
+  });
+}
+
+JobSnapshot JobManager::snapshot_locked(const JobImpl& job) const {
+  JobSnapshot s;
+  s.id = job.id;
+  s.name = job.spec.name;
+  s.state = job.state;
+  s.priority = job.spec.priority;
+  s.weight = job.spec.weight;
+  s.space = job.sweeper->space_size();
+  s.scanned = job.scanned;
+  s.intervals_issued = job.intervals_issued;
+  s.intervals_retired = job.intervals_retired;
+  s.targets_total = job.sweeper->slot_count();
+  s.targets_found = job.targets_found;
+  if (job.dispatched_once) {
+    const auto end = is_terminal(job.state)
+                         ? job.finished
+                         : std::chrono::steady_clock::now();
+    s.elapsed_s = seconds_between(job.first_dispatch, end);
+  }
+  s.keys_per_s = s.elapsed_s > 0 ? s.scanned.to_double() / s.elapsed_s : 0;
+  if (s.keys_per_s > 0 && !is_terminal(job.state)) {
+    const u128 remaining = s.space - s.scanned;
+    s.eta_s = remaining.to_double() / s.keys_per_s;
+  }
+  s.found = job.sweeper->found_so_far();
+  s.error = job.error;
+  return s;
+}
+
+void JobManager::finish(JobImpl& job, JobState terminal) {
+  job.state = terminal;
+  job.finished = std::chrono::steady_clock::now();
+  store_.record_state(job.spec.name, terminal);
+  scheduler_.remove(job.id);
+  done_cv_.notify_all();
+}
+
+void JobManager::maybe_complete(JobImpl& job) {
+  if (is_terminal(job.state) || job.in_flight > 0) return;
+  if (!job.error.empty()) {
+    finish(job, JobState::kFailed);
+  } else if (job.cancel_requested) {
+    finish(job, JobState::kCancelled);
+  } else if (job.pending.empty() && job.state != JobState::kPaused) {
+    finish(job, JobState::kDone);
+  }
+}
+
+void JobManager::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || work_available(); });
+    if (stopping_) return;
+    const std::optional<JobId> picked = scheduler_.pick();
+    if (!picked.has_value()) continue;
+    JobImpl& job = *jobs_.at(*picked);
+    if (job.pending.empty()) {  // defensive: keep the scheduler honest
+      scheduler_.set_runnable(job.id, false);
+      continue;
+    }
+
+    // Slice one quantum off the front of the pending keyspace.
+    const keyspace::Interval front = job.pending.front();
+    job.pending.pop_front();
+    const u128 take = std::min(quantum_for(job), front.size());
+    const keyspace::Interval quantum(front.begin, front.begin + take);
+    if (take < front.size()) {
+      job.pending.emplace_front(front.begin + take, front.end);
+    }
+    ++job.in_flight;
+    ++job.intervals_issued;
+    if (!job.dispatched_once) {
+      job.dispatched_once = true;
+      job.first_dispatch = std::chrono::steady_clock::now();
+    }
+    if (job.state == JobState::kQueued) job.state = JobState::kRunning;
+    // Charge at dispatch so concurrent workers don't all pile onto the
+    // same min-vtime job while its first quantum is still in flight.
+    scheduler_.charge(job.id, quantum.size());
+    scheduler_.set_runnable(job.id, runnable(job));
+
+    core::MultiSweeper* const sweeper = job.sweeper.get();
+    const std::atomic<bool>* const interrupt = &job.interrupt;
+    lock.unlock();
+
+    std::vector<core::SweepHit> hits;
+    u128 tested(0);
+    std::string error;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      tested = sweeper->scan(quantum, hits, interrupt);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const double wall =
+        seconds_between(start, std::chrono::steady_clock::now());
+
+    lock.lock();
+    --job.in_flight;
+    ++job.intervals_retired;
+    job.busy_s += wall;
+    if (!error.empty()) {
+      // The quantum's coverage is unknown — treat it as untested and
+      // keep it out of the journal. The error interrupts the job's
+      // other in-flight quanta and turns terminal once they retire.
+      job.pending.emplace_front(quantum);
+      job.error = error;
+      job.interrupt.store(true, std::memory_order_release);
+    } else {
+      // Journal recoveries before the interval that contains them: a
+      // crash between the two appends then at worst rescans the
+      // interval (the replayed recovery deduplicates the second hit);
+      // the opposite order could mark the key's interval covered while
+      // losing the key forever.
+      for (const core::SweepHit& hit : hits) {
+        const auto slots = sweeper->mark_found(hit.unique_index, hit.key);
+        if (slots.empty()) continue;  // duplicate from a stale snapshot
+        job.targets_found += slots.size();
+        store_.record_found(job.spec.name,
+                            job.spec.request.target_hexes[slots.front()],
+                            hit.key);
+      }
+      const keyspace::Interval done(quantum.begin, quantum.begin + tested);
+      if (!done.empty()) {
+        store_.record_interval(job.spec.name, done);
+        job.scanned += job.coverage.add(done);
+      }
+      if (tested < quantum.size()) {
+        job.pending.emplace_front(quantum.begin + tested, quantum.end);
+      }
+      // Every target recovered: the rest of the space is moot.
+      if (sweeper->all_found()) job.pending.clear();
+    }
+    scheduler_.set_runnable(job.id, runnable(job));
+    maybe_complete(job);
+    if (work_available()) work_cv_.notify_one();
+  }
+}
+
+}  // namespace gks::service

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/multi_sweep.h"
+#include "keyspace/interval.h"
+#include "service/interval_set.h"
+#include "service/job.h"
+#include "service/journal.h"
+#include "service/scheduler.h"
+#include "support/uint128.h"
+
+namespace gks::service {
+
+struct JobServiceConfig {
+  /// Worker threads; 0 uses the hardware concurrency.
+  std::size_t workers = 0;
+  /// Target wall time of one preemption quantum. Quanta are sized from
+  /// the measured per-worker scan rate so that a worker re-enters the
+  /// scheduler roughly this often — the knob trading fairness
+  /// granularity against dispatch overhead (the affine cost model of
+  /// dispatch::PerfModel: per-quantum overhead c is amortized over
+  /// quantum_slice_s of useful work).
+  double quantum_slice_s = 0.05;
+  /// Quantum clamp, in candidates. The floor keeps per-quantum
+  /// bookkeeping negligible; the ceiling bounds preemption latency
+  /// even on very fast scans.
+  u128 min_quantum{4096};
+  u128 max_quantum{u128(1) << 22};
+  /// Checkpoint journal path; empty runs the service in-memory only.
+  std::string journal_path;
+};
+
+/// The multi-tenant job service: owns the worker pool, the fair-share
+/// scheduler and the checkpoint journal. Tenants submit JobSpecs and
+/// get JobIds; every job — single digest or whole credential store —
+/// runs through the same core::MultiSweeper batch path.
+///
+/// Execution model: each worker repeatedly asks the scheduler for the
+/// most underserved runnable job, slices one bounded quantum off that
+/// job's pending keyspace, and scans it with the job's interrupt flag
+/// as the cooperative preemption hook. Retired quanta are journaled
+/// before they are merged into the job's coverage, so a killed process
+/// never loses acknowledged work and resume_from() re-dispatches only
+/// the unscanned gaps.
+///
+/// All public methods are thread-safe. Destroying the manager stops
+/// the workers (interrupting in-flight scans at the next chunk
+/// boundary); non-terminal jobs keep their journaled coverage and can
+/// be resumed by a later manager.
+class JobManager {
+ public:
+  explicit JobManager(JobServiceConfig config = {});
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validates and enqueues a job. The spec's name must be unique
+  /// among live (non-terminal) jobs; throws InvalidArgument otherwise.
+  JobId submit(JobSpec spec);
+
+  /// Reloads a journal written by an earlier run and re-submits every
+  /// job without a terminal state record, seeded with its journaled
+  /// coverage and recoveries — only the unscanned gaps are dispatched
+  /// again. Jobs whose gaps turn out empty complete immediately.
+  /// Returns the number of jobs brought back.
+  std::size_t resume_from(const std::string& journal_path);
+
+  /// Requests cancellation: the interrupt flag preempts in-flight
+  /// quanta at their next chunk boundary and the job goes terminal
+  /// (kCancelled) once they retire. No-op on terminal jobs.
+  void cancel(JobId id);
+
+  /// Pauses / resumes a job. Pausing preempts in-flight quanta; their
+  /// untested remainders return to the pending queue, so a paused job
+  /// loses no work. Resuming re-enters the scheduler at the current
+  /// fair-share virtual time (no catch-up burst).
+  void pause(JobId id);
+  void resume(JobId id);
+
+  /// Point-in-time snapshot; throws InvalidArgument for unknown ids.
+  JobSnapshot status(JobId id) const;
+
+  /// Snapshots of every job, in submission order.
+  std::vector<JobSnapshot> snapshot_all() const;
+
+  /// The id of the live or finished job with this name, if any.
+  std::optional<JobId> find_job(std::string_view name) const;
+
+  /// Blocks until the job is terminal. timeout_s < 0 waits forever.
+  /// Returns true when the job is terminal on return.
+  bool wait(JobId id, double timeout_s = -1) const;
+
+  /// Blocks until every submitted job is terminal.
+  void wait_all() const;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  /// Everything the manager knows about one job. Guarded by mu_ except
+  /// `interrupt`, which scans read lock-free.
+  struct JobImpl {
+    JobId id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::unique_ptr<core::MultiSweeper> sweeper;
+
+    /// Unscanned sub-intervals, ascending; workers slice quanta off
+    /// the front.
+    std::deque<keyspace::Interval> pending;
+    IntervalSet coverage;
+
+    std::atomic<bool> interrupt{false};
+    bool cancel_requested = false;
+    std::size_t in_flight = 0;  ///< quanta currently being scanned
+
+    std::uint64_t intervals_issued = 0;
+    std::uint64_t intervals_retired = 0;
+    u128 scanned{0};
+    std::size_t targets_found = 0;
+    double busy_s = 0;  ///< summed worker wall time inside scan()
+
+    bool dispatched_once = false;
+    std::chrono::steady_clock::time_point first_dispatch;
+    std::chrono::steady_clock::time_point finished;
+    std::string error;
+  };
+
+  void worker_loop();
+  /// True when some runnable job has pending work (mu_ held).
+  bool work_available() const;
+  /// Quantum size for the job's next dispatch (mu_ held).
+  u128 quantum_for(const JobImpl& job) const;
+  /// Whether the scheduler should consider the job runnable (mu_ held).
+  bool runnable(const JobImpl& job) const;
+  /// Moves the job to a terminal state if nothing keeps it alive
+  /// (mu_ held). Records state, drops it from the scheduler, notifies
+  /// waiters.
+  void maybe_complete(JobImpl& job);
+  void finish(JobImpl& job, JobState terminal);
+  JobSnapshot snapshot_locked(const JobImpl& job) const;
+  JobImpl& job_ref(JobId id);
+  const JobImpl& job_ref(JobId id) const;
+  JobId submit_locked(JobSpec spec, std::unique_lock<std::mutex>& lock);
+
+  JobServiceConfig config_;
+  JobStore store_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_cv_;  ///< workers: work or stop
+  mutable std::condition_variable done_cv_;  ///< waiters: job went terminal
+  bool stopping_ = false;
+  JobId next_id_ = 1;
+  std::map<JobId, std::unique_ptr<JobImpl>> jobs_;  ///< submission order
+  FairShareScheduler scheduler_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gks::service

@@ -1,0 +1,210 @@
+#include "service/journal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace gks::service {
+
+namespace {
+
+const char* salt_position_name(hash::SaltPosition p) {
+  switch (p) {
+    case hash::SaltPosition::kNone: return "none";
+    case hash::SaltPosition::kPrefix: return "prefix";
+    case hash::SaltPosition::kSuffix: return "suffix";
+  }
+  return "none";
+}
+
+hash::SaltPosition salt_position_from_name(std::string_view name) {
+  if (name == "none") return hash::SaltPosition::kNone;
+  if (name == "prefix") return hash::SaltPosition::kPrefix;
+  if (name == "suffix") return hash::SaltPosition::kSuffix;
+  GKS_REQUIRE(false, "unknown salt position in journal: " + std::string(name));
+  return hash::SaltPosition::kNone;  // unreachable
+}
+
+const char* algorithm_journal_name(hash::Algorithm a) {
+  switch (a) {
+    case hash::Algorithm::kMd5: return "md5";
+    case hash::Algorithm::kSha1: return "sha1";
+    case hash::Algorithm::kSha256: return "sha256";
+  }
+  return "md5";
+}
+
+hash::Algorithm algorithm_from_journal_name(std::string_view name) {
+  if (name == "md5") return hash::Algorithm::kMd5;
+  if (name == "sha1") return hash::Algorithm::kSha1;
+  if (name == "sha256") return hash::Algorithm::kSha256;
+  GKS_REQUIRE(false, "unknown algorithm in journal: " + std::string(name));
+  return hash::Algorithm::kMd5;  // unreachable
+}
+
+JobSpec spec_from_record(const json::Value& rec) {
+  JobSpec spec;
+  spec.name = rec.at("job").as_string();
+  spec.request.algorithm =
+      algorithm_from_journal_name(rec.at("algo").as_string());
+  spec.request.charset = keyspace::Charset(rec.at("charset").as_string());
+  spec.request.min_length =
+      static_cast<unsigned>(rec.at("min").as_number());
+  spec.request.max_length =
+      static_cast<unsigned>(rec.at("max").as_number());
+  spec.request.salt.position =
+      salt_position_from_name(rec.at("salt_pos").as_string());
+  spec.request.salt.salt = rec.string_or("salt", "");
+  spec.priority = static_cast<int>(rec.number_or("priority", 0));
+  spec.weight = rec.number_or("weight", 1.0);
+  for (const json::Value& t : rec.at("targets").as_array()) {
+    spec.request.target_hexes.push_back(t.as_string());
+  }
+  return spec;
+}
+
+}  // namespace
+
+JobStore::JobStore(const std::string& path) { open(path); }
+
+void JobStore::open(const std::string& path) {
+  GKS_REQUIRE(!out_.is_open(), "journal is already open: " + path_);
+  path_ = path;
+  out_.open(path, std::ios::app);
+  GKS_REQUIRE(out_.is_open(), "cannot open journal for append: " + path);
+}
+
+void JobStore::append(const std::string& line) {
+  if (!out_.is_open()) return;
+  std::lock_guard lock(mu_);
+  out_ << line << '\n';
+  // One durability point per record: a crash tears at most the line in
+  // flight, which load() tolerates.
+  out_.flush();
+}
+
+void JobStore::record_job(const JobSpec& spec) {
+  if (!out_.is_open()) return;
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("job")
+      .key("job").value(spec.name)
+      .key("algo").value(algorithm_journal_name(spec.request.algorithm))
+      .key("charset");
+  const auto chars = spec.request.charset.chars();
+  w.value(std::string_view(chars.data(), chars.size()));
+  w.key("min").value(static_cast<std::int64_t>(spec.request.min_length))
+      .key("max").value(static_cast<std::int64_t>(spec.request.max_length))
+      .key("salt_pos").value(salt_position_name(spec.request.salt.position))
+      .key("salt").value(spec.request.salt.salt)
+      .key("priority").value(spec.priority)
+      .key("weight").value(spec.weight)
+      .key("targets").begin_array();
+  for (const std::string& hex : spec.request.target_hexes) w.value(hex);
+  w.end_array().end_object();
+  append(w.str());
+}
+
+void JobStore::record_interval(const std::string& job,
+                               const keyspace::Interval& iv) {
+  if (!out_.is_open() || iv.empty()) return;
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("interval")
+      .key("job").value(job)
+      .key("begin").value(iv.begin.to_string())
+      .key("end").value(iv.end.to_string())
+      .end_object();
+  append(w.str());
+}
+
+void JobStore::record_found(const std::string& job,
+                            const std::string& digest_hex,
+                            const std::string& key) {
+  if (!out_.is_open()) return;
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("found")
+      .key("job").value(job)
+      .key("digest").value(digest_hex)
+      .key("key").value(key)
+      .end_object();
+  append(w.str());
+}
+
+void JobStore::record_state(const std::string& job, JobState state) {
+  if (!out_.is_open()) return;
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("state")
+      .key("job").value(job)
+      .key("state").value(job_state_name(state))
+      .end_object();
+  append(w.str());
+}
+
+std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
+  std::vector<RecoveredJob> out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;
+
+  std::map<std::string, std::size_t> by_name;
+  const auto job_of = [&](const std::string& name) -> RecoveredJob* {
+    const auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : &out[it->second];
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value rec;
+    try {
+      rec = json::parse(line);
+    } catch (const Error&) {
+      // A torn write can only be the journal's final line; anything
+      // malformed earlier is real corruption.
+      GKS_REQUIRE(in.peek() == std::ifstream::traits_type::eof(),
+                  "corrupt journal record at line " +
+                      std::to_string(line_no) + " of " + path);
+      break;
+    }
+    const std::string& type = rec.at("type").as_string();
+    const std::string& name = rec.at("job").as_string();
+    if (type == "job") {
+      // Duplicate job records (e.g. a spec journaled again after an
+      // earlier crash) keep the first occurrence.
+      if (job_of(name) == nullptr) {
+        by_name.emplace(name, out.size());
+        out.emplace_back();
+        out.back().spec = spec_from_record(rec);
+      }
+      continue;
+    }
+    RecoveredJob* job = job_of(name);
+    GKS_REQUIRE(job != nullptr,
+                "journal record for unknown job '" + name + "' at line " +
+                    std::to_string(line_no));
+    if (type == "interval") {
+      const keyspace::Interval iv(u128::parse(rec.at("begin").as_string()),
+                                  u128::parse(rec.at("end").as_string()));
+      job->journaled += iv.size();
+      job->scanned.add(iv);
+    } else if (type == "found") {
+      job->found.emplace_back(rec.at("digest").as_string(),
+                              rec.at("key").as_string());
+    } else if (type == "state") {
+      const JobState s = job_state_from_name(rec.at("state").as_string());
+      GKS_REQUIRE(is_terminal(s), "journal state records must be terminal");
+      job->final_state = s;
+    } else {
+      GKS_REQUIRE(false, "unknown journal record type: " + type);
+    }
+  }
+  return out;
+}
+
+}  // namespace gks::service

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "keyspace/interval.h"
+#include "service/interval_set.h"
+#include "service/job.h"
+
+namespace gks::service {
+
+/// Durable progress journal for the job service: an append-only
+/// JSON-lines file (docs/service.md describes the format). Four record
+/// types, each one line, flushed on write so a killed process loses at
+/// most the line being written:
+///
+///   {"type":"job", "job":NAME, ...full spec...}
+///   {"type":"interval", "job":NAME, "begin":"DEC", "end":"DEC"}
+///   {"type":"found", "job":NAME, "digest":HEX, "key":KEY}
+///   {"type":"state", "job":NAME, "state":"done"|"failed"|"cancelled"}
+///
+/// Identifiers are decimal strings (u128 does not fit a JSON number).
+/// An `interval` record means those ids were fully scanned and need
+/// never be dispatched again; the union of a job's interval records is
+/// its coverage, and load() re-derives the unscanned gaps from it.
+class JobStore {
+ public:
+  /// Null store: records nothing (in-memory-only service).
+  JobStore() = default;
+
+  /// Opens `path` for append, creating it if missing; throws
+  /// InvalidArgument when the file cannot be opened.
+  explicit JobStore(const std::string& path);
+
+  /// Turns a null store into a persistent one (the JobManager builds
+  /// its member store this way). Throws if already open or on failure.
+  void open(const std::string& path);
+
+  bool persistent() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  /// Appenders — thread-safe, one flushed line each; no-ops on a null
+  /// store.
+  void record_job(const JobSpec& spec);
+  void record_interval(const std::string& job, const keyspace::Interval& iv);
+  void record_found(const std::string& job, const std::string& digest_hex,
+                    const std::string& key);
+  void record_state(const std::string& job, JobState state);
+
+  /// One job reassembled from a journal.
+  struct RecoveredJob {
+    JobSpec spec;
+    /// Union of the job's interval records.
+    IntervalSet scanned;
+    /// Sum of the interval records' sizes. Equal to scanned.covered()
+    /// iff no id was journaled twice — the exactly-once witness the
+    /// resume tests assert.
+    u128 journaled{0};
+    /// (digest hex, key) pairs recovered before the checkpoint.
+    std::vector<std::pair<std::string, std::string>> found;
+    /// Terminal state if one was recorded; jobs without one are the
+    /// candidates for resumption.
+    std::optional<JobState> final_state;
+  };
+
+  /// Parses a journal into per-job recovery state (submission order).
+  /// A missing file yields an empty vector. A torn final line — the
+  /// crash happened mid-append — is tolerated and ignored; malformed
+  /// records anywhere else throw InvalidArgument.
+  static std::vector<RecoveredJob> load(const std::string& path);
+
+ private:
+  void append(const std::string& line);
+
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace gks::service

@@ -1,0 +1,70 @@
+#include "service/scheduler.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace gks::service {
+
+double FairShareScheduler::min_runnable_vtime() const {
+  double min_v = std::numeric_limits<double>::infinity();
+  for (const auto& [id, e] : jobs_) {
+    if (e.runnable && e.vtime < min_v) min_v = e.vtime;
+  }
+  return std::isfinite(min_v) ? min_v : 0.0;
+}
+
+void FairShareScheduler::add(JobId id, double weight, int priority) {
+  GKS_REQUIRE(weight > 0, "scheduler weight must be positive");
+  GKS_REQUIRE(jobs_.find(id) == jobs_.end(), "job already scheduled");
+  Entry e;
+  e.effective_weight = weight * std::ldexp(1.0, priority);
+  // Start at the runnable minimum: a late joiner competes from "now",
+  // it does not get credit for the time before it existed.
+  e.vtime = min_runnable_vtime();
+  jobs_.emplace(id, e);
+}
+
+void FairShareScheduler::remove(JobId id) { jobs_.erase(id); }
+
+void FairShareScheduler::set_runnable(JobId id, bool runnable) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  if (runnable && !it->second.runnable) {
+    // Waking from a pause: forfeit the share accumulated while asleep,
+    // otherwise the woken job would monopolize the workers until its
+    // stale vtime caught up.
+    it->second.vtime = std::max(it->second.vtime, min_runnable_vtime());
+  }
+  it->second.runnable = runnable;
+}
+
+std::optional<JobId> FairShareScheduler::pick() const {
+  std::optional<JobId> best;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (const auto& [id, e] : jobs_) {
+    if (!e.runnable) continue;
+    if (e.vtime < best_v || (e.vtime == best_v && (!best || id < *best))) {
+      best = id;
+      best_v = e.vtime;
+    }
+  }
+  return best;
+}
+
+void FairShareScheduler::charge(JobId id, const u128& quantum) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.vtime += quantum.to_double() / it->second.effective_weight;
+}
+
+std::size_t FairShareScheduler::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : jobs_) {
+    if (e.runnable) ++n;
+  }
+  return n;
+}
+
+}  // namespace gks::service

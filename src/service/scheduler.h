@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "service/job.h"
+#include "support/uint128.h"
+
+namespace gks::service {
+
+/// Fair-share scheduler over preemptible interval quanta — stride
+/// scheduling on virtual time. Each job accumulates
+///
+///   vtime += quantum_size / effective_weight
+///
+/// when charged for a dispatched quantum, where
+///
+///   effective_weight = weight × 2^priority
+///
+/// so one priority step doubles a job's share and weights split the
+/// share within a class. pick() returns the runnable job with the
+/// smallest vtime; because a big sweep's vtime grows just as fast per
+/// id scanned as a small job's, the small job keeps winning its share
+/// of picks and is never starved (the ISSUE's fairness demo).
+///
+/// Jobs that join late (or become runnable again after a pause) have
+/// their vtime fast-forwarded to the minimum runnable vtime, so they
+/// compete from "now" instead of replaying the whole backlog and
+/// monopolizing the workers.
+///
+/// Not internally synchronized: the JobManager already serializes all
+/// scheduling decisions under its own mutex.
+class FairShareScheduler {
+ public:
+  /// Registers a runnable job. weight must be positive.
+  void add(JobId id, double weight, int priority);
+
+  /// Unregisters a job (terminal or being dropped). Unknown ids are
+  /// ignored.
+  void remove(JobId id);
+
+  /// Marks a job runnable / not runnable (pause, empty pending queue).
+  /// Becoming runnable fast-forwards vtime to the runnable minimum.
+  void set_runnable(JobId id, bool runnable);
+
+  /// The runnable job with the smallest virtual time (ties broken by
+  /// lowest id, for determinism); nullopt when nothing is runnable.
+  std::optional<JobId> pick() const;
+
+  /// Charges `quantum` dispatched ids against the job's share.
+  void charge(JobId id, const u128& quantum);
+
+  std::size_t runnable_count() const;
+  std::size_t size() const { return jobs_.size(); }
+
+ private:
+  struct Entry {
+    double vtime = 0;
+    double effective_weight = 1.0;
+    bool runnable = true;
+  };
+
+  /// Smallest vtime among runnable jobs, or 0 when none are runnable.
+  double min_runnable_vtime() const;
+
+  std::unordered_map<JobId, Entry> jobs_;
+};
+
+}  // namespace gks::service

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/error.h"
+
 namespace gks {
 
 /// Fixed-size worker pool used by the CPU cracking backend (fine-grain
@@ -27,7 +29,9 @@ class ThreadPool {
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queue and joins all workers: every task enqueued
+  /// before destruction begins still runs (its future completes), so
+  /// tearing a service down with work pending is safe.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -37,6 +41,10 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future carries its result/exception.
+  /// Throws InvalidArgument once shutdown has begun: workers exit as
+  /// soon as the queue drains, so a task enqueued after that point
+  /// could be picked up by nobody and its future would never become
+  /// ready — failing loudly beats a silent hang on get().
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -45,6 +53,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      GKS_REQUIRE(!stop_, "submit on a ThreadPool that is shutting down");
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -60,6 +60,44 @@ TEST(SplitEven, RejectsZeroParts) {
   EXPECT_THROW(split_even(Interval(u128(0), u128(10)), 0), InvalidArgument);
 }
 
+TEST(SplitEven, MorePartsThanIdsYieldsSizeOneThenEmptySlices) {
+  const Interval whole(u128(40), u128(43));  // 3 ids
+  const auto out = split_even(whole, 8);
+  ASSERT_EQ(out.size(), 8u);
+  expect_partition(whole, out);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i].size(), u128(1));
+  for (std::size_t i = 3; i < 8; ++i) EXPECT_TRUE(out[i].empty());
+}
+
+TEST(SplitEven, EmptyIntervalYieldsAllEmptySlices) {
+  const auto out = split_even(Interval(u128(7), u128(7)), 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& p : out) {
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.begin, u128(7));
+  }
+}
+
+TEST(SplitEven, InvertedIntervalIsTreatedAsEmpty) {
+  // begin > end: size() would wrap around 2^128 — the split must not
+  // rely on it and instead hand back empty slices at `begin`.
+  const auto out = split_even(Interval(u128(9), u128(3)), 3);
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& p : out) {
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.begin, u128(9));
+  }
+}
+
+TEST(SplitWeighted, EmptyAndInvertedIntervalsYieldEmptyParts) {
+  for (const Interval whole : {Interval(u128(5), u128(5)),
+                               Interval(u128(8), u128(2))}) {
+    const auto out = split_weighted(whole, {1.0, 2.0});
+    ASSERT_EQ(out.size(), 2u);
+    for (const auto& p : out) EXPECT_TRUE(p.empty());
+  }
+}
+
 TEST(SplitWeighted, ProportionalToWeights) {
   const Interval whole(u128(0), u128(1000));
   const auto out = split_weighted(whole, {1.0, 3.0, 6.0});

@@ -1,0 +1,139 @@
+#include "service/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "keyspace/interval.h"
+
+namespace gks::service {
+namespace {
+
+using keyspace::Interval;
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.covered(), u128(0));
+  EXPECT_EQ(set.piece_count(), 0u);
+  EXPECT_TRUE(set.covers(Interval(u128(5), u128(5))));  // empty whole
+  EXPECT_FALSE(set.covers(Interval(u128(0), u128(1))));
+}
+
+TEST(IntervalSet, AddReturnsNewlyCoveredCount) {
+  IntervalSet set;
+  EXPECT_EQ(set.add(Interval(u128(10), u128(20))), u128(10));
+  // Fully contained: nothing new.
+  EXPECT_EQ(set.add(Interval(u128(12), u128(18))), u128(0));
+  // Partial overlap on the right.
+  EXPECT_EQ(set.add(Interval(u128(15), u128(25))), u128(5));
+  // Disjoint.
+  EXPECT_EQ(set.add(Interval(u128(40), u128(50))), u128(10));
+  EXPECT_EQ(set.covered(), u128(25));
+  EXPECT_EQ(set.piece_count(), 2u);
+}
+
+TEST(IntervalSet, AdjacentPiecesMerge) {
+  IntervalSet set;
+  set.add(Interval(u128(0), u128(10)));
+  set.add(Interval(u128(20), u128(30)));
+  EXPECT_EQ(set.piece_count(), 2u);
+  // Exactly bridges the gap and touches both neighbours.
+  EXPECT_EQ(set.add(Interval(u128(10), u128(20))), u128(10));
+  EXPECT_EQ(set.piece_count(), 1u);
+  const auto pieces = set.pieces();
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].begin, u128(0));
+  EXPECT_EQ(pieces[0].end, u128(30));
+}
+
+TEST(IntervalSet, AddSpanningManyPieces) {
+  IntervalSet set;
+  for (int i = 0; i < 5; ++i) {
+    set.add(Interval(u128(i * 10), u128(i * 10 + 4)));
+  }
+  EXPECT_EQ(set.piece_count(), 5u);
+  // Covers all five pieces plus the gaps between them.
+  EXPECT_EQ(set.add(Interval(u128(0), u128(44))), u128(24));
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_EQ(set.covered(), u128(44));
+}
+
+TEST(IntervalSet, EmptyAddIsNoop) {
+  IntervalSet set;
+  EXPECT_EQ(set.add(Interval(u128(7), u128(7))), u128(0));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, CoversWhole) {
+  IntervalSet set;
+  const Interval whole(u128(0), u128(100));
+  set.add(Interval(u128(0), u128(60)));
+  EXPECT_FALSE(set.covers(whole));
+  set.add(Interval(u128(60), u128(100)));
+  EXPECT_TRUE(set.covers(whole));
+  // A piece that starts before the whole still covers it.
+  IntervalSet wide;
+  wide.add(Interval(u128(0), u128(200)));
+  EXPECT_TRUE(wide.covers(Interval(u128(50), u128(150))));
+}
+
+TEST(IntervalSet, GapsOfEmptySetIsWhole) {
+  IntervalSet set;
+  const auto gaps = set.gaps(Interval(u128(3), u128(9)));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, u128(3));
+  EXPECT_EQ(gaps[0].end, u128(9));
+}
+
+TEST(IntervalSet, GapsBetweenPieces) {
+  IntervalSet set;
+  set.add(Interval(u128(10), u128(20)));
+  set.add(Interval(u128(30), u128(40)));
+  const auto gaps = set.gaps(Interval(u128(0), u128(50)));
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0].begin, u128(0));
+  EXPECT_EQ(gaps[0].end, u128(10));
+  EXPECT_EQ(gaps[1].begin, u128(20));
+  EXPECT_EQ(gaps[1].end, u128(30));
+  EXPECT_EQ(gaps[2].begin, u128(40));
+  EXPECT_EQ(gaps[2].end, u128(50));
+}
+
+TEST(IntervalSet, GapsWithPieceOverhangingWhole) {
+  IntervalSet set;
+  set.add(Interval(u128(0), u128(15)));   // overhangs the left edge
+  set.add(Interval(u128(95), u128(120)));  // overhangs the right edge
+  const auto gaps = set.gaps(Interval(u128(10), u128(100)));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, u128(15));
+  EXPECT_EQ(gaps[0].end, u128(95));
+}
+
+TEST(IntervalSet, GapsFullyCoveredIsEmpty) {
+  IntervalSet set;
+  set.add(Interval(u128(0), u128(100)));
+  EXPECT_TRUE(set.gaps(Interval(u128(20), u128(80))).empty());
+  EXPECT_TRUE(set.gaps(Interval(u128(5), u128(5))).empty());
+}
+
+TEST(IntervalSet, GapsPlusPiecesPartitionTheWhole) {
+  IntervalSet set;
+  set.add(Interval(u128(7), u128(13)));
+  set.add(Interval(u128(40), u128(45)));
+  set.add(Interval(u128(45), u128(60)));
+  const Interval whole(u128(0), u128(64));
+  u128 total(0);
+  for (const auto& g : set.gaps(whole)) total += g.size();
+  for (const auto& p : set.pieces()) total += p.size();
+  EXPECT_EQ(total, whole.size());
+}
+
+TEST(IntervalSet, U128ScaleValues) {
+  IntervalSet set;
+  const u128 big = u128(1) << 100;
+  EXPECT_EQ(set.add(Interval(big, big + u128(1000))), u128(1000));
+  EXPECT_EQ(set.add(Interval(big + u128(500), big + u128(1500))), u128(500));
+  EXPECT_EQ(set.covered(), u128(1500));
+}
+
+}  // namespace
+}  // namespace gks::service

@@ -1,0 +1,146 @@
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/error.h"
+
+namespace gks::service {
+namespace {
+
+TEST(FairShareScheduler, EmptyPicksNothing) {
+  FairShareScheduler sched;
+  EXPECT_FALSE(sched.pick().has_value());
+  EXPECT_EQ(sched.runnable_count(), 0u);
+}
+
+TEST(FairShareScheduler, RejectsNonPositiveWeight) {
+  FairShareScheduler sched;
+  EXPECT_THROW(sched.add(1, 0.0, 0), InvalidArgument);
+  EXPECT_THROW(sched.add(1, -2.0, 0), InvalidArgument);
+}
+
+TEST(FairShareScheduler, RejectsDuplicateId) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  EXPECT_THROW(sched.add(1, 1.0, 0), InvalidArgument);
+}
+
+TEST(FairShareScheduler, PicksMinVtimeTiesByLowestId) {
+  FairShareScheduler sched;
+  sched.add(2, 1.0, 0);
+  sched.add(1, 1.0, 0);
+  // Both at vtime 0: the lower id wins.
+  EXPECT_EQ(sched.pick().value(), 1u);
+  sched.charge(1, u128(100));
+  EXPECT_EQ(sched.pick().value(), 2u);
+  sched.charge(2, u128(200));
+  EXPECT_EQ(sched.pick().value(), 1u);
+}
+
+TEST(FairShareScheduler, EqualWeightsGetEqualShares) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  sched.add(2, 1.0, 0);
+  std::map<JobId, int> picks;
+  for (int i = 0; i < 100; ++i) {
+    const JobId id = sched.pick().value();
+    ++picks[id];
+    sched.charge(id, u128(1000));
+  }
+  EXPECT_EQ(picks[1], 50);
+  EXPECT_EQ(picks[2], 50);
+}
+
+TEST(FairShareScheduler, WeightScalesTheShare) {
+  FairShareScheduler sched;
+  sched.add(1, 3.0, 0);
+  sched.add(2, 1.0, 0);
+  std::map<JobId, int> picks;
+  for (int i = 0; i < 400; ++i) {
+    const JobId id = sched.pick().value();
+    ++picks[id];
+    sched.charge(id, u128(1000));
+  }
+  // Weight 3 vs 1: three quarters of the quanta, plus/minus rounding.
+  EXPECT_NEAR(picks[1], 300, 2);
+  EXPECT_NEAR(picks[2], 100, 2);
+}
+
+TEST(FairShareScheduler, PriorityDoublesPerStep) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 2);  // effective weight 4
+  sched.add(2, 1.0, 0);  // effective weight 1
+  std::map<JobId, int> picks;
+  for (int i = 0; i < 500; ++i) {
+    const JobId id = sched.pick().value();
+    ++picks[id];
+    sched.charge(id, u128(1000));
+  }
+  EXPECT_NEAR(picks[1], 400, 2);
+  EXPECT_NEAR(picks[2], 100, 2);
+}
+
+TEST(FairShareScheduler, NonRunnableIsSkipped) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  sched.add(2, 1.0, 0);
+  sched.set_runnable(1, false);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.pick().value(), 2u);
+    sched.charge(2, u128(1000));
+  }
+  EXPECT_EQ(sched.runnable_count(), 1u);
+}
+
+TEST(FairShareScheduler, LateJoinerDoesNotMonopolize) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  for (int i = 0; i < 50; ++i) sched.charge(1, u128(1000));
+  // Joins after job 1 accumulated lots of vtime: it must start from
+  // "now", not replay the backlog.
+  sched.add(2, 1.0, 0);
+  std::map<JobId, int> picks;
+  for (int i = 0; i < 100; ++i) {
+    const JobId id = sched.pick().value();
+    ++picks[id];
+    sched.charge(id, u128(1000));
+  }
+  EXPECT_EQ(picks[1], 50);
+  EXPECT_EQ(picks[2], 50);
+}
+
+TEST(FairShareScheduler, WakingFromPauseForfeitsSleepCredit) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  sched.add(2, 1.0, 0);
+  sched.set_runnable(1, false);
+  for (int i = 0; i < 50; ++i) sched.charge(2, u128(1000));
+  sched.set_runnable(1, true);
+  // Without the fast-forward, job 1 would win the next 50 picks.
+  std::map<JobId, int> picks;
+  for (int i = 0; i < 100; ++i) {
+    const JobId id = sched.pick().value();
+    ++picks[id];
+    sched.charge(id, u128(1000));
+  }
+  EXPECT_EQ(picks[1], 50);
+  EXPECT_EQ(picks[2], 50);
+}
+
+TEST(FairShareScheduler, RemoveForgetsTheJob) {
+  FairShareScheduler sched;
+  sched.add(1, 1.0, 0);
+  sched.remove(1);
+  EXPECT_FALSE(sched.pick().has_value());
+  EXPECT_EQ(sched.size(), 0u);
+  // Removing again (or charging a removed job) is a no-op.
+  sched.remove(1);
+  sched.charge(1, u128(10));
+  sched.set_runnable(1, true);
+  EXPECT_FALSE(sched.pick().has_value());
+}
+
+}  // namespace
+}  // namespace gks::service

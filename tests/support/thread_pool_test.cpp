@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "support/error.h"
 
 namespace gks {
 namespace {
@@ -63,6 +68,61 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ShutdownWithTasksPendingCompletesEveryFuture) {
+  // Service teardown path: the pool is destroyed while the queue is
+  // still deep and workers are mid-task. Every future obtained before
+  // shutdown must still become ready (the destructor drains rather
+  // than drops), and no join/notify race may lose a task.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.submit([&ran, i] {
+        if (i % 7 == 0) std::this_thread::yield();
+        ran.fetch_add(1);
+      }));
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    f.get();
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, SubmitDuringShutdownThrowsInsteadOfHanging) {
+  // Once shutdown has begun, workers exit as soon as the queue drains;
+  // a late submit could enqueue a task nobody will ever run and its
+  // future would never become ready. The pool fails loudly instead.
+  // The resubmission is attempted from inside a worker task while the
+  // destructor is blocked joining — exactly the window where the task
+  // would otherwise be dropped.
+  std::atomic<bool> threw{false};
+  std::future<void> task;
+  {
+    auto pool = std::make_unique<ThreadPool>(1);
+    ThreadPool* raw = pool.get();
+    std::promise<void> entered;
+    task = pool->submit([raw, &entered, &threw] {
+      entered.set_value();
+      // Give the destructor time to set the stop flag and start joining.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      try {
+        raw->submit([] {});
+      } catch (const InvalidArgument&) {
+        threw = true;
+      }
+    });
+    entered.get_future().get();
+    pool.reset();  // joins; the task resubmits while stop is set
+  }
+  task.get();
+  EXPECT_TRUE(threw.load());
 }
 
 TEST(ThreadPool, ParallelChunksCoversEveryIndexExactlyOnce) {

@@ -20,6 +20,8 @@
 //                            subset; FILE = one rule per line)
 //   --suffix-mask PATTERN    hybrid: dictionary x mask tail
 //   --threads N              worker threads            [hardware]
+//   --json                   machine-readable result on stdout (keys,
+//                            throughput, intervals scanned)
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +38,7 @@
 #include "keyspace/mask.h"
 #include "keyspace/rules.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/table.h"
 
 namespace {
@@ -56,6 +59,7 @@ struct Options {
   std::optional<std::string> rules;
   std::optional<std::string> suffix_mask;
   std::size_t threads = 0;
+  bool json = false;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -131,6 +135,8 @@ Options parse(int argc, char** argv) {
       opt.suffix_mask = need_value(i);
     } else if (arg == "--threads") {
       opt.threads = std::stoul(need_value(i));
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -157,7 +163,34 @@ std::vector<std::string> load_words(const std::string& path) {
   return words;
 }
 
-int report(const core::MultiCrackResult& result) {
+int report_json(const core::MultiCrackResult& result) {
+  json::Writer w;
+  w.begin_object()
+      .key("cracked").value(static_cast<std::uint64_t>(result.cracked))
+      .key("targets_total")
+      .value(static_cast<std::uint64_t>(result.targets.size()))
+      .key("tested").value(result.tested.to_string())
+      .key("intervals").value(result.intervals)
+      .key("elapsed_s").value(result.elapsed_s)
+      .key("keys_per_s")
+      .value(result.elapsed_s > 0
+                 ? result.tested.to_double() / result.elapsed_s
+                 : 0.0)
+      .key("targets").begin_array();
+  for (const auto& t : result.targets) {
+    w.begin_object()
+        .key("digest").value(t.digest_hex)
+        .key("found").value(t.found);
+    if (t.found) w.key("key").value(t.key);
+    w.end_object();
+  }
+  w.end_array().end_object();
+  std::printf("%s\n", w.str().c_str());
+  return result.cracked == result.targets.size() ? 0 : 1;
+}
+
+int report(const core::MultiCrackResult& result, bool json) {
+  if (json) return report_json(result);
   TablePrinter table;
   table.header({"digest", "verdict", "key"});
   for (const auto& t : result.targets) {
@@ -181,21 +214,27 @@ int main(int argc, char** argv) {
 
     if (opt.mask) {
       const keyspace::MaskGenerator mask(*opt.mask);
-      std::printf("mask attack: %s candidates\n",
-                  mask.size().to_string().c_str());
+      if (!opt.json) {
+        std::printf("mask attack: %s candidates\n",
+                    mask.size().to_string().c_str());
+      }
       return report(core::crack_generator(mask, opt.algorithm, opt.hashes,
-                                          opt.salt, opt.threads));
+                                          opt.salt, opt.threads),
+                    opt.json);
     }
 
     if (opt.markov_corpus) {
       const keyspace::MarkovOrderedGenerator markov(
           charset_by_name(opt.charset_name), opt.max_length,
           load_words(*opt.markov_corpus));
-      std::printf("markov-ordered search: %s candidates of length %u, "
-                  "likely ones first\n",
-                  markov.size().to_string().c_str(), opt.max_length);
+      if (!opt.json) {
+        std::printf("markov-ordered search: %s candidates of length %u, "
+                    "likely ones first\n",
+                    markov.size().to_string().c_str(), opt.max_length);
+      }
       return report(core::crack_generator(markov, opt.algorithm, opt.hashes,
-                                          opt.salt, opt.threads));
+                                          opt.salt, opt.threads),
+                    opt.json);
     }
 
     if (opt.wordlist && opt.rules) {
@@ -204,12 +243,15 @@ int main(int argc, char** argv) {
           *opt.rules == "common" ? keyspace::RuleSet::common()
                                  : keyspace::RuleSet(load_words(*opt.rules));
       const keyspace::RuledDictionaryGenerator gen(words, rules);
-      std::printf("rule-based dictionary attack: %s candidates "
-                  "(%zu words x %zu rules)\n",
-                  gen.size().to_string().c_str(), words.size(),
-                  rules.size());
+      if (!opt.json) {
+        std::printf("rule-based dictionary attack: %s candidates "
+                    "(%zu words x %zu rules)\n",
+                    gen.size().to_string().c_str(), words.size(),
+                    rules.size());
+      }
       return report(core::crack_generator(gen, opt.algorithm, opt.hashes,
-                                          opt.salt, opt.threads));
+                                          opt.salt, opt.threads),
+                    opt.json);
     }
 
     if (opt.wordlist) {
@@ -220,16 +262,22 @@ int main(int argc, char** argv) {
       if (opt.suffix_mask) {
         const keyspace::MaskGenerator tail(*opt.suffix_mask);
         const keyspace::HybridGenerator hybrid(words, tail);
-        std::printf("hybrid attack: %s candidates\n",
-                    hybrid.size().to_string().c_str());
+        if (!opt.json) {
+          std::printf("hybrid attack: %s candidates\n",
+                      hybrid.size().to_string().c_str());
+        }
         return report(core::crack_generator(hybrid, opt.algorithm,
                                             opt.hashes, opt.salt,
-                                            opt.threads));
+                                            opt.threads),
+                      opt.json);
       }
-      std::printf("dictionary attack: %s candidates\n",
-                  words.size().to_string().c_str());
+      if (!opt.json) {
+        std::printf("dictionary attack: %s candidates\n",
+                    words.size().to_string().c_str());
+      }
       return report(core::crack_generator(words, opt.algorithm, opt.hashes,
-                                          opt.salt, opt.threads));
+                                          opt.salt, opt.threads),
+                    opt.json);
     }
 
     core::MultiCrackRequest request;
@@ -239,14 +287,16 @@ int main(int argc, char** argv) {
     request.min_length = opt.min_length;
     request.max_length = opt.max_length;
     request.salt = opt.salt;
-    std::printf("brute force: %s candidates (charset %zu, lengths %u..%u)\n",
-                keyspace::space_size(request.charset.size(),
-                                     request.min_length, request.max_length)
-                    .to_string()
-                    .c_str(),
-                request.charset.size(), request.min_length,
-                request.max_length);
-    return report(core::multi_crack(request, opt.threads));
+    if (!opt.json) {
+      std::printf(
+          "brute force: %s candidates (charset %zu, lengths %u..%u)\n",
+          keyspace::space_size(request.charset.size(), request.min_length,
+                               request.max_length)
+              .to_string()
+              .c_str(),
+          request.charset.size(), request.min_length, request.max_length);
+    }
+    return report(core::multi_crack(request, opt.threads), opt.json);
   } catch (const gks::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,0 +1,346 @@
+// gks-jobs: multi-tenant batch front end to the job service.
+//
+//   gks-jobs BATCHFILE [options]
+//
+// The batch file has one job per line, `key=value` tokens separated by
+// whitespace (# starts a comment):
+//
+//   name=audit1 algo=md5 hash=HEX[,HEX...] charset=lower min=1 max=4
+//       priority=2 weight=1.5 salt_suffix=pepper cancel_after=2.5
+//   (one line per job; shown wrapped here)
+//
+// Keys: name (required), hash (required, comma-separated or repeated),
+// algo md5|sha1 [md5], charset lower|upper|digits|alpha|alnum|
+// printable|custom:S [lower], min/max [1/4], priority [0], weight [1],
+// salt_prefix/salt_suffix, cancel_after=SECS (demo hook: request
+// cancellation that long after the run starts).
+//
+// Options:
+//   --workers N        worker threads                  [hardware]
+//   --journal FILE     checkpoint journal (JSON lines)
+//   --resume           reload FILE first; only unscanned gaps of
+//                      unfinished jobs are dispatched again, and batch
+//                      entries whose name the journal already knows
+//                      are not resubmitted
+//   --progress SECS    streamed per-job progress period [1.0]
+//   --quiet            no progress stream
+//   --json             machine-readable final report on stdout
+//
+// Exit status: 0 when every job completed with all its targets
+// recovered, 1 otherwise (cancelled, failed, or keys not in space).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_manager.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace gks;
+
+struct BatchJob {
+  service::JobSpec spec;
+  std::optional<double> cancel_after;
+};
+
+struct Options {
+  std::string batch_path;
+  std::size_t workers = 0;
+  std::string journal;
+  bool resume = false;
+  double progress_s = 1.0;
+  bool quiet = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s BATCHFILE [--workers N] [--journal FILE] "
+               "[--resume] [--progress SECS] [--quiet] [--json]\n"
+               "see the header of tools/gks_jobs.cpp for the batch format\n",
+               argv0);
+  std::exit(2);
+}
+
+keyspace::Charset charset_by_name(const std::string& name) {
+  if (name == "lower") return keyspace::Charset::lower();
+  if (name == "upper") return keyspace::Charset::upper();
+  if (name == "digits") return keyspace::Charset::digits();
+  if (name == "alpha") return keyspace::Charset::alpha();
+  if (name == "alnum") return keyspace::Charset::alphanumeric();
+  if (name == "printable") return keyspace::Charset::printable();
+  if (name.rfind("custom:", 0) == 0) {
+    return keyspace::Charset(name.substr(7));
+  }
+  throw InvalidArgument("unknown charset: " + name);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], "missing option value");
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      opt.workers = std::stoul(need_value());
+    } else if (arg == "--journal") {
+      opt.journal = need_value();
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--progress") {
+      opt.progress_s = std::stod(need_value());
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0], ("unknown option: " + arg).c_str());
+    } else if (opt.batch_path.empty()) {
+      opt.batch_path = arg;
+    } else {
+      usage(argv[0], "more than one batch file given");
+    }
+  }
+  if (opt.batch_path.empty()) usage(argv[0], "no batch file given");
+  if (opt.resume && opt.journal.empty()) {
+    usage(argv[0], "--resume needs --journal");
+  }
+  return opt;
+}
+
+void add_hashes(service::JobSpec& spec, const std::string& list) {
+  std::stringstream ss(list);
+  std::string hex;
+  while (std::getline(ss, hex, ',')) {
+    if (!hex.empty()) spec.request.target_hexes.push_back(hex);
+  }
+}
+
+BatchJob parse_batch_line(const std::string& line, std::size_t line_no) {
+  BatchJob job;
+  job.spec.request.min_length = 1;
+  job.spec.request.max_length = 4;
+  job.spec.request.charset = keyspace::Charset::lower();
+  std::stringstream ss(line);
+  std::string token;
+  while (ss >> token) {
+    const auto eq = token.find('=');
+    GKS_REQUIRE(eq != std::string::npos && eq > 0,
+                "batch line " + std::to_string(line_no) +
+                    ": expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "name") {
+      job.spec.name = value;
+    } else if (key == "algo") {
+      if (value == "md5") {
+        job.spec.request.algorithm = hash::Algorithm::kMd5;
+      } else if (value == "sha1") {
+        job.spec.request.algorithm = hash::Algorithm::kSha1;
+      } else {
+        throw InvalidArgument("batch line " + std::to_string(line_no) +
+                              ": unsupported algo '" + value + "'");
+      }
+    } else if (key == "hash") {
+      add_hashes(job.spec, value);
+    } else if (key == "charset") {
+      job.spec.request.charset = charset_by_name(value);
+    } else if (key == "min") {
+      job.spec.request.min_length = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "max") {
+      job.spec.request.max_length = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "priority") {
+      job.spec.priority = std::stoi(value);
+    } else if (key == "weight") {
+      job.spec.weight = std::stod(value);
+    } else if (key == "salt_prefix") {
+      job.spec.request.salt = {hash::SaltPosition::kPrefix, value};
+    } else if (key == "salt_suffix") {
+      job.spec.request.salt = {hash::SaltPosition::kSuffix, value};
+    } else if (key == "cancel_after") {
+      job.cancel_after = std::stod(value);
+    } else {
+      throw InvalidArgument("batch line " + std::to_string(line_no) +
+                            ": unknown key '" + key + "'");
+    }
+  }
+  GKS_REQUIRE(!job.spec.name.empty(),
+              "batch line " + std::to_string(line_no) + ": missing name=");
+  GKS_REQUIRE(!job.spec.request.target_hexes.empty(),
+              "batch line " + std::to_string(line_no) + ": missing hash=");
+  return job;
+}
+
+std::vector<BatchJob> parse_batch(const std::string& path) {
+  std::ifstream in(path);
+  GKS_REQUIRE(in.is_open(), "cannot open batch file: " + path);
+  std::vector<BatchJob> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash_pos = line.find('#');
+    if (hash_pos != std::string::npos) line.erase(hash_pos);
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    jobs.push_back(parse_batch_line(line, line_no));
+  }
+  GKS_REQUIRE(!jobs.empty(), "batch file has no jobs: " + path);
+  return jobs;
+}
+
+void print_progress(const std::vector<service::JobSnapshot>& snaps,
+                    double t) {
+  for (const auto& s : snaps) {
+    std::printf("[%6.1fs] %-12s %-9s %5.1f%%  %8.2f Mkeys/s  "
+                "%zu/%zu found  eta %.1fs\n",
+                t, s.name.c_str(), service::job_state_name(s.state),
+                100.0 * s.progress(), s.keys_per_s / 1e6, s.targets_found,
+                s.targets_total, s.eta_s);
+  }
+  std::fflush(stdout);
+}
+
+int report(const std::vector<service::JobSnapshot>& snaps, bool json) {
+  bool all_ok = true;
+  for (const auto& s : snaps) {
+    all_ok = all_ok && s.state == service::JobState::kDone &&
+             s.targets_found == s.targets_total;
+  }
+  if (json) {
+    json::Writer w;
+    w.begin_object().key("ok").value(all_ok).key("jobs").begin_array();
+    for (const auto& s : snaps) {
+      w.begin_object()
+          .key("name").value(s.name)
+          .key("state").value(service::job_state_name(s.state))
+          .key("space").value(s.space.to_string())
+          .key("scanned").value(s.scanned.to_string())
+          .key("intervals_issued").value(s.intervals_issued)
+          .key("intervals_retired").value(s.intervals_retired)
+          .key("targets_total")
+          .value(static_cast<std::uint64_t>(s.targets_total))
+          .key("targets_found")
+          .value(static_cast<std::uint64_t>(s.targets_found))
+          .key("keys_per_s").value(s.keys_per_s)
+          .key("elapsed_s").value(s.elapsed_s)
+          .key("found").begin_array();
+      for (const auto& [digest, key] : s.found) {
+        w.begin_object()
+            .key("digest").value(digest)
+            .key("key").value(key)
+            .end_object();
+      }
+      w.end_array();
+      if (!s.error.empty()) w.key("error").value(s.error);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    TablePrinter table;
+    table.header({"job", "state", "scanned", "found", "keys"});
+    for (const auto& s : snaps) {
+      std::string keys;
+      for (const auto& [digest, key] : s.found) {
+        if (!keys.empty()) keys += " ";
+        keys += key;
+      }
+      table.row({s.name, service::job_state_name(s.state),
+                 s.scanned.to_string() + "/" + s.space.to_string(),
+                 std::to_string(s.targets_found) + "/" +
+                     std::to_string(s.targets_total),
+                 keys.empty() ? "-" : keys});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_options(argc, argv);
+    std::vector<BatchJob> batch = parse_batch(opt.batch_path);
+
+    service::JobServiceConfig config;
+    config.workers = opt.workers;
+    config.journal_path = opt.journal;
+    service::JobManager manager(config);
+
+    // Names the journal already knows (resumed live, or finished in an
+    // earlier run) are not resubmitted.
+    std::set<std::string> known;
+    if (opt.resume) {
+      const std::size_t n = manager.resume_from(opt.journal);
+      for (const auto& rec : service::JobStore::load(opt.journal)) {
+        known.insert(rec.spec.name);
+      }
+      if (!opt.quiet && !opt.json) {
+        std::printf("resumed %zu unfinished job(s) from %s\n", n,
+                    opt.journal.c_str());
+      }
+    }
+
+    struct Pending {
+      service::JobId id;
+      double cancel_after;
+      bool cancelled = false;
+    };
+    std::vector<Pending> cancels;
+    for (BatchJob& job : batch) {
+      if (known.count(job.spec.name) != 0) continue;
+      const service::JobId id = manager.submit(std::move(job.spec));
+      if (job.cancel_after.has_value()) {
+        cancels.push_back({id, *job.cancel_after});
+      }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+    double next_progress = opt.progress_s;
+    for (;;) {
+      const std::vector<service::JobSnapshot> snaps = manager.snapshot_all();
+      bool all_terminal = true;
+      for (const auto& s : snaps) {
+        all_terminal = all_terminal && service::is_terminal(s.state);
+      }
+      if (all_terminal) break;
+      const double t = elapsed();
+      for (Pending& c : cancels) {
+        if (!c.cancelled && t >= c.cancel_after) {
+          manager.cancel(c.id);
+          c.cancelled = true;
+        }
+      }
+      if (!opt.quiet && !opt.json && t >= next_progress) {
+        print_progress(snaps, t);
+        next_progress += opt.progress_s;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return report(manager.snapshot_all(), opt.json);
+  } catch (const gks::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
