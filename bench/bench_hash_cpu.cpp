@@ -3,9 +3,20 @@
 // with and without the Section V-B optimizations, and the multi-lane
 // (ILP) instantiation. These are the real-machine counterparts of the
 // simulated GPU numbers.
+//
+// A custom main wraps the console reporter in a capturing one, so
+// --json prints the versioned recording (see bench_record.h) after the
+// normal output and --out FILE writes it to FILE. All other flags pass
+// through to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_record.h"
 #include "hash/lane.h"
 #include "hash/lane_scan.h"
 #include "hash/simd/dispatch.h"
@@ -192,4 +203,69 @@ BENCHMARK(BM_Md5Laned<2>);
 BENCHMARK(BM_Md5Laned<4>);
 BENCHMARK(BM_Md5Laned<8>);
 
+/// Console reporter that additionally captures every per-iteration run
+/// (skipping aggregates and errored runs) for the JSON recording.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_time_ns;
+    double items_per_second;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      const auto it = r.counters.find("items_per_second");
+      captured.push_back(
+          {r.benchmark_name(), r.GetAdjustedRealTime(),
+           it == r.counters.end() ? 0.0 : static_cast<double>(it->second)});
+    }
+  }
+
+  std::vector<Captured> captured;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json || !out_path.empty()) {
+    gks::bench::Recording rec("hash_cpu");
+    for (const auto& c : reporter.captured) {
+      rec.begin_entry()
+          .key("name").value(c.name)
+          .key("real_time_ns").value(c.real_time_ns)
+          .key("items_per_second").value(c.items_per_second);
+      rec.end_entry();
+    }
+    if (json) std::printf("%s", rec.render().c_str());
+    if (!out_path.empty()) rec.write(out_path);
+  }
+  return 0;
+}

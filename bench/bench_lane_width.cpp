@@ -1,14 +1,17 @@
 // Lane-width sweep for the runtime-dispatched SIMD scanners: times the
 // scalar engine and every vector width the host can execute (4/8/16)
 // over the same word-0 keyspace slice, for MD5 and SHA1. Prints a
-// human-readable table and emits a JSON document on stdout so the
+// human-readable table; --json emits the versioned recording on
+// stdout and --out FILE writes it to FILE (see bench_record.h) so the
 // results can be diffed across hosts and compiler flags.
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_record.h"
 #include "hash/md5.h"
 #include "hash/md5_crack.h"
 #include "hash/sha1.h"
@@ -74,23 +77,40 @@ void emit(const std::vector<Row>& rows) {
                gks::TablePrinter::num(r.keys_per_s / base, 2) + "x"});
   }
   std::printf("%s\n", table.str().c_str());
+}
 
-  std::printf("{\n  \"bench\": \"lane_width\",\n  \"batch\": %llu,\n"
-              "  \"results\": [\n",
-              static_cast<unsigned long long>(kBatch));
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    std::printf("    {\"algorithm\": \"%s\", \"engine\": \"%s\", "
-                "\"width\": %u, \"isa\": \"%s\", \"keys_per_s\": %.0f}%s\n",
-                r.algorithm.c_str(), r.engine.c_str(), r.width,
-                r.isa.c_str(), r.keys_per_s, i + 1 < rows.size() ? "," : "");
+void emit_recording(const std::vector<Row>& rows, bool json,
+                    const std::string& out_path) {
+  gks::bench::Recording rec("lane_width");
+  for (const auto& r : rows) {
+    rec.begin_entry()
+        .key("algorithm").value(r.algorithm)
+        .key("engine").value(r.engine)
+        .key("width").value(static_cast<std::uint64_t>(r.width))
+        .key("isa").value(r.isa)
+        .key("batch").value(static_cast<std::uint64_t>(kBatch))
+        .key("keys_per_s").value(r.keys_per_s);
+    rec.end_entry();
   }
-  std::printf("  ]\n}\n");
+  if (json) std::printf("%s", rec.render().c_str());
+  if (!out_path.empty()) rec.write(out_path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
   const Md5CrackContext md5_ctx(Md5::digest("\x01off-space"), "zzzz", 8);
   const Sha1CrackContext sha1_ctx(Sha1::digest("\x01off-space"), "zzzz", 8);
 
@@ -124,6 +144,7 @@ int main() {
                             })});
   }
   emit(rows);
+  if (json || !out_path.empty()) emit_recording(rows, json, out_path);
 
   for (const auto& k : simd::compiled_kernels()) {
     bool runnable = false;

@@ -1,21 +1,35 @@
-// Ablation: multi-target sweep cost versus target count. The batch
-// engine probes a shared TargetIndex — a bit filter over each
-// candidate's 32-bit early-exit word backing a sorted slot array — so
-// the per-candidate cost is one hash computation plus one O(1) filter
-// probe regardless of how many digests are outstanding. Sweeping 65536
-// targets should cost barely more than sweeping one, while 65536
-// separate cracks would cost 65536 full sweeps. This is what makes
-// auditing sessions (Section I) tractable.
+// Ablation: multi-target sweep cost versus target count, up to the
+// millions. The batch engine probes a shared TargetIndex — a Bloom- or
+// bit-filter front gate over each candidate's 32-bit early-exit word
+// backing a sorted slot array — so the per-candidate cost is one hash
+// computation plus one O(1) gate probe regardless of how many digests
+// are outstanding. Sweeping a million targets should cost a small
+// multiple of sweeping one, while a million separate cracks would cost
+// a million full sweeps. This is what makes auditing sessions
+// (Section I) tractable at credential-dump scale.
 //
-// Run with --json to append a machine-readable document (same style as
-// bench_lane_width) for diffing across hosts and compiler flags.
+// The steady-state cost is measured directly on core::MultiSweeper:
+// the one-time build (digest parse + dedup + sort) is timed separately
+// from the sweep, and the sweep is best-of-R full-space scans so the
+// vs-1-target ratios compare quiet-machine times. Gate traffic (hits
+// and confirmed false positives) is reported per count, bounding the
+// Bloom FP overhead empirically.
+//
+// Options:
+//   --max-targets N   largest target count swept    [1048576]
+//   --len L           key length (single-length space, 26^L) [5]
+//   --runs R          sweeps per count, best taken  [3]
+//   --json            print the versioned recording on stdout
+//   --out FILE        write the recording to FILE
+//                     (see bench_record.h for the envelope)
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/multi_crack.h"
+#include "bench_record.h"
+#include "core/multi_sweep.h"
 #include "hash/md5.h"
 #include "keyspace/space.h"
 #include "support/stopwatch.h"
@@ -23,101 +37,147 @@
 
 namespace {
 
+using namespace gks;
+
 struct Row {
   std::size_t targets;
-  double seconds;
+  double build_s;        // digest parse + dedup + index build
+  double sweep_s;        // best-of-R full-space scan
   double keys_per_s;
-  double vs_one;
+  double vs_one;         // sweep_s relative to the 1-target sweep
+  double gate_per_mkey;  // index gate hits per million candidates
+  double fp_per_mkey;    // ...of which confirmed false positives
 };
-
-void emit_json(const std::vector<Row>& rows, double space) {
-  std::printf("{\n  \"bench\": \"multi_target\",\n  \"algorithm\": \"md5\",\n"
-              "  \"space\": %.0f,\n  \"results\": [\n",
-              space);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    std::printf("    {\"targets\": %zu, \"seconds\": %.4f, "
-                "\"keys_per_s\": %.0f, \"vs_one\": %.4f}%s\n",
-                r.targets, r.seconds, r.keys_per_s, r.vs_one,
-                i + 1 < rows.size() ? "," : "");
-  }
-  std::printf("  ]\n}\n");
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gks;
-
   bool json = false;
+  std::string out_path;
+  std::size_t max_targets = 1u << 20;
+  unsigned len = 5;
+  int runs = 3;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = value();
+    } else if (std::strcmp(argv[i], "--max-targets") == 0) {
+      max_targets = std::stoul(value());
+    } else if (std::strcmp(argv[i], "--len") == 0) {
+      len = static_cast<unsigned>(std::stoul(value()));
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      runs = std::stoi(value());
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+      return 2;
+    }
   }
 
   const keyspace::Charset charset = keyspace::Charset::lower();
-  const unsigned min_len = 5, max_len = 5;
-  const double space = keyspace::space_size(charset.size(), min_len, max_len)
-                           .to_double();
+  const u128 space = keyspace::space_size(charset.size(), len, len);
+  const double space_d = space.to_double();
 
-  const std::vector<std::size_t> counts = {1, 16, 256, 4096, 65536};
-  std::vector<core::MultiCrackRequest> requests;
+  std::vector<std::size_t> counts;
+  for (const std::size_t n : {std::size_t(1), std::size_t(16),
+                              std::size_t(256), std::size_t(4096),
+                              std::size_t(65536), std::size_t(1) << 20,
+                              std::size_t(1) << 22, std::size_t(10485760)}) {
+    if (n <= max_targets) counts.push_back(n);
+  }
+
+  std::vector<Row> rows;
   for (const std::size_t n_targets : counts) {
     core::MultiCrackRequest request;
     request.algorithm = hash::Algorithm::kMd5;
     request.charset = charset;
-    request.min_length = min_len;
-    request.max_length = max_len;
-    // Plant nothing findable: force a full sweep so times compare.
+    request.min_length = len;
+    request.max_length = len;
+    // Plant nothing findable (the keys are outside the charset), so
+    // every sweep covers the full space and times compare like for
+    // like — and every gate hit is by construction a false positive.
     request.target_hexes.reserve(n_targets);
     for (std::size_t i = 0; i < n_targets; ++i) {
       request.target_hexes.push_back(
           hash::Md5::digest("OUTSIDE_" + std::to_string(i)).to_hex());
     }
-    requests.push_back(std::move(request));
-  }
 
-  // Best of five sweeps, interleaved round-robin: one full sweep is
-  // short enough that scheduler noise dominates a single sample, and
-  // interleaving keeps slow thermal/clock drift from biasing whichever
-  // target count happens to run last. The minimum converges on the
-  // quiet-machine time for every config, so the vs-1 ratios compare
-  // like against like.
-  std::vector<double> elapsed(counts.size(), 0);
-  std::vector<double> tested(counts.size(), 0);
-  for (int run = 0; run < 5; ++run) {
-    for (std::size_t i = 0; i < counts.size(); ++i) {
+    Stopwatch build_timer;
+    const core::MultiSweeper sweeper(std::move(request));
+    sweeper.calibrate();
+    const double build_s = build_timer.seconds();
+
+    const core::SweepFilterStats before = sweeper.filter_stats();
+    std::vector<core::SweepHit> hits;
+    double best = 0;
+    for (int run = 0; run < runs; ++run) {
+      hits.clear();
       Stopwatch timer;
-      const auto result = core::multi_crack(requests[i], 0);
+      sweeper.scan(sweeper.space_interval(), hits);
       const double t = timer.seconds();
-      if (run == 0 || t < elapsed[i]) elapsed[i] = t;
-      tested[i] = result.tested.to_double();
+      if (run == 0 || t < best) best = t;
     }
+    const core::SweepFilterStats after = sweeper.filter_stats();
+    const double scanned = space_d * runs;
+
+    rows.push_back(
+        {n_targets, build_s, best, space_d / best,
+         rows.empty() ? 1.0 : best / rows.front().sweep_s,
+         1e6 * static_cast<double>(after.gate_hits - before.gate_hits) /
+             scanned,
+         1e6 *
+             static_cast<double>(after.false_positives -
+                                 before.false_positives) /
+             scanned});
+    std::fprintf(stderr, "  swept %zu targets: %.3f s (build %.3f s)\n",
+                 n_targets, best, build_s);
   }
 
-  std::vector<Row> rows;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    rows.push_back({counts[i], elapsed[i], tested[i] / elapsed[i],
-                    elapsed[i] / elapsed[0]});
-  }
-
-  gks::TablePrinter table;
-  table.header({"targets", "sweep time (s)", "MKey/s", "vs 1 target"});
+  TablePrinter table;
+  table.header({"targets", "build (s)", "sweep (s)", "MKey/s", "vs 1",
+                "gate/Mkey", "fp/Mkey"});
   for (const auto& r : rows) {
-    table.row({std::to_string(r.targets),
-               gks::TablePrinter::num(r.seconds, 2),
-               gks::TablePrinter::num(r.keys_per_s / 1e6, 1),
-               gks::TablePrinter::num(r.vs_one, 2) + "x"});
+    table.row({std::to_string(r.targets), TablePrinter::num(r.build_s, 3),
+               TablePrinter::num(r.sweep_s, 3),
+               TablePrinter::num(r.keys_per_s / 1e6, 1),
+               TablePrinter::num(r.vs_one, 2) + "x",
+               TablePrinter::num(r.gate_per_mkey, 1),
+               TablePrinter::num(r.fp_per_mkey, 1)});
   }
-  std::printf("== Multi-target sweep scaling (MD5, 26^5 = 11.9M keys, "
-              "full sweep) ==\n\n%s\n",
-              table.str().c_str());
+  std::printf("== Multi-target sweep scaling (MD5, 26^%u = %.3g keys, "
+              "full sweep, best of %d) ==\n\n%s\n",
+              len, space_d, runs, table.str().c_str());
   std::printf(
-      "The TargetIndex keeps the per-candidate cost flat: one filter\n"
-      "probe per candidate whatever the batch size, so even 65536\n"
-      "digests sweep in a small multiple of one digest's time — while\n"
-      "separate cracks would cost 65536.00x. This is the batch engine\n"
-      "auditing sessions use.\n");
+      "The Bloom-gated TargetIndex keeps the per-candidate cost flat:\n"
+      "one gate probe per candidate whatever the batch size, so even a\n"
+      "million digests sweep in a small multiple of one digest's time —\n"
+      "while separate cracks would scale linearly in the target count.\n"
+      "The fp/Mkey column is the measured gate overhead: candidates\n"
+      "that passed the filter but failed the sorted-slot confirm.\n");
 
-  if (json) emit_json(rows, space);
+  if (json || !out_path.empty()) {
+    bench::Recording rec("multi_target");
+    for (const auto& r : rows) {
+      rec.begin_entry()
+          .key("targets").value(static_cast<std::uint64_t>(r.targets))
+          .key("space").value(space_d)
+          .key("build_s").value(r.build_s)
+          .key("sweep_s").value(r.sweep_s)
+          .key("keys_per_s").value(r.keys_per_s)
+          .key("vs_one").value(r.vs_one)
+          .key("gate_per_mkey").value(r.gate_per_mkey)
+          .key("fp_per_mkey").value(r.fp_per_mkey);
+      rec.end_entry();
+    }
+    if (json) std::printf("%s", rec.render().c_str());
+    if (!out_path.empty()) rec.write(out_path);
+  }
   return 0;
 }

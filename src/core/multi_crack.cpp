@@ -24,6 +24,8 @@ void MultiCrackRequest::validate() const {
               "maximum key length above the kernel limit");
   GKS_REQUIRE(max_length + salt.extra_length() <= 55,
               "key plus salt must fit a single hash block");
+  GKS_REQUIRE(filter_fpr > 0 && filter_fpr <= 0.5,
+              "filter false-positive rate must be in (0, 0.5]");
   for (const std::string& hex : target_hexes) {
     GKS_REQUIRE(from_hex(hex).size() == hash::digest_size(algorithm),
                 "digest length does not match the algorithm");
@@ -70,6 +72,9 @@ MultiCrackResult multi_crack(const MultiCrackRequest& request,
   }
 
   sweeper.fill_results(result);
+  const SweepFilterStats fstats = sweeper.filter_stats();
+  result.filter_gate_hits = fstats.gate_hits;
+  result.filter_false_positives = fstats.false_positives;
   result.elapsed_s = timer.seconds();
   return result;
 }

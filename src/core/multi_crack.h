@@ -36,6 +36,15 @@ struct MultiCrackRequest {
   /// ablation benches and scalar-vs-lane differential tests.
   bool lane_scanning = true;
 
+  /// Toggles the TargetIndex front gate (direct bit array below the
+  /// cache-residency cap, blocked Bloom filter above it). Off makes
+  /// every candidate fall through to the exact slot lookup — ablation
+  /// benches and gate-on/off differential tests.
+  bool filter_gate = true;
+  /// Designed false-positive rate of the gate; governs the Bloom
+  /// sizing at million-target batches (see docs/multi_target.md).
+  double filter_fpr = 1.0 / 64;
+
   void validate() const;
 };
 
@@ -55,6 +64,12 @@ struct MultiCrackResult {
   /// dispatch-granularity observable tools report in --json mode.
   std::uint64_t intervals = 0;
   double elapsed_s = 0;
+  /// TargetIndex gate traffic over the sweep: candidates that passed
+  /// the front gate, and the subset that survived the 32-bit word
+  /// match or slot search yet failed full-digest confirmation. The
+  /// ratio against `tested` is the measured gate false-positive rate.
+  std::uint64_t filter_gate_hits = 0;
+  std::uint64_t filter_false_positives = 0;
 };
 
 /// Sweeps the key space once, testing every candidate against all

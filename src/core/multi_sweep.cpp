@@ -18,26 +18,37 @@ namespace gks::core {
 /// The request's digests parsed once, deduplicated by digest bytes.
 /// Request slots sharing a digest (users sharing a password — common
 /// in real audits) are resolved through `request_slots` on recovery.
+/// add_targets() extends every vector append-only, so unique indices
+/// never shift.
 struct MultiSweeper::Parsed {
   std::vector<hash::Md5Digest> md5;    ///< unique digests (MD5 runs)
   std::vector<hash::Sha1Digest> sha1;  ///< unique digests (SHA1 runs)
   /// request_slots[u] = indices into request.target_hexes with digest u.
   std::vector<std::vector<std::size_t>> request_slots;
+  /// (digest, unique index), sorted by digest — O(log n) lookup for
+  /// journal replay and add/remove dedup at million-target batches.
+  std::vector<std::pair<hash::Md5Digest, std::size_t>> md5_by_digest;
+  std::vector<std::pair<hash::Sha1Digest, std::size_t>> sha1_by_digest;
 
   std::size_t unique_count() const { return request_slots.size(); }
 };
 
-/// An immutable view of the outstanding targets plus the fast-path
-/// contexts built for it. Scans pin one snapshot for their whole
-/// interval; recoveries publish a fresh (shrunk) snapshot, so slot
-/// indices inside a context are always consistent with the snapshot
-/// it belongs to.
+/// An immutable view of the target set plus the fast-path contexts
+/// built for it. Scans pin one snapshot for their whole interval.
+/// Context slot numbers equal unique-digest indices: the digest
+/// vectors keep holes for dead targets, and `retired` lists the slots
+/// already detached from the contexts' TargetIndexes. Recoveries and
+/// removals never touch a published snapshot — they flip sweeper-side
+/// flags — so snapshots stay truly immutable and mark_found is O(1).
 struct MultiSweeper::Snapshot {
-  /// Unique-digest indices still outstanding; context slots map back
-  /// through this.
-  std::vector<std::size_t> outstanding;
+  std::uint64_t generation = 0;
   std::vector<hash::Md5Digest> md5;
   std::vector<hash::Sha1Digest> sha1;
+  /// live[u] == 0 skips u on the generic (non-fast-path) scan; the
+  /// fast path relies on `retired` instead.
+  std::vector<std::uint8_t> live;
+  /// Unique indices retired from the context indexes, ascending.
+  std::vector<std::uint32_t> retired;
 
   /// Fast-path contexts keyed by (key length, fixed tail), built on
   /// demand under the lock — one sorted TargetIndex per tail, shared
@@ -53,11 +64,18 @@ struct MultiSweeper::Snapshot {
 
 namespace {
 
+/// How many dead slots must pile up since the last published snapshot
+/// before compaction clones the contexts without them. Keeps the
+/// amortized mark_found cost flat while bounding the dead weight
+/// scanned to at most half a context.
+constexpr std::size_t kCompactMin = 256;
+
 /// Parses one algorithm's digests and groups duplicates by sorting —
 /// no per-entry node allocations, which matters at audit batch sizes.
 template <class DigestT>
 void dedup_targets(const std::vector<std::string>& hexes,
                    std::vector<DigestT>& unique,
+                   std::vector<std::pair<DigestT, std::size_t>>& by_digest,
                    std::vector<std::vector<std::size_t>>& request_slots) {
   std::vector<std::pair<DigestT, std::size_t>> entries;
   entries.reserve(hexes.size());
@@ -68,10 +86,36 @@ void dedup_targets(const std::vector<std::string>& hexes,
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (i == 0 || entries[i].first != entries[i - 1].first) {
       unique.push_back(entries[i].first);
+      by_digest.emplace_back(entries[i].first, unique.size() - 1);
       request_slots.emplace_back();
     }
     request_slots.back().push_back(entries[i].second);
   }
+}
+
+/// Unique index of `digest` in the sorted (digest, index) lookup, or
+/// npos.
+template <class DigestT>
+std::size_t find_unique(
+    const std::vector<std::pair<DigestT, std::size_t>>& by_digest,
+    const DigestT& digest) {
+  const auto it = std::lower_bound(
+      by_digest.begin(), by_digest.end(), digest,
+      [](const auto& entry, const DigestT& d) { return entry.first < d; });
+  if (it == by_digest.end() || it->first != digest) {
+    return static_cast<std::size_t>(-1);
+  }
+  return it->second;
+}
+
+template <class DigestT>
+void insert_by_digest(
+    std::vector<std::pair<DigestT, std::size_t>>& by_digest,
+    const DigestT& digest, std::size_t unique_index) {
+  const auto it = std::lower_bound(
+      by_digest.begin(), by_digest.end(), digest,
+      [](const auto& entry, const DigestT& d) { return entry.first < d; });
+  by_digest.insert(it, {digest, unique_index});
 }
 
 bool fast_path_applicable(const MultiCrackRequest& request,
@@ -123,6 +167,19 @@ void for_each_chunk(const MultiCrackRequest& request,
   }
 }
 
+/// Builds one fast-path context: full unique-digest vector (slot ==
+/// unique index), then detaches the retired slots from its index.
+template <class Ctx, class Targets>
+std::unique_ptr<Ctx> make_context(const Targets& targets,
+                                  const std::vector<std::uint32_t>& retired,
+                                  const std::string& tail,
+                                  std::size_t total_len,
+                                  const hash::TargetIndex::Config& cfg) {
+  auto ctx = std::make_unique<Ctx>(targets, tail, total_len, cfg);
+  if (!retired.empty()) ctx->retire_slots(retired);
+  return ctx;
+}
+
 /// Picks the fast-path engine — scalar multi scan or one of the lane
 /// widths — by timing each over a short probe of the request's own
 /// keyspace. Returns nullptr for the scalar engine (also when lane
@@ -130,7 +187,8 @@ void for_each_chunk(const MultiCrackRequest& request,
 const hash::simd::ScanKernels* calibrate_multi_kernels(
     const MultiCrackRequest& request,
     const std::vector<hash::Md5Digest>& md5,
-    const std::vector<hash::Sha1Digest>& sha1) {
+    const std::vector<hash::Sha1Digest>& sha1,
+    const hash::TargetIndex::Config& index_cfg) {
   if (!request.lane_scanning) return nullptr;
 
   std::size_t key_len = 0;
@@ -170,7 +228,7 @@ const hash::simd::ScanKernels* calibrate_multi_kernels(
   const hash::simd::ScanKernels* winner = nullptr;
   double best = 0;
   if (request.algorithm == hash::Algorithm::kMd5) {
-    const hash::Md5MultiContext ctx(md5, tail, total_len);
+    const hash::Md5MultiContext ctx(md5, tail, total_len, index_cfg);
     best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
       hash::md5_multi_scan_prefixes(ctx, it, n, scratch);
     });
@@ -185,7 +243,7 @@ const hash::simd::ScanKernels* calibrate_multi_kernels(
       }
     }
   } else {
-    const hash::Sha1MultiContext ctx(sha1, tail, total_len);
+    const hash::Sha1MultiContext ctx(sha1, tail, total_len, index_cfg);
     best = measure([&](hash::PrefixWord0Iterator& it, std::uint64_t n) {
       hash::sha1_multi_scan_prefixes(ctx, it, n, scratch);
     });
@@ -236,15 +294,16 @@ MultiSweeper::MultiSweeper(MultiCrackRequest request)
       space_(keyspace::space_size(request_.charset.size(),
                                   request_.min_length, request_.max_length)) {
   if (request_.algorithm == hash::Algorithm::kMd5) {
-    dedup_targets(request_.target_hexes, parsed_->md5,
+    dedup_targets(request_.target_hexes, parsed_->md5, parsed_->md5_by_digest,
                   parsed_->request_slots);
   } else {
     dedup_targets(request_.target_hexes, parsed_->sha1,
-                  parsed_->request_slots);
+                  parsed_->sha1_by_digest, parsed_->request_slots);
   }
   unique_found_.assign(parsed_->unique_count(), false);
+  unique_removed_.assign(parsed_->unique_count(), false);
   unique_keys_.assign(parsed_->unique_count(), std::string());
-  snap_ = build_snapshot();
+  snap_ = build_snapshot_locked();
   outstanding_count_.store(parsed_->unique_count(),
                            std::memory_order_release);
 }
@@ -252,19 +311,41 @@ MultiSweeper::MultiSweeper(MultiCrackRequest request)
 MultiSweeper::~MultiSweeper() = default;
 
 std::size_t MultiSweeper::unique_count() const {
+  std::lock_guard lock(state_mu_);
   return parsed_->unique_count();
 }
 
-std::shared_ptr<const MultiSweeper::Snapshot> MultiSweeper::build_snapshot()
-    const {
+std::size_t MultiSweeper::slot_count() const {
+  std::lock_guard lock(state_mu_);
+  return request_.target_hexes.size();
+}
+
+std::string MultiSweeper::slot_hex(std::size_t slot) const {
+  std::lock_guard lock(state_mu_);
+  GKS_REQUIRE(slot < request_.target_hexes.size(),
+              "request slot out of range");
+  return request_.target_hexes[slot];
+}
+
+hash::TargetIndex::Config MultiSweeper::index_config() const {
+  hash::TargetIndex::Config cfg;
+  cfg.fpr = request_.filter_fpr;
+  cfg.gate = request_.filter_gate;
+  cfg.stats = &index_stats_;
+  return cfg;
+}
+
+std::shared_ptr<const MultiSweeper::Snapshot>
+MultiSweeper::build_snapshot_locked() const {
   auto snap = std::make_shared<Snapshot>();
+  snap->generation = generation_.load(std::memory_order_relaxed);
+  snap->md5 = parsed_->md5;
+  snap->sha1 = parsed_->sha1;
+  snap->live.assign(parsed_->unique_count(), 1);
   for (std::size_t u = 0; u < parsed_->unique_count(); ++u) {
-    if (unique_found_[u]) continue;
-    snap->outstanding.push_back(u);
-    if (request_.algorithm == hash::Algorithm::kMd5) {
-      snap->md5.push_back(parsed_->md5[u]);
-    } else {
-      snap->sha1.push_back(parsed_->sha1[u]);
+    if (unique_found_[u] || unique_removed_[u]) {
+      snap->live[u] = 0;
+      snap->retired.push_back(static_cast<std::uint32_t>(u));
     }
   }
   return snap;
@@ -277,7 +358,14 @@ std::shared_ptr<const MultiSweeper::Snapshot> MultiSweeper::snapshot() const {
 
 void MultiSweeper::calibrate() const {
   std::call_once(calibrate_once_, [this] {
-    kernels_ = calibrate_multi_kernels(request_, parsed_->md5, parsed_->sha1);
+    // Calibration probes the snapshot's digest vectors (immutable) so
+    // a concurrent add_targets cannot reallocate under it; the gate
+    // config matches production, minus the stats sink, so the probe
+    // does not pollute the measured traffic.
+    const std::shared_ptr<const Snapshot> snap = snapshot();
+    auto cfg = index_config();
+    cfg.stats = nullptr;
+    kernels_ = calibrate_multi_kernels(request_, snap->md5, snap->sha1, cfg);
   });
 }
 
@@ -290,7 +378,7 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
   // With nothing outstanding every candidate trivially fails the
   // condition; report the interval as fully tested so completion
   // accounting (and journaled coverage) stays exact.
-  if (snap->outstanding.empty()) return interval.size();
+  if (all_found()) return interval.size();
 
   u128 tested(0);
   for_each_chunk(
@@ -299,6 +387,15 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
         if (interrupt != nullptr &&
             interrupt->load(std::memory_order_acquire)) {
           return false;  // cooperative yield: remainder stays untested
+        }
+        if (generation_.load(std::memory_order_acquire) !=
+            snap->generation) {
+          // The target set moved on (add_targets or compaction):
+          // yield so the caller re-dispatches the remainder against
+          // the current generation. This is the handoff that makes a
+          // target added before its covering interval is scanned
+          // impossible to miss.
+          return false;
         }
         const std::size_t key_len = first_key.size();
         if (fast_path_applicable(request_, key_len)) {
@@ -325,8 +422,9 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
           if (request_.algorithm == hash::Algorithm::kMd5) {
             const auto& multi = snapshot_context(
                 snap->mu, snap->md5_ctx, cache_key, [&] {
-                  return std::make_unique<hash::Md5MultiContext>(
-                      snap->md5, cache_key.second, total_len);
+                  return make_context<hash::Md5MultiContext>(
+                      snap->md5, snap->retired, cache_key.second, total_len,
+                      index_config());
                 });
             if (kernels_ != nullptr) {
               kernels_->md5_multi_scan(multi, it, n, found);
@@ -336,8 +434,9 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
           } else {
             const auto& multi = snapshot_context(
                 snap->mu, snap->sha1_ctx, cache_key, [&] {
-                  return std::make_unique<hash::Sha1MultiContext>(
-                      snap->sha1, cache_key.second, total_len);
+                  return make_context<hash::Sha1MultiContext>(
+                      snap->sha1, snap->retired, cache_key.second, total_len,
+                      index_config());
                 });
             if (kernels_ != nullptr) {
               kernels_->sha1_multi_scan(multi, it, n, found);
@@ -345,13 +444,16 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
               hash::sha1_multi_scan_prefixes(multi, it, n, found);
             }
           }
+          // Context slots ARE unique indices; targets found or removed
+          // after this snapshot was published may still surface here
+          // and are filtered by mark_found.
           for (const hash::MultiHit& h : found) {
-            hits.push_back({snap->outstanding[h.slot],
-                            codec_.decode(id + u128(h.offset) + offset_)});
+            hits.push_back(
+                {h.slot, codec_.decode(id + u128(h.offset) + offset_)});
           }
         } else {
           // Generic path: full digest per candidate, compared to every
-          // outstanding unique digest.
+          // live unique digest.
           std::string key = first_key;
           u128 togo = count;
           while (togo > u128(0)) {
@@ -359,15 +461,15 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
             if (request_.algorithm == hash::Algorithm::kMd5) {
               const auto digest = hash::Md5::digest(message);
               for (std::size_t t = 0; t < snap->md5.size(); ++t) {
-                if (digest == snap->md5[t]) {
-                  hits.push_back({snap->outstanding[t], key});
+                if (snap->live[t] != 0 && digest == snap->md5[t]) {
+                  hits.push_back({t, key});
                 }
               }
             } else {
               const auto digest = hash::Sha1::digest(message);
               for (std::size_t t = 0; t < snap->sha1.size(); ++t) {
-                if (digest == snap->sha1[t]) {
-                  hits.push_back({snap->outstanding[t], key});
+                if (snap->live[t] != 0 && digest == snap->sha1[t]) {
+                  hits.push_back({t, key});
                 }
               }
             }
@@ -384,7 +486,7 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
 void MultiSweeper::prepare(const keyspace::Interval& round,
                            ThreadPool& pool) {
   const std::shared_ptr<const Snapshot> snap = snapshot();
-  if (snap->outstanding.empty()) return;
+  if (all_found()) return;
 
   std::set<std::pair<std::size_t, std::string>> needed;
   for_each_chunk(request_, codec_, offset_, round,
@@ -417,8 +519,9 @@ void MultiSweeper::prepare(const keyspace::Interval& round,
       const auto& [key_len, tail] = fresh[i]->first;
       using Ctx =
           typename std::decay_t<decltype(cache)>::mapped_type::element_type;
-      fresh[i]->second = std::make_unique<Ctx>(
-          targets, tail, key_len + request_.salt.extra_length());
+      fresh[i]->second = make_context<Ctx>(
+          targets, snap->retired, tail,
+          key_len + request_.salt.extra_length(), index_config());
     });
   };
   if (request_.algorithm == hash::Algorithm::kMd5) {
@@ -428,37 +531,251 @@ void MultiSweeper::prepare(const keyspace::Interval& round,
   }
 }
 
+void MultiSweeper::maybe_compact_locked() {
+  const std::size_t already_retired = snap_->retired.size();
+  const std::size_t newly_dead = dead_count_ - already_retired;
+  const std::size_t in_index = parsed_->unique_count() - already_retired;
+  if (newly_dead < kCompactMin || newly_dead * 2 < in_index) return;
+
+  const auto gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto next = std::make_shared<Snapshot>();
+  next->generation = gen;
+  next->md5 = parsed_->md5;
+  next->sha1 = parsed_->sha1;
+  next->live.assign(parsed_->unique_count(), 1);
+  std::vector<std::uint32_t> newly_retired;
+  for (std::size_t u = 0; u < parsed_->unique_count(); ++u) {
+    if (unique_found_[u] || unique_removed_[u]) {
+      next->live[u] = 0;
+      next->retired.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  std::set_difference(next->retired.begin(), next->retired.end(),
+                      snap_->retired.begin(), snap_->retired.end(),
+                      std::back_inserter(newly_retired));
+
+  // Carry the built contexts over, minus the newly dead slots — an
+  // O(live) clone instead of the full revert+sort rebuild.
+  {
+    std::shared_lock lock(snap_->mu);
+    for (const auto& [key, ctx] : snap_->md5_ctx) {
+      if (ctx == nullptr) continue;
+      auto clone = std::make_unique<hash::Md5MultiContext>(*ctx);
+      clone->retire_slots(newly_retired);
+      next->md5_ctx.emplace(key, std::move(clone));
+    }
+    for (const auto& [key, ctx] : snap_->sha1_ctx) {
+      if (ctx == nullptr) continue;
+      auto clone = std::make_unique<hash::Sha1MultiContext>(*ctx);
+      clone->retire_slots(newly_retired);
+      next->sha1_ctx.emplace(key, std::move(clone));
+    }
+  }
+  snap_ = std::move(next);
+}
+
 std::vector<std::size_t> MultiSweeper::mark_found(std::size_t unique_index,
                                                   const std::string& key) {
+  std::lock_guard lock(state_mu_);
   GKS_REQUIRE(unique_index < parsed_->unique_count(),
               "unique digest index out of range");
-  std::lock_guard lock(state_mu_);
-  if (unique_found_[unique_index]) return {};
+  // Exactly-once across mutations: duplicates from stale snapshots and
+  // hits on targets removed mid-flight both resolve to "not ours".
+  if (unique_found_[unique_index] || unique_removed_[unique_index]) {
+    return {};
+  }
   unique_found_[unique_index] = true;
   unique_keys_[unique_index] = key;
   found_log_.emplace_back(
       request_.target_hexes[parsed_->request_slots[unique_index].front()],
       key);
-  snap_ = build_snapshot();
-  outstanding_count_.store(snap_->outstanding.size(),
-                           std::memory_order_release);
+  ++dead_count_;
+  outstanding_count_.fetch_sub(1, std::memory_order_acq_rel);
+  maybe_compact_locked();
   return parsed_->request_slots[unique_index];
 }
 
 std::vector<std::size_t> MultiSweeper::mark_found_hex(
     const std::string& digest_hex, const std::string& key) {
-  if (request_.algorithm == hash::Algorithm::kMd5) {
-    const auto digest = hash::Md5Digest::from_hex(digest_hex);
-    for (std::size_t u = 0; u < parsed_->md5.size(); ++u) {
-      if (parsed_->md5[u] == digest) return mark_found(u, key);
-    }
-  } else {
-    const auto digest = hash::Sha1Digest::from_hex(digest_hex);
-    for (std::size_t u = 0; u < parsed_->sha1.size(); ++u) {
-      if (parsed_->sha1[u] == digest) return mark_found(u, key);
+  std::size_t u = static_cast<std::size_t>(-1);
+  {
+    std::lock_guard lock(state_mu_);
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      u = find_unique(parsed_->md5_by_digest,
+                      hash::Md5Digest::from_hex(digest_hex));
+    } else {
+      u = find_unique(parsed_->sha1_by_digest,
+                      hash::Sha1Digest::from_hex(digest_hex));
     }
   }
-  return {};
+  if (u == static_cast<std::size_t>(-1)) return {};
+  return mark_found(u, key);
+}
+
+void MultiSweeper::validate_target_hexes(
+    const std::vector<std::string>& hexes) const {
+  for (const std::string& hex : hexes) {
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      (void)hash::Md5Digest::from_hex(hex);
+    } else {
+      (void)hash::Sha1Digest::from_hex(hex);
+    }
+  }
+}
+
+TargetAddOutcome MultiSweeper::add_targets(
+    const std::vector<std::string>& hexes) {
+  TargetAddOutcome out;
+  if (hexes.empty()) return out;
+  validate_target_hexes(hexes);  // throws before any state changes
+
+  std::lock_guard lock(state_mu_);
+  const std::size_t first_new_unique = parsed_->unique_count();
+  bool need_full_rebuild = false;
+  bool reattached = false;
+  for (const std::string& hex : hexes) {
+    const std::size_t slot = request_.target_hexes.size();
+    std::size_t u;
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      const auto digest = hash::Md5Digest::from_hex(hex);
+      u = find_unique(parsed_->md5_by_digest, digest);
+      if (u == static_cast<std::size_t>(-1)) {
+        u = parsed_->unique_count();
+        parsed_->md5.push_back(digest);
+        insert_by_digest(parsed_->md5_by_digest, digest, u);
+        parsed_->request_slots.emplace_back();
+      }
+    } else {
+      const auto digest = hash::Sha1Digest::from_hex(hex);
+      u = find_unique(parsed_->sha1_by_digest, digest);
+      if (u == static_cast<std::size_t>(-1)) {
+        u = parsed_->unique_count();
+        parsed_->sha1.push_back(digest);
+        insert_by_digest(parsed_->sha1_by_digest, digest, u);
+        parsed_->request_slots.emplace_back();
+      }
+    }
+    request_.target_hexes.push_back(hex);
+    parsed_->request_slots[u].push_back(slot);
+    out.slots.push_back(slot);
+
+    if (u >= first_new_unique) {
+      // Genuinely new digest (first occurrence in this batch).
+      if (u >= unique_found_.size()) {
+        unique_found_.push_back(false);
+        unique_removed_.push_back(false);
+        unique_keys_.emplace_back();
+        outstanding_count_.fetch_add(1, std::memory_order_acq_rel);
+        ++out.attached;
+      }
+    } else if (unique_found_[u]) {
+      ++out.already_found;
+    } else if (unique_removed_[u]) {
+      unique_removed_[u] = false;
+      --dead_count_;
+      outstanding_count_.fetch_add(1, std::memory_order_acq_rel);
+      ++out.attached;
+      reattached = true;
+      // A re-attached digest that the current snapshot's contexts
+      // already retired needs a from-scratch index.
+      if (std::binary_search(snap_->retired.begin(), snap_->retired.end(),
+                             static_cast<std::uint32_t>(u))) {
+        need_full_rebuild = true;
+      }
+    }
+    // else: still outstanding — the new slot shares its fate.
+  }
+
+  const std::size_t new_uniques = parsed_->unique_count() - first_new_unique;
+  if (new_uniques == 0 && !need_full_rebuild) {
+    // Dup-of-outstanding or reattach-before-retirement: every published
+    // context still indexes the digest, so the current generation keeps
+    // scanning correctly. Found/removed flags already updated.
+    (void)reattached;
+    return out;
+  }
+
+  const auto gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (need_full_rebuild) {
+    // build_snapshot_locked reads generation_ — already bumped.
+    snap_ = build_snapshot_locked();
+    return out;
+  }
+
+  // Incremental publish: clone the cached contexts and extend them
+  // with the new digests — the appended slots continue the unique
+  // numbering, so no context rebuild and no renumbering.
+  auto next = std::make_shared<Snapshot>();
+  next->generation = gen;
+  next->md5 = parsed_->md5;
+  next->sha1 = parsed_->sha1;
+  next->live.assign(parsed_->unique_count(), 1);
+  for (std::size_t u = 0; u < parsed_->unique_count(); ++u) {
+    if (unique_found_[u] || unique_removed_[u]) next->live[u] = 0;
+  }
+  next->retired = snap_->retired;
+  {
+    std::shared_lock lock(snap_->mu);
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      const std::span<const hash::Md5Digest> fresh(
+          parsed_->md5.data() + first_new_unique, new_uniques);
+      for (const auto& [key, ctx] : snap_->md5_ctx) {
+        if (ctx == nullptr) continue;
+        auto clone = std::make_unique<hash::Md5MultiContext>(*ctx);
+        clone->add_targets(fresh);
+        next->md5_ctx.emplace(key, std::move(clone));
+      }
+    } else {
+      const std::span<const hash::Sha1Digest> fresh(
+          parsed_->sha1.data() + first_new_unique, new_uniques);
+      for (const auto& [key, ctx] : snap_->sha1_ctx) {
+        if (ctx == nullptr) continue;
+        auto clone = std::make_unique<hash::Sha1MultiContext>(*ctx);
+        clone->add_targets(fresh);
+        next->sha1_ctx.emplace(key, std::move(clone));
+      }
+    }
+  }
+  snap_ = std::move(next);
+  return out;
+}
+
+std::size_t MultiSweeper::remove_targets(
+    const std::vector<std::string>& hexes) {
+  if (hexes.empty()) return 0;
+  validate_target_hexes(hexes);
+
+  std::lock_guard lock(state_mu_);
+  std::size_t detached = 0;
+  for (const std::string& hex : hexes) {
+    std::size_t u;
+    if (request_.algorithm == hash::Algorithm::kMd5) {
+      u = find_unique(parsed_->md5_by_digest,
+                      hash::Md5Digest::from_hex(hex));
+    } else {
+      u = find_unique(parsed_->sha1_by_digest,
+                      hash::Sha1Digest::from_hex(hex));
+    }
+    if (u == static_cast<std::size_t>(-1)) continue;
+    if (unique_found_[u] || unique_removed_[u]) continue;
+    unique_removed_[u] = true;
+    ++dead_count_;
+    outstanding_count_.fetch_sub(1, std::memory_order_acq_rel);
+    ++detached;
+  }
+  // Removal needs no generation bump for correctness — mark_found
+  // filters hits on removed digests — but dead weight is compacted
+  // away once it piles up.
+  if (detached > 0) maybe_compact_locked();
+  return detached;
+}
+
+SweepFilterStats MultiSweeper::filter_stats() const {
+  SweepFilterStats s;
+  s.gate_hits = index_stats_.gate_hits.load(std::memory_order_relaxed);
+  s.false_positives =
+      index_stats_.false_positives.load(std::memory_order_relaxed);
+  return s;
 }
 
 void MultiSweeper::fill_results(MultiCrackResult& out) const {

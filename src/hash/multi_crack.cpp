@@ -70,49 +70,68 @@ std::vector<std::uint32_t> sha1_index_words(
 }  // namespace
 
 Md5MultiContext::Md5MultiContext(std::vector<Md5Digest> targets,
-                                 std::string_view tail,
-                                 std::size_t total_len)
-    : targets_(std::move(targets)),
-      m_(fixed_md5_words(tail, total_len)),
-      reverted_([&] {
-        GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
-        std::vector<Md5State<std::uint32_t>> reverted(targets_.size());
-        // Every target shares the fixed message words, so the 15-step
-        // reversals never diverge — revert four digests in lockstep
-        // per vector pass. This is the dominant cost of building a
-        // large batch's per-tail context.
-        using V = simd::LaneVec<4>;
-        std::array<V, 16> mv;
-        for (std::size_t w = 0; w < 16; ++w) mv[w] = V(m_[w]);
-        std::size_t i = 0;
-        for (; i + 4 <= targets_.size(); i += 4) {
-          Md5State<V> s{};
-          for (std::size_t l = 0; l < 4; ++l) {
-            const std::uint8_t* p = targets_[i + l].bytes.data();
-            simd::lane_set(s.a, l, load_le32(p) - kMd5Init[0]);
-            simd::lane_set(s.b, l, load_le32(p + 4) - kMd5Init[1]);
-            simd::lane_set(s.c, l, load_le32(p + 8) - kMd5Init[2]);
-            simd::lane_set(s.d, l, load_le32(p + 12) - kMd5Init[3]);
-          }
-          md5_reverse_steps(s, mv, 49);
-          for (std::size_t l = 0; l < 4; ++l) {
-            reverted[i + l] = {simd::lane_get(s.a, l), simd::lane_get(s.b, l),
-                               simd::lane_get(s.c, l),
-                               simd::lane_get(s.d, l)};
-          }
-        }
-        for (; i < targets_.size(); ++i) {
-          const std::uint8_t* p = targets_[i].bytes.data();
-          Md5State<std::uint32_t> s{load_le32(p) - kMd5Init[0],
-                                    load_le32(p + 4) - kMd5Init[1],
-                                    load_le32(p + 8) - kMd5Init[2],
-                                    load_le32(p + 12) - kMd5Init[3]};
-          md5_reverse_steps(s, m_, 49);
-          reverted[i] = s;
-        }
-        return reverted;
-      }()),
-      index_(md5_index_words(reverted_)) {}
+                                 std::string_view tail, std::size_t total_len,
+                                 const TargetIndex::Config& index_config)
+    : targets_(std::move(targets)), m_(fixed_md5_words(tail, total_len)) {
+  GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
+  revert_from(0);
+  index_ = TargetIndex(md5_index_words(reverted_), index_config);
+}
+
+void Md5MultiContext::revert_from(std::size_t begin) {
+  reverted_.resize(targets_.size());
+  // Every target shares the fixed message words, so the 15-step
+  // reversals never diverge — revert four digests in lockstep per
+  // vector pass. This is the dominant cost of building a large batch's
+  // per-tail context.
+  using V = simd::LaneVec<4>;
+  std::array<V, 16> mv;
+  for (std::size_t w = 0; w < 16; ++w) mv[w] = V(m_[w]);
+  std::size_t i = begin;
+  for (; i + 4 <= targets_.size(); i += 4) {
+    Md5State<V> s{};
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::uint8_t* p = targets_[i + l].bytes.data();
+      simd::lane_set(s.a, l, load_le32(p) - kMd5Init[0]);
+      simd::lane_set(s.b, l, load_le32(p + 4) - kMd5Init[1]);
+      simd::lane_set(s.c, l, load_le32(p + 8) - kMd5Init[2]);
+      simd::lane_set(s.d, l, load_le32(p + 12) - kMd5Init[3]);
+    }
+    md5_reverse_steps(s, mv, 49);
+    for (std::size_t l = 0; l < 4; ++l) {
+      reverted_[i + l] = {simd::lane_get(s.a, l), simd::lane_get(s.b, l),
+                          simd::lane_get(s.c, l), simd::lane_get(s.d, l)};
+    }
+  }
+  for (; i < targets_.size(); ++i) {
+    const std::uint8_t* p = targets_[i].bytes.data();
+    Md5State<std::uint32_t> s{load_le32(p) - kMd5Init[0],
+                              load_le32(p + 4) - kMd5Init[1],
+                              load_le32(p + 8) - kMd5Init[2],
+                              load_le32(p + 12) - kMd5Init[3]};
+    md5_reverse_steps(s, m_, 49);
+    reverted_[i] = s;
+  }
+}
+
+void Md5MultiContext::add_targets(std::span<const Md5Digest> more) {
+  if (more.empty()) return;
+  const std::size_t begin = targets_.size();
+  targets_.insert(targets_.end(), more.begin(), more.end());
+  revert_from(begin);
+  std::vector<std::uint32_t> words;
+  words.reserve(more.size());
+  for (std::size_t i = begin; i < reverted_.size(); ++i) {
+    words.push_back(reverted_[i].a);
+  }
+  index_.add(words, static_cast<std::uint32_t>(begin));
+}
+
+void Md5MultiContext::retire_slots(std::span<const std::uint32_t> slots) {
+  // Only the index forgets the slots; targets_/reverted_ keep the
+  // holes so surviving slot numbers stay stable.
+  index_.remove(slots);
+}
 
 bool Md5MultiContext::confirm(const std::array<std::uint32_t, 16>& m,
                               const Md5State<std::uint32_t>& s45,
@@ -152,9 +171,11 @@ std::size_t Md5MultiContext::test(std::uint32_t m0) const {
 
   // Rare path: every target whose reverted word matches is confirmed —
   // 32-bit collisions between targets must not shadow the real one.
-  for (const std::uint32_t slot : index_.matches(t45)) {
+  const auto slots = index_.matches(t45);
+  for (const std::uint32_t slot : slots) {
     if (confirm(m, s, t45, reverted_[slot])) return slot;
   }
+  if (!slots.empty()) index_.note_false_positive();
   return npos;
 }
 
@@ -184,30 +205,50 @@ void Md5MultiContext::confirm_hits(std::uint32_t m0,
   if (slots.empty()) return;
   std::array<std::uint32_t, 16> m = m_;
   m[0] = m0;
+  const std::size_t before = out.size();
   for (const std::uint32_t slot : slots) {
     if (confirm(m, s45, t45, reverted_[slot])) out.push_back({offset, slot});
   }
+  if (out.size() == before) index_.note_false_positive();
 }
 
 Sha1MultiContext::Sha1MultiContext(std::vector<Sha1Digest> targets,
                                    std::string_view tail,
-                                   std::size_t total_len)
-    : targets_(std::move(targets)),
-      m_(fixed_sha_words(tail, total_len)),
-      unfed_([&] {
-        GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
-        std::vector<Sha1State<std::uint32_t>> unfed;
-        unfed.reserve(targets_.size());
-        for (const Sha1Digest& t : targets_) {
-          unfed.push_back({load_be32(t.bytes.data()) - kSha1Init[0],
-                           load_be32(t.bytes.data() + 4) - kSha1Init[1],
-                           load_be32(t.bytes.data() + 8) - kSha1Init[2],
-                           load_be32(t.bytes.data() + 12) - kSha1Init[3],
-                           load_be32(t.bytes.data() + 16) - kSha1Init[4]});
-        }
-        return unfed;
-      }()),
-      index_(sha1_index_words(unfed_)) {}
+                                   std::size_t total_len,
+                                   const TargetIndex::Config& index_config)
+    : targets_(std::move(targets)), m_(fixed_sha_words(tail, total_len)) {
+  GKS_REQUIRE(!targets_.empty(), "need at least one target digest");
+  unfed_.reserve(targets_.size());
+  for (const Sha1Digest& t : targets_) {
+    unfed_.push_back({load_be32(t.bytes.data()) - kSha1Init[0],
+                      load_be32(t.bytes.data() + 4) - kSha1Init[1],
+                      load_be32(t.bytes.data() + 8) - kSha1Init[2],
+                      load_be32(t.bytes.data() + 12) - kSha1Init[3],
+                      load_be32(t.bytes.data() + 16) - kSha1Init[4]});
+  }
+  index_ = TargetIndex(sha1_index_words(unfed_), index_config);
+}
+
+void Sha1MultiContext::add_targets(std::span<const Sha1Digest> more) {
+  if (more.empty()) return;
+  const std::size_t begin = targets_.size();
+  targets_.insert(targets_.end(), more.begin(), more.end());
+  std::vector<std::uint32_t> words;
+  words.reserve(more.size());
+  for (const Sha1Digest& t : more) {
+    unfed_.push_back({load_be32(t.bytes.data()) - kSha1Init[0],
+                      load_be32(t.bytes.data() + 4) - kSha1Init[1],
+                      load_be32(t.bytes.data() + 8) - kSha1Init[2],
+                      load_be32(t.bytes.data() + 12) - kSha1Init[3],
+                      load_be32(t.bytes.data() + 16) - kSha1Init[4]});
+    words.push_back(unfed_.back().e);
+  }
+  index_.add(words, static_cast<std::uint32_t>(begin));
+}
+
+void Sha1MultiContext::retire_slots(std::span<const std::uint32_t> slots) {
+  index_.remove(slots);
+}
 
 bool Sha1MultiContext::confirm(std::array<std::uint32_t, 16> ring,
                                std::uint32_t a, std::uint32_t b,
@@ -255,9 +296,11 @@ std::size_t Sha1MultiContext::test(std::uint32_t w0) const {
 
   const std::uint32_t check = rotl(a, 30);
   if (!index_.may_match(check)) return npos;
-  for (const std::uint32_t slot : index_.matches(check)) {
+  const auto slots = index_.matches(check);
+  for (const std::uint32_t slot : slots) {
     if (confirm(ring, a, b, c, d, e, unfed_[slot])) return slot;
   }
+  if (!slots.empty()) index_.note_false_positive();
   return npos;
 }
 
@@ -291,11 +334,15 @@ void Sha1MultiContext::confirm_hits(const std::array<std::uint32_t, 16>& ring,
                                     std::uint32_t e, std::uint64_t offset,
                                     std::vector<MultiHit>& out) const {
   const std::uint32_t check = rotl(a, 30);
-  for (const std::uint32_t slot : index_.matches(check)) {
+  const auto slots = index_.matches(check);
+  if (slots.empty()) return;
+  const std::size_t before = out.size();
+  for (const std::uint32_t slot : slots) {
     if (confirm(ring, a, b, c, d, e, unfed_[slot])) {
       out.push_back({offset, slot});
     }
   }
+  if (out.size() == before) index_.note_false_positive();
 }
 
 void md5_multi_scan_prefixes(const Md5MultiContext& ctx,

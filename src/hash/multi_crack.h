@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -39,8 +40,19 @@ struct MultiHit {
 class Md5MultiContext {
  public:
   /// All targets share the fixed tail/total_len (same key-space sweep).
+  /// `index_config` selects the front-gate geometry (direct bit array
+  /// vs blocked Bloom), its false-positive rate, and the optional
+  /// shared stats sink — see TargetIndex::Config.
   Md5MultiContext(std::vector<Md5Digest> targets, std::string_view tail,
-                  std::size_t total_len);
+                  std::size_t total_len,
+                  const TargetIndex::Config& index_config = {});
+
+  /// Live mutation: appends targets (they take slots target_count()..)
+  /// or detaches slots from the index. Retired digests keep their slot
+  /// numbers — the target vector holds the hole — so hits reported by
+  /// concurrent snapshot users never renumber.
+  void add_targets(std::span<const Md5Digest> more);
+  void retire_slots(std::span<const std::uint32_t> slots);
 
   /// Tests a candidate word 0; returns the lowest-numbered matching
   /// target, or npos (the overwhelmingly common case). Targets whose
@@ -79,6 +91,7 @@ class Md5MultiContext {
   bool confirm(const std::array<std::uint32_t, 16>& m,
                const Md5State<std::uint32_t>& s45, std::uint32_t t45,
                const Md5State<std::uint32_t>& reverted) const;
+  void revert_from(std::size_t begin);
 
   std::vector<Md5Digest> targets_;
   std::array<std::uint32_t, 16> m_{};
@@ -92,7 +105,12 @@ class Md5MultiContext {
 class Sha1MultiContext {
  public:
   Sha1MultiContext(std::vector<Sha1Digest> targets, std::string_view tail,
-                   std::size_t total_len);
+                   std::size_t total_len,
+                   const TargetIndex::Config& index_config = {});
+
+  /// Live mutation — same slot-stability contract as Md5MultiContext.
+  void add_targets(std::span<const Sha1Digest> more);
+  void retire_slots(std::span<const std::uint32_t> slots);
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t test(std::uint32_t w0) const;

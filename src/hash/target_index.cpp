@@ -2,28 +2,39 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cmath>
 
 namespace gks::hash {
 namespace {
 
-/// Smallest power of two >= x (x <= 2^31).
-std::uint32_t next_pow2(std::uint32_t x) {
-  std::uint32_t p = 1;
-  while (p < x) p <<= 1;
-  return p;
+/// Smallest power of two >= v.
+std::uint64_t next_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  return std::uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+double clamp_fpr(double fpr) { return std::clamp(fpr, 1.0 / 65536.0, 0.5); }
+
+/// Bits per key for the blocked Bloom geometry (k=2 bits in one 64-bit
+/// block), solved from p = (1 - e^(-2/b))^2  =>  b = -2/ln(1 - sqrt(p)).
+/// fpr 1/64 gives ~15.5 bits/key — a 1M-target gate in under 2 MiB,
+/// where the direct array would want 8 MiB.
+double bloom_bits_per_key(double fpr) {
+  return -2.0 / std::log(1.0 - std::sqrt(clamp_fpr(fpr)));
 }
 
 /// Stable LSD radix sort of packed (word << 32 | slot) entries by the
 /// word: four 8-bit counting-sort passes over the high half. Stability
 /// keeps equal words' slots ascending, which matches()'s contract
 /// relies on. ~4n moves, versus std::sort's n·log n branchy compares —
-/// the difference is what a 64k-target sweep pays per tail block, once
-/// per context build.
+/// the difference is what a large-target sweep pays per tail block,
+/// once per context build.
 void radix_sort_by_word(std::vector<std::uint64_t>& v) {
   std::vector<std::uint64_t> tmp(v.size());
   for (unsigned pass = 0; pass < 4; ++pass) {
     const unsigned shift = 32 + pass * 8;
-    std::array<std::uint32_t, 257> count{};
+    std::array<std::size_t, 257> count{};
     for (const std::uint64_t x : v) ++count[((x >> shift) & 0xff) + 1];
     for (std::size_t i = 0; i < 256; ++i) count[i + 1] += count[i];
     for (const std::uint64_t x : v) tmp[count[(x >> shift) & 0xff]++] = x;
@@ -33,22 +44,18 @@ void radix_sort_by_word(std::vector<std::uint64_t>& v) {
 
 }  // namespace
 
-TargetIndex::TargetIndex(std::span<const std::uint32_t> words) {
+TargetIndex::TargetIndex() {
+  rebuild_gate();
+  rebuild_offsets();
+}
+
+TargetIndex::TargetIndex(std::span<const std::uint32_t> words)
+    : TargetIndex(words, Config()) {}
+
+TargetIndex::TargetIndex(std::span<const std::uint32_t> words,
+                         const Config& config)
+    : config_(config) {
   const std::size_t n = words.size();
-
-  // >= 64 filter bits per target keeps the false-positive rate <= 1/64,
-  // cheap enough that even wide lane scanners (one probe per lane) stay
-  // within a few percent of their single-target throughput; the 64-bit
-  // floor keeps the tiny-batch filter one whole word. Capped at 2^27
-  // bits (16 MiB) — beyond ~2M targets the sorted array dominates
-  // memory anyway and the filter saturates gracefully.
-  const std::uint32_t want = static_cast<std::uint32_t>(
-      std::min<std::size_t>(n, (std::size_t{1} << 21)) * 64);
-  const std::uint32_t buckets = std::min(next_pow2(std::max(64u, want)),
-                                         1u << 27);
-  bucket_mask_ = buckets - 1;
-  bits_.assign(buckets / 64, 0);
-
   // Sort (word, slot) pairs packed into one uint64 so equal words keep
   // their slots ascending without a custom comparator. Large batches
   // take the radix path — comparison sorting is the dominant cost of a
@@ -64,27 +71,167 @@ TargetIndex::TargetIndex(std::span<const std::uint32_t> words) {
   } else {
     std::sort(packed.begin(), packed.end());
   }
-
   words_.reserve(n);
   slots_.reserve(n);
   for (const std::uint64_t p : packed) {
-    const auto word = static_cast<std::uint32_t>(p >> 32);
-    words_.push_back(word);
+    words_.push_back(static_cast<std::uint32_t>(p >> 32));
     slots_.push_back(static_cast<std::uint32_t>(p));
+  }
+  rebuild_gate();
+  rebuild_offsets();
+}
+
+void TargetIndex::set_gate_bit(std::uint32_t word) {
+  if (direct_) {
     const std::uint32_t b = word & bucket_mask_;
     bits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  } else {
+    const std::uint64_t h = mix_word(word);
+    const auto block = static_cast<std::uint32_t>(
+        (static_cast<std::uint32_t>(h) * std::uint64_t{nblocks_}) >> 32);
+    bits_[block] |= (std::uint64_t{1} << ((h >> 32) & 63)) |
+                    (std::uint64_t{1} << ((h >> 38) & 63));
+  }
+}
+
+void TargetIndex::rebuild_gate() {
+  const std::size_t n = words_.size();
+  gate_capacity_ = 2 * std::max<std::size_t>(n, 1);
+  if (!config_.gate) {
+    // Disabled gate: one all-ones direct block, so may_match() stays
+    // the same load-and-test and simply always passes — no extra mode
+    // branch in the hot loop.
+    direct_ = true;
+    bucket_mask_ = 63;
+    bits_.assign(1, ~std::uint64_t{0});
+    return;
+  }
+  const double fpr = clamp_fpr(config_.fpr);
+  // Direct mode spends 1/fpr bits per target: a uniform foreign word
+  // then lands on a set bit with probability ~fpr. The 64-bit floor
+  // keeps the tiny-batch filter one whole word.
+  const std::uint64_t direct_bits = next_pow2(std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(std::ceil(static_cast<double>(n) / fpr))));
+  if (direct_bits <= config_.max_direct_bits) {
+    direct_ = true;
+    bucket_mask_ = static_cast<std::uint32_t>(direct_bits - 1);
+    bits_.assign(static_cast<std::size_t>(direct_bits >> 6), 0);
+  } else {
+    direct_ = false;
+    auto blocks = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(n) * bloom_bits_per_key(fpr) / 64.0));
+    blocks = std::clamp<std::uint64_t>(blocks, 1, config_.max_filter_bytes / 8);
+    nblocks_ = static_cast<std::uint32_t>(blocks);
+    bits_.assign(nblocks_, 0);
+  }
+  for (const std::uint32_t w : words_) set_gate_bit(w);
+}
+
+void TargetIndex::rebuild_offsets() {
+  // ~1 entry per bucket in expectation, capped at 4M buckets (16 MiB of
+  // offsets); past the cap a bucket holds n/2^22 entries and the
+  // in-bucket lower_bound stays a handful of in-cache probes.
+  const auto buckets = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      next_pow2(words_.size()), 2, std::uint64_t{1} << 22));
+  offset_shift_ = 32u - static_cast<unsigned>(std::countr_zero(buckets));
+  offsets_.assign(std::size_t{buckets} + 1, 0);
+  for (const std::uint32_t w : words_) ++offsets_[(w >> offset_shift_) + 1];
+  for (std::size_t b = 1; b < offsets_.size(); ++b) {
+    offsets_[b] += offsets_[b - 1];
   }
 }
 
 std::span<const std::uint32_t> TargetIndex::matches(std::uint32_t word) const {
-  // One binary search, then a linear walk over the (rare, short) run of
-  // equal words — half the probing of equal_range, and this is the hot
-  // cost of every filter false positive.
-  const auto lo = std::lower_bound(words_.begin(), words_.end(), word);
-  auto hi = lo;
-  while (hi != words_.end() && *hi == word) ++hi;
-  const auto first = static_cast<std::size_t>(lo - words_.begin());
-  return {slots_.data() + first, static_cast<std::size_t>(hi - lo)};
+  // Bucket range, then a short lower_bound and a linear walk over the
+  // (rare, short) run of equal words. This is the whole cost of a gate
+  // false positive.
+  const std::uint32_t lo = offsets_[word >> offset_shift_];
+  const std::uint32_t hi = offsets_[(word >> offset_shift_) + 1];
+  const auto first =
+      std::lower_bound(words_.begin() + lo, words_.begin() + hi, word);
+  auto last = first;
+  while (last != words_.begin() + hi && *last == word) ++last;
+  const auto begin = static_cast<std::size_t>(first - words_.begin());
+  const auto count = static_cast<std::size_t>(last - first);
+  if (config_.stats != nullptr) {
+    config_.stats->gate_hits.fetch_add(1, std::memory_order_relaxed);
+    if (count == 0) {
+      config_.stats->false_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return {slots_.data() + begin, count};
+}
+
+void TargetIndex::add(std::span<const std::uint32_t> words,
+                      std::uint32_t first_slot) {
+  if (words.empty()) return;
+  const std::size_t old_n = words_.size();
+  std::vector<std::uint64_t> fresh(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    fresh[i] = static_cast<std::uint64_t>(words[i]) << 32 |
+               (first_slot + static_cast<std::uint32_t>(i));
+  }
+  std::sort(fresh.begin(), fresh.end());
+
+  // One backward merge pass, in place: packed comparison orders by word
+  // first and slot second, which preserves the ascending-slot contract
+  // even when re-attached slots interleave with existing ones.
+  words_.resize(old_n + fresh.size());
+  slots_.resize(old_n + fresh.size());
+  std::size_t a = old_n, b = fresh.size(), out = words_.size();
+  while (b > 0) {
+    const std::uint64_t old_packed =
+        a > 0 ? static_cast<std::uint64_t>(words_[a - 1]) << 32 | slots_[a - 1]
+              : 0;
+    --out;
+    if (a > 0 && old_packed > fresh[b - 1]) {
+      --a;
+      words_[out] = static_cast<std::uint32_t>(old_packed >> 32);
+      slots_[out] = static_cast<std::uint32_t>(old_packed);
+    } else {
+      --b;
+      words_[out] = static_cast<std::uint32_t>(fresh[b] >> 32);
+      slots_[out] = static_cast<std::uint32_t>(fresh[b]);
+    }
+  }
+
+  // A gate sized for the old batch drifts above its designed rate as
+  // keys accumulate; rebuild once the set outgrows twice the size the
+  // gate was last built for, otherwise just set the new bits.
+  if (words_.size() > gate_capacity_) {
+    rebuild_gate();
+  } else if (config_.gate) {
+    for (const std::uint32_t w : words) set_gate_bit(w);
+  }
+  rebuild_offsets();
+}
+
+std::size_t TargetIndex::remove(std::span<const std::uint32_t> slots) {
+  if (slots.empty() || words_.empty()) return 0;
+  std::vector<std::uint32_t> dead(slots.begin(), slots.end());
+  std::sort(dead.begin(), dead.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (std::binary_search(dead.begin(), dead.end(), slots_[i])) continue;
+    words_[out] = words_[i];
+    slots_[out] = slots_[i];
+    ++out;
+  }
+  const std::size_t removed = words_.size() - out;
+  if (removed == 0) return 0;
+  words_.resize(out);
+  slots_.resize(out);
+  // Bloom bits cannot be unset individually, so removal rebuilds the
+  // gate from the survivors — same O(n) as the compaction pass above,
+  // and it guarantees detached targets leave no ghost bits behind.
+  rebuild_gate();
+  rebuild_offsets();
+  return removed;
+}
+
+const char* TargetIndex::filter_kind() const {
+  if (!config_.gate) return "off";
+  return direct_ ? "direct" : "bloom";
 }
 
 }  // namespace gks::hash

@@ -1,11 +1,31 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace gks::hash {
+
+/// Gate-traffic counters for a TargetIndex, owned by the caller (the
+/// sweep engine keeps one per sweeper and shares it across every
+/// per-tail context). Updated with relaxed atomics on the rare
+/// filter-hit path only — the per-candidate miss path never touches
+/// them.
+///
+///   gate_hits:       filter passes handed to the slot lookup;
+///   false_positives: filter passes that confirmed no target — either
+///                    the slot lookup found no matching word, or every
+///                    word-matching slot failed full confirmation.
+///
+/// false_positives / candidates_tested is the measured false-positive
+/// rate; it bounds the confirm-from-state traffic the 32-bit early-exit
+/// words leak as target counts approach 2^32 saturation.
+struct TargetIndexStats {
+  std::atomic<std::uint64_t> gate_hits{0};
+  std::atomic<std::uint64_t> false_positives{0};
+};
 
 /// Shared lookup structure over the 32-bit early-exit words of a batch
 /// of crack targets (t45 for MD5, the rotated step-75 value for SHA1).
@@ -16,49 +36,142 @@ namespace gks::hash {
 /// makes the per-candidate test O(1) expected regardless of target
 /// count, in two layers:
 ///
-///   1. a power-of-two *bit filter* indexed by the low bits of the
-///      word: one load answers "could any target have this word?".
-///      Sized at >= 64 bits per target, so on a miss (the
-///      overwhelmingly common case — candidate words are effectively
-///      uniform) the test costs one load and the false-positive rate
-///      stays <= 1/64;
-///   2. a (word, slot) array sorted by word, binary-searched only on
-///      filter hits, returning *every* slot whose word matches — not
-///      just the first. Distinct digests collide on the 32-bit word at
+///   1. a *front gate* answering "could any target have this word?"
+///      in one load. Below ~256k targets this is a direct-indexed bit
+///      array (1/fpr bits per target, exact geometry of the original
+///      filter); beyond that a direct array would fall out of cache,
+///      so the gate switches to a blocked Bloom filter — the word is
+///      mixed to 64 bits, a multiply-shift picks one 64-bit block, and
+///      k=2 bits of that block must be set. One load either way, and
+///      the Bloom geometry holds the configured false-positive rate in
+///      ~16 bits/target instead of 64, keeping a million-target gate
+///      cache-resident (docs/multi_target.md derives the sizing).
+///   2. a (word, slot) array sorted by word behind a prefix-offset
+///      bucket table: the word's high bits index a bucket whose
+///      [offset, offset) range in the sorted array is then searched.
+///      Two loads replace the former whole-array binary search — at
+///      millions of targets that search was ~23 dependent cache misses
+///      per gate hit. Every slot whose word matches is returned — not
+///      just the first: distinct digests collide on the 32-bit word at
 ///      birthday rates (likely beyond ~77k targets), and a
 ///      first-match-only lookup would silently drop the colliding
 ///      target behind it.
 ///
 /// Slots are the caller's target indices (0..n-1 in construction
 /// order); duplicate words are fine and all their slots are returned,
-/// ascending.
+/// ascending. add()/remove() mutate the target set in place — the
+/// sweep engine uses them for live attach/detach without rebuilding
+/// the per-tail contexts from scratch.
 class TargetIndex {
  public:
+  struct Config {
+    /// Designed gate false-positive rate (clamped to [2^-16, 1/2]).
+    /// Note the floor at huge batches: n targets occupy ~n/2^32 of the
+    /// word space, so true word matches alone pass at that rate no
+    /// matter how large the filter grows.
+    double fpr = 1.0 / 64;
+    /// Largest direct-indexed bit array (in bits) before the gate
+    /// switches to the blocked Bloom filter. 2^24 bits = 2 MiB —
+    /// L2-resident on the reference container.
+    std::size_t max_direct_bits = std::size_t{1} << 24;
+    /// Bloom filter byte cap; past it the rate degrades gracefully.
+    std::size_t max_filter_bytes = std::size_t{1} << 25;
+    /// false disables the gate entirely (every probe passes, the slot
+    /// lookup does all filtering) — the ablation/differential-test
+    /// switch.
+    bool gate = true;
+    /// Optional shared counters; may be null.
+    TargetIndexStats* stats = nullptr;
+  };
+
+  /// Empty index: matches nothing. Exists so contexts can build their
+  /// reverted words first and assign the index after.
+  TargetIndex();
+
   /// words[i] is the early-exit word of target slot i.
   explicit TargetIndex(std::span<const std::uint32_t> words);
+  TargetIndex(std::span<const std::uint32_t> words, const Config& config);
 
   std::size_t size() const { return slots_.size(); }
 
-  /// One-load filter: false means *no* target has this word
-  /// (definitive); true means "run matches()". Hot-path inline.
+  /// One-load gate: false means *no* target has this word (definitive);
+  /// true means "run matches()". Hot-path inline. The disabled-gate
+  /// mode is encoded in the data (a single all-ones direct block), so
+  /// the hot loop carries no extra branch for it.
   bool may_match(std::uint32_t word) const {
-    const std::uint32_t b = word & bucket_mask_;
-    return (bits_[b >> 6] >> (b & 63)) & 1u;
+    if (direct_) {
+      const std::uint32_t b = word & bucket_mask_;
+      return (bits_[b >> 6] >> (b & 63)) & 1u;
+    }
+    const std::uint64_t h = mix_word(word);
+    const std::uint64_t mask = (std::uint64_t{1} << ((h >> 32) & 63)) |
+                               (std::uint64_t{1} << ((h >> 38) & 63));
+    const auto block = static_cast<std::uint32_t>(
+        (static_cast<std::uint32_t>(h) * std::uint64_t{nblocks_}) >> 32);
+    return (bits_[block] & mask) == mask;
   }
 
-  /// Every slot whose word equals `word`, ascending. Binary search over
-  /// the sorted array — call only after may_match (it is correct
-  /// regardless, just slower than the filter on misses).
+  /// Every slot whose word equals `word`, ascending. Bucketed lookup
+  /// over the sorted array — call only after may_match (it is correct
+  /// regardless, just slower than the gate on misses). Counts gate
+  /// traffic into the configured stats sink.
   std::span<const std::uint32_t> matches(std::uint32_t word) const;
 
-  /// Filter geometry, exposed for tests and the lane kernels' docs.
-  std::uint32_t bucket_mask() const { return bucket_mask_; }
+  /// Appends targets: entry i becomes (words[i], first_slot + i). The
+  /// sorted array is merged in place and the gate is extended (or
+  /// rebuilt when the batch outgrows the gate's design capacity).
+  void add(std::span<const std::uint32_t> words, std::uint32_t first_slot);
+
+  /// Removes every entry whose slot is in `slots` (need not be sorted;
+  /// unknown slots are ignored). Returns the number of entries
+  /// removed. The gate is rebuilt from the surviving words — removal
+  /// never leaves ghost bits behind.
+  std::size_t remove(std::span<const std::uint32_t> slots);
+
+  /// Called by the contexts when a gate pass found word-matching slots
+  /// but none survived full confirmation — the second flavor of false
+  /// positive (see TargetIndexStats).
+  void note_false_positive() const {
+    if (config_.stats != nullptr) {
+      config_.stats->false_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Gate geometry observability. bucket_mask() is the direct-mode
+  /// bit-array mask (bucket count - 1); 0 in bloom mode.
+  const char* filter_kind() const;  // "direct" | "bloom" | "off"
+  std::size_t filter_bytes() const { return bits_.size() * 8; }
+  std::uint32_t bucket_mask() const { return direct_ ? bucket_mask_ : 0; }
+  const Config& config() const { return config_; }
 
  private:
-  std::vector<std::uint64_t> bits_;   ///< the bit filter
-  std::uint32_t bucket_mask_ = 0;     ///< bucket count - 1 (power of two)
+  /// splitmix64 finalizer over the word: decorrelates the Bloom block
+  /// and bit choices from the low bits the direct mode indexes by.
+  static std::uint64_t mix_word(std::uint32_t word) {
+    std::uint64_t z = static_cast<std::uint64_t>(word) +
+                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  void rebuild_gate();
+  void rebuild_offsets();
+  void set_gate_bit(std::uint32_t word);
+
+  Config config_;
+  std::vector<std::uint64_t> bits_;  ///< direct bit array or Bloom blocks
+  bool direct_ = true;               ///< which gate geometry bits_ holds
+  std::uint32_t bucket_mask_ = 63;   ///< direct: bit count - 1 (pow2)
+  std::uint32_t nblocks_ = 0;        ///< bloom: 64-bit block count
+  std::size_t gate_capacity_ = 0;    ///< adds past this rebuild the gate
+
   std::vector<std::uint32_t> words_;  ///< sorted early-exit words
   std::vector<std::uint32_t> slots_;  ///< slots_[i] owns words_[i]
+  /// Prefix-offset bucket table: entries with word >> offset_shift_ ==
+  /// b live at [offsets_[b], offsets_[b+1]) in the sorted array.
+  std::vector<std::uint32_t> offsets_;
+  unsigned offset_shift_ = 31;
 };
 
 }  // namespace gks::hash

@@ -85,6 +85,11 @@ struct JobSnapshot {
 
   /// Recovered (digest hex, key) pairs, in recovery order.
   std::vector<std::pair<std::string, std::string>> found;
+  /// TargetIndex gate traffic across the job's sweep so far: probes
+  /// that passed the front gate, and the subset that then failed
+  /// confirmation (the filter's measured false-positive cost).
+  std::uint64_t filter_gate_hits = 0;
+  std::uint64_t filter_false_positives = 0;
   /// Failure reason when state == kFailed.
   std::string error;
 

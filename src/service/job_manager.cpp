@@ -60,7 +60,11 @@ const JobManager::JobImpl& JobManager::job_ref(JobId id) const {
 }
 
 bool JobManager::runnable(const JobImpl& job) const {
-  return !job.pending.empty() && !job.cancel_requested && job.error.empty() &&
+  // all_found() gates dispatch instead of clearing `pending`: the
+  // unscanned keyspace must survive in the queue so a later
+  // add_targets can resume the sweep where it left off.
+  return !job.pending.empty() && !job.sweeper->all_found() &&
+         !job.cancel_requested && job.error.empty() &&
          (job.state == JobState::kQueued || job.state == JobState::kRunning);
 }
 
@@ -115,16 +119,31 @@ std::size_t JobManager::resume_from(const std::string& journal_path) {
     auto job = std::make_unique<JobImpl>();
     job->spec = rec.spec;
     job->sweeper = std::make_unique<core::MultiSweeper>(rec.spec.request);
-    // Replay recoveries first so an all-found job completes without
-    // re-dispatching its gaps.
-    for (const auto& [hex, key] : rec.found) {
-      job->targets_found += job->sweeper->mark_found_hex(hex, key).size();
+    // Replay the target-set history in journal order: a found record
+    // may reference a digest only attached by an earlier add record,
+    // and a remove must not suppress a recovery journaled before it.
+    using Event = JobStore::RecoveredJob::TargetEvent;
+    for (const Event& ev : rec.events) {
+      switch (ev.kind) {
+        case Event::Kind::kFound:
+          job->targets_found +=
+              job->sweeper->mark_found_hex(ev.digest_hex, ev.key).size();
+          break;
+        case Event::Kind::kAdd: {
+          const core::TargetAddOutcome out =
+              job->sweeper->add_targets(ev.targets);
+          job->targets_found += out.already_found;
+          break;
+        }
+        case Event::Kind::kRemove:
+          job->sweeper->remove_targets(ev.targets);
+          break;
+      }
     }
     job->coverage = std::move(rec.scanned);
     job->scanned = job->coverage.covered();
     const auto gaps = job->coverage.gaps(job->sweeper->space_interval());
     job->pending.assign(gaps.begin(), gaps.end());
-    if (job->sweeper->all_found()) job->pending.clear();
 
     std::unique_lock lock(mu_);
     GKS_REQUIRE(!stopping_, "resume on a JobManager that is shutting down");
@@ -143,13 +162,23 @@ std::size_t JobManager::resume_from(const std::string& journal_path) {
       for (const keyspace::Interval& piece : job->coverage.pieces()) {
         store_.record_interval(job->spec.name, piece);
       }
-      for (const auto& [hex, key] : rec.found) {
-        store_.record_found(job->spec.name, hex, key);
+      for (const Event& ev : rec.events) {
+        switch (ev.kind) {
+          case Event::Kind::kFound:
+            store_.record_found(job->spec.name, ev.digest_hex, ev.key);
+            break;
+          case Event::Kind::kAdd:
+            store_.record_targets_add(job->spec.name, ev.targets);
+            break;
+          case Event::Kind::kRemove:
+            store_.record_targets_remove(job->spec.name, ev.targets);
+            break;
+        }
       }
     }
     JobImpl& ref = *job;
     jobs_.emplace(id, std::move(job));
-    if (ref.pending.empty()) {
+    if (ref.pending.empty() || ref.sweeper->all_found()) {
       // Nothing left to dispatch — the crash happened after the last
       // quantum was journaled (or every target is already recovered).
       finish(ref, JobState::kDone);
@@ -191,6 +220,47 @@ void JobManager::resume(JobId id) {
   scheduler_.set_runnable(id, runnable(job));
   maybe_complete(job);  // the sweep may have finished before the pause
   work_cv_.notify_all();
+}
+
+core::TargetAddOutcome JobManager::add_targets(
+    JobId id, const std::vector<std::string>& hexes) {
+  std::unique_lock lock(mu_);
+  JobImpl& job = job_ref(id);
+  GKS_REQUIRE(!is_terminal(job.state),
+              "add_targets on terminal job '" + job.spec.name + "'");
+  // Validate before journaling so a malformed batch leaves no record;
+  // then journal before applying so a crash between the two replays
+  // the add rather than losing targets the caller was told about.
+  job.sweeper->validate_target_hexes(hexes);
+  store_.record_targets_add(job.spec.name, hexes);
+  const core::TargetAddOutcome out = job.sweeper->add_targets(hexes);
+  // Slots duplicating an already-recovered digest resolve right here.
+  job.targets_found += out.already_found;
+  if (out.attached > 0) {
+    // A job idled by all-found has pending keyspace again.
+    scheduler_.set_runnable(job.id, runnable(job));
+    lock.unlock();
+    work_cv_.notify_all();
+  }
+  return out;
+}
+
+std::size_t JobManager::remove_targets(JobId id,
+                                       const std::vector<std::string>& hexes) {
+  std::lock_guard lock(mu_);
+  JobImpl& job = job_ref(id);
+  GKS_REQUIRE(!is_terminal(job.state),
+              "remove_targets on terminal job '" + job.spec.name + "'");
+  job.sweeper->validate_target_hexes(hexes);
+  store_.record_targets_remove(job.spec.name, hexes);
+  const std::size_t detached = job.sweeper->remove_targets(hexes);
+  if (detached > 0 && job.sweeper->all_found()) {
+    // The last outstanding digest is gone: stop dispatching and let
+    // the job complete once in-flight quanta retire.
+    scheduler_.set_runnable(job.id, false);
+    maybe_complete(job);
+  }
+  return detached;
 }
 
 JobSnapshot JobManager::status(JobId id) const {
@@ -260,6 +330,9 @@ JobSnapshot JobManager::snapshot_locked(const JobImpl& job) const {
     s.eta_s = remaining.to_double() / s.keys_per_s;
   }
   s.found = job.sweeper->found_so_far();
+  const core::SweepFilterStats fstats = job.sweeper->filter_stats();
+  s.filter_gate_hits = fstats.gate_hits;
+  s.filter_false_positives = fstats.false_positives;
   s.error = job.error;
   return s;
 }
@@ -278,7 +351,8 @@ void JobManager::maybe_complete(JobImpl& job) {
     finish(job, JobState::kFailed);
   } else if (job.cancel_requested) {
     finish(job, JobState::kCancelled);
-  } else if (job.pending.empty() && job.state != JobState::kPaused) {
+  } else if ((job.pending.empty() || job.sweeper->all_found()) &&
+             job.state != JobState::kPaused) {
     finish(job, JobState::kDone);
   }
 }
@@ -351,10 +425,15 @@ void JobManager::worker_loop() {
       // losing the key forever.
       for (const core::SweepHit& hit : hits) {
         const auto slots = sweeper->mark_found(hit.unique_index, hit.key);
-        if (slots.empty()) continue;  // duplicate from a stale snapshot
+        // Empty means a duplicate from a stale snapshot or a target
+        // removed mid-flight — either way not ours to journal, which
+        // is what keeps found accounting exactly-once under mutation.
+        if (slots.empty()) continue;
         job.targets_found += slots.size();
-        store_.record_found(job.spec.name,
-                            job.spec.request.target_hexes[slots.front()],
+        // slot_hex, not spec.request: add_targets extends the hex list
+        // behind the spec's back, and the sweeper's accessor is the
+        // thread-safe view of it.
+        store_.record_found(job.spec.name, sweeper->slot_hex(slots.front()),
                             hit.key);
       }
       const keyspace::Interval done(quantum.begin, quantum.begin + tested);
@@ -362,11 +441,12 @@ void JobManager::worker_loop() {
         store_.record_interval(job.spec.name, done);
         job.scanned += job.coverage.add(done);
       }
+      // A short count is an interrupt or a generation handoff (the
+      // target set was mutated mid-quantum): re-queue the remainder so
+      // it is rescanned against the current target set.
       if (tested < quantum.size()) {
         job.pending.emplace_front(quantum.begin + tested, quantum.end);
       }
-      // Every target recovered: the rest of the space is moot.
-      if (sweeper->all_found()) job.pending.clear();
     }
     scheduler_.set_runnable(job.id, runnable(job));
     maybe_complete(job);

@@ -91,6 +91,25 @@ class JobManager {
   void pause(JobId id);
   void resume(JobId id);
 
+  /// Attaches more target hashes to a live job without restarting its
+  /// sweep. The mutation is journaled before it is applied (after
+  /// validation, so the journal never holds a doomed record); the
+  /// sweeper's generation handoff guarantees a target added before its
+  /// covering interval is scanned will be found. Digests already
+  /// recovered resolve instantly (`already_found`); a job whose
+  /// targets were all recovered goes back to runnable when the add
+  /// attaches new outstanding work. Throws InvalidArgument on
+  /// malformed hexes, unknown ids, or terminal jobs.
+  core::TargetAddOutcome add_targets(JobId id,
+                                     const std::vector<std::string>& hexes);
+
+  /// Detaches target hashes from a live job: their digests stop being
+  /// scanned for and no longer hold the job open. Removing the last
+  /// outstanding target completes the job once in-flight quanta
+  /// retire. Returns the number of unique digests detached. Journaled
+  /// before applying, like add_targets.
+  std::size_t remove_targets(JobId id, const std::vector<std::string>& hexes);
+
   /// Point-in-time snapshot; throws InvalidArgument for unknown ids.
   JobSnapshot status(JobId id) const;
 
@@ -130,6 +149,9 @@ class JobManager {
     std::uint64_t intervals_issued = 0;
     std::uint64_t intervals_retired = 0;
     u128 scanned{0};
+    /// Request slots resolved — by scan hits, journal replay, or adds
+    /// duplicating an already-recovered digest. Exactly-once: every
+    /// slot is counted through sweeper accounting that deduplicates.
     std::size_t targets_found = 0;
     double busy_s = 0;  ///< summed worker wall time inside scan()
 

@@ -134,6 +134,34 @@ void JobStore::record_found(const std::string& job,
   append(w.str());
 }
 
+namespace {
+
+std::string targets_record(const char* type, const std::string& job,
+                           const std::vector<std::string>& hexes) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value(type)
+      .key("job").value(job)
+      .key("targets").begin_array();
+  for (const std::string& hex : hexes) w.value(hex);
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace
+
+void JobStore::record_targets_add(const std::string& job,
+                                  const std::vector<std::string>& hexes) {
+  if (!out_.is_open() || hexes.empty()) return;
+  append(targets_record("targets_add", job, hexes));
+}
+
+void JobStore::record_targets_remove(const std::string& job,
+                                     const std::vector<std::string>& hexes) {
+  if (!out_.is_open() || hexes.empty()) return;
+  append(targets_record("targets_remove", job, hexes));
+}
+
 void JobStore::record_state(const std::string& job, JobState state) {
   if (!out_.is_open()) return;
   json::Writer w;
@@ -196,6 +224,20 @@ std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
     } else if (type == "found") {
       job->found.emplace_back(rec.at("digest").as_string(),
                               rec.at("key").as_string());
+      RecoveredJob::TargetEvent ev;
+      ev.kind = RecoveredJob::TargetEvent::Kind::kFound;
+      ev.digest_hex = rec.at("digest").as_string();
+      ev.key = rec.at("key").as_string();
+      job->events.push_back(std::move(ev));
+    } else if (type == "targets_add" || type == "targets_remove") {
+      RecoveredJob::TargetEvent ev;
+      ev.kind = type == "targets_add"
+                    ? RecoveredJob::TargetEvent::Kind::kAdd
+                    : RecoveredJob::TargetEvent::Kind::kRemove;
+      for (const json::Value& t : rec.at("targets").as_array()) {
+        ev.targets.push_back(t.as_string());
+      }
+      job->events.push_back(std::move(ev));
     } else if (type == "state") {
       const JobState s = job_state_from_name(rec.at("state").as_string());
       GKS_REQUIRE(is_terminal(s), "journal state records must be terminal");

@@ -14,14 +14,22 @@
 namespace gks::service {
 
 /// Durable progress journal for the job service: an append-only
-/// JSON-lines file (docs/service.md describes the format). Four record
+/// JSON-lines file (docs/service.md describes the format). Six record
 /// types, each one line, flushed on write so a killed process loses at
 /// most the line being written:
 ///
 ///   {"type":"job", "job":NAME, ...full spec...}
 ///   {"type":"interval", "job":NAME, "begin":"DEC", "end":"DEC"}
 ///   {"type":"found", "job":NAME, "digest":HEX, "key":KEY}
+///   {"type":"targets_add", "job":NAME, "targets":[HEX, ...]}
+///   {"type":"targets_remove", "job":NAME, "targets":[HEX, ...]}
 ///   {"type":"state", "job":NAME, "state":"done"|"failed"|"cancelled"}
+///
+/// `targets_add` / `targets_remove` are the live-mutation records: the
+/// manager journals a mutation before applying it, and replay applies
+/// found/add/remove in journal order — a found record can reference a
+/// digest only attached by an earlier add record, so order is load-
+/// bearing (RecoveredJob::events preserves it).
 ///
 /// Identifiers are decimal strings (u128 does not fit a JSON number).
 /// An `interval` record means those ids were fully scanned and need
@@ -49,6 +57,10 @@ class JobStore {
   void record_interval(const std::string& job, const keyspace::Interval& iv);
   void record_found(const std::string& job, const std::string& digest_hex,
                     const std::string& key);
+  void record_targets_add(const std::string& job,
+                          const std::vector<std::string>& hexes);
+  void record_targets_remove(const std::string& job,
+                             const std::vector<std::string>& hexes);
   void record_state(const std::string& job, JobState state);
 
   /// One job reassembled from a journal.
@@ -62,6 +74,18 @@ class JobStore {
     u128 journaled{0};
     /// (digest hex, key) pairs recovered before the checkpoint.
     std::vector<std::pair<std::string, std::string>> found;
+    /// One target-set event per found / targets_add / targets_remove
+    /// record, in journal (= true execution) order. Resume replays
+    /// these against a sweeper built from the original spec; `found`
+    /// above is the order-free summary older callers read.
+    struct TargetEvent {
+      enum class Kind { kFound, kAdd, kRemove };
+      Kind kind = Kind::kFound;
+      std::string digest_hex;            ///< kFound
+      std::string key;                   ///< kFound
+      std::vector<std::string> targets;  ///< kAdd / kRemove
+    };
+    std::vector<TargetEvent> events;
     /// Terminal state if one was recorded; jobs without one are the
     /// candidates for resumption.
     std::optional<JobState> final_state;

@@ -204,6 +204,87 @@ TEST(Md5Multi, TestHitsReportsEveryDuplicateSlot) {
   EXPECT_TRUE(hits.empty());
 }
 
+TEST(Md5Multi, SharedWordTargetsReportedAmongMillionDecoys) {
+  // The high-density regime: ~1M random decoy digests push the index
+  // into its Bloom geometry, and the planted targets collide on their
+  // 32-bit early-exit word (duplicate digest + a word-collider decoy).
+  // Every genuine slot must surface — first-match-only lookups or a
+  // lossy gate would drop the duplicate behind the collider.
+  const std::string key = "bbbbrest";
+  const auto target = Md5::digest(key);
+  const auto collider = md5_word_collider(target, key);
+
+  SplitMix64 rng(31);
+  std::vector<Md5Digest> targets;
+  const std::size_t kDecoys = 1000000;
+  targets.reserve(kDecoys + 3);
+  targets.push_back(target);  // slot 0
+  for (std::size_t i = 0; i < kDecoys; ++i) {
+    Md5Digest d;
+    for (auto& b : d.bytes) b = static_cast<std::uint8_t>(rng());
+    targets.push_back(d);
+  }
+  targets.push_back(target);    // slot kDecoys + 1 (duplicate digest)
+  targets.push_back(collider);  // slot kDecoys + 2 (same word, no key)
+
+  TargetIndexStats stats;
+  TargetIndex::Config cfg;
+  cfg.stats = &stats;
+  const Md5MultiContext multi(targets, "rest", 8, cfg);
+  EXPECT_STREQ(multi.index().filter_kind(), "bloom");
+
+  std::vector<MultiHit> hits;
+  multi.test_hits(pack_md5_word0(key.data(), 8), 42, hits);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (MultiHit{42, 0}));
+  EXPECT_EQ(hits[1],
+            (MultiHit{42, static_cast<std::uint32_t>(kDecoys + 1)}));
+
+  // Foreign candidates resolve to no hit, and the measured gate traffic
+  // lands in the shared stats sink.
+  const auto before = stats.false_positives.load();
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<MultiHit> none;
+    multi.test_hits(static_cast<std::uint32_t>(rng()), 0, none);
+    ASSERT_TRUE(none.empty());
+  }
+  EXPECT_GT(stats.gate_hits.load(), 0u);
+  EXPECT_GE(stats.false_positives.load(), before);
+}
+
+TEST(Md5Multi, AddAndRetireTargetsLive) {
+  const std::string key_a = "aaaarest";
+  const std::string key_b = "bbbbrest";
+  Md5MultiContext multi({Md5::digest(key_a)}, "rest", 8);
+
+  // key_b is unknown until added; its slot continues the numbering.
+  EXPECT_EQ(multi.test(pack_md5_word0(key_b.data(), 8)), Md5MultiContext::npos);
+  multi.add_targets(std::vector<Md5Digest>{Md5::digest(key_b)});
+  EXPECT_EQ(multi.target_count(), 2u);
+  EXPECT_EQ(multi.test(pack_md5_word0(key_b.data(), 8)), 1u);
+
+  // Retiring slot 0 detaches key_a but key_b keeps slot 1.
+  multi.retire_slots(std::vector<std::uint32_t>{0});
+  EXPECT_EQ(multi.test(pack_md5_word0(key_a.data(), 8)), Md5MultiContext::npos);
+  EXPECT_EQ(multi.test(pack_md5_word0(key_b.data(), 8)), 1u);
+}
+
+TEST(Sha1Multi, AddAndRetireTargetsLive) {
+  const std::string key_a = "aaaarest";
+  const std::string key_b = "bbbbrest";
+  Sha1MultiContext multi({Sha1::digest(key_a)}, "rest", 8);
+
+  EXPECT_EQ(multi.test(pack_sha_word0(key_b.data(), 8)),
+            Sha1MultiContext::npos);
+  multi.add_targets(std::vector<Sha1Digest>{Sha1::digest(key_b)});
+  EXPECT_EQ(multi.test(pack_sha_word0(key_b.data(), 8)), 1u);
+
+  multi.retire_slots(std::vector<std::uint32_t>{0});
+  EXPECT_EQ(multi.test(pack_sha_word0(key_a.data(), 8)),
+            Sha1MultiContext::npos);
+  EXPECT_EQ(multi.test(pack_sha_word0(key_b.data(), 8)), 1u);
+}
+
 TEST(Sha1Multi, TestHitsReportsEveryDuplicateSlot) {
   const std::string key = "bbbbrest";
   const auto target = Sha1::digest(key);

@@ -116,6 +116,20 @@ Md5Digest md5_decoy_for(const std::string& key) {
   return decoy;
 }
 
+/// Gate geometries the differential sweeps run under: the default
+/// direct bit array, the gate fully disabled (slot lookup does all
+/// filtering), and the Bloom geometry forced on regardless of batch
+/// size. Hit lists must be bit-identical across all three.
+std::vector<std::pair<std::string, TargetIndex::Config>> gate_configs() {
+  TargetIndex::Config off;
+  off.gate = false;
+  TargetIndex::Config bloom;
+  bloom.max_direct_bits = 1;
+  return {{"gate=direct", TargetIndex::Config()},
+          {"gate=off", off},
+          {"gate=bloom", bloom}};
+}
+
 template <class Ctx, class ScalarFn, class LaneFn>
 void expect_identical_hits(const Ctx& ctx, const Scenario& sc,
                            bool big_endian, std::uint64_t count,
@@ -152,19 +166,22 @@ TEST(SimdMultiScanDifferential, Md5EveryWidthMatchesScalar) {
       targets.push_back(targets.front());  // duplicate digest
       targets.push_back(md5_decoy_for(key_at_offset(sc, 0, false)));
 
-      const Md5MultiContext ctx(targets, shared_tail(sc, false), sc.key_len);
-      expect_identical_hits(
-          ctx, sc, false, count,
-          [](const Md5MultiContext& c, PrefixWord0Iterator& it,
-             std::uint64_t m, std::vector<MultiHit>& h) {
-            md5_multi_scan_prefixes(c, it, m, h);
-          },
-          [&](const Md5MultiContext& c, PrefixWord0Iterator& it,
-              std::uint64_t m, std::vector<MultiHit>& h) {
-            k.md5_multi_scan(c, it, m, h);
-          },
-          "md5 w" + std::to_string(n) + " cs=" + sc.charset + " len=" +
-              std::to_string(sc.key_len));
+      for (const auto& [gate, cfg] : gate_configs()) {
+        const Md5MultiContext ctx(targets, shared_tail(sc, false), sc.key_len,
+                                  cfg);
+        expect_identical_hits(
+            ctx, sc, false, count,
+            [](const Md5MultiContext& c, PrefixWord0Iterator& it,
+               std::uint64_t m, std::vector<MultiHit>& h) {
+              md5_multi_scan_prefixes(c, it, m, h);
+            },
+            [&](const Md5MultiContext& c, PrefixWord0Iterator& it,
+                std::uint64_t m, std::vector<MultiHit>& h) {
+              k.md5_multi_scan(c, it, m, h);
+            },
+            "md5 w" + std::to_string(n) + " cs=" + sc.charset + " len=" +
+                std::to_string(sc.key_len) + " " + gate);
+      }
     }
   }
 }
@@ -189,19 +206,22 @@ TEST(SimdMultiScanDifferential, Sha1EveryWidthMatchesScalar) {
       decoy.bytes[0] ^= 0x5a;
       targets.push_back(decoy);
 
-      const Sha1MultiContext ctx(targets, shared_tail(sc, true), sc.key_len);
-      expect_identical_hits(
-          ctx, sc, true, count,
-          [](const Sha1MultiContext& c, PrefixWord0Iterator& it,
-             std::uint64_t m, std::vector<MultiHit>& h) {
-            sha1_multi_scan_prefixes(c, it, m, h);
-          },
-          [&](const Sha1MultiContext& c, PrefixWord0Iterator& it,
-              std::uint64_t m, std::vector<MultiHit>& h) {
-            k.sha1_multi_scan(c, it, m, h);
-          },
-          "sha1 w" + std::to_string(n) + " cs=" + sc.charset + " len=" +
-              std::to_string(sc.key_len));
+      for (const auto& [gate, cfg] : gate_configs()) {
+        const Sha1MultiContext ctx(targets, shared_tail(sc, true), sc.key_len,
+                                   cfg);
+        expect_identical_hits(
+            ctx, sc, true, count,
+            [](const Sha1MultiContext& c, PrefixWord0Iterator& it,
+               std::uint64_t m, std::vector<MultiHit>& h) {
+              sha1_multi_scan_prefixes(c, it, m, h);
+            },
+            [&](const Sha1MultiContext& c, PrefixWord0Iterator& it,
+                std::uint64_t m, std::vector<MultiHit>& h) {
+              k.sha1_multi_scan(c, it, m, h);
+            },
+            "sha1 w" + std::to_string(n) + " cs=" + sc.charset + " len=" +
+                std::to_string(sc.key_len) + " " + gate);
+      }
     }
   }
 }

@@ -90,6 +90,162 @@ TEST(TargetIndex, FilterScalesWithTargetCount) {
   const TargetIndex index(words);
   // 64 bits per target, next power of two: 2^22 buckets.
   EXPECT_EQ(index.bucket_mask() + 1u, 1u << 22);
+  EXPECT_STREQ(index.filter_kind(), "direct");
+}
+
+TargetIndex::Config forced_bloom() {
+  TargetIndex::Config cfg;
+  cfg.max_direct_bits = 1;  // any batch overflows the direct cap
+  return cfg;
+}
+
+TEST(TargetIndex, BloomModeHasNoFalseNegatives) {
+  SplitMix64 rng(11);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 50000; ++i) {
+    words.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  const TargetIndex index(words, forced_bloom());
+  EXPECT_STREQ(index.filter_kind(), "bloom");
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ASSERT_TRUE(index.may_match(words[i])) << words[i];
+    const auto slots = index.matches(words[i]);
+    ASSERT_TRUE(std::find(slots.begin(), slots.end(),
+                          static_cast<std::uint32_t>(i)) != slots.end());
+  }
+}
+
+TEST(TargetIndex, BloomModeHoldsDesignedFalsePositiveRate) {
+  SplitMix64 rng(13);
+  std::set<std::uint32_t> in_set;
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4096; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    words.push_back(w);
+    in_set.insert(w);
+  }
+  const TargetIndex index(words, forced_bloom());
+  ASSERT_STREQ(index.filter_kind(), "bloom");
+
+  // Designed for 1/64; assert a generous 1/8 so the test never flakes.
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    if (in_set.count(w)) continue;
+    if (index.may_match(w)) {
+      ++false_positives;
+      EXPECT_TRUE(index.matches(w).empty()) << w;
+    }
+  }
+  EXPECT_LT(false_positives, probes / 8);
+}
+
+TEST(TargetIndex, MillionTargetsEngageCacheResidentBloom) {
+  SplitMix64 rng(17);
+  std::vector<std::uint32_t> words(1u << 20);
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng());
+  const TargetIndex index(words);  // default config
+  // A direct array would want 8 MiB at 1/64; the Bloom gate fits the
+  // same rate in ~16 bits/key.
+  EXPECT_STREQ(index.filter_kind(), "bloom");
+  EXPECT_LE(index.filter_bytes(), std::size_t{4} << 20);
+
+  for (std::size_t i = 0; i < words.size(); i += 997) {
+    ASSERT_TRUE(index.may_match(words[i]));
+    const auto slots = index.matches(words[i]);
+    ASSERT_TRUE(std::find(slots.begin(), slots.end(),
+                          static_cast<std::uint32_t>(i)) != slots.end());
+  }
+
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (index.may_match(static_cast<std::uint32_t>(rng()))) {
+      ++false_positives;
+    }
+  }
+  // ~1/64 designed + ~1/4096 true word matches; 1/8 is flake-proof.
+  EXPECT_LT(false_positives, probes / 8);
+}
+
+TEST(TargetIndex, GateOffAlwaysPassesAndLookupStaysExact) {
+  TargetIndex::Config cfg;
+  cfg.gate = false;
+  const std::vector<std::uint32_t> words = {5, 9, 5};
+  const TargetIndex index(words, cfg);
+  EXPECT_STREQ(index.filter_kind(), "off");
+  SplitMix64 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(index.may_match(static_cast<std::uint32_t>(rng())));
+  }
+  ASSERT_EQ(index.matches(5).size(), 2u);
+  EXPECT_TRUE(index.matches(6).empty());
+}
+
+TEST(TargetIndex, AddMergesKeepingSlotsAscending) {
+  const std::vector<std::uint32_t> words = {5, 9, 7};
+  TargetIndex index(words);
+  index.add(std::vector<std::uint32_t>{5, 11}, 3);
+  EXPECT_EQ(index.size(), 5u);
+
+  const auto m5 = index.matches(5);
+  ASSERT_EQ(m5.size(), 2u);
+  EXPECT_EQ(m5[0], 0u);
+  EXPECT_EQ(m5[1], 3u);
+  EXPECT_TRUE(index.may_match(11));
+  ASSERT_EQ(index.matches(11).size(), 1u);
+  EXPECT_EQ(index.matches(11)[0], 4u);
+}
+
+TEST(TargetIndex, AddBeyondGateCapacityRebuilds) {
+  SplitMix64 rng(29);
+  std::vector<std::uint32_t> words(1000);
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng());
+  TargetIndex index(words, forced_bloom());
+  const std::size_t before = index.filter_bytes();
+
+  std::vector<std::uint32_t> more(5000);
+  for (auto& w : more) w = static_cast<std::uint32_t>(rng());
+  index.add(more, 1000);
+  EXPECT_EQ(index.size(), 6000u);
+  // 6x growth must have re-sized the gate, or the rate would drift.
+  EXPECT_GT(index.filter_bytes(), before);
+  for (std::size_t i = 0; i < more.size(); i += 97) {
+    const auto slots = index.matches(more[i]);
+    ASSERT_TRUE(std::find(slots.begin(), slots.end(),
+                          static_cast<std::uint32_t>(1000 + i)) != slots.end());
+  }
+}
+
+TEST(TargetIndex, RemoveLeavesNoGhostBits) {
+  const std::vector<std::uint32_t> words = {100, 200, 300};
+  TargetIndex index(words);
+  EXPECT_EQ(index.remove(std::vector<std::uint32_t>{1}), 1u);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.matches(200).empty());
+  // Direct mode rebuilds the exact bit array: the detached word's bit
+  // is genuinely gone, not just unreachable.
+  EXPECT_FALSE(index.may_match(200));
+  EXPECT_TRUE(index.may_match(100));
+  ASSERT_EQ(index.matches(300).size(), 1u);
+  EXPECT_EQ(index.matches(300)[0], 2u);  // surviving slots keep numbers
+
+  EXPECT_EQ(index.remove(std::vector<std::uint32_t>{7}), 0u);  // unknown slot
+}
+
+TEST(TargetIndex, StatsCountGateTraffic) {
+  TargetIndexStats stats;
+  TargetIndex::Config cfg;
+  cfg.stats = &stats;
+  const std::vector<std::uint32_t> words = {5, 9};
+  const TargetIndex index(words, cfg);
+
+  EXPECT_FALSE(index.matches(5).empty());  // gate hit, real match
+  EXPECT_TRUE(index.matches(6).empty());   // gate hit, word-level FP
+  index.note_false_positive();             // confirm-level FP
+  EXPECT_EQ(stats.gate_hits.load(), 2u);
+  EXPECT_EQ(stats.false_positives.load(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// Live target mutation through the job service: attach/detach without
+// restarting the job, journal-first durability of the mutations, and
+// exactly-once found accounting across adds, removes, and a kill +
+// resume in the middle of a mutated sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "hash/md5.h"
+#include "keyspace/codec.h"
+#include "keyspace/space.h"
+#include "service/job_manager.h"
+#include "support/error.h"
+
+namespace gks::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    journal_ = (std::filesystem::temp_directory_path() /
+                (std::string("gks_mutation_") + info->name() + ".jsonl"))
+                   .string();
+    std::filesystem::remove(journal_);
+  }
+  void TearDown() override { std::filesystem::remove(journal_); }
+
+  std::string journal_;
+};
+
+void wait_for_coverage(const JobManager& m, JobId id, const u128& floor) {
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  while (m.status(id).scanned < floor) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no progress";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// The key at generator-relative id `rel_id` of the spec's key space.
+std::string key_at(const JobSpec& spec, const u128& rel_id) {
+  const keyspace::KeyCodec codec(spec.request.charset,
+                                 keyspace::DigitOrder::kPrefixFastest);
+  const u128 offset = keyspace::first_id_of_length(
+      spec.request.charset.size(), spec.request.min_length);
+  return codec.decode(rel_id + offset);
+}
+
+/// A 1..5 lowercase sweep (12.3M ids) whose single target sits at the
+/// very last id — the sweep must cover everything, leaving plenty of
+/// mid-sweep time to mutate the target set.
+JobSpec full_sweep_spec(const std::string& name, u128* space_out) {
+  JobSpec spec;
+  spec.name = name;
+  spec.request.charset = keyspace::Charset::lower();
+  spec.request.min_length = 1;
+  spec.request.max_length = 5;
+  const u128 space = keyspace::space_size(26, 1, 5);
+  spec.request.target_hexes = {
+      hash::Md5::digest(key_at(spec, space - u128(1))).to_hex()};
+  if (space_out != nullptr) *space_out = space;
+  return spec;
+}
+
+TEST_F(MutationTest, AddMidSweepIsFoundWithExactlyOnceJournal) {
+  u128 space(0);
+  const JobSpec spec = full_sweep_spec("grow", &space);
+
+  JobServiceConfig config;
+  config.workers = 2;
+  config.max_quantum = u128(1) << 18;
+  config.journal_path = journal_;
+  JobManager manager(config);
+  const JobId id = manager.submit(spec);
+  wait_for_coverage(manager, id, u128(50000));
+
+  // Attach a target planted in the second half — far past the current
+  // coverage frontier, so its covering interval is scanned post-add.
+  const std::string late_key = key_at(spec, space / u128(2) + u128(12345));
+  const std::string late_hex = hash::Md5::digest(late_key).to_hex();
+  const core::TargetAddOutcome out = manager.add_targets(id, {late_hex});
+  EXPECT_EQ(out.attached, 1u);
+  EXPECT_EQ(out.already_found, 0u);
+
+  ASSERT_TRUE(manager.wait(id, 240));
+  const JobSnapshot snap = manager.status(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.targets_total, 2u);
+  EXPECT_EQ(snap.targets_found, 2u);
+  ASSERT_EQ(snap.found.size(), 2u);
+  EXPECT_TRUE(std::any_of(snap.found.begin(), snap.found.end(),
+                          [&](const auto& f) { return f.second == late_key; }));
+
+  const auto recovered = JobStore::load(journal_);
+  ASSERT_EQ(recovered.size(), 1u);
+  const auto& rec = recovered[0];
+  // Exactly-once coverage: summed interval sizes equal the union, and
+  // exactly one found record per digest despite the mid-sweep mutation
+  // (the generation handoff re-queues yielded remainders, which must
+  // not double-journal).
+  EXPECT_EQ(rec.journaled, rec.scanned.covered());
+  ASSERT_EQ(rec.found.size(), 2u);
+  EXPECT_NE(rec.found[0].first, rec.found[1].first);
+  // The add record precedes the found record of the digest it added.
+  using Event = JobStore::RecoveredJob::TargetEvent;
+  const auto add_it =
+      std::find_if(rec.events.begin(), rec.events.end(), [](const Event& e) {
+        return e.kind == Event::Kind::kAdd;
+      });
+  ASSERT_NE(add_it, rec.events.end());
+  EXPECT_EQ(add_it->targets, std::vector<std::string>{late_hex});
+  const auto late_found =
+      std::find_if(rec.events.begin(), rec.events.end(), [&](const Event& e) {
+        return e.kind == Event::Kind::kFound && e.digest_hex == late_hex;
+      });
+  ASSERT_NE(late_found, rec.events.end());
+  EXPECT_LT(add_it - rec.events.begin(), late_found - rec.events.begin());
+}
+
+TEST_F(MutationTest, RemovingTheLastOutstandingTargetCompletesTheJob) {
+  u128 space(0);
+  const JobSpec spec = full_sweep_spec("shrink", &space);
+
+  JobServiceConfig config;
+  config.workers = 2;
+  config.journal_path = journal_;
+  JobManager manager(config);
+  const JobId id = manager.submit(spec);
+  wait_for_coverage(manager, id, u128(20000));
+
+  EXPECT_EQ(manager.remove_targets(id, spec.request.target_hexes), 1u);
+  ASSERT_TRUE(manager.wait(id, 60));
+  const JobSnapshot snap = manager.status(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.targets_found, 0u);
+  EXPECT_TRUE(snap.found.empty());
+  EXPECT_LT(snap.scanned, space);  // detaching spared the rest of it
+
+  const auto recovered = JobStore::load(journal_);
+  ASSERT_EQ(recovered.size(), 1u);
+  using Event = JobStore::RecoveredJob::TargetEvent;
+  ASSERT_EQ(recovered[0].events.size(), 1u);
+  EXPECT_EQ(recovered[0].events[0].kind, Event::Kind::kRemove);
+  ASSERT_TRUE(recovered[0].final_state.has_value());
+  EXPECT_EQ(*recovered[0].final_state, JobState::kDone);
+}
+
+TEST_F(MutationTest, KillAndResumeReplaysMutationsInOrder) {
+  u128 space(0);
+  const JobSpec spec = full_sweep_spec("phoenix", &space);
+  const std::string late_key = key_at(spec, space - u128(777));
+  const std::string late_hex = hash::Md5::digest(late_key).to_hex();
+
+  {
+    JobServiceConfig config;
+    config.workers = 2;
+    config.max_quantum = u128(8192);
+    config.journal_path = journal_;
+    JobManager first(config);
+    const JobId id = first.submit(spec);
+    wait_for_coverage(first, id, u128(30000));
+    ASSERT_EQ(first.add_targets(id, {late_hex}).attached, 1u);
+    wait_for_coverage(first, id, u128(60000));
+    // Manager destroyed mid-sweep: in-flight quanta are interrupted
+    // and only their tested prefixes are journaled.
+  }
+
+  JobServiceConfig config;
+  config.workers = 2;
+  config.journal_path = journal_;
+  JobManager second(config);
+  ASSERT_EQ(second.resume_from(journal_), 1u);
+  const JobId id = second.find_job("phoenix").value();
+  // The replayed add kept both targets attached across the restart.
+  EXPECT_EQ(second.status(id).targets_total, 2u);
+  ASSERT_TRUE(second.wait(id, 240));
+
+  const JobSnapshot snap = second.status(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.targets_found, 2u);
+
+  const auto recovered = JobStore::load(journal_);
+  ASSERT_EQ(recovered.size(), 1u);
+  // Exactly-once across the kill: no id journaled twice, and one found
+  // record per digest even though the resumed sweep re-enters gaps.
+  EXPECT_EQ(recovered[0].journaled, recovered[0].scanned.covered());
+  EXPECT_EQ(recovered[0].scanned.covered(), space);
+  ASSERT_EQ(recovered[0].found.size(), 2u);
+  EXPECT_NE(recovered[0].found[0].first, recovered[0].found[1].first);
+}
+
+TEST_F(MutationTest, MutationOfTerminalOrUnknownJobsThrows) {
+  JobSpec spec;
+  spec.name = "tiny";
+  spec.request.charset = keyspace::Charset("ab");
+  spec.request.min_length = 1;
+  spec.request.max_length = 2;
+  spec.request.target_hexes = {hash::Md5::digest("ba").to_hex()};
+
+  JobServiceConfig config;
+  config.workers = 1;
+  JobManager manager(config);
+  const JobId id = manager.submit(spec);
+  ASSERT_TRUE(manager.wait(id, 60));
+  ASSERT_EQ(manager.status(id).state, JobState::kDone);
+
+  EXPECT_THROW(manager.add_targets(id, {hash::Md5::digest("x").to_hex()}),
+               InvalidArgument);
+  EXPECT_THROW(manager.remove_targets(id, spec.request.target_hexes),
+               InvalidArgument);
+  EXPECT_THROW(manager.add_targets(id + 17, {}), InvalidArgument);
+}
+
+TEST_F(MutationTest, InvalidHexesAreRejectedBeforeJournaling) {
+  u128 space(0);
+  const JobSpec spec = full_sweep_spec("strict", &space);
+
+  JobServiceConfig config;
+  config.workers = 1;
+  config.journal_path = journal_;
+  JobManager manager(config);
+  const JobId id = manager.submit(spec);
+
+  EXPECT_THROW(manager.add_targets(id, {"not-a-digest"}), InvalidArgument);
+  EXPECT_THROW(manager.remove_targets(id, {"zz"}), InvalidArgument);
+  EXPECT_EQ(manager.status(id).targets_total, 1u);
+  manager.cancel(id);
+  ASSERT_TRUE(manager.wait(id, 60));
+
+  // The doomed mutations left no journal record to poison a resume.
+  const auto recovered = JobStore::load(journal_);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_TRUE(recovered[0].events.empty());
+}
+
+TEST_F(MutationTest, TargetRecordsRoundTripThroughTheJournal) {
+  JobSpec spec;
+  spec.name = "roundtrip";
+  spec.request.charset = keyspace::Charset("ab");
+  spec.request.min_length = 1;
+  spec.request.max_length = 2;
+  spec.request.target_hexes = {hash::Md5::digest("a").to_hex()};
+
+  const std::vector<std::string> added = {hash::Md5::digest("p").to_hex(),
+                                          hash::Md5::digest("q").to_hex()};
+  {
+    JobStore store(journal_);
+    store.record_job(spec);
+    store.record_targets_add(spec.name, added);
+    store.record_found(spec.name, added[0], "p");
+    store.record_targets_remove(spec.name, {added[1]});
+  }
+
+  const auto recovered = JobStore::load(journal_);
+  ASSERT_EQ(recovered.size(), 1u);
+  using Event = JobStore::RecoveredJob::TargetEvent;
+  const auto& events = recovered[0].events;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kAdd);
+  EXPECT_EQ(events[0].targets, added);
+  EXPECT_EQ(events[1].kind, Event::Kind::kFound);
+  EXPECT_EQ(events[1].digest_hex, added[0]);
+  EXPECT_EQ(events[1].key, "p");
+  EXPECT_EQ(events[2].kind, Event::Kind::kRemove);
+  EXPECT_EQ(events[2].targets, std::vector<std::string>{added[1]});
+}
+
+}  // namespace
+}  // namespace gks::service

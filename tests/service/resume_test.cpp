@@ -216,8 +216,11 @@ TEST_F(ResumeTest, ResumeIntoADifferentJournalIsSelfContained) {
   spec.request.target_hexes = {hash::Md5::digest("0000").to_hex()};
   spec.request.charset = keyspace::Charset::lower();
   spec.request.min_length = 1;
-  spec.request.max_length = 4;
-  const u128 space = keyspace::space_size(26, 1, 4);
+  // A 1..5 space (12.3M ids): phase 1 cannot race through the whole
+  // sweep before the coverage poll kills it, so the job is reliably
+  // non-terminal when phase 2 resumes it.
+  spec.request.max_length = 5;
+  const u128 space = keyspace::space_size(26, 1, 5);
   {
     JobServiceConfig config;
     config.workers = 2;

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Structural diff of two bench recordings (see bench/bench_record.h).
+
+Usage: bench_schema_check.py REFERENCE.json FRESH.json
+
+Compares the *shape* of the two documents — key sets and value types,
+recursively — not the measured values, which legitimately differ from
+run to run and host to host. Lists collapse to the shape of their
+entries (every entry of both lists must share the reference shape, so
+a bench that stops emitting a field in later entries is caught too).
+Numeric int-vs-float differences are ignored; bool/str/number/object/
+list mismatches are not.
+
+Exit status: 0 when the shapes agree, 1 on drift (differences listed
+on stderr), 2 on unreadable input.
+"""
+
+import json
+import sys
+
+
+def type_name(value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, dict):
+        return "object"
+    if isinstance(value, list):
+        return "list"
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+def diff_shape(ref, new, path, problems):
+    ref_type, new_type = type_name(ref), type_name(new)
+    if ref_type != new_type:
+        problems.append(f"{path}: type changed: {ref_type} -> {new_type}")
+        return
+    if ref_type == "object":
+        for key in ref:
+            if key not in new:
+                problems.append(f"{path}.{key}: key missing")
+            else:
+                diff_shape(ref[key], new[key], f"{path}.{key}", problems)
+        for key in new:
+            if key not in ref:
+                problems.append(f"{path}.{key}: unexpected new key")
+    elif ref_type == "list":
+        if ref and not new:
+            problems.append(f"{path}: list went empty")
+        elif ref:
+            # Every entry of both lists must match the reference
+            # entry shape; indices beyond the reference length are
+            # checked against its first entry.
+            for i, entry in enumerate(new):
+                template = ref[i] if i < len(ref) else ref[0]
+                diff_shape(template, entry, f"{path}[{i}]", problems)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    docs = []
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+    problems = []
+    diff_shape(docs[0], docs[1], "$", problems)
+    if problems:
+        print(f"schema drift between {argv[1]} and {argv[2]}:",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"schema ok: {argv[2]} matches {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -176,6 +176,8 @@ int report_json(const core::MultiCrackResult& result) {
       .value(result.elapsed_s > 0
                  ? result.tested.to_double() / result.elapsed_s
                  : 0.0)
+      .key("filter_gate_hits").value(result.filter_gate_hits)
+      .key("filter_false_positives").value(result.filter_false_positives)
       .key("targets").begin_array();
   for (const auto& t : result.targets) {
     w.begin_object()

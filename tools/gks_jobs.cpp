@@ -13,7 +13,10 @@
 // algo md5|sha1 [md5], charset lower|upper|digits|alpha|alnum|
 // printable|custom:S [lower], min/max [1/4], priority [0], weight [1],
 // salt_prefix/salt_suffix, cancel_after=SECS (demo hook: request
-// cancellation that long after the run starts).
+// cancellation that long after the run starts),
+// add_after=SECS:HEX[,HEX...] / remove_after=SECS:HEX[,HEX...]
+// (live target mutation: attach/detach the digests that long after the
+// run starts, while the sweep keeps going; repeatable).
 //
 // Options:
 //   --workers N        worker threads                  [hardware]
@@ -48,9 +51,16 @@ namespace {
 
 using namespace gks;
 
+struct TimedMutation {
+  double at_s = 0;
+  bool add = false;  // attach the hexes; false = detach them
+  std::vector<std::string> hexes;
+};
+
 struct BatchJob {
   service::JobSpec spec;
   std::optional<double> cancel_after;
+  std::vector<TimedMutation> mutations;
 };
 
 struct Options {
@@ -123,12 +133,29 @@ Options parse_options(int argc, char** argv) {
   return opt;
 }
 
-void add_hashes(service::JobSpec& spec, const std::string& list) {
+std::vector<std::string> split_hashes(const std::string& list) {
+  std::vector<std::string> hexes;
   std::stringstream ss(list);
   std::string hex;
   while (std::getline(ss, hex, ',')) {
-    if (!hex.empty()) spec.request.target_hexes.push_back(hex);
+    if (!hex.empty()) hexes.push_back(hex);
   }
+  return hexes;
+}
+
+TimedMutation parse_mutation(bool add, const std::string& value,
+                             std::size_t line_no) {
+  const auto colon = value.find(':');
+  GKS_REQUIRE(colon != std::string::npos && colon > 0,
+              "batch line " + std::to_string(line_no) +
+                  ": expected SECS:HEX[,HEX...], got '" + value + "'");
+  TimedMutation m;
+  m.at_s = std::stod(value.substr(0, colon));
+  m.add = add;
+  m.hexes = split_hashes(value.substr(colon + 1));
+  GKS_REQUIRE(!m.hexes.empty(), "batch line " + std::to_string(line_no) +
+                                    ": mutation lists no digests");
+  return m;
 }
 
 BatchJob parse_batch_line(const std::string& line, std::size_t line_no) {
@@ -157,7 +184,9 @@ BatchJob parse_batch_line(const std::string& line, std::size_t line_no) {
                               ": unsupported algo '" + value + "'");
       }
     } else if (key == "hash") {
-      add_hashes(job.spec, value);
+      for (std::string& hex : split_hashes(value)) {
+        job.spec.request.target_hexes.push_back(std::move(hex));
+      }
     } else if (key == "charset") {
       job.spec.request.charset = charset_by_name(value);
     } else if (key == "min") {
@@ -174,6 +203,10 @@ BatchJob parse_batch_line(const std::string& line, std::size_t line_no) {
       job.spec.request.salt = {hash::SaltPosition::kSuffix, value};
     } else if (key == "cancel_after") {
       job.cancel_after = std::stod(value);
+    } else if (key == "add_after") {
+      job.mutations.push_back(parse_mutation(true, value, line_no));
+    } else if (key == "remove_after") {
+      job.mutations.push_back(parse_mutation(false, value, line_no));
     } else {
       throw InvalidArgument("batch line " + std::to_string(line_no) +
                             ": unknown key '" + key + "'");
@@ -238,6 +271,8 @@ int report(const std::vector<service::JobSnapshot>& snaps, bool json) {
           .value(static_cast<std::uint64_t>(s.targets_found))
           .key("keys_per_s").value(s.keys_per_s)
           .key("elapsed_s").value(s.elapsed_s)
+          .key("filter_gate_hits").value(s.filter_gate_hits)
+          .key("filter_false_positives").value(s.filter_false_positives)
           .key("found").begin_array();
       for (const auto& [digest, key] : s.found) {
         w.begin_object()
@@ -302,12 +337,21 @@ int main(int argc, char** argv) {
       double cancel_after;
       bool cancelled = false;
     };
+    struct PendingMutation {
+      service::JobId id;
+      TimedMutation mutation;
+      bool fired = false;
+    };
     std::vector<Pending> cancels;
+    std::vector<PendingMutation> mutations;
     for (BatchJob& job : batch) {
       if (known.count(job.spec.name) != 0) continue;
       const service::JobId id = manager.submit(std::move(job.spec));
       if (job.cancel_after.has_value()) {
         cancels.push_back({id, *job.cancel_after});
+      }
+      for (TimedMutation& m : job.mutations) {
+        mutations.push_back({id, std::move(m)});
       }
     }
 
@@ -330,6 +374,21 @@ int main(int argc, char** argv) {
         if (!c.cancelled && t >= c.cancel_after) {
           manager.cancel(c.id);
           c.cancelled = true;
+        }
+      }
+      for (PendingMutation& m : mutations) {
+        if (m.fired || t < m.mutation.at_s) continue;
+        m.fired = true;
+        try {
+          if (m.mutation.add) {
+            manager.add_targets(m.id, m.mutation.hexes);
+          } else {
+            manager.remove_targets(m.id, m.mutation.hexes);
+          }
+        } catch (const gks::Error& e) {
+          // The job may have finished before the timer fired; a late
+          // mutation is a no-op, not a batch failure.
+          std::fprintf(stderr, "warning: mutation skipped: %s\n", e.what());
         }
       }
       if (!opt.quiet && !opt.json && t >= next_progress) {
