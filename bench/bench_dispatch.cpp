@@ -1,0 +1,184 @@
+// Dispatch-path overhead: keys/s of the distributed tier (Coordinator
+// + WorkerDaemon over TCP loopback) against the in-process JobManager
+// worker pool, at 1/2/4 workers sweeping the same keyspace. The
+// distributed rows pay for JSON framing, one lease round-trip per
+// interval, heartbeats and found-report acks; the `vs_local` column is
+// that protocol tax, which lease sizing (CoordinatorConfig::max_lease,
+// WorkerConfig::lease_target_s) exists to amortize. A ratio near 1.0
+// at realistic lease sizes is the result the paper's cluster model
+// assumes when it treats dispatch cost as negligible against compute
+// (Section III).
+//
+// Options:
+//   --len L     key length (single-length lower space, 26^L)  [5]
+//   --runs R    sweeps per configuration, best taken           [3]
+//   --json      print the versioned recording on stdout
+//   --out FILE  write the recording to FILE
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_record.h"
+#include "dist/coordinator.h"
+#include "dist/tcp_transport.h"
+#include "dist/worker_daemon.h"
+#include "hash/md5.h"
+#include "keyspace/space.h"
+#include "service/job_manager.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace gks;
+
+/// A target no lower-case key can hash to, so every sweep covers the
+/// whole space — both paths do identical work.
+service::JobSpec unfindable_job(const std::string& name, unsigned len) {
+  service::JobSpec spec;
+  spec.name = name;
+  spec.request.algorithm = hash::Algorithm::kMd5;
+  spec.request.target_hexes = {hash::Md5::digest("0000").to_hex()};
+  spec.request.charset = keyspace::Charset::lower();
+  spec.request.min_length = len;
+  spec.request.max_length = len;
+  return spec;
+}
+
+double local_sweep_s(unsigned len, std::size_t workers) {
+  service::JobServiceConfig cfg;
+  cfg.workers = workers;
+  service::JobManager manager(cfg);
+  Stopwatch timer;
+  const auto id = manager.submit(unfindable_job("local", len));
+  manager.wait(id);
+  return timer.seconds();
+}
+
+double dist_sweep_s(unsigned len, std::size_t workers) {
+  service::JobServiceConfig cfg;
+  cfg.local_scan = false;
+  service::JobManager manager(cfg);
+
+  dist::TcpTransport transport;
+  dist::Coordinator coordinator(manager, transport, {});
+  coordinator.start("127.0.0.1:0");
+
+  std::vector<std::unique_ptr<dist::WorkerDaemon>> daemons;
+  std::vector<std::thread> threads;
+  Stopwatch timer;
+  const auto id = manager.submit(unfindable_job("dist", len));
+  for (std::size_t i = 0; i < workers; ++i) {
+    dist::WorkerConfig wcfg;
+    // Built by append: gcc 12's -Wrestrict misfires on
+    // operator+(const char*, string&&) under -O2.
+    wcfg.name = "w";
+    wcfg.name += std::to_string(i);
+    wcfg.threads = 1;
+    daemons.push_back(std::make_unique<dist::WorkerDaemon>(transport, wcfg));
+    threads.emplace_back(
+        [&, i] { daemons[i]->run(coordinator.address()); });
+  }
+  manager.wait(id);
+  const double elapsed = timer.seconds();
+  for (auto& d : daemons) d->stop();
+  for (auto& t : threads) t.join();
+  coordinator.stop();
+  return elapsed;
+}
+
+struct Row {
+  std::string mode;
+  std::size_t workers;
+  double sweep_s;
+  double keys_per_s;
+  double vs_local;  // dist elapsed / local elapsed at the same width
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  unsigned len = 5;
+  int runs = 3;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = value();
+    } else if (std::strcmp(argv[i], "--len") == 0) {
+      len = static_cast<unsigned>(std::stoul(value()));
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      runs = std::stoi(value());
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const double space =
+      keyspace::space_size(keyspace::Charset::lower().size(), len, len)
+          .to_double();
+  std::vector<Row> rows;
+  for (const std::size_t workers : {std::size_t(1), std::size_t(2),
+                                    std::size_t(4)}) {
+    double local = 0, dist = 0;
+    for (int run = 0; run < runs; ++run) {
+      const double l = local_sweep_s(len, workers);
+      const double d = dist_sweep_s(len, workers);
+      if (run == 0 || l < local) local = l;
+      if (run == 0 || d < dist) dist = d;
+    }
+    rows.push_back({"local", workers, local, space / local, 1.0});
+    rows.push_back({"dist", workers, dist, space / dist, dist / local});
+    std::fprintf(stderr,
+                 "  %zu workers: local %.3f s, dist %.3f s (%.2fx)\n",
+                 workers, local, dist, dist / local);
+  }
+
+  TablePrinter table;
+  table.header({"mode", "workers", "sweep (s)", "MKey/s", "vs local"});
+  for (const auto& r : rows) {
+    table.row({r.mode, std::to_string(r.workers),
+               TablePrinter::num(r.sweep_s, 3),
+               TablePrinter::num(r.keys_per_s / 1e6, 1),
+               TablePrinter::num(r.vs_local, 2) + "x"});
+  }
+  std::printf("== Dispatch-path overhead (MD5, 26^%u = %.3g keys, "
+              "best of %d) ==\n\n%s\n",
+              len, space, runs, table.str().c_str());
+  std::printf(
+      "`local` scans inside the JobManager worker pool; `dist` drives\n"
+      "the identical keyspace through gks-coordd-style leases over TCP\n"
+      "loopback (JSON protocol, heartbeats, per-interval round-trips).\n"
+      "The gap is the dispatch tax the lease-sizing knobs amortize.\n");
+
+  if (json || !out_path.empty()) {
+    bench::Recording rec("dispatch");
+    for (const auto& r : rows) {
+      rec.begin_entry()
+          .key("mode").value(r.mode)
+          .key("workers").value(static_cast<std::uint64_t>(r.workers))
+          .key("space").value(space)
+          .key("sweep_s").value(r.sweep_s)
+          .key("keys_per_s").value(r.keys_per_s)
+          .key("vs_local").value(r.vs_local);
+      rec.end_entry();
+    }
+    if (json) std::printf("%s", rec.render().c_str());
+    if (!out_path.empty()) rec.write(out_path);
+  }
+  return 0;
+}

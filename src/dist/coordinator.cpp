@@ -1,0 +1,369 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "support/error.h"
+
+namespace gks::dist {
+
+/// Per-connection state. The holder id scopes every lease to this
+/// session: a reconnecting worker gets a fresh holder, so its old
+/// session's leases expire normally instead of being confusable with
+/// the new ones.
+struct Coordinator::Session {
+  std::unique_ptr<Connection> conn;
+  std::string holder;        ///< "<worker-name>#<session-seq>"
+  bool hello_done = false;
+  /// Job *ids* whose spec this session has already received — the
+  /// worker caches sweepers, so the spec rides only the first lease.
+  /// Keyed by id, not name: a terminal job's name may be reused by a
+  /// fresh submit, and that new instance needs its spec re-sent (the
+  /// id change is also what tells the worker to drop its stale cache).
+  std::set<service::JobId> specs_sent;
+  /// Leases granted to this session the worker still believes in,
+  /// mapped to their job (id, name); fill_updates() reports the ones
+  /// that died (expiry, job cancel).
+  std::map<std::uint64_t, std::pair<service::JobId, std::string>> live_leases;
+  /// Cursor into Coordinator::found_log_.
+  std::size_t found_cursor = 0;
+};
+
+Coordinator::Coordinator(service::JobManager& manager, Transport& transport,
+                         CoordinatorConfig config)
+    : manager_(manager), transport_(transport), config_(std::move(config)) {
+  GKS_REQUIRE(config_.lease_s > 0, "lease lifetime must be positive");
+  GKS_REQUIRE(config_.heartbeat_s > 0, "heartbeat cadence must be positive");
+  GKS_REQUIRE(config_.heartbeat_s < config_.lease_s,
+              "heartbeat cadence must beat the lease lifetime");
+  GKS_REQUIRE(config_.min_lease > u128(0), "min lease must be positive");
+  GKS_REQUIRE(config_.min_lease <= config_.max_lease,
+              "min lease above max lease");
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start(const std::string& listen_addr) {
+  GKS_REQUIRE(listener_ == nullptr, "coordinator already started");
+  listener_ = transport_.listen(listen_addr);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+void Coordinator::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (const auto& session : sessions_) {
+      if (session->conn) session->conn->close();
+    }
+  }
+  stop_cv_.notify_all();
+  if (listener_) listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (reaper_.joinable()) reaper_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::string Coordinator::address() const {
+  GKS_REQUIRE(listener_ != nullptr, "coordinator not started");
+  return listener_->address();
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void Coordinator::accept_loop() {
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    try {
+      conn = listener_->accept(/*timeout_s=*/0.25);
+    } catch (const TransportError&) {
+      return;  // listener closed — shutting down
+    }
+    if (!conn) {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+      continue;
+    }
+    auto session = std::make_shared<Session>();
+    session->conn = std::move(conn);
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      session->conn->close();
+      return;
+    }
+    ++stats_.sessions_opened;
+    sessions_.push_back(session);
+    session_threads_.emplace_back(
+        [this, session] { serve_session(session); });
+  }
+}
+
+void Coordinator::reaper_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      if (stopping_) return;
+      // transport sleep without holding the lock would be cleaner, but
+      // waiting on the cv keeps stop() prompt; the reaper cadence is
+      // coarse real time, which tracks transport time at simnet
+      // scale=1.0 (the only scale workers doing real scans run at).
+      stop_cv_.wait_for(lock, std::chrono::duration<double>(
+                                  config_.reap_interval_s));
+      if (stopping_) return;
+    }
+    manager_.expire_leases(transport_.now_s());
+  }
+}
+
+void Coordinator::note_found(service::JobId job_id, const std::string& job,
+                             const std::string& digest,
+                             const std::string& key) {
+  std::lock_guard lock(mu_);
+  ++stats_.found_reports;
+  for (const FoundUpdate& f : found_log_) {
+    if (f.job_id == job_id && f.digest == digest) return;  // broadcast
+  }
+  found_log_.push_back(FoundUpdate{job, digest, key, job_id});
+}
+
+void Coordinator::fill_updates(Session& session,
+                               std::vector<std::uint64_t>& cancelled,
+                               std::vector<FoundUpdate>& dead) {
+  for (auto it = session.live_leases.begin();
+       it != session.live_leases.end();) {
+    if (manager_.lease_live(it->first)) {
+      ++it;
+    } else {
+      cancelled.push_back(it->first);
+      it = session.live_leases.erase(it);
+    }
+  }
+  std::lock_guard lock(mu_);
+  for (; session.found_cursor < found_log_.size(); ++session.found_cursor) {
+    dead.push_back(found_log_[session.found_cursor]);
+  }
+}
+
+std::string Coordinator::handle(Session& session, const std::string& body) {
+  json::Value msg;
+  std::string type;
+  try {
+    msg = json::parse(body);
+    type = message_type(msg);
+  } catch (const Error& e) {
+    std::lock_guard lock(mu_);
+    ++stats_.protocol_errors;
+    return encode(ErrorMsg{std::string("bad message: ") + e.what()});
+  }
+
+  try {
+    if (!session.hello_done) {
+      if (type != "hello") {
+        return encode(ErrorMsg{"expected hello, got " + type});
+      }
+      const HelloMsg hello = hello_from_json(msg);
+      if (hello.version != kProtocolVersion) {
+        return encode(ErrorMsg{"protocol version mismatch"});
+      }
+      std::uint64_t seq;
+      {
+        std::lock_guard lock(mu_);
+        seq = next_session_++;
+      }
+      const std::string name =
+          hello.name.empty() ? session.conn->peer() : hello.name;
+      session.holder = name + "#" + std::to_string(seq);
+      session.hello_done = true;
+      WelcomeMsg welcome;
+      welcome.lease_s = config_.lease_s;
+      welcome.heartbeat_s = config_.heartbeat_s;
+      welcome.holder = session.holder;
+      return encode(welcome);
+    }
+
+    if (type == "lease_req") {
+      const LeaseRequestMsg req = lease_request_from_json(msg);
+      u128 want = req.max_ids;
+      if (want == u128(0)) want = config_.max_lease;
+      want = std::min(std::max(want, config_.min_lease), config_.max_lease);
+      const double deadline = transport_.now_s() + config_.lease_s;
+      const auto grant = manager_.lease(session.holder, want, deadline);
+      if (!grant.has_value()) {
+        IdleMsg idle;
+        idle.retry_s = config_.idle_retry_s;
+        std::vector<std::uint64_t> cancelled;  // idle has no lease list
+        fill_updates(session, cancelled, idle.dead);
+        return encode(idle);
+      }
+      LeaseGrantWire wire;
+      wire.lease_id = grant->lease_id;
+      wire.job = grant->job;
+      wire.job_name = grant->job_name;
+      wire.begin = grant->interval.begin;
+      wire.end = grant->interval.end;
+      if (session.specs_sent.insert(grant->job).second) {
+        wire.has_spec = true;
+        wire.spec = manager_.wire_spec(grant->job, &wire.spec_found);
+      }
+      session.live_leases.emplace(
+          grant->lease_id, std::make_pair(grant->job, grant->job_name));
+      std::vector<std::uint64_t> cancelled;
+      fill_updates(session, cancelled, wire.dead);
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.leases_granted;
+      }
+      return encode(wire);
+    }
+
+    if (type == "found") {
+      const FoundMsg found = found_from_json(msg);
+      const bool live =
+          manager_.report_found(found.lease_id, found.digest, found.key);
+      if (live) {
+        const auto it = session.live_leases.find(found.lease_id);
+        if (it != session.live_leases.end()) {
+          note_found(it->second.first, it->second.second, found.digest,
+                     found.key);
+        }
+      }
+      AckMsg ack;
+      ack.ok = live;
+      if (!live) ack.cancelled.push_back(found.lease_id);
+      fill_updates(session, ack.cancelled, ack.dead);
+      return encode(ack);
+    }
+
+    if (type == "retire") {
+      const RetireMsg retire = retire_from_json(msg);
+      const bool live = manager_.retire_lease(retire.lease_id, retire.tested,
+                                              retire.found, retire.busy_s);
+      if (live && !retire.found.empty()) {
+        const auto it = session.live_leases.find(retire.lease_id);
+        if (it != session.live_leases.end()) {
+          for (const auto& [digest, key] : retire.found) {
+            note_found(it->second.first, it->second.second, digest, key);
+          }
+        }
+      }
+      session.live_leases.erase(retire.lease_id);
+      if (live) {
+        std::lock_guard lock(mu_);
+        ++stats_.leases_retired;
+      }
+      AckMsg ack;
+      ack.ok = live;
+      if (!live) ack.error = "lease expired or unknown";
+      fill_updates(session, ack.cancelled, ack.dead);
+      return encode(ack);
+    }
+
+    if (type == "heartbeat") {
+      manager_.renew_leases(session.holder,
+                            transport_.now_s() + config_.lease_s);
+      AckMsg ack;
+      fill_updates(session, ack.cancelled, ack.dead);
+      return encode(ack);
+    }
+
+    if (type == "bye") {
+      manager_.revoke_leases(session.holder);
+      session.live_leases.clear();
+      return encode(AckMsg{});
+    }
+
+    if (type == "submit") {
+      const SubmitMsg submit = submit_from_json(msg);
+      AckMsg ack;
+      // Idempotent by name: the documented flow starts the coordinator
+      // with --batch and points `gks-jobs --connect` at the *same*
+      // batch file to watch/drive it, so a name the coordinator
+      // already knows — live or finished — attaches to that job
+      // instead of failing the client or silently rerunning a done
+      // sweep. (The journal has the same precedent: duplicate job
+      // records keep the first occurrence. Rerunning needs a fresh
+      // name.)
+      const auto existing = manager_.find_job(submit.spec.name);
+      ack.id = existing.has_value() ? *existing
+                                    : manager_.submit(submit.spec);
+      return encode(ack);
+    }
+
+    if (type == "cancel") {
+      const CancelMsg cancel = cancel_from_json(msg);
+      const auto id = manager_.find_job(cancel.job);
+      GKS_REQUIRE(id.has_value(), "unknown job: " + cancel.job);
+      manager_.cancel(*id);
+      return encode(AckMsg{});
+    }
+
+    if (type == "targets") {
+      const TargetsMsg targets = targets_from_json(msg);
+      const auto id = manager_.find_job(targets.job);
+      GKS_REQUIRE(id.has_value(), "unknown job: " + targets.job);
+      if (!targets.add.empty()) manager_.add_targets(*id, targets.add);
+      if (!targets.remove.empty()) {
+        manager_.remove_targets(*id, targets.remove);
+      }
+      return encode(AckMsg{});
+    }
+
+    if (type == "status") {
+      const StatusMsg status = status_from_json(msg);
+      StatusRespMsg resp;
+      if (status.job.empty()) {
+        resp.jobs = manager_.snapshot_all();
+      } else {
+        const auto id = manager_.find_job(status.job);
+        GKS_REQUIRE(id.has_value(), "unknown job: " + status.job);
+        resp.jobs.push_back(manager_.status(*id));
+      }
+      return encode(resp);
+    }
+
+    std::lock_guard lock(mu_);
+    ++stats_.protocol_errors;
+    return encode(ErrorMsg{"unknown message type: " + type});
+  } catch (const Error& e) {
+    AckMsg nack;
+    nack.ok = false;
+    nack.error = e.what();
+    return encode(nack);
+  }
+}
+
+void Coordinator::serve_session(std::shared_ptr<Session> session) {
+  Connection& conn = *session->conn;
+  try {
+    for (;;) {
+      const auto body = conn.recv(config_.session_timeout_s);
+      if (!body.has_value()) break;  // silent too long — presumed dead
+      const std::string reply = handle(*session, *body);
+      conn.send(reply);
+      if (!session->hello_done) break;  // pre-hello protocol error
+    }
+  } catch (const TransportError&) {
+    // Closed, reset, or corrupt stream — all the same teardown.
+  }
+  if (!session->holder.empty()) manager_.revoke_leases(session->holder);
+  conn.close();
+  std::lock_guard lock(mu_);
+  ++stats_.sessions_closed;
+  sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                  sessions_.end());
+}
+
+}  // namespace gks::dist

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "service/job_manager.h"
+#include "support/uint128.h"
+
+namespace gks::dist {
+
+struct CoordinatorConfig {
+  /// Validity of a granted lease, in transport seconds. A worker that
+  /// goes silent for this long forfeits its intervals to re-dispatch.
+  double lease_s = 3.0;
+  /// Cadence the coordinator asks workers to heartbeat at (welcome
+  /// message). Several heartbeats fit one lease lifetime, so a single
+  /// dropped renewal does not expire a healthy worker.
+  double heartbeat_s = 0.5;
+  /// How long an idle worker should wait before asking again.
+  double idle_retry_s = 0.2;
+  /// Reaper cadence: how often expired leases are swept back into the
+  /// pending queues.
+  double reap_interval_s = 0.25;
+  /// Clamp on granted lease sizes, in candidates. Workers request a
+  /// size from their measured rate; the clamp bounds both bookkeeping
+  /// overhead (floor) and the work lost when a holder dies (ceiling).
+  u128 min_lease{4096};
+  u128 max_lease{u128(1) << 24};
+  /// recv timeout for an established session; a worker silent this
+  /// long (no requests, no heartbeats) is presumed dead and its
+  /// session closes (leases then expire via the reaper).
+  double session_timeout_s = 6.0;
+};
+
+/// The dispatch server: owns nothing but references — a JobManager
+/// (jobs, scheduler, journal) and a Transport — and serves the wire
+/// protocol of protocol.h on top of them. One thread per session plus
+/// an acceptor and a lease reaper.
+///
+/// The coordinator is transport-agnostic by construction: every
+/// deadline it computes uses Transport::now_s(), so the same object
+/// runs over real TCP sockets and over a simnet virtual network
+/// without a single branch on the backend.
+class Coordinator {
+ public:
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_closed = 0;
+    std::uint64_t leases_granted = 0;
+    std::uint64_t leases_retired = 0;
+    std::uint64_t found_reports = 0;
+    std::uint64_t protocol_errors = 0;
+  };
+
+  Coordinator(service::JobManager& manager, Transport& transport,
+              CoordinatorConfig config = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds `listen_addr` and starts the acceptor + reaper threads.
+  /// Throws TransportError when the address cannot be bound.
+  void start(const std::string& listen_addr);
+
+  /// Closes the listener and every live session, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound address (resolves ":0" to the real port). Valid after
+  /// start().
+  std::string address() const;
+
+  Stats stats() const;
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void reaper_loop();
+  void serve_session(std::shared_ptr<Session> session);
+  /// One request → one response string (never throws; protocol
+  /// failures become error/nack responses). `session` accumulates the
+  /// per-connection state (holder id, specs already sent, found-log
+  /// cursor).
+  std::string handle(Session& session, const std::string& body);
+  /// Piggyback state for a response: leases of this session that died
+  /// under it, and recoveries it has not heard yet.
+  void fill_updates(Session& session, std::vector<std::uint64_t>& cancelled,
+                    std::vector<FoundUpdate>& dead);
+  void note_found(service::JobId job_id, const std::string& job,
+                  const std::string& digest, const std::string& key);
+
+  service::JobManager& manager_;
+  Transport& transport_;
+  CoordinatorConfig config_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread acceptor_;
+  std::thread reaper_;
+
+  mutable std::mutex mu_;
+  bool stopping_ = false;
+  std::uint64_t next_session_ = 1;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  /// Append-only log of recoveries; sessions replay it from their own
+  /// cursor so every worker eventually hears about every dead target.
+  /// Entries carry the job id so a broadcast can never kill a target
+  /// in a later job that reused the name.
+  std::vector<FoundUpdate> found_log_;
+  Stats stats_;
+  mutable std::condition_variable stop_cv_;  ///< wakes the reaper early
+};
+
+}  // namespace gks::dist

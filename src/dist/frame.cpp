@@ -1,0 +1,74 @@
+#include "dist/frame.h"
+
+#include <cstring>
+
+namespace gks::dist {
+
+std::string encode_frame(std::string_view payload) {
+  GKS_REQUIRE(payload.size() <= kMaxFramePayload,
+              "frame payload exceeds the 16 MiB wire cap");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char lenbuf[4];
+  lenbuf[0] = static_cast<char>(len & 0xff);
+  lenbuf[1] = static_cast<char>((len >> 8) & 0xff);
+  lenbuf[2] = static_cast<char>((len >> 16) & 0xff);
+  lenbuf[3] = static_cast<char>((len >> 24) & 0xff);
+  out.append(lenbuf, 4);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) throw ProtocolError("frame decoder already poisoned");
+  buffer_.append(data, n);
+  check_header();
+}
+
+void FrameDecoder::check_header() {
+  if (buffer_.size() < kFrameHeaderBytes) {
+    // A short prefix of the magic must still be a *valid* prefix —
+    // rejecting garbage early closes probing connections before they
+    // can dribble bytes forever.
+    const std::size_t have = std::min(buffer_.size(), sizeof(kFrameMagic));
+    if (std::memcmp(buffer_.data(), kFrameMagic, have) != 0) {
+      poisoned_ = true;
+      throw ProtocolError("bad frame magic (not a gks peer?)");
+    }
+    return;
+  }
+  if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    poisoned_ = true;
+    throw ProtocolError("bad frame magic (not a gks peer?)");
+  }
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[4 + i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (len > kMaxFramePayload) {
+    poisoned_ = true;
+    throw ProtocolError("frame length " + std::to_string(len) +
+                        " exceeds the 16 MiB wire cap");
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (poisoned_) throw ProtocolError("frame decoder already poisoned");
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[4 + i]));
+  };
+  const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (buffer_.size() < kFrameHeaderBytes + len) return std::nullopt;
+  std::string payload = buffer_.substr(kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  // The next frame's header (if fully buffered) must validate too.
+  check_header();
+  return payload;
+}
+
+}  // namespace gks::dist

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dist/transport.h"
+
+namespace gks::dist {
+
+/// Wire framing for the TCP backend: each frame is
+///
+///   "GKF1"  (4-byte magic)
+///   length  (uint32, little-endian, payload bytes)
+///   payload (length bytes)
+///
+/// The magic catches cross-protocol garbage (an HTTP probe, a port
+/// scanner) before a bogus length can be trusted; the length cap
+/// bounds the allocation a malicious or corrupt peer can force. Both
+/// violations throw ProtocolError, after which the stream cannot be
+/// resynchronized and the connection must be torn down — exactly what
+/// the frame-hardening tests assert.
+inline constexpr char kFrameMagic[4] = {'G', 'K', 'F', '1'};
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::size_t kMaxFramePayload = std::size_t(1) << 24;  // 16 MiB
+
+/// Renders header + payload as one contiguous byte string.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental decoder over an arbitrary re-chunking of the byte
+/// stream: feed() whatever the socket produced, then drain next()
+/// until it returns nullopt. Torn frames simply wait for more bytes;
+/// header violations throw ProtocolError and poison the decoder.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes. Throws ProtocolError on a bad magic or an
+  /// oversized length as soon as the full header is visible.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete payload, if one is buffered.
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (torn-frame observability).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void check_header();
+
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace gks::dist

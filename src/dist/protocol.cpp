@@ -1,0 +1,374 @@
+#include "dist/protocol.h"
+
+#include "service/journal.h"
+#include "support/error.h"
+
+namespace gks::dist {
+
+namespace {
+
+void write_found_updates(json::Writer& w, const char* key,
+                         const std::vector<FoundUpdate>& dead) {
+  w.key(key).begin_array();
+  for (const FoundUpdate& f : dead) {
+    w.begin_object()
+        .key("job").value(f.job)
+        .key("job_id").value(f.job_id)
+        .key("digest").value(f.digest)
+        .key("key").value(f.key)
+        .end_object();
+  }
+  w.end_array();
+}
+
+std::vector<FoundUpdate> found_updates_from(const json::Value& v,
+                                            const char* key) {
+  std::vector<FoundUpdate> out;
+  if (const json::Value* arr = v.find(key)) {
+    for (const json::Value& f : arr->as_array()) {
+      FoundUpdate u;
+      u.job = f.at("job").as_string();
+      u.job_id = static_cast<std::uint64_t>(f.at("job_id").as_number());
+      u.digest = f.at("digest").as_string();
+      u.key = f.at("key").as_string();
+      out.push_back(std::move(u));
+    }
+  }
+  return out;
+}
+
+void write_pairs(json::Writer& w, const char* key,
+                 const std::vector<std::pair<std::string, std::string>>& kv) {
+  w.key(key).begin_array();
+  for (const auto& [digest, found_key] : kv) {
+    w.begin_object()
+        .key("digest").value(digest)
+        .key("key").value(found_key)
+        .end_object();
+  }
+  w.end_array();
+}
+
+std::vector<std::pair<std::string, std::string>> pairs_from(
+    const json::Value& v, const char* key) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (const json::Value* arr = v.find(key)) {
+    for (const json::Value& f : arr->as_array()) {
+      out.emplace_back(f.at("digest").as_string(), f.at("key").as_string());
+    }
+  }
+  return out;
+}
+
+std::uint64_t u64_field(const json::Value& v, const char* key) {
+  // Lease/job ids fit a double exactly for any realistic session
+  // (2^53 leases is beyond the protocol's lifetime), so a JSON number
+  // is safe here — unlike keyspace ids, which travel as strings.
+  return static_cast<std::uint64_t>(v.at(key).as_number());
+}
+
+}  // namespace
+
+std::string message_type(const json::Value& v) {
+  return v.at("type").as_string();
+}
+
+std::string encode(const HelloMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("hello")
+      .key("version").value(m.version)
+      .key("name").value(m.name)
+      .key("threads").value(m.threads)
+      .end_object();
+  return w.str();
+}
+
+HelloMsg hello_from_json(const json::Value& v) {
+  HelloMsg m;
+  m.version = static_cast<int>(v.at("version").as_number());
+  m.name = v.at("name").as_string();
+  m.threads = static_cast<int>(v.number_or("threads", 1));
+  return m;
+}
+
+std::string encode(const WelcomeMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("welcome")
+      .key("version").value(m.version)
+      .key("lease_s").value(m.lease_s)
+      .key("heartbeat_s").value(m.heartbeat_s)
+      .key("holder").value(m.holder)
+      .end_object();
+  return w.str();
+}
+
+WelcomeMsg welcome_from_json(const json::Value& v) {
+  WelcomeMsg m;
+  m.version = static_cast<int>(v.at("version").as_number());
+  m.lease_s = v.at("lease_s").as_number();
+  m.heartbeat_s = v.at("heartbeat_s").as_number();
+  m.holder = v.string_or("holder", "");
+  return m;
+}
+
+std::string encode(const LeaseRequestMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("lease_req")
+      .key("max_ids").value(m.max_ids.to_string())
+      .end_object();
+  return w.str();
+}
+
+LeaseRequestMsg lease_request_from_json(const json::Value& v) {
+  LeaseRequestMsg m;
+  m.max_ids = u128::parse(v.at("max_ids").as_string());
+  return m;
+}
+
+std::string encode(const LeaseGrantWire& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("lease")
+      .key("lease").value(m.lease_id)
+      .key("job_id").value(m.job)
+      .key("name").value(m.job_name)
+      .key("begin").value(m.begin.to_string())
+      .key("end").value(m.end.to_string());
+  if (m.has_spec) {
+    w.key("spec").begin_object();
+    service::write_job_spec_fields(w, m.spec);
+    w.end_object();
+    write_pairs(w, "spec_found", m.spec_found);
+  }
+  write_found_updates(w, "dead", m.dead);
+  w.end_object();
+  return w.str();
+}
+
+LeaseGrantWire lease_grant_from_json(const json::Value& v) {
+  LeaseGrantWire m;
+  m.lease_id = u64_field(v, "lease");
+  m.job = u64_field(v, "job_id");
+  m.job_name = v.at("name").as_string();
+  m.begin = u128::parse(v.at("begin").as_string());
+  m.end = u128::parse(v.at("end").as_string());
+  if (const json::Value* spec = v.find("spec")) {
+    m.has_spec = true;
+    m.spec = service::job_spec_from_json(*spec);
+    m.spec_found = pairs_from(v, "spec_found");
+  }
+  m.dead = found_updates_from(v, "dead");
+  return m;
+}
+
+std::string encode(const IdleMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("idle")
+      .key("retry_s").value(m.retry_s);
+  write_found_updates(w, "dead", m.dead);
+  w.end_object();
+  return w.str();
+}
+
+IdleMsg idle_from_json(const json::Value& v) {
+  IdleMsg m;
+  m.retry_s = v.number_or("retry_s", 0.2);
+  m.dead = found_updates_from(v, "dead");
+  return m;
+}
+
+std::string encode(const FoundMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("found")
+      .key("lease").value(m.lease_id)
+      .key("digest").value(m.digest)
+      .key("key").value(m.key)
+      .end_object();
+  return w.str();
+}
+
+FoundMsg found_from_json(const json::Value& v) {
+  FoundMsg m;
+  m.lease_id = u64_field(v, "lease");
+  m.digest = v.at("digest").as_string();
+  m.key = v.at("key").as_string();
+  return m;
+}
+
+std::string encode(const RetireMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("retire")
+      .key("lease").value(m.lease_id)
+      .key("tested").value(m.tested.to_string())
+      .key("busy_s").value(m.busy_s);
+  write_pairs(w, "found", m.found);
+  w.end_object();
+  return w.str();
+}
+
+RetireMsg retire_from_json(const json::Value& v) {
+  RetireMsg m;
+  m.lease_id = u64_field(v, "lease");
+  m.tested = u128::parse(v.at("tested").as_string());
+  m.busy_s = v.number_or("busy_s", 0);
+  m.found = pairs_from(v, "found");
+  return m;
+}
+
+std::string encode(const HeartbeatMsg&) {
+  json::Writer w;
+  w.begin_object().key("type").value("heartbeat").end_object();
+  return w.str();
+}
+
+std::string encode(const ByeMsg&) {
+  json::Writer w;
+  w.begin_object().key("type").value("bye").end_object();
+  return w.str();
+}
+
+std::string encode(const AckMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("ack")
+      .key("ok").value(m.ok);
+  if (!m.error.empty()) w.key("error").value(m.error);
+  if (m.id != 0) w.key("id").value(m.id);
+  w.key("cancelled").begin_array();
+  for (const std::uint64_t lease : m.cancelled) w.value(lease);
+  w.end_array();
+  write_found_updates(w, "dead", m.dead);
+  w.end_object();
+  return w.str();
+}
+
+AckMsg ack_from_json(const json::Value& v) {
+  AckMsg m;
+  m.ok = v.at("ok").as_bool();
+  m.error = v.string_or("error", "");
+  m.id = static_cast<std::uint64_t>(v.number_or("id", 0));
+  if (const json::Value* arr = v.find("cancelled")) {
+    for (const json::Value& lease : arr->as_array()) {
+      m.cancelled.push_back(static_cast<std::uint64_t>(lease.as_number()));
+    }
+  }
+  m.dead = found_updates_from(v, "dead");
+  return m;
+}
+
+std::string encode(const SubmitMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("submit")
+      .key("spec").begin_object();
+  service::write_job_spec_fields(w, m.spec);
+  w.end_object().end_object();
+  return w.str();
+}
+
+SubmitMsg submit_from_json(const json::Value& v) {
+  SubmitMsg m;
+  m.spec = service::job_spec_from_json(v.at("spec"));
+  return m;
+}
+
+std::string encode(const CancelMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("cancel")
+      .key("job").value(m.job)
+      .end_object();
+  return w.str();
+}
+
+CancelMsg cancel_from_json(const json::Value& v) {
+  CancelMsg m;
+  m.job = v.at("job").as_string();
+  return m;
+}
+
+std::string encode(const TargetsMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("targets")
+      .key("job").value(m.job)
+      .key("add").begin_array();
+  for (const std::string& hex : m.add) w.value(hex);
+  w.end_array().key("remove").begin_array();
+  for (const std::string& hex : m.remove) w.value(hex);
+  w.end_array().end_object();
+  return w.str();
+}
+
+TargetsMsg targets_from_json(const json::Value& v) {
+  TargetsMsg m;
+  m.job = v.at("job").as_string();
+  if (const json::Value* arr = v.find("add")) {
+    for (const json::Value& hex : arr->as_array()) {
+      m.add.push_back(hex.as_string());
+    }
+  }
+  if (const json::Value* arr = v.find("remove")) {
+    for (const json::Value& hex : arr->as_array()) {
+      m.remove.push_back(hex.as_string());
+    }
+  }
+  return m;
+}
+
+std::string encode(const StatusMsg& m) {
+  json::Writer w;
+  w.begin_object().key("type").value("status");
+  if (!m.job.empty()) w.key("job").value(m.job);
+  w.end_object();
+  return w.str();
+}
+
+StatusMsg status_from_json(const json::Value& v) {
+  StatusMsg m;
+  m.job = v.string_or("job", "");
+  return m;
+}
+
+std::string encode(const StatusRespMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("status_resp")
+      .key("jobs").begin_array();
+  for (const service::JobSnapshot& s : m.jobs) {
+    service::snapshot_to_json(w, s);
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+StatusRespMsg status_resp_from_json(const json::Value& v) {
+  StatusRespMsg m;
+  for (const json::Value& s : v.at("jobs").as_array()) {
+    m.jobs.push_back(service::snapshot_from_json(s));
+  }
+  return m;
+}
+
+std::string encode(const ErrorMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("error")
+      .key("error").value(m.error)
+      .end_object();
+  return w.str();
+}
+
+ErrorMsg error_from_json(const json::Value& v) {
+  ErrorMsg m;
+  m.error = v.at("error").as_string();
+  return m;
+}
+
+}  // namespace gks::dist

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/job.h"
+#include "support/json.h"
+#include "support/uint128.h"
+
+namespace gks::dist {
+
+/// Wire protocol of the distributed tier (docs/distributed.md): JSON
+/// message bodies carried in GKF1 frames (frame.h). One request, one
+/// response — a worker never has two messages in flight, so the
+/// protocol needs no multiplexing and a response can always piggyback
+/// session-scoped updates (cancelled leases, dead targets).
+///
+/// Requests (worker or client → coordinator):
+///   hello      open a worker session (version handshake)
+///   lease_req  ask for an interval lease
+///   found      report a recovery against a live lease, immediately
+///   retire     return a lease with its scanned prefix + recoveries
+///   heartbeat  renew every lease of this session
+///   bye        orderly goodbye (revokes the session's leases)
+///   submit     submit a job (control clients, gks-jobs --connect)
+///   cancel     cancel a job by name
+///   targets    add/remove target digests of a job by name
+///   status     snapshot one job or all jobs
+///
+/// Responses (coordinator → peer):
+///   welcome      hello accepted; carries the lease/heartbeat cadence
+///   lease        a granted lease (+ the job spec if this session has
+///                not seen the job yet, + recoveries so far)
+///   idle         no work right now; retry after retry_s
+///   ack          generic success/failure for found/retire/heartbeat/
+///                bye/submit/cancel/targets
+///   status_resp  job snapshots
+///   error        protocol-level failure; the session should close
+///
+/// All u128 quantities travel as decimal strings (json.h keeps large
+/// integers out of JSON numbers by design).
+inline constexpr int kProtocolVersion = 1;
+
+/// A recovery broadcast: job `job` no longer needs `digest` (key was
+/// `key`). Responses piggyback these so every worker stops scanning
+/// for digests some other worker already recovered. `job_id` pins the
+/// update to one job *instance*: job names are reusable once a job is
+/// terminal, and a stale broadcast must never mark a target dead in a
+/// later job that happens to share the name.
+struct FoundUpdate {
+  std::string job;
+  std::string digest;
+  std::string key;
+  std::uint64_t job_id = 0;
+};
+
+struct HelloMsg {
+  int version = kProtocolVersion;
+  std::string name;  ///< worker name (coordinator scopes it per session)
+  int threads = 1;   ///< informational: the worker's scan parallelism
+};
+
+struct WelcomeMsg {
+  int version = kProtocolVersion;
+  double lease_s = 0;      ///< lease validity the coordinator grants
+  double heartbeat_s = 0;  ///< cadence the worker should renew at
+  std::string holder;      ///< session-scoped holder id assigned
+};
+
+struct LeaseRequestMsg {
+  /// Upper bound on the interval size the worker wants; 0 lets the
+  /// coordinator pick from its rate estimate.
+  u128 max_ids{0};
+};
+
+/// A granted lease on the wire. `spec` rides along the first time this
+/// session sees the job (the worker caches sweepers per job name);
+/// `spec_found` are the recoveries already made, so a fresh worker
+/// doesn't re-report them.
+struct LeaseGrantWire {
+  std::uint64_t lease_id = 0;
+  std::uint64_t job = 0;
+  std::string job_name;
+  u128 begin{0};
+  u128 end{0};
+  bool has_spec = false;
+  service::JobSpec spec;
+  std::vector<std::pair<std::string, std::string>> spec_found;
+  std::vector<FoundUpdate> dead;
+};
+
+struct IdleMsg {
+  double retry_s = 0.2;
+  std::vector<FoundUpdate> dead;
+};
+
+struct FoundMsg {
+  std::uint64_t lease_id = 0;
+  std::string digest;
+  std::string key;
+};
+
+struct RetireMsg {
+  std::uint64_t lease_id = 0;
+  u128 tested{0};  ///< contiguous prefix of the lease actually scanned
+  double busy_s = 0;
+  /// Recoveries not yet reported via FoundMsg (normally empty — the
+  /// worker reports immediately — but kept for batching strategies).
+  std::vector<std::pair<std::string, std::string>> found;
+};
+
+struct HeartbeatMsg {};
+
+struct ByeMsg {};
+
+struct AckMsg {
+  bool ok = true;
+  std::string error;
+  /// Leases of this session no longer live (job cancelled or lease
+  /// expired before the renewal arrived): the worker should abandon
+  /// them without retiring.
+  std::vector<std::uint64_t> cancelled;
+  std::vector<FoundUpdate> dead;
+  /// submit: the assigned JobId.
+  std::uint64_t id = 0;
+};
+
+struct SubmitMsg {
+  service::JobSpec spec;
+};
+
+struct CancelMsg {
+  std::string job;
+};
+
+struct TargetsMsg {
+  std::string job;
+  std::vector<std::string> add;
+  std::vector<std::string> remove;
+};
+
+struct StatusMsg {
+  std::string job;  ///< empty selects every job
+};
+
+struct StatusRespMsg {
+  std::vector<service::JobSnapshot> jobs;
+};
+
+struct ErrorMsg {
+  std::string error;
+};
+
+/// The "type" member of a parsed message; throws InvalidArgument when
+/// absent (every protocol message carries one).
+std::string message_type(const json::Value& v);
+
+/// Encoders — one JSON document per message, ready for encode_frame().
+std::string encode(const HelloMsg& m);
+std::string encode(const WelcomeMsg& m);
+std::string encode(const LeaseRequestMsg& m);
+std::string encode(const LeaseGrantWire& m);
+std::string encode(const IdleMsg& m);
+std::string encode(const FoundMsg& m);
+std::string encode(const RetireMsg& m);
+std::string encode(const HeartbeatMsg& m);
+std::string encode(const ByeMsg& m);
+std::string encode(const AckMsg& m);
+std::string encode(const SubmitMsg& m);
+std::string encode(const CancelMsg& m);
+std::string encode(const TargetsMsg& m);
+std::string encode(const StatusMsg& m);
+std::string encode(const StatusRespMsg& m);
+std::string encode(const ErrorMsg& m);
+
+/// Decoders — the caller dispatches on message_type() first; each
+/// throws InvalidArgument on missing or malformed fields.
+HelloMsg hello_from_json(const json::Value& v);
+WelcomeMsg welcome_from_json(const json::Value& v);
+LeaseRequestMsg lease_request_from_json(const json::Value& v);
+LeaseGrantWire lease_grant_from_json(const json::Value& v);
+IdleMsg idle_from_json(const json::Value& v);
+FoundMsg found_from_json(const json::Value& v);
+RetireMsg retire_from_json(const json::Value& v);
+AckMsg ack_from_json(const json::Value& v);
+SubmitMsg submit_from_json(const json::Value& v);
+CancelMsg cancel_from_json(const json::Value& v);
+TargetsMsg targets_from_json(const json::Value& v);
+StatusMsg status_from_json(const json::Value& v);
+StatusRespMsg status_resp_from_json(const json::Value& v);
+ErrorMsg error_from_json(const json::Value& v);
+
+}  // namespace gks::dist

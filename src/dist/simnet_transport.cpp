@@ -1,0 +1,307 @@
+#include "dist/simnet_transport.h"
+
+#include <any>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace gks::dist {
+
+namespace {
+
+/// The simnet stand-in for one TCP segment. `initiator` + `conn`
+/// identify a connection globally (the initiator numbers its own
+/// connections), so both endpoints derive the same demux key.
+struct SimFrame {
+  enum class Kind { kSyn, kSynAck, kRst, kData, kFin };
+  Kind kind = Kind::kData;
+  simnet::NodeId initiator = 0;
+  std::uint64_t conn = 0;
+  std::string bytes;
+};
+
+constexpr std::size_t kSimFrameOverhead = 24;  // emulated header bytes
+
+using ConnKey = std::pair<simnet::NodeId, std::uint64_t>;
+
+struct ConnState {
+  simnet::NodeId peer = 0;
+  simnet::NodeId initiator = 0;
+  std::uint64_t conn = 0;
+  std::deque<std::string> inbox;
+  bool established = false;  ///< SYN-ACK seen (initiator side)
+  bool refused = false;      ///< RST seen
+  bool peer_fin = false;
+  bool local_closed = false;
+};
+
+}  // namespace
+
+struct SimnetTransport::State {
+  simnet::Network& net;
+  simnet::NodeId self;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool pumping = false;        ///< one thread drains the mailbox at a time
+  bool listener_open = false;
+  std::deque<std::shared_ptr<ConnState>> accept_q;
+  std::map<ConnKey, std::shared_ptr<ConnState>> conns;
+  std::uint64_t next_conn = 1;
+
+  State(simnet::Network& n, simnet::NodeId s) : net(n), self(s) {}
+
+  void send_frame(simnet::NodeId to, SimFrame frame) {
+    const std::size_t wire = kSimFrameOverhead + frame.bytes.size();
+    // Silently dropped when either endpoint is down — by design.
+    net.send(self, to, std::any(std::move(frame)), wire);
+  }
+
+  /// Routes one inbound message (mu held).
+  void route_locked(const simnet::Message& msg) {
+    const auto* frame = std::any_cast<SimFrame>(&msg.payload);
+    if (frame == nullptr) return;  // foreign traffic on a shared node
+    const ConnKey key{frame->initiator, frame->conn};
+    const auto it = conns.find(key);
+    switch (frame->kind) {
+      case SimFrame::Kind::kSyn: {
+        if (!listener_open) {
+          send_frame(msg.from, {SimFrame::Kind::kRst, frame->initiator,
+                                frame->conn, {}});
+          return;
+        }
+        if (it != conns.end()) return;  // duplicate SYN
+        auto cs = std::make_shared<ConnState>();
+        cs->peer = msg.from;
+        cs->initiator = frame->initiator;
+        cs->conn = frame->conn;
+        cs->established = true;
+        conns.emplace(key, cs);
+        accept_q.push_back(cs);
+        send_frame(msg.from, {SimFrame::Kind::kSynAck, frame->initiator,
+                              frame->conn, {}});
+        return;
+      }
+      case SimFrame::Kind::kSynAck:
+        if (it != conns.end()) it->second->established = true;
+        return;
+      case SimFrame::Kind::kRst:
+        if (it != conns.end()) it->second->refused = true;
+        return;
+      case SimFrame::Kind::kData:
+        if (it != conns.end()) it->second->inbox.push_back(frame->bytes);
+        return;
+      case SimFrame::Kind::kFin:
+        if (it != conns.end()) it->second->peer_fin = true;
+        return;
+    }
+  }
+
+  /// Blocks until `pred()` holds or `timeout_virtual_s` elapses
+  /// (negative: forever). Whichever waiter finds the mailbox
+  /// un-pumped becomes the pump; everyone else sleeps on the cv and
+  /// re-checks after each routed delivery. Returns pred() at exit.
+  template <typename Pred>
+  bool pump_until(std::unique_lock<std::mutex>& lk, Pred pred,
+                  double timeout_virtual_s) {
+    const bool forever = timeout_virtual_s < 0;
+    const auto deadline = net.clock().deadline(forever ? 0 : timeout_virtual_s);
+    // Pump in short real-time slices so close()/shutdown stays
+    // responsive regardless of the virtual time scale.
+    const double slice_virtual =
+        net.clock().to_virtual(std::chrono::milliseconds(20));
+    while (!pred()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!forever && now >= deadline) return false;
+      if (pumping) {
+        if (forever) {
+          cv.wait_for(lk, std::chrono::milliseconds(20));
+        } else {
+          cv.wait_until(lk, deadline);
+        }
+        continue;
+      }
+      pumping = true;
+      lk.unlock();
+      double slice = slice_virtual;
+      if (!forever) {
+        slice = std::min(slice, net.clock().to_virtual(deadline - now));
+      }
+      std::optional<simnet::Message> msg = net.recv(self, slice);
+      lk.lock();
+      pumping = false;
+      if (msg.has_value()) route_locked(*msg);
+      cv.notify_all();
+    }
+    return true;
+  }
+};
+
+namespace {
+
+class SimnetConnection : public Connection {
+ public:
+  SimnetConnection(std::shared_ptr<SimnetTransport::State> st,
+                   std::shared_ptr<ConnState> cs)
+      : st_(std::move(st)), cs_(std::move(cs)) {}
+
+  ~SimnetConnection() override { close(); }
+
+  void send(const std::string& frame) override {
+    std::unique_lock lk(st_->mu);
+    if (cs_->local_closed) {
+      throw ConnectionClosed("send on closed connection to " + peer_name());
+    }
+    if (cs_->peer_fin || cs_->refused) {
+      throw ConnectionClosed("peer " + peer_name() + " closed");
+    }
+    st_->send_frame(cs_->peer, {SimFrame::Kind::kData, cs_->initiator,
+                                cs_->conn, frame});
+  }
+
+  std::optional<std::string> recv(double timeout_s) override {
+    std::unique_lock lk(st_->mu);
+    st_->pump_until(
+        lk,
+        [&] {
+          return !cs_->inbox.empty() || cs_->peer_fin || cs_->refused ||
+                 cs_->local_closed;
+        },
+        timeout_s);
+    if (!cs_->inbox.empty()) {
+      // Drain data queued before the FIN, like TCP does.
+      std::string frame = std::move(cs_->inbox.front());
+      cs_->inbox.pop_front();
+      return frame;
+    }
+    if (cs_->local_closed) {
+      throw ConnectionClosed("recv on closed connection to " + peer_name());
+    }
+    if (cs_->peer_fin || cs_->refused) {
+      throw ConnectionClosed("peer " + peer_name() + " closed");
+    }
+    return std::nullopt;
+  }
+
+  void close() override {
+    std::unique_lock lk(st_->mu);
+    if (cs_->local_closed) return;
+    cs_->local_closed = true;
+    st_->send_frame(cs_->peer,
+                    {SimFrame::Kind::kFin, cs_->initiator, cs_->conn, {}});
+    st_->conns.erase(ConnKey{cs_->initiator, cs_->conn});
+    st_->cv.notify_all();
+  }
+
+  std::string peer() const override { return "sim:" + peer_name(); }
+
+ private:
+  std::string peer_name() const { return st_->net.name_of(cs_->peer); }
+
+  std::shared_ptr<SimnetTransport::State> st_;
+  std::shared_ptr<ConnState> cs_;
+};
+
+class SimnetListener : public Listener {
+ public:
+  explicit SimnetListener(std::shared_ptr<SimnetTransport::State> st)
+      : st_(std::move(st)) {
+    std::unique_lock lk(st_->mu);
+    GKS_REQUIRE(!st_->listener_open,
+                "node already has a live listener: " +
+                    st_->net.name_of(st_->self));
+    st_->listener_open = true;
+  }
+
+  ~SimnetListener() override { close(); }
+
+  std::unique_ptr<Connection> accept(double timeout_s) override {
+    std::unique_lock lk(st_->mu);
+    st_->pump_until(
+        lk, [&] { return !st_->accept_q.empty() || !st_->listener_open; },
+        timeout_s);
+    if (!st_->accept_q.empty()) {
+      auto cs = std::move(st_->accept_q.front());
+      st_->accept_q.pop_front();
+      return std::make_unique<SimnetConnection>(st_, std::move(cs));
+    }
+    if (!st_->listener_open) {
+      throw ConnectionClosed("listener on " + address() + " closed");
+    }
+    return nullptr;
+  }
+
+  std::string address() const override {
+    return "sim:" + st_->net.name_of(st_->self);
+  }
+
+  void close() override {
+    std::unique_lock lk(st_->mu);
+    st_->listener_open = false;
+    st_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<SimnetTransport::State> st_;
+};
+
+}  // namespace
+
+SimnetTransport::SimnetTransport(simnet::Network& net, simnet::NodeId self)
+    : state_(std::make_shared<State>(net, self)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SimnetTransport::~SimnetTransport() = default;
+
+simnet::NodeId SimnetTransport::node() const { return state_->self; }
+
+double SimnetTransport::now_s() const {
+  return state_->net.clock().to_virtual(std::chrono::steady_clock::now() -
+                                        epoch_);
+}
+
+void SimnetTransport::sleep_s(double seconds) const {
+  state_->net.clock().sleep_virtual(seconds);
+}
+
+std::unique_ptr<Listener> SimnetTransport::listen(const std::string& address) {
+  const std::string name = address.rfind("sim:", 0) == 0 ? address.substr(4)
+                                                         : address;
+  GKS_REQUIRE(name.empty() || name == state_->net.name_of(state_->self),
+              "simnet listen address '" + address +
+                  "' does not name this node");
+  return std::make_unique<SimnetListener>(state_);
+}
+
+std::unique_ptr<Connection> SimnetTransport::connect(
+    const std::string& address, double timeout_s) {
+  const std::string name = address.rfind("sim:", 0) == 0 ? address.substr(4)
+                                                         : address;
+  std::optional<simnet::NodeId> peer;
+  for (simnet::NodeId id = 0; id < state_->net.node_count(); ++id) {
+    if (state_->net.name_of(id) == name) peer = id;
+  }
+  GKS_REQUIRE(peer.has_value(), "unknown simnet node: " + address);
+
+  std::unique_lock lk(state_->mu);
+  auto cs = std::make_shared<ConnState>();
+  cs->peer = *peer;
+  cs->initiator = state_->self;
+  cs->conn = state_->next_conn++;
+  const ConnKey key{cs->initiator, cs->conn};
+  state_->conns.emplace(key, cs);
+  state_->send_frame(cs->peer,
+                     {SimFrame::Kind::kSyn, cs->initiator, cs->conn, {}});
+  state_->pump_until(lk, [&] { return cs->established || cs->refused; },
+                     timeout_s);
+  if (!cs->established || cs->refused) {
+    state_->conns.erase(key);
+    throw TransportError("cannot connect to '" + address + "': " +
+                         (cs->refused ? "refused" : "timed out"));
+  }
+  return std::make_unique<SimnetConnection>(state_, std::move(cs));
+}
+
+}  // namespace gks::dist

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+#include "simnet/network.h"
+
+namespace gks::dist {
+
+/// Transport backend over the in-process virtual-time network
+/// (src/simnet/): connections are emulated with a tiny SYN/SYN-ACK/
+/// FIN handshake on top of simnet messages, so the Coordinator and
+/// WorkerDaemon run their *identical* dispatch logic against the
+/// paper's Section III cost model — link latency, bandwidth, loss and
+/// node crashes included. A crashed node (`Network::set_node_down`)
+/// silently eats traffic in both directions, which the dispatch tier
+/// observes purely as missed heartbeats and lease expiry, exactly as a
+/// SIGKILLed worker looks over TCP.
+///
+/// One SimnetTransport per node: it owns the node's single mailbox and
+/// demultiplexes inbound messages to the node's connections and
+/// listener. Any thread blocked in recv()/accept() volunteers to pump
+/// the mailbox (leader/follower), so no extra router thread is needed.
+///
+/// Addresses are node names ("sim:coordinator" or just "coordinator").
+///
+/// Timebase: now_s()/sleep_s() and every timeout are *virtual*
+/// seconds. Runs where workers do real CPU scanning should use a
+/// Network time scale of 1.0 so compute and protocol timing agree
+/// (see simnet/clock.h).
+class SimnetTransport : public Transport {
+ public:
+  SimnetTransport(simnet::Network& net, simnet::NodeId self);
+  ~SimnetTransport() override;
+
+  SimnetTransport(const SimnetTransport&) = delete;
+  SimnetTransport& operator=(const SimnetTransport&) = delete;
+
+  /// At most one live listener per node; `address` must name this
+  /// node (or be empty).
+  std::unique_ptr<Listener> listen(const std::string& address) override;
+
+  std::unique_ptr<Connection> connect(const std::string& address,
+                                      double timeout_s) override;
+
+  double now_s() const override;
+  void sleep_s(double seconds) const override;
+
+  simnet::NodeId node() const;
+
+  /// Shared mailbox/router state; public only for the implementation's
+  /// connection and listener classes (defined in the .cpp).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace gks::dist

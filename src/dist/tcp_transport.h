@@ -1,0 +1,36 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+
+namespace gks::dist {
+
+/// Real-socket transport backend: POSIX TCP with the GKF1 length-
+/// prefixed framing (dist/frame.h) on the byte stream. Addresses are
+/// "host:port"; a port of 0 binds an ephemeral port, and
+/// Listener::address() reports the actual one — which is how the CI
+/// smoke test and the loopback benches avoid port collisions.
+///
+/// TCP_NODELAY is set on every connection: the dispatch protocol is
+/// small request/response frames, and Nagle would serialize the lease
+/// loop on the ACK clock.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+
+  std::unique_ptr<Listener> listen(const std::string& address) override;
+  std::unique_ptr<Connection> connect(const std::string& address,
+                                      double timeout_s) override;
+
+  /// Real monotonic seconds since transport construction.
+  double now_s() const override;
+  void sleep_s(double seconds) const override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace gks::dist

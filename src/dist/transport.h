@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "support/error.h"
+
+namespace gks::dist {
+
+/// Errors raised by the transport tier. Sessions treat every
+/// TransportError as "this connection is gone": the coordinator closes
+/// the session and lets lease expiry reclaim the worker's intervals;
+/// the worker daemon falls back to its reconnect loop.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+/// The peer closed (or the connection broke mid-transfer).
+class ConnectionClosed : public TransportError {
+ public:
+  explicit ConnectionClosed(const std::string& what) : TransportError(what) {}
+};
+
+/// The byte stream violated the framing protocol (bad magic, oversized
+/// length). Unrecoverable for the connection: the decoder cannot
+/// resynchronize on a corrupt length prefix, so callers tear down.
+class ProtocolError : public TransportError {
+ public:
+  explicit ProtocolError(const std::string& what) : TransportError(what) {}
+};
+
+/// A reliable, ordered, message-framed duplex connection. Messages are
+/// opaque byte strings (the dispatch protocol puts JSON in them);
+/// callers hand send() the bare payload and recv() returns the bare
+/// payload — how messages are delimited on the underlying medium is
+/// the backend's business (the TCP backend wraps each payload in a
+/// GKF1 length-prefixed frame, frame.h; simnet messages are already
+/// discrete).
+///
+/// Thread model: one thread receives; send() may be called from any
+/// thread (internally serialized); close() may race either and wakes a
+/// blocked recv() with ConnectionClosed.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Sends one message. Throws ConnectionClosed on a dead connection.
+  virtual void send(const std::string& frame) = 0;
+
+  /// Receives the next frame, waiting at most `timeout_s` transport
+  /// seconds (negative: forever). Returns nullopt on timeout; throws
+  /// ConnectionClosed when the peer is gone and ProtocolError on a
+  /// corrupt stream.
+  virtual std::optional<std::string> recv(double timeout_s) = 0;
+
+  /// Closes the connection (idempotent); pending recv() calls wake.
+  virtual void close() = 0;
+
+  /// Peer identity for logs ("127.0.0.1:52114", "sim:worker-1").
+  virtual std::string peer() const = 0;
+};
+
+/// Server half: accepts inbound connections on a bound address.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accepts the next connection, waiting at most `timeout_s`
+  /// (negative: forever). nullptr on timeout; throws ConnectionClosed
+  /// once the listener is closed.
+  virtual std::unique_ptr<Connection> accept(double timeout_s) = 0;
+
+  /// The actual bound address — resolves ":0" port requests.
+  virtual std::string address() const = 0;
+
+  virtual void close() = 0;
+};
+
+/// A pluggable point-to-point transport. Two implementations ship:
+/// TcpTransport (real sockets, real processes) and SimnetTransport
+/// (adapter over simnet::Network, virtual time) — the coordinator and
+/// worker daemons are written against this interface only, so
+/// paper-scale simnet experiments and real multi-process runs exercise
+/// the identical dispatch code path.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::unique_ptr<Listener> listen(const std::string& address) = 0;
+
+  /// Connects to a listening address; throws TransportError when the
+  /// peer is unreachable within `timeout_s`.
+  virtual std::unique_ptr<Connection> connect(const std::string& address,
+                                              double timeout_s) = 0;
+
+  /// Monotonic now, in transport seconds — *real* seconds for TCP,
+  /// *virtual* seconds for simnet. All lease deadlines, heartbeat
+  /// cadences and timeouts in the dispatch tier live in this timebase,
+  /// which is what keeps the Coordinator/WorkerDaemon logic free of
+  /// any transport-specific clock handling.
+  virtual double now_s() const = 0;
+
+  /// Sleeps for `seconds` transport seconds.
+  virtual void sleep_s(double seconds) const = 0;
+};
+
+}  // namespace gks::dist

@@ -1,0 +1,342 @@
+#include "dist/worker_daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace gks::dist {
+
+WorkerDaemon::WorkerDaemon(Transport& transport, WorkerConfig config)
+    : transport_(transport), config_(std::move(config)) {
+  GKS_REQUIRE(config_.threads > 0, "worker needs at least one scan thread");
+  GKS_REQUIRE(config_.chunk_slice_s > 0, "chunk slice must be positive");
+  GKS_REQUIRE(config_.min_chunk > u128(0), "min chunk must be positive");
+  GKS_REQUIRE(config_.min_chunk <= config_.max_chunk,
+              "min chunk above max chunk");
+}
+
+void WorkerDaemon::stop() {
+  stop_.store(true, std::memory_order_release);
+  interrupt_.store(true, std::memory_order_release);
+}
+
+WorkerDaemon::Stats WorkerDaemon::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+u128 WorkerDaemon::chunk_size() const {
+  u128 scanned{0};
+  {
+    std::lock_guard lock(stats_mu_);
+    scanned = stats_.keys_scanned;
+  }
+  const double rate = busy_s_ > 0 ? scanned.to_double() / busy_s_ : 0;
+  if (rate <= 0) return config_.min_chunk;
+  const double target = rate * config_.chunk_slice_s;
+  if (target <= config_.min_chunk.to_double()) return config_.min_chunk;
+  if (target >= config_.max_chunk.to_double()) return config_.max_chunk;
+  return u128(static_cast<std::uint64_t>(target));
+}
+
+u128 WorkerDaemon::lease_ask() const {
+  // Leases worth ~lease_target_s of work: small enough that a crashed
+  // worker forfeits little, large enough that the request round-trip
+  // amortizes. Before the first rate estimate, ask for 0 and let the
+  // coordinator pick.
+  u128 scanned{0};
+  {
+    std::lock_guard lock(stats_mu_);
+    scanned = stats_.keys_scanned;
+  }
+  const double rate = busy_s_ > 0 ? scanned.to_double() / busy_s_ : 0;
+  if (rate <= 0) return u128(0);
+  const double target = rate * config_.lease_target_s;
+  if (target < 1) return u128(1);
+  return u128(static_cast<std::uint64_t>(target));
+}
+
+void WorkerDaemon::apply_dead(const std::vector<FoundUpdate>& dead) {
+  for (const FoundUpdate& f : dead) {
+    const auto it = sweepers_.find(f.job);
+    if (it == sweepers_.end()) continue;
+    // A broadcast about an older job instance that shared this name
+    // must not kill the target in the current one.
+    if (it->second.job_id != f.job_id) continue;
+    try {
+      it->second.sweeper->mark_found_hex(f.digest, f.key);
+    } catch (const Error&) {
+      // A digest this sweeper never had (target removed before the
+      // spec reached us) — nothing to stop scanning for.
+    }
+  }
+}
+
+bool WorkerDaemon::apply_ack(const AckMsg& ack, std::uint64_t lease_id) {
+  apply_dead(ack.dead);
+  if (lease_id == 0) return true;
+  return std::find(ack.cancelled.begin(), ack.cancelled.end(), lease_id) ==
+         ack.cancelled.end();
+}
+
+json::Value WorkerDaemon::roundtrip(Connection& conn,
+                                    const std::string& body) {
+  conn.send(body);
+  const auto reply = conn.recv(config_.recv_timeout_s);
+  if (!reply.has_value()) {
+    throw ConnectionClosed("coordinator silent past recv timeout");
+  }
+  return json::parse(*reply);
+}
+
+u128 WorkerDaemon::scan_chunk(core::MultiSweeper& sweeper,
+                              const keyspace::Interval& iv,
+                              std::vector<core::SweepHit>& hits) {
+  const std::size_t parts =
+      static_cast<std::size_t>(std::min<u128>(u128(config_.threads),
+                                              iv.size()).to_u64());
+  if (parts <= 1) {
+    return sweeper.scan(iv, hits, &interrupt_);
+  }
+
+  // Split the chunk into equal parts, one thread each. The retired
+  // count must be a contiguous prefix of the chunk, so a short part
+  // (interrupt, generation handoff) truncates the accounting at its
+  // end — later parts' work is re-scanned after re-dispatch, which the
+  // recovery dedup absorbs. Hits are kept regardless: a key is never
+  // thrown away just because its part fell past the prefix.
+  const u128 per = iv.size() / u128(static_cast<std::uint64_t>(parts));
+  std::vector<keyspace::Interval> slices;
+  u128 at = iv.begin;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const u128 end = i + 1 == parts ? iv.end : at + per;
+    slices.emplace_back(at, end);
+    at = end;
+  }
+  std::vector<u128> tested(parts, u128(0));
+  std::vector<std::vector<core::SweepHit>> part_hits(parts);
+  std::vector<std::thread> threads;
+  threads.reserve(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    threads.emplace_back([&, i] {
+      tested[i] = sweeper.scan(slices[i], part_hits[i], &interrupt_);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  u128 prefix{0};
+  bool contiguous = true;
+  for (std::size_t i = 0; i < parts; ++i) {
+    if (contiguous) {
+      prefix += tested[i];
+      if (tested[i] < slices[i].size()) contiguous = false;
+    }
+    hits.insert(hits.end(), part_hits[i].begin(), part_hits[i].end());
+  }
+  return prefix;
+}
+
+bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
+  auto it = sweepers_.find(grant.job_name);
+  if (it != sweepers_.end() && it->second.job_id != grant.job) {
+    // Same name, different job: the old one went terminal and the name
+    // was resubmitted. The stale sweeper's found-marks belong to the
+    // dead instance — drop it and rebuild from the fresh spec below.
+    sweepers_.erase(it);
+    it = sweepers_.end();
+  }
+  if (it == sweepers_.end()) {
+    GKS_REQUIRE(grant.has_spec,
+                "lease for a job this session has no spec for: " +
+                    grant.job_name);
+    auto sweeper = std::make_unique<core::MultiSweeper>(grant.spec.request);
+    for (const auto& [digest, key] : grant.spec_found) {
+      sweeper->mark_found_hex(digest, key);
+    }
+    it = sweepers_
+             .emplace(grant.job_name,
+                      JobCache{grant.job, std::move(sweeper)})
+             .first;
+  }
+  core::MultiSweeper& sweeper = *it->second.sweeper;
+  apply_dead(grant.dead);
+
+  const keyspace::Interval lease_iv(grant.begin, grant.end);
+  u128 done{0};
+  double busy = 0;
+  double last_heartbeat = transport_.now_s();
+  bool lease_lost = false;
+
+  while (done < lease_iv.size()) {
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (sweeper.all_found()) break;  // nothing left to look for
+    const u128 remaining = lease_iv.size() - done;
+    const u128 take = std::min(chunk_size(), remaining);
+    const keyspace::Interval chunk(lease_iv.begin + done,
+                                   lease_iv.begin + done + take);
+
+    std::vector<core::SweepHit> hits;
+    const auto start = std::chrono::steady_clock::now();
+    const u128 tested = scan_chunk(sweeper, chunk, hits);
+    busy += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+
+    // Report recoveries the moment they exist: a worker that dies one
+    // microsecond from now has already made its keys durable on the
+    // coordinator. Duplicates (another holder beat us to the digest)
+    // come back as dedup no-ops.
+    for (const core::SweepHit& hit : hits) {
+      const auto slots = sweeper.mark_found(hit.unique_index, hit.key);
+      if (slots.empty()) continue;  // duplicate of an applied update
+      FoundMsg msg;
+      msg.lease_id = grant.lease_id;
+      msg.digest = sweeper.slot_hex(slots.front());
+      msg.key = hit.key;
+      const json::Value reply = roundtrip(conn, encode(msg));
+      {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.found_reported;
+      }
+      if (message_type(reply) == "ack" &&
+          !apply_ack(ack_from_json(reply), grant.lease_id)) {
+        lease_lost = true;
+      }
+    }
+
+    done += tested;
+    {
+      std::lock_guard lock(stats_mu_);
+      stats_.keys_scanned += tested;
+    }
+    busy_s_ += busy;
+    busy = 0;
+    if (lease_lost) break;
+    // A short scan without an interrupt is a generation handoff (the
+    // target set changed mid-chunk): rescan the remainder against the
+    // current targets by simply continuing from `done`.
+
+    const double now = transport_.now_s();
+    if (now - last_heartbeat >= config_.heartbeat_interval_s) {
+      const json::Value reply =
+          roundtrip(conn, encode(HeartbeatMsg{}));
+      last_heartbeat = now;
+      if (message_type(reply) == "ack" &&
+          !apply_ack(ack_from_json(reply), grant.lease_id)) {
+        lease_lost = true;
+        break;
+      }
+    }
+  }
+
+  if (lease_lost) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.leases_abandoned;
+    return true;
+  }
+
+  RetireMsg retire;
+  retire.lease_id = grant.lease_id;
+  retire.tested = done;
+  retire.busy_s = busy;
+  const json::Value reply = roundtrip(conn, encode(retire));
+  if (message_type(reply) == "ack") {
+    const AckMsg ack = ack_from_json(reply);
+    apply_ack(ack, 0);
+    std::lock_guard lock(stats_mu_);
+    if (ack.ok) {
+      ++stats_.leases_completed;
+    } else {
+      ++stats_.leases_abandoned;  // expired before we got back
+    }
+  }
+  return true;
+}
+
+bool WorkerDaemon::serve_session(Connection& conn) {
+  HelloMsg hello;
+  hello.name = config_.name;
+  hello.threads = static_cast<int>(config_.threads);
+  const json::Value welcome_v = roundtrip(conn, encode(hello));
+  GKS_REQUIRE(message_type(welcome_v) == "welcome",
+              "coordinator rejected hello: " +
+                  welcome_v.string_or("error", "unexpected reply"));
+  const WelcomeMsg welcome = welcome_from_json(welcome_v);
+  config_.heartbeat_interval_s = welcome.heartbeat_s > 0
+                                     ? welcome.heartbeat_s
+                                     : config_.heartbeat_interval_s;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    LeaseRequestMsg req;
+    req.max_ids = lease_ask();
+    const json::Value reply = roundtrip(conn, encode(req));
+    const std::string type = message_type(reply);
+    if (type == "lease") {
+      if (!run_lease(conn, lease_grant_from_json(reply))) return false;
+    } else if (type == "idle") {
+      const IdleMsg idle = idle_from_json(reply);
+      apply_dead(idle.dead);
+      // Sleep in short slices so stop() stays prompt.
+      double left = idle.retry_s;
+      while (left > 0 && !stop_.load(std::memory_order_acquire)) {
+        const double nap = std::min(left, 0.05);
+        transport_.sleep_s(nap);
+        left -= nap;
+      }
+    } else if (type == "error") {
+      GKS_REQUIRE(false, "coordinator error: " +
+                             error_from_json(reply).error);
+    } else {
+      GKS_REQUIRE(false, "unexpected coordinator reply: " + type);
+    }
+  }
+
+  // Orderly exit: revoke our leases instead of making the coordinator
+  // wait out the deadlines.
+  try {
+    roundtrip(conn, encode(ByeMsg{}));
+  } catch (const TransportError&) {
+    // The coordinator may already be gone; leases expire either way.
+  }
+  return true;
+}
+
+bool WorkerDaemon::run(const std::string& coordinator_addr) {
+  int attempts_left = config_.reconnect_attempts;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return true;
+    std::unique_ptr<Connection> conn;
+    try {
+      conn = transport_.connect(coordinator_addr, config_.connect_timeout_s);
+    } catch (const TransportError&) {
+      if (attempts_left-- <= 0) return false;
+      transport_.sleep_s(config_.reconnect_backoff_s);
+      continue;
+    }
+    attempts_left = config_.reconnect_attempts;  // a connect resets it
+
+    bool orderly = false;
+    try {
+      orderly = serve_session(*conn);
+    } catch (const TransportError&) {
+      // Dropped mid-session: abandon in-flight state (the coordinator
+      // reclaims our leases) and reconnect with a fresh hello.
+      sweepers_.clear();  // next session gets specs again
+      {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.reconnects;
+      }
+      conn->close();
+      if (attempts_left-- <= 0) return false;
+      transport_.sleep_s(config_.reconnect_backoff_s);
+      continue;
+    }
+    conn->close();
+    if (orderly) return true;
+  }
+}
+
+}  // namespace gks::dist

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/multi_sweep.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "support/uint128.h"
+
+namespace gks::dist {
+
+struct WorkerConfig {
+  /// Worker identity; the coordinator scopes it per session, so
+  /// duplicate names across machines are harmless.
+  std::string name = "worker";
+  /// Scan threads: each leased chunk is split this many ways.
+  std::size_t threads = 1;
+  /// Ask for leases worth roughly this many seconds at the measured
+  /// scan rate (clamped by the coordinator's min/max).
+  double lease_target_s = 1.0;
+  /// Target wall time of one scan chunk — the worker's heartbeat
+  /// opportunity cadence; must sit well under the coordinator's lease
+  /// lifetime.
+  double chunk_slice_s = 0.1;
+  u128 min_chunk{4096};
+  u128 max_chunk{u128(1) << 22};
+  /// Heartbeat cadence; the coordinator's welcome overrides it.
+  double heartbeat_interval_s = 0.5;
+  double connect_timeout_s = 5.0;
+  /// recv timeout on an established session; a coordinator silent this
+  /// long is presumed gone.
+  double recv_timeout_s = 10.0;
+  /// Reconnect attempts after a dropped connection (0 = give up at the
+  /// first failure), with linear backoff between attempts.
+  int reconnect_attempts = 5;
+  double reconnect_backoff_s = 0.5;
+};
+
+/// The dispatch client: leases interval quanta from a Coordinator,
+/// sweeps them with core::MultiSweeper, reports recoveries the moment
+/// they hit, and retires the scanned prefix. Heartbeats between chunks
+/// keep the leases alive; a worker that dies mid-lease simply stops
+/// heartbeating and the coordinator re-dispatches.
+///
+/// Like the coordinator, the daemon is written purely against the
+/// Transport interface — the simnet fault-injection tests and the real
+/// TCP daemons run this exact class.
+class WorkerDaemon {
+ public:
+  struct Stats {
+    std::uint64_t leases_completed = 0;
+    std::uint64_t leases_abandoned = 0;  ///< cancelled under us or dropped
+    std::uint64_t found_reported = 0;
+    std::uint64_t reconnects = 0;
+    u128 keys_scanned{0};
+  };
+
+  WorkerDaemon(Transport& transport, WorkerConfig config = {});
+
+  WorkerDaemon(const WorkerDaemon&) = delete;
+  WorkerDaemon& operator=(const WorkerDaemon&) = delete;
+
+  /// Serves leases until stop() or until the coordinator goes away for
+  /// good (reconnect attempts exhausted). Returns true on an orderly
+  /// exit — stop() was called and BYE was delivered (or the session
+  /// was already gone); false when the coordinator became unreachable.
+  bool run(const std::string& coordinator_addr);
+
+  /// Asks run() to wind down: the current chunk is interrupted, the
+  /// current lease retired, BYE sent. Callable from any thread and
+  /// from signal-ish contexts (only atomics are touched).
+  void stop();
+
+  Stats stats() const;
+
+ private:
+  /// One cached per-job scan state. `job_id` identifies the job
+  /// *instance*: names are reusable once a job goes terminal, and a
+  /// lease for a resubmitted name (new id) must rebuild the sweeper
+  /// instead of scanning with the stale one — whose targets may all
+  /// be marked found, which would retire every lease empty and spin
+  /// the grant/retire loop forever.
+  struct JobCache {
+    std::uint64_t job_id = 0;
+    std::unique_ptr<core::MultiSweeper> sweeper;
+  };
+
+  /// One connected session; returns false when the connection dropped
+  /// (caller decides on reconnect) and true on orderly shutdown.
+  bool serve_session(Connection& conn);
+  /// Scans one granted lease; returns false when the connection died.
+  bool run_lease(Connection& conn, const LeaseGrantWire& grant);
+  /// Splits `iv` across the scan threads; returns the prefix-
+  /// contiguous tested count and appends hits.
+  u128 scan_chunk(core::MultiSweeper& sweeper, const keyspace::Interval& iv,
+                  std::vector<core::SweepHit>& hits);
+  /// Sends one frame and receives the reply; throws TransportError on
+  /// timeout (a silent coordinator is a dead coordinator).
+  json::Value roundtrip(Connection& conn, const std::string& body);
+  /// Applies piggybacked updates; returns false when `lease_id` (0 =
+  /// none in flight) was cancelled under us.
+  bool apply_ack(const AckMsg& ack, std::uint64_t lease_id);
+  void apply_dead(const std::vector<FoundUpdate>& dead);
+  u128 chunk_size() const;
+  u128 lease_ask() const;
+
+  Transport& transport_;
+  WorkerConfig config_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> interrupt_{false};
+
+  /// Sweepers by job name — a worker sees many leases of the same job
+  /// and pays target parsing / filter construction once.
+  std::map<std::string, JobCache> sweepers_;
+
+  double busy_s_ = 0;  ///< wall seconds inside scan() (rate estimate)
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace gks::dist

@@ -32,4 +32,71 @@ JobState job_state_from_name(std::string_view name) {
   return JobState::kQueued;  // unreachable
 }
 
+void snapshot_to_json(json::Writer& w, const JobSnapshot& s) {
+  w.begin_object()
+      .key("id").value(s.id)
+      .key("name").value(s.name)
+      .key("state").value(job_state_name(s.state))
+      .key("priority").value(s.priority)
+      .key("weight").value(s.weight)
+      .key("space").value(s.space.to_string())
+      .key("scanned").value(s.scanned.to_string())
+      .key("intervals_issued").value(s.intervals_issued)
+      .key("intervals_retired").value(s.intervals_retired)
+      .key("leases_expired").value(s.leases_expired)
+      .key("targets_total").value(static_cast<std::uint64_t>(s.targets_total))
+      .key("targets_found").value(static_cast<std::uint64_t>(s.targets_found))
+      .key("keys_per_s").value(s.keys_per_s)
+      .key("eta_s").value(s.eta_s)
+      .key("elapsed_s").value(s.elapsed_s)
+      .key("filter_gate_hits").value(s.filter_gate_hits)
+      .key("filter_false_positives").value(s.filter_false_positives)
+      .key("found").begin_array();
+  for (const auto& [digest, key] : s.found) {
+    w.begin_object()
+        .key("digest").value(digest)
+        .key("key").value(key)
+        .end_object();
+  }
+  w.end_array();
+  if (!s.error.empty()) w.key("error").value(s.error);
+  w.end_object();
+}
+
+JobSnapshot snapshot_from_json(const json::Value& v) {
+  JobSnapshot s;
+  s.id = static_cast<JobId>(v.number_or("id", 0));
+  s.name = v.at("name").as_string();
+  s.state = job_state_from_name(v.at("state").as_string());
+  s.priority = static_cast<int>(v.number_or("priority", 0));
+  s.weight = v.number_or("weight", 1.0);
+  s.space = u128::parse(v.at("space").as_string());
+  s.scanned = u128::parse(v.at("scanned").as_string());
+  s.intervals_issued =
+      static_cast<std::uint64_t>(v.number_or("intervals_issued", 0));
+  s.intervals_retired =
+      static_cast<std::uint64_t>(v.number_or("intervals_retired", 0));
+  s.leases_expired =
+      static_cast<std::uint64_t>(v.number_or("leases_expired", 0));
+  s.targets_total =
+      static_cast<std::size_t>(v.number_or("targets_total", 0));
+  s.targets_found =
+      static_cast<std::size_t>(v.number_or("targets_found", 0));
+  s.keys_per_s = v.number_or("keys_per_s", 0);
+  s.eta_s = v.number_or("eta_s", 0);
+  s.elapsed_s = v.number_or("elapsed_s", 0);
+  s.filter_gate_hits =
+      static_cast<std::uint64_t>(v.number_or("filter_gate_hits", 0));
+  s.filter_false_positives =
+      static_cast<std::uint64_t>(v.number_or("filter_false_positives", 0));
+  if (const json::Value* found = v.find("found")) {
+    for (const json::Value& f : found->as_array()) {
+      s.found.emplace_back(f.at("digest").as_string(),
+                           f.at("key").as_string());
+    }
+  }
+  s.error = v.string_or("error", "");
+  return s;
+}
+
 }  // namespace gks::service

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/multi_crack.h"
+#include "support/json.h"
 #include "support/uint128.h"
 
 namespace gks::service {
@@ -69,6 +70,9 @@ struct JobSnapshot {
   u128 scanned{0};  ///< candidates retired (journaled coverage)
   std::uint64_t intervals_issued = 0;   ///< quanta dispatched to workers
   std::uint64_t intervals_retired = 0;  ///< quanta (incl. partials) retired
+  /// Remote leases whose holder went silent past the deadline; their
+  /// intervals returned to the pending queue for re-dispatch.
+  std::uint64_t leases_expired = 0;
   std::size_t targets_total = 0;        ///< request slots
   std::size_t targets_found = 0;        ///< slots resolved so far
 
@@ -98,5 +102,14 @@ struct JobSnapshot {
     return space > u128(0) ? scanned.to_double() / space.to_double() : 1.0;
   }
 };
+
+/// Serializes a snapshot as one JSON object — the per-job shape of
+/// `gks-jobs --json` and of the dist protocol's `status` response, so
+/// local and remote observability stay key-compatible by construction.
+void snapshot_to_json(json::Writer& w, const JobSnapshot& s);
+
+/// Inverse of snapshot_to_json (missing optional members default);
+/// remote clients rebuild snapshots from a coordinator's status reply.
+JobSnapshot snapshot_from_json(const json::Value& v);
 
 }  // namespace gks::service

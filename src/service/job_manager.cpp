@@ -22,13 +22,17 @@ JobManager::JobManager(JobServiceConfig config) : config_(std::move(config)) {
   GKS_REQUIRE(config_.min_quantum > u128(0), "min quantum must be positive");
   GKS_REQUIRE(config_.min_quantum <= config_.max_quantum,
               "min quantum above max quantum");
-  if (!config_.journal_path.empty()) store_.open(config_.journal_path);
+  if (!config_.journal_path.empty()) {
+    store_.open(config_.journal_path, config_.journal_flush);
+  }
 
-  std::size_t n = config_.workers;
-  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  if (config_.local_scan) {
+    std::size_t n = config_.workers;
+    if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
   }
 }
 
@@ -199,6 +203,16 @@ void JobManager::cancel(JobId id) {
   job.cancel_requested = true;
   job.interrupt.store(true, std::memory_order_release);
   scheduler_.set_runnable(id, false);
+  // Remote leases have no interrupt flag to observe — drop them now.
+  // A holder that retires one later gets `false` back, the standard
+  // stale-lease answer.
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [lease_id, ls] : leases_) {
+    if (ls.job == id) doomed.push_back(lease_id);
+  }
+  for (const std::uint64_t lease_id : doomed) {
+    reclaim_lease_locked(lease_id, /*count_expired=*/false);
+  }
   maybe_complete(job);
 }
 
@@ -263,6 +277,215 @@ std::size_t JobManager::remove_targets(JobId id,
   return detached;
 }
 
+std::optional<LeaseGrant> JobManager::lease(const std::string& holder,
+                                            const u128& max_ids,
+                                            double deadline) {
+  GKS_REQUIRE(!holder.empty(), "lease holder must not be empty");
+  GKS_REQUIRE(max_ids > u128(0), "lease size must be positive");
+  std::lock_guard lock(mu_);
+  if (stopping_) return std::nullopt;
+  for (;;) {
+    const std::optional<JobId> picked = scheduler_.pick();
+    if (!picked.has_value()) return std::nullopt;
+    JobImpl& job = *jobs_.at(*picked);
+    if (job.pending.empty()) {  // defensive: keep the scheduler honest
+      scheduler_.set_runnable(job.id, false);
+      continue;
+    }
+
+    // Identical bookkeeping to a local quantum dispatch: the lease is
+    // an in-flight interval, charged to the job's fair share now so
+    // concurrent holders don't pile onto the same underserved job.
+    const keyspace::Interval front = job.pending.front();
+    job.pending.pop_front();
+    const u128 take = std::min(max_ids, front.size());
+    const keyspace::Interval quantum(front.begin, front.begin + take);
+    if (take < front.size()) {
+      job.pending.emplace_front(front.begin + take, front.end);
+    }
+    ++job.in_flight;
+    ++job.intervals_issued;
+    if (!job.dispatched_once) {
+      job.dispatched_once = true;
+      job.first_dispatch = std::chrono::steady_clock::now();
+    }
+    if (job.state == JobState::kQueued) job.state = JobState::kRunning;
+    scheduler_.charge(job.id, quantum.size());
+    scheduler_.set_runnable(job.id, runnable(job));
+
+    LeaseGrant grant;
+    grant.lease_id = next_lease_id_++;
+    grant.job = job.id;
+    grant.job_name = job.spec.name;
+    grant.interval = quantum;
+    leases_.emplace(grant.lease_id,
+                    LeaseState{job.id, quantum, holder, deadline});
+    return grant;
+  }
+}
+
+bool JobManager::retire_lease(
+    std::uint64_t lease_id, const u128& tested,
+    const std::vector<std::pair<std::string, std::string>>& found,
+    double busy_s) {
+  std::unique_lock lock(mu_);
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;  // expired / revoked / bogus
+  const LeaseState ls = it->second;
+  leases_.erase(it);
+  JobImpl& job = *jobs_.at(ls.job);
+  --job.in_flight;
+  ++job.intervals_retired;
+  job.busy_s += busy_s;
+
+  // Recoveries journal before the interval that contains them — same
+  // crash-ordering argument as the local worker path: losing the found
+  // record at worst rescans the interval; the opposite order could
+  // mark the key's interval covered while losing the key forever.
+  for (const auto& [digest_hex, key] : found) {
+    apply_found_locked(job, digest_hex, key);
+  }
+  const u128 n = std::min(tested, ls.interval.size());
+  const keyspace::Interval done(ls.interval.begin, ls.interval.begin + n);
+  if (!done.empty()) {
+    store_.record_interval(job.spec.name, done);
+    job.scanned += job.coverage.add(done);
+  }
+  if (n < ls.interval.size()) {
+    job.pending.emplace_front(ls.interval.begin + n, ls.interval.end);
+  }
+  scheduler_.set_runnable(job.id, runnable(job));
+  maybe_complete(job);
+  const bool more = work_available();
+  lock.unlock();
+  if (more) work_cv_.notify_one();
+  return true;
+}
+
+bool JobManager::report_found(std::uint64_t lease_id,
+                              const std::string& digest_hex,
+                              const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  JobImpl& job = *jobs_.at(it->second.job);
+  apply_found_locked(job, digest_hex, key);
+  // The recovery may have resolved the last outstanding target; stop
+  // dispatching (the job completes once in-flight work retires).
+  scheduler_.set_runnable(job.id, runnable(job));
+  return true;
+}
+
+std::size_t JobManager::renew_leases(const std::string& holder,
+                                     double deadline) {
+  std::lock_guard lock(mu_);
+  std::size_t renewed = 0;
+  for (auto& [lease_id, ls] : leases_) {
+    if (ls.holder != holder) continue;
+    if (deadline > ls.deadline) ls.deadline = deadline;
+    ++renewed;
+  }
+  return renewed;
+}
+
+std::size_t JobManager::expire_leases(double now) {
+  std::unique_lock lock(mu_);
+  std::vector<std::uint64_t> dead;
+  for (const auto& [lease_id, ls] : leases_) {
+    if (now > ls.deadline) dead.push_back(lease_id);
+  }
+  for (const std::uint64_t lease_id : dead) {
+    reclaim_lease_locked(lease_id, /*count_expired=*/true);
+  }
+  const bool more = !dead.empty() && work_available();
+  lock.unlock();
+  if (more) work_cv_.notify_all();
+  return dead.size();
+}
+
+std::size_t JobManager::revoke_leases(const std::string& holder) {
+  std::unique_lock lock(mu_);
+  std::vector<std::uint64_t> dead;
+  for (const auto& [lease_id, ls] : leases_) {
+    if (ls.holder == holder) dead.push_back(lease_id);
+  }
+  for (const std::uint64_t lease_id : dead) {
+    reclaim_lease_locked(lease_id, /*count_expired=*/false);
+  }
+  const bool more = !dead.empty() && work_available();
+  lock.unlock();
+  if (more) work_cv_.notify_all();
+  return dead.size();
+}
+
+bool JobManager::lease_live(std::uint64_t lease_id) const {
+  std::lock_guard lock(mu_);
+  return leases_.count(lease_id) != 0;
+}
+
+std::size_t JobManager::lease_count() const {
+  std::lock_guard lock(mu_);
+  return leases_.size();
+}
+
+JobSpec JobManager::wire_spec(
+    JobId id,
+    std::vector<std::pair<std::string, std::string>>* found_so_far) const {
+  std::lock_guard lock(mu_);
+  const JobImpl& job = job_ref(id);
+  JobSpec spec = job.spec;
+  // The spec's hex list is frozen at submission; the sweeper's slot
+  // view is the live target set (add_targets extends it behind the
+  // spec's back).
+  spec.request.target_hexes.clear();
+  const std::size_t slots = job.sweeper->slot_count();
+  spec.request.target_hexes.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    spec.request.target_hexes.push_back(job.sweeper->slot_hex(i));
+  }
+  if (found_so_far != nullptr) *found_so_far = job.sweeper->found_so_far();
+  return spec;
+}
+
+void JobManager::reclaim_lease_locked(std::uint64_t lease_id,
+                                      bool count_expired) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return;
+  const LeaseState ls = it->second;
+  leases_.erase(it);
+  JobImpl& job = *jobs_.at(ls.job);
+  --job.in_flight;
+  if (count_expired) ++job.leases_expired;
+  if (!job.cancel_requested && !is_terminal(job.state)) {
+    // The holder may have scanned part (or all) of the interval, but
+    // nothing was retired, so nothing is covered: re-dispatch the
+    // whole thing. Overlap with a late retire is absorbed by the
+    // coverage ledger and found dedup.
+    job.pending.emplace_front(ls.interval);
+  }
+  scheduler_.set_runnable(job.id, runnable(job));
+  maybe_complete(job);
+}
+
+bool JobManager::apply_found_locked(JobImpl& job,
+                                    const std::string& digest_hex,
+                                    const std::string& key) {
+  std::vector<std::size_t> slots;
+  try {
+    slots = job.sweeper->mark_found_hex(digest_hex, key);
+  } catch (const Error&) {
+    return false;  // malformed hex from a remote worker: ignore
+  }
+  // Empty means a duplicate report or a target removed mid-lease —
+  // not ours to journal; this is what keeps found accounting
+  // exactly-once when two holders race on a re-dispatched interval.
+  if (slots.empty()) return false;
+  job.targets_found += slots.size();
+  store_.record_found(job.spec.name, job.sweeper->slot_hex(slots.front()),
+                      key);
+  return true;
+}
+
 JobSnapshot JobManager::status(JobId id) const {
   std::lock_guard lock(mu_);
   return snapshot_locked(job_ref(id));
@@ -316,6 +539,7 @@ JobSnapshot JobManager::snapshot_locked(const JobImpl& job) const {
   s.scanned = job.scanned;
   s.intervals_issued = job.intervals_issued;
   s.intervals_retired = job.intervals_retired;
+  s.leases_expired = job.leases_expired;
   s.targets_total = job.sweeper->slot_count();
   s.targets_found = job.targets_found;
   if (job.dispatched_once) {

@@ -41,6 +41,28 @@ struct JobServiceConfig {
   u128 max_quantum{u128(1) << 22};
   /// Checkpoint journal path; empty runs the service in-memory only.
   std::string journal_path;
+  /// Journal flush policy (see JobStore::FlushPolicy): the default
+  /// flushes every record; coordinators serving many remote workers
+  /// batch (group-commit) so interval retirement doesn't serialize on
+  /// per-line flushes.
+  JobStore::FlushPolicy journal_flush;
+  /// When false, no local scan threads are spawned: the manager is a
+  /// pure coordinator whose keyspace is consumed exclusively through
+  /// the lease API. `workers` is then ignored.
+  bool local_scan = true;
+};
+
+/// One granted lease: a bounded interval of a job's keyspace checked
+/// out to a remote holder until a deadline. The dual of the local
+/// worker quantum — same exactly-once machinery (retired coverage is
+/// journaled, unretired remainders re-dispatch), but preemption is by
+/// deadline instead of interrupt flag, because a remote holder may
+/// simply vanish.
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  JobId job = 0;
+  std::string job_name;
+  keyspace::Interval interval;
 };
 
 /// The multi-tenant job service: owns the worker pool, the fair-share
@@ -110,6 +132,69 @@ class JobManager {
   /// before applying, like add_targets.
   std::size_t remove_targets(JobId id, const std::vector<std::string>& hexes);
 
+  /// ---- Remote lease API (the distributed tier, src/dist/) --------
+  ///
+  /// All deadlines and `now` values are caller-supplied monotonic
+  /// seconds (the coordinator's Transport::now_s() timebase); the
+  /// manager only ever compares them, so real TCP clocks and virtual
+  /// simnet clocks both work unchanged.
+
+  /// Checks out up to `max_ids` of the most underserved runnable job's
+  /// pending keyspace to `holder`, valid until `deadline`. Fair-share
+  /// charging is identical to a local quantum. nullopt when nothing is
+  /// runnable.
+  std::optional<LeaseGrant> lease(const std::string& holder,
+                                  const u128& max_ids, double deadline);
+
+  /// Retires a lease: journals the recoveries then the covered prefix
+  /// [begin, begin+tested), returns the untested remainder to the
+  /// pending queue. Returns false for unknown or already-expired lease
+  /// ids — the interval was re-dispatched, and the coverage ledger
+  /// plus mark_found dedup make the late worker's overlap harmless.
+  bool retire_lease(std::uint64_t lease_id, const u128& tested,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        found = {},
+                    double busy_s = 0);
+
+  /// Records a recovery against a live lease without retiring it (a
+  /// worker reports FOUND the moment it hits, so a later crash cannot
+  /// lose the key). Journaled before acknowledging; duplicates of an
+  /// already-recovered digest are absorbed exactly-once. Returns false
+  /// when the lease is no longer live.
+  bool report_found(std::uint64_t lease_id, const std::string& digest_hex,
+                    const std::string& key);
+
+  /// Pushes every live lease of `holder` out to `deadline` (heartbeat
+  /// renewal; deadlines never move backwards). Returns the number of
+  /// leases renewed.
+  std::size_t renew_leases(const std::string& holder, double deadline);
+
+  /// Returns expired leases' intervals to their jobs' pending queues.
+  /// The coordinator calls this periodically with its current time;
+  /// the count is the number of leases reclaimed.
+  std::size_t expire_leases(double now);
+
+  /// Immediately reclaims every lease of `holder` (connection closed
+  /// or BYE — no reason to wait for the deadline).
+  std::size_t revoke_leases(const std::string& holder);
+
+  /// Whether a lease is still live (granted, not retired/expired/
+  /// revoked). Heartbeat replies use this to tell workers about
+  /// leases cancelled under them.
+  bool lease_live(std::uint64_t lease_id) const;
+
+  /// Live lease count across all jobs.
+  std::size_t lease_count() const;
+
+  /// The job's spec with the *current* target set (add_targets extends
+  /// the original request), plus optionally the recoveries so far —
+  /// what a coordinator sends a worker that has never seen the job.
+  JobSpec wire_spec(JobId id,
+                    std::vector<std::pair<std::string, std::string>>*
+                        found_so_far = nullptr) const;
+
+  /// ----------------------------------------------------------------
+
   /// Point-in-time snapshot; throws InvalidArgument for unknown ids.
   JobSnapshot status(JobId id) const;
 
@@ -148,6 +233,7 @@ class JobManager {
 
     std::uint64_t intervals_issued = 0;
     std::uint64_t intervals_retired = 0;
+    std::uint64_t leases_expired = 0;
     u128 scanned{0};
     /// Request slots resolved — by scan hits, journal replay, or adds
     /// duplicating an already-recovered digest. Exactly-once: every
@@ -161,7 +247,22 @@ class JobManager {
     std::string error;
   };
 
+  /// A granted, not-yet-retired lease (mu_ held).
+  struct LeaseState {
+    JobId job = 0;
+    keyspace::Interval interval;
+    std::string holder;
+    double deadline = 0;
+  };
+
   void worker_loop();
+  /// Returns a lease's interval to its job's pending queue and drops
+  /// the lease (mu_ held). Shared by expiry, revocation and cancel.
+  void reclaim_lease_locked(std::uint64_t lease_id, bool count_expired);
+  /// Applies one recovery to a job: mark, count, journal. Returns
+  /// whether it was new (mu_ held).
+  bool apply_found_locked(JobImpl& job, const std::string& digest_hex,
+                          const std::string& key);
   /// True when some runnable job has pending work (mu_ held).
   bool work_available() const;
   /// Quantum size for the job's next dispatch (mu_ held).
@@ -188,6 +289,8 @@ class JobManager {
   JobId next_id_ = 1;
   std::map<JobId, std::unique_ptr<JobImpl>> jobs_;  ///< submission order
   FairShareScheduler scheduler_;
+  std::uint64_t next_lease_id_ = 1;
+  std::map<std::uint64_t, LeaseState> leases_;
 
   std::vector<std::thread> workers_;
 };

@@ -44,7 +44,26 @@ hash::Algorithm algorithm_from_journal_name(std::string_view name) {
   return hash::Algorithm::kMd5;  // unreachable
 }
 
-JobSpec spec_from_record(const json::Value& rec) {
+}  // namespace
+
+void write_job_spec_fields(json::Writer& w, const JobSpec& spec) {
+  w.key("job").value(spec.name)
+      .key("algo").value(algorithm_journal_name(spec.request.algorithm))
+      .key("charset");
+  const auto chars = spec.request.charset.chars();
+  w.value(std::string_view(chars.data(), chars.size()));
+  w.key("min").value(static_cast<std::int64_t>(spec.request.min_length))
+      .key("max").value(static_cast<std::int64_t>(spec.request.max_length))
+      .key("salt_pos").value(salt_position_name(spec.request.salt.position))
+      .key("salt").value(spec.request.salt.salt)
+      .key("priority").value(spec.priority)
+      .key("weight").value(spec.weight)
+      .key("targets").begin_array();
+  for (const std::string& hex : spec.request.target_hexes) w.value(hex);
+  w.end_array();
+}
+
+JobSpec job_spec_from_json(const json::Value& rec) {
   JobSpec spec;
   spec.name = rec.at("job").as_string();
   spec.request.algorithm =
@@ -65,45 +84,87 @@ JobSpec spec_from_record(const json::Value& rec) {
   return spec;
 }
 
-}  // namespace
-
-JobStore::JobStore(const std::string& path) { open(path); }
-
-void JobStore::open(const std::string& path) {
-  GKS_REQUIRE(!out_.is_open(), "journal is already open: " + path_);
-  path_ = path;
-  out_.open(path, std::ios::app);
-  GKS_REQUIRE(out_.is_open(), "cannot open journal for append: " + path);
+JobStore::JobStore(const std::string& path, FlushPolicy policy) {
+  open(path, policy);
 }
 
-void JobStore::append(const std::string& line) {
+JobStore::~JobStore() {
+  {
+    std::lock_guard lock(mu_);
+    stop_flusher_ = true;
+    if (out_.is_open() && pending_ > 0) flush_locked();
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void JobStore::open(const std::string& path, FlushPolicy policy) {
+  GKS_REQUIRE(!out_.is_open(), "journal is already open: " + path_);
+  GKS_REQUIRE(policy.every_records > 0, "flush batch must be positive");
+  GKS_REQUIRE(policy.max_delay_s >= 0, "flush delay must be non-negative");
+  path_ = path;
+  policy_ = policy;
+  out_.open(path, std::ios::app);
+  GKS_REQUIRE(out_.is_open(), "cannot open journal for append: " + path);
+  if (policy_.every_records > 1 && policy_.max_delay_s > 0) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+void JobStore::flush_locked() {
+  out_.flush();
+  pending_ = 0;
+}
+
+void JobStore::flush() {
+  if (!out_.is_open()) return;
+  std::lock_guard lock(mu_);
+  if (pending_ > 0) flush_locked();
+}
+
+void JobStore::flusher_loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_flusher_) {
+    if (pending_ == 0) {
+      flush_cv_.wait(lock);
+      continue;
+    }
+    const auto deadline =
+        oldest_pending_ + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  policy_.max_delay_s));
+    if (std::chrono::steady_clock::now() >= deadline) {
+      flush_locked();
+    } else {
+      flush_cv_.wait_until(lock, deadline);
+    }
+  }
+}
+
+void JobStore::append(const std::string& line, bool force_flush) {
   if (!out_.is_open()) return;
   std::lock_guard lock(mu_);
   out_ << line << '\n';
-  // One durability point per record: a crash tears at most the line in
-  // flight, which load() tolerates.
-  out_.flush();
+  if (pending_ == 0) oldest_pending_ = std::chrono::steady_clock::now();
+  ++pending_;
+  if (force_flush || pending_ >= policy_.every_records) {
+    // Flush-per-record (the default) keeps one durability point per
+    // line: a crash tears at most the line in flight, which load()
+    // tolerates. Batched policies reach this branch every
+    // every_records appends; the flusher thread bounds the tail delay.
+    flush_locked();
+  } else {
+    flush_cv_.notify_one();  // arm the delay-bound flusher
+  }
 }
 
 void JobStore::record_job(const JobSpec& spec) {
   if (!out_.is_open()) return;
   json::Writer w;
-  w.begin_object()
-      .key("type").value("job")
-      .key("job").value(spec.name)
-      .key("algo").value(algorithm_journal_name(spec.request.algorithm))
-      .key("charset");
-  const auto chars = spec.request.charset.chars();
-  w.value(std::string_view(chars.data(), chars.size()));
-  w.key("min").value(static_cast<std::int64_t>(spec.request.min_length))
-      .key("max").value(static_cast<std::int64_t>(spec.request.max_length))
-      .key("salt_pos").value(salt_position_name(spec.request.salt.position))
-      .key("salt").value(spec.request.salt.salt)
-      .key("priority").value(spec.priority)
-      .key("weight").value(spec.weight)
-      .key("targets").begin_array();
-  for (const std::string& hex : spec.request.target_hexes) w.value(hex);
-  w.end_array().end_object();
+  w.begin_object().key("type").value("job");
+  write_job_spec_fields(w, spec);
+  w.end_object();
   append(w.str());
 }
 
@@ -170,7 +231,9 @@ void JobStore::record_state(const std::string& job, JobState state) {
       .key("job").value(job)
       .key("state").value(job_state_name(state))
       .end_object();
-  append(w.str());
+  // Terminal records cut the journal's replay horizon — always durable
+  // immediately, even under a batched flush policy.
+  append(w.str(), /*force_flush=*/true);
 }
 
 std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
@@ -208,7 +271,7 @@ std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
       if (job_of(name) == nullptr) {
         by_name.emplace(name, out.size());
         out.emplace_back();
-        out.back().spec = spec_from_record(rec);
+        out.back().spec = job_spec_from_json(rec);
       }
       continue;
     }

@@ -1,17 +1,32 @@
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "keyspace/interval.h"
 #include "service/interval_set.h"
 #include "service/job.h"
+#include "support/json.h"
 
 namespace gks::service {
+
+/// Writes a JobSpec's fields into an open JSON object (keys: job,
+/// algo, charset, min, max, salt_pos, salt, priority, weight,
+/// targets). One encoding shared by the journal's `job` record and
+/// the dist protocol's lease/submit messages, so a spec that survives
+/// a crash and a spec that crosses the wire are the same bytes.
+void write_job_spec_fields(json::Writer& w, const JobSpec& spec);
+
+/// Inverse of write_job_spec_fields; throws InvalidArgument on
+/// malformed or unknown field values.
+JobSpec job_spec_from_json(const json::Value& rec);
 
 /// Durable progress journal for the job service: an append-only
 /// JSON-lines file (docs/service.md describes the format). Six record
@@ -35,21 +50,47 @@ namespace gks::service {
 /// An `interval` record means those ids were fully scanned and need
 /// never be dispatched again; the union of a job's interval records is
 /// its coverage, and load() re-derives the unscanned gaps from it.
+/// Group-commit knob for JobStore. The default (flush after every
+/// record) keeps the original "lose at most the line being written"
+/// durability. Batched flushing — every `every_records` records or
+/// `max_delay_s` seconds after the oldest unflushed record, whichever
+/// first — is the distributed-scale mode: remote interval retirement
+/// then costs an in-memory append instead of a per-line flush, and a
+/// crash loses at most one bounded batch of *acknowledged-but-
+/// unflushed* work, which resume re-dispatches (coverage can only
+/// shrink, so exactly-once is unaffected). Terminal state records
+/// always flush immediately regardless of policy.
+///
+/// (Namespace scope rather than nested: a nested struct's default
+/// member initializers are not usable in the enclosing class's default
+/// arguments until the class is complete.)
+struct JournalFlushPolicy {
+  std::size_t every_records = 1;
+  double max_delay_s = 0.05;
+};
+
 class JobStore {
  public:
+  using FlushPolicy = JournalFlushPolicy;
+
   /// Null store: records nothing (in-memory-only service).
   JobStore() = default;
+  ~JobStore();
 
   /// Opens `path` for append, creating it if missing; throws
   /// InvalidArgument when the file cannot be opened.
-  explicit JobStore(const std::string& path);
+  explicit JobStore(const std::string& path, FlushPolicy policy = {});
 
   /// Turns a null store into a persistent one (the JobManager builds
   /// its member store this way). Throws if already open or on failure.
-  void open(const std::string& path);
+  void open(const std::string& path, FlushPolicy policy = {});
+
+  /// Forces buffered records to disk (no-op when nothing is pending).
+  void flush();
 
   bool persistent() const { return out_.is_open(); }
   const std::string& path() const { return path_; }
+  const FlushPolicy& flush_policy() const { return policy_; }
 
   /// Appenders — thread-safe, one flushed line each; no-ops on a null
   /// store.
@@ -98,11 +139,19 @@ class JobStore {
   static std::vector<RecoveredJob> load(const std::string& path);
 
  private:
-  void append(const std::string& line);
+  void append(const std::string& line, bool force_flush = false);
+  void flush_locked();
+  void flusher_loop();
 
   std::string path_;
+  FlushPolicy policy_;
   std::mutex mu_;
   std::ofstream out_;
+  std::size_t pending_ = 0;  ///< records appended but not yet flushed
+  std::chrono::steady_clock::time_point oldest_pending_;
+  std::condition_variable flush_cv_;
+  bool stop_flusher_ = false;
+  std::thread flusher_;  ///< delay-bound flusher; batched policies only
 };
 
 }  // namespace gks::service

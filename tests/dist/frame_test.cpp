@@ -1,0 +1,130 @@
+#include "dist/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "dist/transport.h"
+
+namespace gks::dist {
+namespace {
+
+TEST(Frame, EncodeLaysOutMagicLengthPayload) {
+  const std::string frame = encode_frame("hi");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 2);
+  EXPECT_EQ(frame.substr(0, 4), std::string(kFrameMagic, 4));
+  EXPECT_EQ(static_cast<unsigned char>(frame[4]), 2u);  // little-endian low
+  EXPECT_EQ(static_cast<unsigned char>(frame[5]), 0u);
+  EXPECT_EQ(frame.substr(kFrameHeaderBytes), "hi");
+}
+
+TEST(Frame, RoundTripsOneMessage) {
+  FrameDecoder dec;
+  dec.feed(encode_frame("{\"type\":\"hello\"}"));
+  const auto msg = dec.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, "{\"type\":\"hello\"}");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Frame, RoundTripsEmptyAndBinaryPayloads) {
+  FrameDecoder dec;
+  std::string binary("\x00\xff" "GKF1\x00", 7);  // embedded NUL and magic
+  dec.feed(encode_frame(""));
+  dec.feed(encode_frame(binary));
+  auto a = dec.next();
+  auto b = dec.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, "");
+  EXPECT_EQ(*b, binary);
+}
+
+TEST(Frame, ReassemblesByteAtATimeDelivery) {
+  const std::string wire = encode_frame("first") + encode_frame("second");
+  FrameDecoder dec;
+  std::string got;
+  for (char c : wire) {
+    dec.feed(&c, 1);
+    while (auto msg = dec.next()) got += *msg + "|";
+  }
+  EXPECT_EQ(got, "first|second|");
+}
+
+TEST(Frame, TornFrameWaitsForTheRest) {
+  const std::string wire = encode_frame("split-me");
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size() - 3);
+  EXPECT_FALSE(dec.next().has_value());  // payload incomplete
+  EXPECT_GT(dec.buffered(), 0u);
+  dec.feed(wire.data() + wire.size() - 3, 3);
+  const auto msg = dec.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, "split-me");
+}
+
+TEST(Frame, TruncatedHeaderWaits) {
+  FrameDecoder dec;
+  dec.feed("GKF", 3);  // magic prefix is consistent so far
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed("1\x02\x00\x00\x00ok", 7);
+  const auto msg = dec.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, "ok");
+}
+
+TEST(Frame, GarbageHeaderThrowsBeforeFullHeader) {
+  // An HTTP probe is rejected on its very first bytes: the decoder
+  // checks the magic prefix without waiting for a full 8-byte header.
+  FrameDecoder dec;
+  EXPECT_THROW(dec.feed("GET / HTTP/1.1\r\n", 16), ProtocolError);
+}
+
+TEST(Frame, ShortGarbagePrefixThrows) {
+  FrameDecoder dec;
+  EXPECT_THROW(dec.feed("XK", 2), ProtocolError);
+}
+
+TEST(Frame, OversizedLengthThrows) {
+  std::string header(kFrameMagic, 4);
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  char len[4];
+  std::memcpy(len, &huge, 4);
+  header.append(len, 4);
+  FrameDecoder dec;
+  EXPECT_THROW(dec.feed(header), ProtocolError);
+}
+
+TEST(Frame, MaxPayloadLengthIsAccepted) {
+  std::string header(kFrameMagic, 4);
+  const std::uint32_t max = kMaxFramePayload;
+  char len[4];
+  std::memcpy(len, &max, 4);
+  header.append(len, 4);
+  FrameDecoder dec;
+  EXPECT_NO_THROW(dec.feed(header));  // torn, not corrupt: waits for payload
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Frame, PoisonedDecoderStaysPoisoned) {
+  FrameDecoder dec;
+  EXPECT_THROW(dec.feed("junk-that-is-not-a-frame", 24), ProtocolError);
+  // Even valid bytes cannot resurrect it: a corrupt length prefix
+  // means the stream position is unknowable.
+  EXPECT_THROW(dec.feed(encode_frame("ok")), ProtocolError);
+  EXPECT_THROW(dec.next(), ProtocolError);
+}
+
+TEST(Frame, GarbageAfterValidFrameThrowsOnlyWhenReached) {
+  FrameDecoder dec;
+  dec.feed(encode_frame("good"));
+  const auto msg = dec.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, "good");
+  EXPECT_THROW(dec.feed("ZZZZZZZZ", 8), ProtocolError);
+}
+
+}  // namespace
+}  // namespace gks::dist

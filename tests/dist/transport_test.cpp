@@ -1,0 +1,145 @@
+#include "dist/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "dist/simnet_transport.h"
+#include "dist/tcp_transport.h"
+#include "simnet/network.h"
+
+namespace gks::dist {
+namespace {
+
+/// One echo exchange over an already-established pair: the payload a
+/// client sends is the payload the server receives, bare — framing (or
+/// simnet message boundaries) must stay invisible to callers.
+void expect_echo(Connection& client, Connection& server,
+                 const std::string& payload) {
+  client.send(payload);
+  const auto got = server.recv(10.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  server.send(*got);
+  const auto back = client.recv(10.0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(TcpTransport, EchoRoundTrip) {
+  TcpTransport transport;
+  auto listener = transport.listen("127.0.0.1:0");
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(10.0); });
+  auto client = transport.connect(listener->address(), 5.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+
+  expect_echo(*client, *server, "{\"type\":\"hello\"}");
+  expect_echo(*client, *server, "");  // empty message survives framing
+  expect_echo(*client, *server, std::string(1 << 16, 'x'));  // multi-read
+  std::string binary = "GKF1";  // payload that looks like a frame header
+  binary += '\0';
+  binary += "\xff\xfe";
+  expect_echo(*client, *server, binary);
+}
+
+TEST(TcpTransport, AcceptTimesOutWithoutConnection) {
+  TcpTransport transport;
+  auto listener = transport.listen("127.0.0.1:0");
+  EXPECT_EQ(listener->accept(0.05), nullptr);
+}
+
+TEST(TcpTransport, ConnectToDeadPortThrows) {
+  TcpTransport transport;
+  // Bind-then-close yields a port that is (momentarily) not listening.
+  std::string addr;
+  {
+    auto listener = transport.listen("127.0.0.1:0");
+    addr = listener->address();
+    listener->close();
+  }
+  EXPECT_THROW(transport.connect(addr, 0.5), TransportError);
+}
+
+TEST(TcpTransport, PeerCloseWakesRecv) {
+  TcpTransport transport;
+  auto listener = transport.listen("127.0.0.1:0");
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(10.0); });
+  auto client = transport.connect(listener->address(), 5.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+
+  client->close();
+  EXPECT_THROW(
+      {
+        // Either a clean nullopt never happens: a closed peer raises.
+        while (server->recv(5.0).has_value()) {
+        }
+      },
+      ConnectionClosed);
+}
+
+TEST(TcpTransport, NowAdvancesAndSleepWaits) {
+  TcpTransport transport;
+  const double t0 = transport.now_s();
+  transport.sleep_s(0.01);
+  EXPECT_GE(transport.now_s(), t0 + 0.009);
+}
+
+TEST(SimnetTransport, EchoRoundTripOverVirtualNetwork) {
+  simnet::Network net(1e-3);
+  const auto coord = net.add_node("coordinator");
+  const auto work = net.add_node("worker");
+  net.connect(coord, work);
+
+  SimnetTransport at(net, coord);
+  SimnetTransport bt(net, work);
+  auto listener = at.listen("coordinator");
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(30.0); });
+  auto client = bt.connect("coordinator", 30.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+
+  expect_echo(*client, *server, "{\"type\":\"hello\"}");
+  expect_echo(*client, *server, std::string(4096, 'y'));
+  EXPECT_EQ(server->peer(), "sim:worker");
+}
+
+TEST(SimnetTransport, DownNodeEatsTrafficSilently) {
+  simnet::Network net(1e-3);
+  const auto coord = net.add_node("coordinator");
+  const auto work = net.add_node("worker");
+  net.connect(coord, work);
+
+  SimnetTransport at(net, coord);
+  SimnetTransport bt(net, work);
+  auto listener = at.listen("coordinator");
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(30.0); });
+  auto client = bt.connect("coordinator", 30.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+
+  net.set_node_down(work, true);
+  client->send("into the void");  // send never learns of the failure
+  EXPECT_EQ(server->recv(0.5), std::nullopt);  // pure timeout, no error
+}
+
+TEST(SimnetTransport, ConnectToDownNodeTimesOut) {
+  simnet::Network net(1e-3);
+  const auto coord = net.add_node("coordinator");
+  const auto work = net.add_node("worker");
+  net.connect(coord, work);
+  net.set_node_down(coord, true);
+
+  SimnetTransport bt(net, work);
+  EXPECT_THROW(bt.connect("coordinator", 0.5), TransportError);
+}
+
+}  // namespace
+}  // namespace gks::dist

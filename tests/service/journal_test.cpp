@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "hash/md5.h"
 #include "support/error.h"
@@ -183,6 +185,99 @@ TEST_F(JournalTest, OverlappingRecordsShowUpAsJournaledExcess) {
 
 TEST_F(JournalTest, UnopenablePathThrows) {
   EXPECT_THROW(JobStore("/nonexistent-dir/journal.jsonl"), InvalidArgument);
+}
+
+// ---- group-commit (JournalFlushPolicy) ----------------------------
+
+/// Lines currently visible in the file — what a crashed process would
+/// leave behind, and what load() would replay.
+std::size_t lines_on_disk(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+TEST_F(JournalTest, BatchedFlushDefersUntilTheBatchFills) {
+  JobStore::FlushPolicy policy;
+  policy.every_records = 4;
+  policy.max_delay_s = 60.0;  // effectively never by time
+  JobStore store(path_, policy);
+  store.record_job(sample_spec("a"));
+  store.record_interval("a", keyspace::Interval(u128(0), u128(10)));
+  store.record_interval("a", keyspace::Interval(u128(10), u128(20)));
+  EXPECT_EQ(lines_on_disk(path_), 0u);  // three buffered, none flushed
+  store.record_interval("a", keyspace::Interval(u128(20), u128(30)));
+  EXPECT_EQ(lines_on_disk(path_), 4u);  // batch full: all out at once
+}
+
+TEST_F(JournalTest, BatchedFlushHonorsMaxDelay) {
+  JobStore::FlushPolicy policy;
+  policy.every_records = 1000;
+  policy.max_delay_s = 0.05;
+  JobStore store(path_, policy);
+  store.record_job(sample_spec("a"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (lines_on_disk(path_) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(lines_on_disk(path_), 1u);  // the flusher thread delivered
+}
+
+TEST_F(JournalTest, TerminalStateRecordForcesFlush) {
+  JobStore::FlushPolicy policy;
+  policy.every_records = 1000;
+  policy.max_delay_s = 60.0;
+  JobStore store(path_, policy);
+  store.record_job(sample_spec("a"));
+  store.record_interval("a", keyspace::Interval(u128(0), u128(10)));
+  EXPECT_EQ(lines_on_disk(path_), 0u);
+  store.record_state("a", JobState::kDone);
+  // A terminal state must never sit in a buffer: everything before it
+  // flushes with it, in order.
+  EXPECT_EQ(lines_on_disk(path_), 3u);
+}
+
+TEST_F(JournalTest, ExplicitFlushAndCloseDeliverBufferedRecords) {
+  JobStore::FlushPolicy policy;
+  policy.every_records = 1000;
+  policy.max_delay_s = 60.0;
+  {
+    JobStore store(path_, policy);
+    store.record_job(sample_spec("a"));
+    EXPECT_EQ(lines_on_disk(path_), 0u);
+    store.flush();
+    EXPECT_EQ(lines_on_disk(path_), 1u);
+    store.record_interval("a", keyspace::Interval(u128(0), u128(10)));
+  }  // destructor flushes the tail
+  const auto jobs = JobStore::load(path_);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].journaled, u128(10));
+}
+
+TEST_F(JournalTest, BatchedJournalReplaysIdenticallyToUnbatched) {
+  JobStore::FlushPolicy policy;
+  policy.every_records = 8;
+  policy.max_delay_s = 0.5;
+  {
+    JobStore store(path_, policy);
+    store.record_job(sample_spec("audit"));
+    store.record_interval("audit", keyspace::Interval(u128(0), u128(100)));
+    store.record_found("audit", hash::Md5::digest("abc").to_hex(), "abc");
+    store.record_interval("audit",
+                          keyspace::Interval(u128(100), u128(250)));
+  }
+  const auto jobs = JobStore::load(path_);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].journaled, u128(250));
+  EXPECT_EQ(jobs[0].scanned.covered(), u128(250));
+  ASSERT_EQ(jobs[0].found.size(), 1u);
+  EXPECT_EQ(jobs[0].found[0].second, "abc");
 }
 
 }  // namespace

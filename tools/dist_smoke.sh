@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Multi-process smoke test of the distributed tier: one gks-coordd and
+# two gks-workerd processes over localhost TCP, with one worker
+# SIGKILLed mid-run. Passes when the coordinator exits 0 (every target
+# recovered) and the journal holds the planted key's found record —
+# i.e. lease expiry re-dispatched the dead worker's interval and the
+# survivor finished the sweep.
+#
+# Usage: dist_smoke.sh <tools-bin-dir> [workdir]
+set -u
+
+BIN=${1:?usage: dist_smoke.sh <tools-bin-dir> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+cd "$WORK"
+
+fail() {
+  echo "dist_smoke: FAIL: $*" >&2
+  [ -s coordd.err ] && sed 's/^/  coordd: /' coordd.err >&2
+  exit 1
+}
+
+cleanup() {
+  kill -9 "${CPID:-0}" "${W1:-0}" "${W2:-0}" 2>/dev/null
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+# md5("wzzzz"), lower-case length-5 keyspace: deep enough in the
+# enumeration that the sweep is still running when the kill lands.
+cat > batch.txt <<'EOF'
+name=smoke algo=md5 hash=a53d1d57496c7c3b3c5c358cd3f2d768 charset=lower min=5 max=5
+EOF
+
+rm -f journal.jsonl coordd.out coordd.err
+"$BIN/gks-coordd" --batch batch.txt --listen 127.0.0.1:0 \
+  --journal journal.jsonl --local-workers 0 --lease 1.0 --heartbeat 0.25 \
+  --exit-when-done --quiet > coordd.out 2> coordd.err &
+CPID=$!
+
+ADDR=
+for _ in $(seq 100); do
+  ADDR=$(sed -n 's/^listening on //p' coordd.out)
+  [ -n "$ADDR" ] && break
+  kill -0 "$CPID" 2>/dev/null || fail "coordinator died during startup"
+  sleep 0.1
+done
+[ -n "$ADDR" ] || fail "coordinator never announced its address"
+
+"$BIN/gks-workerd" --connect "$ADDR" --name victim --threads 2 \
+  > victim.out 2>&1 &
+W1=$!
+"$BIN/gks-workerd" --connect "$ADDR" --name survivor --threads 2 \
+  > survivor.out 2>&1 &
+W2=$!
+
+# Let the victim lease and scan for a moment, then kill it the hard
+# way — no BYE, no close: only lease expiry can reclaim its interval.
+sleep 0.4
+kill -9 "$W1" 2>/dev/null || fail "victim already gone before the kill"
+
+DEADLINE=$((SECONDS + 120))
+while kill -0 "$CPID" 2>/dev/null; do
+  [ "$SECONDS" -lt "$DEADLINE" ] || fail "coordinator still running after 120s"
+  sleep 0.2
+done
+wait "$CPID"
+CEXIT=$?
+[ "$CEXIT" -eq 0 ] || fail "coordinator exited $CEXIT (want 0: all found)"
+
+grep -q '"type":"found".*"key":"wzzzz"' journal.jsonl \
+  || fail "journal has no found record for the planted key"
+
+kill "$W2" 2>/dev/null
+echo "dist_smoke: PASS (coordinator exit 0, planted key journaled)"
+exit 0

@@ -1,0 +1,200 @@
+// gks-coordd: the distributed job coordinator daemon.
+//
+//   gks-coordd [options]
+//
+// Owns the JobManager (scheduler + checkpoint journal) and serves the
+// dispatch protocol (docs/distributed.md) on a TCP listen address.
+// Workers (gks-workerd) lease interval quanta and retire them; control
+// clients (gks-jobs --connect) submit batches and watch progress.
+//
+// Options:
+//   --listen ADDR       host:port to bind; port 0 picks one
+//                       [127.0.0.1:0]
+//   --batch FILE        submit this batch at startup (batch_format.h;
+//                       cancel_after/add_after/remove_after ignored)
+//   --journal FILE      checkpoint journal (JSON lines)
+//   --resume            reload --journal before serving
+//   --journal-batch N   group-commit: flush every N records     [1]
+//   --journal-delay S   ... or S seconds after the oldest unflushed
+//                       record, whichever comes first            [0.05]
+//   --local-workers N   also scan locally with N threads         [0]
+//   --lease S           lease lifetime                           [3.0]
+//   --heartbeat S       heartbeat cadence workers are told       [0.5]
+//   --exit-when-done    exit once every job is terminal (needs at
+//                       least one job, from --batch or --resume)
+//   --quiet             no startup banner beyond the listen line
+//
+// Prints exactly one line `listening on HOST:PORT` to stdout once the
+// listener is bound (scripts parse it to learn an ephemeral port).
+//
+// Exit status with --exit-when-done: 0 when every job is done with all
+// targets recovered, 1 otherwise. Without it, runs until SIGINT/
+// SIGTERM, then exits 0.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch_format.h"
+#include "dist/coordinator.h"
+#include "dist/tcp_transport.h"
+#include "service/job_manager.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace gks;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+struct Options {
+  std::string listen = "127.0.0.1:0";
+  std::string batch;
+  std::string journal;
+  bool resume = false;
+  std::size_t journal_batch = 1;
+  double journal_delay = 0.05;
+  std::size_t local_workers = 0;
+  double lease_s = 3.0;
+  double heartbeat_s = 0.5;
+  bool exit_when_done = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: %s [--listen HOST:PORT] [--batch FILE] [--journal FILE] "
+      "[--resume] [--journal-batch N] [--journal-delay S] "
+      "[--local-workers N] [--lease S] [--heartbeat S] "
+      "[--exit-when-done] [--quiet]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], "missing option value");
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      opt.listen = need_value();
+    } else if (arg == "--batch") {
+      opt.batch = need_value();
+    } else if (arg == "--journal") {
+      opt.journal = need_value();
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--journal-batch") {
+      opt.journal_batch = std::stoul(need_value());
+    } else if (arg == "--journal-delay") {
+      opt.journal_delay = std::stod(need_value());
+    } else if (arg == "--local-workers") {
+      opt.local_workers = std::stoul(need_value());
+    } else if (arg == "--lease") {
+      opt.lease_s = std::stod(need_value());
+    } else if (arg == "--heartbeat") {
+      opt.heartbeat_s = std::stod(need_value());
+    } else if (arg == "--exit-when-done") {
+      opt.exit_when_done = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], ("unknown option: " + arg).c_str());
+    }
+  }
+  if (opt.resume && opt.journal.empty()) {
+    usage(argv[0], "--resume needs --journal");
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_options(argc, argv);
+
+    service::JobServiceConfig config;
+    config.journal_path = opt.journal;
+    config.journal_flush = {opt.journal_batch, opt.journal_delay};
+    config.local_scan = opt.local_workers > 0;
+    config.workers = opt.local_workers;
+    service::JobManager manager(config);
+
+    if (opt.resume) {
+      const std::size_t n = manager.resume_from(opt.journal);
+      if (!opt.quiet) {
+        std::fprintf(stderr, "resumed %zu unfinished job(s) from %s\n", n,
+                     opt.journal.c_str());
+      }
+    }
+    if (!opt.batch.empty()) {
+      for (tools::BatchJob& job : tools::parse_batch(opt.batch)) {
+        if (manager.find_job(job.spec.name).has_value()) continue;
+        manager.submit(std::move(job.spec));
+      }
+    }
+
+    dist::TcpTransport transport;
+    dist::CoordinatorConfig coord_config;
+    coord_config.lease_s = opt.lease_s;
+    coord_config.heartbeat_s = opt.heartbeat_s;
+    dist::Coordinator coordinator(manager, transport, coord_config);
+    coordinator.start(opt.listen);
+
+    std::printf("listening on %s\n", coordinator.address().c_str());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    int exit_code = 0;
+    for (;;) {
+      if (g_stop.load(std::memory_order_acquire)) break;
+      if (opt.exit_when_done) {
+        const std::vector<service::JobSnapshot> snaps =
+            manager.snapshot_all();
+        bool all_terminal = !snaps.empty();
+        bool all_ok = !snaps.empty();
+        for (const auto& s : snaps) {
+          all_terminal = all_terminal && service::is_terminal(s.state);
+          all_ok = all_ok && s.state == service::JobState::kDone &&
+                   s.targets_found == s.targets_total;
+        }
+        if (all_terminal) {
+          exit_code = all_ok ? 0 : 1;
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    coordinator.stop();
+    if (!opt.quiet) {
+      const auto stats = coordinator.stats();
+      std::fprintf(stderr,
+                   "sessions=%llu leases=%llu retired=%llu found=%llu\n",
+                   static_cast<unsigned long long>(stats.sessions_opened),
+                   static_cast<unsigned long long>(stats.leases_granted),
+                   static_cast<unsigned long long>(stats.leases_retired),
+                   static_cast<unsigned long long>(stats.found_reports));
+    }
+    return exit_code;
+  } catch (const gks::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

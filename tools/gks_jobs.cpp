@@ -2,21 +2,8 @@
 //
 //   gks-jobs BATCHFILE [options]
 //
-// The batch file has one job per line, `key=value` tokens separated by
-// whitespace (# starts a comment):
-//
-//   name=audit1 algo=md5 hash=HEX[,HEX...] charset=lower min=1 max=4
-//       priority=2 weight=1.5 salt_suffix=pepper cancel_after=2.5
-//   (one line per job; shown wrapped here)
-//
-// Keys: name (required), hash (required, comma-separated or repeated),
-// algo md5|sha1 [md5], charset lower|upper|digits|alpha|alnum|
-// printable|custom:S [lower], min/max [1/4], priority [0], weight [1],
-// salt_prefix/salt_suffix, cancel_after=SECS (demo hook: request
-// cancellation that long after the run starts),
-// add_after=SECS:HEX[,HEX...] / remove_after=SECS:HEX[,HEX...]
-// (live target mutation: attach/detach the digests that long after the
-// run starts, while the sweep keeps going; repeatable).
+// The batch format (one job per line, key=value tokens) is documented
+// in tools/batch_format.h.
 //
 // Options:
 //   --workers N        worker threads                  [hardware]
@@ -25,6 +12,10 @@
 //                      unfinished jobs are dispatched again, and batch
 //                      entries whose name the journal already knows
 //                      are not resubmitted
+//   --connect ADDR     remote mode: submit the batch to a running
+//                      gks-coordd at host:port and watch it from there
+//                      (--workers/--journal/--resume are then invalid;
+//                      the coordinator owns the journal)
 //   --progress SECS    streamed per-job progress period [1.0]
 //   --quiet            no progress stream
 //   --json             machine-readable final report on stdout
@@ -34,14 +25,15 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <optional>
+#include <memory>
 #include <set>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "batch_format.h"
+#include "dist/protocol.h"
+#include "dist/tcp_transport.h"
 #include "service/job_manager.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -50,24 +42,15 @@
 namespace {
 
 using namespace gks;
-
-struct TimedMutation {
-  double at_s = 0;
-  bool add = false;  // attach the hexes; false = detach them
-  std::vector<std::string> hexes;
-};
-
-struct BatchJob {
-  service::JobSpec spec;
-  std::optional<double> cancel_after;
-  std::vector<TimedMutation> mutations;
-};
+using tools::BatchJob;
+using tools::TimedMutation;
 
 struct Options {
   std::string batch_path;
   std::size_t workers = 0;
   std::string journal;
   bool resume = false;
+  std::string connect;
   double progress_s = 1.0;
   bool quiet = false;
   bool json = false;
@@ -77,23 +60,11 @@ struct Options {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: %s BATCHFILE [--workers N] [--journal FILE] "
-               "[--resume] [--progress SECS] [--quiet] [--json]\n"
-               "see the header of tools/gks_jobs.cpp for the batch format\n",
+               "[--resume] [--connect HOST:PORT] [--progress SECS] "
+               "[--quiet] [--json]\n"
+               "see tools/batch_format.h for the batch format\n",
                argv0);
   std::exit(2);
-}
-
-keyspace::Charset charset_by_name(const std::string& name) {
-  if (name == "lower") return keyspace::Charset::lower();
-  if (name == "upper") return keyspace::Charset::upper();
-  if (name == "digits") return keyspace::Charset::digits();
-  if (name == "alpha") return keyspace::Charset::alpha();
-  if (name == "alnum") return keyspace::Charset::alphanumeric();
-  if (name == "printable") return keyspace::Charset::printable();
-  if (name.rfind("custom:", 0) == 0) {
-    return keyspace::Charset(name.substr(7));
-  }
-  throw InvalidArgument("unknown charset: " + name);
 }
 
 Options parse_options(int argc, char** argv) {
@@ -110,6 +81,8 @@ Options parse_options(int argc, char** argv) {
       opt.journal = need_value();
     } else if (arg == "--resume") {
       opt.resume = true;
+    } else if (arg == "--connect") {
+      opt.connect = need_value();
     } else if (arg == "--progress") {
       opt.progress_s = std::stod(need_value());
     } else if (arg == "--quiet") {
@@ -130,110 +103,11 @@ Options parse_options(int argc, char** argv) {
   if (opt.resume && opt.journal.empty()) {
     usage(argv[0], "--resume needs --journal");
   }
+  if (!opt.connect.empty() &&
+      (opt.workers != 0 || !opt.journal.empty() || opt.resume)) {
+    usage(argv[0], "--connect excludes --workers/--journal/--resume");
+  }
   return opt;
-}
-
-std::vector<std::string> split_hashes(const std::string& list) {
-  std::vector<std::string> hexes;
-  std::stringstream ss(list);
-  std::string hex;
-  while (std::getline(ss, hex, ',')) {
-    if (!hex.empty()) hexes.push_back(hex);
-  }
-  return hexes;
-}
-
-TimedMutation parse_mutation(bool add, const std::string& value,
-                             std::size_t line_no) {
-  const auto colon = value.find(':');
-  GKS_REQUIRE(colon != std::string::npos && colon > 0,
-              "batch line " + std::to_string(line_no) +
-                  ": expected SECS:HEX[,HEX...], got '" + value + "'");
-  TimedMutation m;
-  m.at_s = std::stod(value.substr(0, colon));
-  m.add = add;
-  m.hexes = split_hashes(value.substr(colon + 1));
-  GKS_REQUIRE(!m.hexes.empty(), "batch line " + std::to_string(line_no) +
-                                    ": mutation lists no digests");
-  return m;
-}
-
-BatchJob parse_batch_line(const std::string& line, std::size_t line_no) {
-  BatchJob job;
-  job.spec.request.min_length = 1;
-  job.spec.request.max_length = 4;
-  job.spec.request.charset = keyspace::Charset::lower();
-  std::stringstream ss(line);
-  std::string token;
-  while (ss >> token) {
-    const auto eq = token.find('=');
-    GKS_REQUIRE(eq != std::string::npos && eq > 0,
-                "batch line " + std::to_string(line_no) +
-                    ": expected key=value, got '" + token + "'");
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
-    if (key == "name") {
-      job.spec.name = value;
-    } else if (key == "algo") {
-      if (value == "md5") {
-        job.spec.request.algorithm = hash::Algorithm::kMd5;
-      } else if (value == "sha1") {
-        job.spec.request.algorithm = hash::Algorithm::kSha1;
-      } else {
-        throw InvalidArgument("batch line " + std::to_string(line_no) +
-                              ": unsupported algo '" + value + "'");
-      }
-    } else if (key == "hash") {
-      for (std::string& hex : split_hashes(value)) {
-        job.spec.request.target_hexes.push_back(std::move(hex));
-      }
-    } else if (key == "charset") {
-      job.spec.request.charset = charset_by_name(value);
-    } else if (key == "min") {
-      job.spec.request.min_length = static_cast<unsigned>(std::stoul(value));
-    } else if (key == "max") {
-      job.spec.request.max_length = static_cast<unsigned>(std::stoul(value));
-    } else if (key == "priority") {
-      job.spec.priority = std::stoi(value);
-    } else if (key == "weight") {
-      job.spec.weight = std::stod(value);
-    } else if (key == "salt_prefix") {
-      job.spec.request.salt = {hash::SaltPosition::kPrefix, value};
-    } else if (key == "salt_suffix") {
-      job.spec.request.salt = {hash::SaltPosition::kSuffix, value};
-    } else if (key == "cancel_after") {
-      job.cancel_after = std::stod(value);
-    } else if (key == "add_after") {
-      job.mutations.push_back(parse_mutation(true, value, line_no));
-    } else if (key == "remove_after") {
-      job.mutations.push_back(parse_mutation(false, value, line_no));
-    } else {
-      throw InvalidArgument("batch line " + std::to_string(line_no) +
-                            ": unknown key '" + key + "'");
-    }
-  }
-  GKS_REQUIRE(!job.spec.name.empty(),
-              "batch line " + std::to_string(line_no) + ": missing name=");
-  GKS_REQUIRE(!job.spec.request.target_hexes.empty(),
-              "batch line " + std::to_string(line_no) + ": missing hash=");
-  return job;
-}
-
-std::vector<BatchJob> parse_batch(const std::string& path) {
-  std::ifstream in(path);
-  GKS_REQUIRE(in.is_open(), "cannot open batch file: " + path);
-  std::vector<BatchJob> jobs;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto hash_pos = line.find('#');
-    if (hash_pos != std::string::npos) line.erase(hash_pos);
-    if (line.find_first_not_of(" \t") == std::string::npos) continue;
-    jobs.push_back(parse_batch_line(line, line_no));
-  }
-  GKS_REQUIRE(!jobs.empty(), "batch file has no jobs: " + path);
-  return jobs;
 }
 
 void print_progress(const std::vector<service::JobSnapshot>& snaps,
@@ -257,33 +131,7 @@ int report(const std::vector<service::JobSnapshot>& snaps, bool json) {
   if (json) {
     json::Writer w;
     w.begin_object().key("ok").value(all_ok).key("jobs").begin_array();
-    for (const auto& s : snaps) {
-      w.begin_object()
-          .key("name").value(s.name)
-          .key("state").value(service::job_state_name(s.state))
-          .key("space").value(s.space.to_string())
-          .key("scanned").value(s.scanned.to_string())
-          .key("intervals_issued").value(s.intervals_issued)
-          .key("intervals_retired").value(s.intervals_retired)
-          .key("targets_total")
-          .value(static_cast<std::uint64_t>(s.targets_total))
-          .key("targets_found")
-          .value(static_cast<std::uint64_t>(s.targets_found))
-          .key("keys_per_s").value(s.keys_per_s)
-          .key("elapsed_s").value(s.elapsed_s)
-          .key("filter_gate_hits").value(s.filter_gate_hits)
-          .key("filter_false_positives").value(s.filter_false_positives)
-          .key("found").begin_array();
-      for (const auto& [digest, key] : s.found) {
-        w.begin_object()
-            .key("digest").value(digest)
-            .key("key").value(key)
-            .end_object();
-      }
-      w.end_array();
-      if (!s.error.empty()) w.key("error").value(s.error);
-      w.end_object();
-    }
+    for (const auto& s : snaps) service::snapshot_to_json(w, s);
     w.end_array().end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
@@ -306,98 +154,229 @@ int report(const std::vector<service::JobSnapshot>& snaps, bool json) {
   return all_ok ? 0 : 1;
 }
 
+/// Remote mode: the batch runs on a gks-coordd; this process is a thin
+/// protocol client that submits, watches, and fires the batch's timed
+/// cancellations/mutations over the wire.
+int run_remote(const Options& opt, std::vector<BatchJob>& batch) {
+  dist::TcpTransport transport;
+  const std::unique_ptr<dist::Connection> conn =
+      transport.connect(opt.connect, /*timeout_s=*/5.0);
+  const auto roundtrip = [&](const std::string& body) {
+    conn->send(body);
+    const auto reply = conn->recv(/*timeout_s=*/10.0);
+    GKS_REQUIRE(reply.has_value(), "coordinator did not answer");
+    return json::parse(*reply);
+  };
+
+  dist::HelloMsg hello;
+  hello.name = "gks-jobs";
+  hello.threads = 0;
+  const json::Value welcome = roundtrip(dist::encode(hello));
+  GKS_REQUIRE(dist::message_type(welcome) == "welcome",
+              "coordinator rejected session: " +
+                  welcome.string_or("error", "unexpected reply"));
+
+  std::set<std::string> ours;
+  for (BatchJob& job : batch) {
+    dist::SubmitMsg submit;
+    submit.spec = job.spec;
+    const json::Value reply = roundtrip(dist::encode(submit));
+    const dist::AckMsg ack = dist::ack_from_json(reply);
+    GKS_REQUIRE(ack.ok, "submit '" + job.spec.name + "' failed: " +
+                            ack.error);
+    ours.insert(job.spec.name);
+  }
+
+  struct PendingCancel {
+    std::string job;
+    double at_s;
+    bool fired = false;
+  };
+  struct PendingMutation {
+    std::string job;
+    TimedMutation mutation;
+    bool fired = false;
+  };
+  std::vector<PendingCancel> cancels;
+  std::vector<PendingMutation> mutations;
+  for (BatchJob& job : batch) {
+    if (job.cancel_after.has_value()) {
+      cancels.push_back({job.spec.name, *job.cancel_after});
+    }
+    for (TimedMutation& m : job.mutations) {
+      mutations.push_back({job.spec.name, std::move(m)});
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  double next_progress = opt.progress_s;
+  std::vector<service::JobSnapshot> last;
+  bool peer_gone = false;
+  for (;;) {
+    json::Value reply;
+    try {
+      reply = roundtrip(dist::encode(dist::StatusMsg{}));
+    } catch (const Error&) {
+      // An --exit-when-done coordinator vanishes the instant its last
+      // job finishes — possibly before this client observes the final
+      // states. The last snapshot is the best truth available.
+      peer_gone = true;
+      break;
+    }
+    GKS_REQUIRE(dist::message_type(reply) == "status_resp",
+                "unexpected status reply");
+    const dist::StatusRespMsg resp = dist::status_resp_from_json(reply);
+    last.clear();
+    bool all_terminal = true;
+    for (const service::JobSnapshot& s : resp.jobs) {
+      if (ours.count(s.name) == 0) continue;
+      last.push_back(s);
+      all_terminal = all_terminal && service::is_terminal(s.state);
+    }
+    if (all_terminal && last.size() == ours.size()) break;
+    const double t = elapsed();
+    for (PendingCancel& c : cancels) {
+      if (c.fired || t < c.at_s) continue;
+      c.fired = true;
+      roundtrip(dist::encode(dist::CancelMsg{c.job}));
+    }
+    for (PendingMutation& m : mutations) {
+      if (m.fired || t < m.mutation.at_s) continue;
+      m.fired = true;
+      dist::TargetsMsg msg;
+      msg.job = m.job;
+      (m.mutation.add ? msg.add : msg.remove) = m.mutation.hexes;
+      const dist::AckMsg ack =
+          dist::ack_from_json(roundtrip(dist::encode(msg)));
+      if (!ack.ok) {
+        std::fprintf(stderr, "warning: mutation skipped: %s\n",
+                     ack.error.c_str());
+      }
+    }
+    if (!opt.quiet && !opt.json && t >= next_progress) {
+      print_progress(last, t);
+      next_progress += opt.progress_s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (peer_gone) {
+    std::fprintf(stderr,
+                 "warning: coordinator went away; reporting last "
+                 "observed status\n");
+    const int rc = report(last, opt.json);
+    return last.size() == ours.size() ? rc : 1;
+  }
+  try {
+    roundtrip(dist::encode(dist::ByeMsg{}));
+  } catch (const Error&) {
+    // Orderly-exit race: the coordinator may quit between the final
+    // status and our bye. The report below is already complete.
+  }
+  conn->close();
+  return report(last, opt.json);
+}
+
+int run_local(const Options& opt, std::vector<BatchJob>& batch) {
+  service::JobServiceConfig config;
+  config.workers = opt.workers;
+  config.journal_path = opt.journal;
+  service::JobManager manager(config);
+
+  // Names the journal already knows (resumed live, or finished in an
+  // earlier run) are not resubmitted.
+  std::set<std::string> known;
+  if (opt.resume) {
+    const std::size_t n = manager.resume_from(opt.journal);
+    for (const auto& rec : service::JobStore::load(opt.journal)) {
+      known.insert(rec.spec.name);
+    }
+    if (!opt.quiet && !opt.json) {
+      std::printf("resumed %zu unfinished job(s) from %s\n", n,
+                  opt.journal.c_str());
+    }
+  }
+
+  struct Pending {
+    service::JobId id;
+    double cancel_after;
+    bool cancelled = false;
+  };
+  struct PendingMutation {
+    service::JobId id;
+    TimedMutation mutation;
+    bool fired = false;
+  };
+  std::vector<Pending> cancels;
+  std::vector<PendingMutation> mutations;
+  for (BatchJob& job : batch) {
+    if (known.count(job.spec.name) != 0) continue;
+    const service::JobId id = manager.submit(std::move(job.spec));
+    if (job.cancel_after.has_value()) {
+      cancels.push_back({id, *job.cancel_after});
+    }
+    for (TimedMutation& m : job.mutations) {
+      mutations.push_back({id, std::move(m)});
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  double next_progress = opt.progress_s;
+  for (;;) {
+    const std::vector<service::JobSnapshot> snaps = manager.snapshot_all();
+    bool all_terminal = true;
+    for (const auto& s : snaps) {
+      all_terminal = all_terminal && service::is_terminal(s.state);
+    }
+    if (all_terminal) break;
+    const double t = elapsed();
+    for (Pending& c : cancels) {
+      if (!c.cancelled && t >= c.cancel_after) {
+        manager.cancel(c.id);
+        c.cancelled = true;
+      }
+    }
+    for (PendingMutation& m : mutations) {
+      if (m.fired || t < m.mutation.at_s) continue;
+      m.fired = true;
+      try {
+        if (m.mutation.add) {
+          manager.add_targets(m.id, m.mutation.hexes);
+        } else {
+          manager.remove_targets(m.id, m.mutation.hexes);
+        }
+      } catch (const gks::Error& e) {
+        // The job may have finished before the timer fired; a late
+        // mutation is a no-op, not a batch failure.
+        std::fprintf(stderr, "warning: mutation skipped: %s\n", e.what());
+      }
+    }
+    if (!opt.quiet && !opt.json && t >= next_progress) {
+      print_progress(snaps, t);
+      next_progress += opt.progress_s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return report(manager.snapshot_all(), opt.json);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_options(argc, argv);
-    std::vector<BatchJob> batch = parse_batch(opt.batch_path);
-
-    service::JobServiceConfig config;
-    config.workers = opt.workers;
-    config.journal_path = opt.journal;
-    service::JobManager manager(config);
-
-    // Names the journal already knows (resumed live, or finished in an
-    // earlier run) are not resubmitted.
-    std::set<std::string> known;
-    if (opt.resume) {
-      const std::size_t n = manager.resume_from(opt.journal);
-      for (const auto& rec : service::JobStore::load(opt.journal)) {
-        known.insert(rec.spec.name);
-      }
-      if (!opt.quiet && !opt.json) {
-        std::printf("resumed %zu unfinished job(s) from %s\n", n,
-                    opt.journal.c_str());
-      }
-    }
-
-    struct Pending {
-      service::JobId id;
-      double cancel_after;
-      bool cancelled = false;
-    };
-    struct PendingMutation {
-      service::JobId id;
-      TimedMutation mutation;
-      bool fired = false;
-    };
-    std::vector<Pending> cancels;
-    std::vector<PendingMutation> mutations;
-    for (BatchJob& job : batch) {
-      if (known.count(job.spec.name) != 0) continue;
-      const service::JobId id = manager.submit(std::move(job.spec));
-      if (job.cancel_after.has_value()) {
-        cancels.push_back({id, *job.cancel_after});
-      }
-      for (TimedMutation& m : job.mutations) {
-        mutations.push_back({id, std::move(m)});
-      }
-    }
-
-    const auto start = std::chrono::steady_clock::now();
-    const auto elapsed = [&] {
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
-    };
-    double next_progress = opt.progress_s;
-    for (;;) {
-      const std::vector<service::JobSnapshot> snaps = manager.snapshot_all();
-      bool all_terminal = true;
-      for (const auto& s : snaps) {
-        all_terminal = all_terminal && service::is_terminal(s.state);
-      }
-      if (all_terminal) break;
-      const double t = elapsed();
-      for (Pending& c : cancels) {
-        if (!c.cancelled && t >= c.cancel_after) {
-          manager.cancel(c.id);
-          c.cancelled = true;
-        }
-      }
-      for (PendingMutation& m : mutations) {
-        if (m.fired || t < m.mutation.at_s) continue;
-        m.fired = true;
-        try {
-          if (m.mutation.add) {
-            manager.add_targets(m.id, m.mutation.hexes);
-          } else {
-            manager.remove_targets(m.id, m.mutation.hexes);
-          }
-        } catch (const gks::Error& e) {
-          // The job may have finished before the timer fired; a late
-          // mutation is a no-op, not a batch failure.
-          std::fprintf(stderr, "warning: mutation skipped: %s\n", e.what());
-        }
-      }
-      if (!opt.quiet && !opt.json && t >= next_progress) {
-        print_progress(snaps, t);
-        next_progress += opt.progress_s;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-    return report(manager.snapshot_all(), opt.json);
+    std::vector<BatchJob> batch = tools::parse_batch(opt.batch_path);
+    return opt.connect.empty() ? run_local(opt, batch)
+                               : run_remote(opt, batch);
   } catch (const gks::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

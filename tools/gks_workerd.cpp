@@ -1,0 +1,102 @@
+// gks-workerd: the distributed scan worker daemon.
+//
+//   gks-workerd --connect HOST:PORT [options]
+//
+// Leases interval quanta from a gks-coordd, sweeps them with the
+// multi-target engine, reports recoveries immediately, heartbeats to
+// keep its leases alive. Kill it any way you like — the coordinator
+// re-dispatches whatever it had checked out.
+//
+// Options:
+//   --connect ADDR   coordinator address (required)
+//   --name NAME      worker identity in coordinator logs    [worker]
+//   --threads N      scan threads                           [hardware]
+//   --reconnect N    reconnect attempts after a drop        [5]
+//   --backoff S      pause between reconnect attempts       [0.5]
+//
+// Exit status: 0 on orderly shutdown (SIGINT/SIGTERM), 1 when the
+// coordinator became unreachable, 2 on bad usage.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "dist/tcp_transport.h"
+#include "dist/worker_daemon.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace gks;
+
+dist::WorkerDaemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();  // atomics only: async-safe
+}
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT [--name NAME] [--threads N] "
+               "[--reconnect N] [--backoff S]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string connect;
+    dist::WorkerConfig config;
+    config.threads = std::max(1u, std::thread::hardware_concurrency());
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto need_value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0], "missing option value");
+        return argv[++i];
+      };
+      if (arg == "--connect") {
+        connect = need_value();
+      } else if (arg == "--name") {
+        config.name = need_value();
+      } else if (arg == "--threads") {
+        config.threads = std::stoul(need_value());
+      } else if (arg == "--reconnect") {
+        config.reconnect_attempts = std::stoi(need_value());
+      } else if (arg == "--backoff") {
+        config.reconnect_backoff_s = std::stod(need_value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        usage(argv[0], ("unknown option: " + arg).c_str());
+      }
+    }
+    if (connect.empty()) usage(argv[0], "--connect is required");
+
+    dist::TcpTransport transport;
+    dist::WorkerDaemon daemon(transport, config);
+    g_daemon = &daemon;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    const bool orderly = daemon.run(connect);
+    const auto stats = daemon.stats();
+    std::fprintf(stderr,
+                 "worker %s: leases=%llu abandoned=%llu found=%llu "
+                 "scanned=%s reconnects=%llu\n",
+                 config.name.c_str(),
+                 static_cast<unsigned long long>(stats.leases_completed),
+                 static_cast<unsigned long long>(stats.leases_abandoned),
+                 static_cast<unsigned long long>(stats.found_reported),
+                 stats.keys_scanned.to_string().c_str(),
+                 static_cast<unsigned long long>(stats.reconnects));
+    return orderly ? 0 : 1;
+  } catch (const gks::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
