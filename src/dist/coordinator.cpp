@@ -18,17 +18,25 @@ struct Coordinator::Session {
   std::unique_ptr<Connection> conn;
   std::string holder;        ///< "<worker-name>#<session-seq>"
   bool hello_done = false;
-  /// Job *ids* whose spec this session has already received — the
-  /// worker caches sweepers, so the spec rides only the first lease.
-  /// Keyed by id, not name: a terminal job's name may be reused by a
-  /// fresh submit, and that new instance needs its spec re-sent (the
-  /// id change is also what tells the worker to drop its stale cache).
-  std::set<service::JobId> specs_sent;
+  /// Job *id* → target generation of the spec this session last
+  /// received — the worker caches sweepers, so the spec rides a lease
+  /// only when the session has never seen the job or its target set
+  /// mutated since (add/remove bumps the generation and the stale
+  /// cached sweeper must be rebuilt, or the worker keeps scanning the
+  /// old target set while its retired intervals are journaled as
+  /// covered). Keyed by id, not name: a terminal job's name may be
+  /// reused by a fresh submit, and that new instance needs its spec
+  /// re-sent (the id change is also what tells the worker to drop its
+  /// stale cache).
+  std::map<service::JobId, std::uint64_t> specs_sent;
   /// Leases granted to this session the worker still believes in,
   /// mapped to their job (id, name); fill_updates() reports the ones
   /// that died (expiry, job cancel).
   std::map<std::uint64_t, std::pair<service::JobId, std::string>> live_leases;
-  /// Cursor into Coordinator::found_log_.
+  /// Absolute cursor into Coordinator::found_log_ (see found_base_).
+  /// Starts at the tail: recoveries made before this session opened
+  /// reach it as `spec_found` on each job's first lease, not by
+  /// replaying history.
   std::size_t found_cursor = 0;
 };
 
@@ -104,6 +112,7 @@ void Coordinator::accept_loop() {
       session->conn->close();
       return;
     }
+    session->found_cursor = found_base_ + found_log_.size();
     ++stats_.sessions_opened;
     sessions_.push_back(session);
     session_threads_.emplace_back(
@@ -133,10 +142,19 @@ void Coordinator::note_found(service::JobId job_id, const std::string& job,
                              const std::string& key) {
   std::lock_guard lock(mu_);
   ++stats_.found_reports;
-  for (const FoundUpdate& f : found_log_) {
-    if (f.job_id == job_id && f.digest == digest) return;  // broadcast
-  }
+  if (!found_seen_.emplace(job_id, digest).second) return;  // broadcast once
   found_log_.push_back(FoundUpdate{job, digest, key, job_id});
+  // Drop the prefix every live session has already replayed; sessions
+  // that closed no longer hold it back, and new sessions start at the
+  // tail, so a long-running coordinator's log stays bounded.
+  std::size_t min_cursor = found_base_ + found_log_.size();
+  for (const auto& session : sessions_) {
+    min_cursor = std::min(min_cursor, session->found_cursor);
+  }
+  while (found_base_ < min_cursor) {
+    found_log_.pop_front();
+    ++found_base_;
+  }
 }
 
 void Coordinator::fill_updates(Session& session,
@@ -152,8 +170,10 @@ void Coordinator::fill_updates(Session& session,
     }
   }
   std::lock_guard lock(mu_);
-  for (; session.found_cursor < found_log_.size(); ++session.found_cursor) {
-    dead.push_back(found_log_[session.found_cursor]);
+  if (session.found_cursor < found_base_) session.found_cursor = found_base_;
+  for (; session.found_cursor < found_base_ + found_log_.size();
+       ++session.found_cursor) {
+    dead.push_back(found_log_[session.found_cursor - found_base_]);
   }
 }
 
@@ -214,9 +234,17 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
       wire.job_name = grant->job_name;
       wire.begin = grant->interval.begin;
       wire.end = grant->interval.end;
-      if (session.specs_sent.insert(grant->job).second) {
+      wire.target_gen = grant->target_gen;
+      const auto sent = session.specs_sent.find(grant->job);
+      if (sent == session.specs_sent.end() ||
+          sent->second != grant->target_gen) {
         wire.has_spec = true;
+        // wire_spec may observe a generation newer than the grant's (a
+        // mutation can land between lease() and here); recording the
+        // grant's generation then just re-sends the spec next lease —
+        // erring on the resend side is the safe direction.
         wire.spec = manager_.wire_spec(grant->job, &wire.spec_found);
+        session.specs_sent[grant->job] = grant->target_gen;
       }
       session.live_leases.emplace(
           grant->lease_id, std::make_pair(grant->job, grant->job_name));
@@ -295,10 +323,10 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
       // instead of failing the client or silently rerunning a done
       // sweep. (The journal has the same precedent: duplicate job
       // records keep the first occurrence. Rerunning needs a fresh
-      // name.)
-      const auto existing = manager_.find_job(submit.spec.name);
-      ack.id = existing.has_value() ? *existing
-                                    : manager_.submit(submit.spec);
+      // name.) find_or_submit does the lookup and insert under one
+      // JobManager lock, so two clients racing the same name both get
+      // the same id instead of the loser drawing a duplicate-name nack.
+      ack.id = manager_.find_or_submit(submit.spec);
       return encode(ack);
     }
 

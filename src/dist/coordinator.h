@@ -2,11 +2,14 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dist/protocol.h"
@@ -112,11 +115,20 @@ class Coordinator {
   std::uint64_t next_session_ = 1;
   std::vector<std::shared_ptr<Session>> sessions_;
   std::vector<std::thread> session_threads_;
-  /// Append-only log of recoveries; sessions replay it from their own
-  /// cursor so every worker eventually hears about every dead target.
-  /// Entries carry the job id so a broadcast can never kill a target
-  /// in a later job that reused the name.
-  std::vector<FoundUpdate> found_log_;
+  /// Log of recoveries; sessions replay it from their own cursor so
+  /// every worker eventually hears about every dead target. Entries
+  /// carry the job id so a broadcast can never kill a target in a
+  /// later job that reused the name. Cursors are absolute indices;
+  /// the deque holds entries [found_base_, found_base_ + size()) and
+  /// note_found() prunes the prefix every live session has replayed
+  /// (new sessions start at the tail — recoveries-so-far reach them
+  /// via each job's spec), so the log is bounded by live sessions'
+  /// lag, not the coordinator's lifetime.
+  std::deque<FoundUpdate> found_log_;
+  std::size_t found_base_ = 0;
+  /// (job id, digest) pairs ever logged — O(log n) dedup of the
+  /// found reports racing holders send for the same digest.
+  std::set<std::pair<service::JobId, std::string>> found_seen_;
   Stats stats_;
   mutable std::condition_variable stop_cv_;  ///< wakes the reaper early
 };

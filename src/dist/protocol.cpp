@@ -136,7 +136,8 @@ std::string encode(const LeaseGrantWire& m) {
       .key("job_id").value(m.job)
       .key("name").value(m.job_name)
       .key("begin").value(m.begin.to_string())
-      .key("end").value(m.end.to_string());
+      .key("end").value(m.end.to_string())
+      .key("gen").value(m.target_gen);
   if (m.has_spec) {
     w.key("spec").begin_object();
     service::write_job_spec_fields(w, m.spec);
@@ -155,6 +156,7 @@ LeaseGrantWire lease_grant_from_json(const json::Value& v) {
   m.job_name = v.at("name").as_string();
   m.begin = u128::parse(v.at("begin").as_string());
   m.end = u128::parse(v.at("end").as_string());
+  m.target_gen = static_cast<std::uint64_t>(v.number_or("gen", 0));
   if (const json::Value* spec = v.find("spec")) {
     m.has_spec = true;
     m.spec = service::job_spec_from_json(*spec);

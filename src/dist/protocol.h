@@ -76,15 +76,21 @@ struct LeaseRequestMsg {
 };
 
 /// A granted lease on the wire. `spec` rides along the first time this
-/// session sees the job (the worker caches sweepers per job name);
-/// `spec_found` are the recoveries already made, so a fresh worker
-/// doesn't re-report them.
+/// session sees the job (the worker caches sweepers per job name) and
+/// again whenever the job's target generation moved past the one this
+/// session last received (live add/remove of targets invalidates the
+/// cached sweeper); `spec_found` are the recoveries already made, so a
+/// fresh worker doesn't re-report them.
 struct LeaseGrantWire {
   std::uint64_t lease_id = 0;
   std::uint64_t job = 0;
   std::string job_name;
   u128 begin{0};
   u128 end{0};
+  /// Target-set generation of the job at grant time; a worker whose
+  /// cached sweeper carries an older generation must rebuild from the
+  /// spec on this grant before scanning.
+  std::uint64_t target_gen = 0;
   bool has_spec = false;
   service::JobSpec spec;
   std::vector<std::pair<std::string, std::string>> spec_found;

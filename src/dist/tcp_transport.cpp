@@ -25,8 +25,21 @@ std::string errno_text(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// Splits "host:port"; an empty host means the wildcard address.
+/// Splits "host:port" (hostname or IPv4 literal) or "[host]:port"
+/// (IPv6 literal — the brackets disambiguate the address's own colons
+/// from the port separator, RFC 3986 style). An empty host means the
+/// wildcard address of the respective family.
 std::pair<std::string, std::string> split_address(const std::string& addr) {
+  if (!addr.empty() && addr.front() == '[') {
+    const auto close = addr.find(']');
+    GKS_REQUIRE(close != std::string::npos && close + 1 < addr.size() &&
+                    addr[close + 1] == ':',
+                "bracketed tcp address must be [host]:port, got '" + addr +
+                    "'");
+    std::string host = addr.substr(1, close - 1);
+    if (host.empty()) host = "::";
+    return {host, addr.substr(close + 2)};
+  }
   const auto colon = addr.rfind(':');
   GKS_REQUIRE(colon != std::string::npos,
               "tcp address must be host:port, got '" + addr + "'");
@@ -46,6 +59,9 @@ std::string sockaddr_text(const sockaddr_storage& ss) {
     const auto* a = reinterpret_cast<const sockaddr_in6*>(&ss);
     ::inet_ntop(AF_INET6, &a->sin6_addr, host, sizeof(host));
     port = ntohs(a->sin6_port);
+    // Bracketed so the text round-trips through split_address (a v6
+    // listener's address() is directly usable as a connect target).
+    return "[" + std::string(host) + "]:" + std::to_string(port);
   }
   return std::string(host) + ":" + std::to_string(port);
 }

@@ -10,9 +10,13 @@ namespace gks::dist {
 
 /// Real-socket transport backend: POSIX TCP with the GKF1 length-
 /// prefixed framing (dist/frame.h) on the byte stream. Addresses are
-/// "host:port"; a port of 0 binds an ephemeral port, and
-/// Listener::address() reports the actual one — which is how the CI
-/// smoke test and the loopback benches avoid port collisions.
+/// "host:port" for hostnames and IPv4 literals, "[host]:port" for
+/// IPv6 literals (e.g. "[::1]:7101" — the brackets disambiguate the
+/// address's own colons from the port separator); a port of 0 binds
+/// an ephemeral port, and Listener::address() reports the actual one
+/// (bracketed for v6, so it is directly usable as a connect target) —
+/// which is how the CI smoke test and the loopback benches avoid port
+/// collisions.
 ///
 /// TCP_NODELAY is set on every connection: the dispatch protocol is
 /// small request/response frames, and Nagle would serialize the lease

@@ -141,10 +141,15 @@ u128 WorkerDaemon::scan_chunk(core::MultiSweeper& sweeper,
 
 bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
   auto it = sweepers_.find(grant.job_name);
-  if (it != sweepers_.end() && it->second.job_id != grant.job) {
-    // Same name, different job: the old one went terminal and the name
-    // was resubmitted. The stale sweeper's found-marks belong to the
-    // dead instance — drop it and rebuild from the fresh spec below.
+  if (it != sweepers_.end() && (it->second.job_id != grant.job ||
+                                it->second.target_gen != grant.target_gen)) {
+    // Either a different job instance under the same name (the old one
+    // went terminal and the name was resubmitted — the stale sweeper's
+    // found-marks belong to the dead instance) or the same job with a
+    // mutated target set (add/remove bumped the generation — scanning
+    // with the old set would retire intervals that never looked for
+    // the new digests). The coordinator re-sends the spec in both
+    // cases: drop the cache and rebuild from it below.
     sweepers_.erase(it);
     it = sweepers_.end();
   }
@@ -158,7 +163,8 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
     }
     it = sweepers_
              .emplace(grant.job_name,
-                      JobCache{grant.job, std::move(sweeper)})
+                      JobCache{grant.job, grant.target_gen,
+                               std::move(sweeper)})
              .first;
   }
   core::MultiSweeper& sweeper = *it->second.sweeper;
@@ -166,7 +172,7 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
 
   const keyspace::Interval lease_iv(grant.begin, grant.end);
   u128 done{0};
-  double busy = 0;
+  double lease_busy = 0;  ///< scan seconds in this lease; retire reports it
   double last_heartbeat = transport_.now_s();
   bool lease_lost = false;
 
@@ -181,9 +187,10 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
     std::vector<core::SweepHit> hits;
     const auto start = std::chrono::steady_clock::now();
     const u128 tested = scan_chunk(sweeper, chunk, hits);
-    busy += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
+    const double scan_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     // Report recoveries the moment they exist: a worker that dies one
     // microsecond from now has already made its keys durable on the
@@ -212,8 +219,8 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
       std::lock_guard lock(stats_mu_);
       stats_.keys_scanned += tested;
     }
-    busy_s_ += busy;
-    busy = 0;
+    busy_s_ += scan_s;
+    lease_busy += scan_s;
     if (lease_lost) break;
     // A short scan without an interrupt is a generation handoff (the
     // target set changed mid-chunk): rescan the remainder against the
@@ -241,7 +248,7 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
   RetireMsg retire;
   retire.lease_id = grant.lease_id;
   retire.tested = done;
-  retire.busy_s = busy;
+  retire.busy_s = lease_busy;
   const json::Value reply = roundtrip(conn, encode(retire));
   if (message_type(reply) == "ack") {
     const AckMsg ack = ack_from_json(reply);

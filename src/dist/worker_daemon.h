@@ -85,8 +85,14 @@ class WorkerDaemon {
   /// instead of scanning with the stale one — whose targets may all
   /// be marked found, which would retire every lease empty and spin
   /// the grant/retire loop forever.
+  /// `target_gen` is the target-set generation of the spec the sweeper
+  /// was built from: the coordinator re-sends the spec when the job's
+  /// targets mutate (add/remove), and a grant carrying a newer
+  /// generation means this sweeper is scanning a stale target set and
+  /// must be rebuilt before the lease runs.
   struct JobCache {
     std::uint64_t job_id = 0;
+    std::uint64_t target_gen = 0;
     std::unique_ptr<core::MultiSweeper> sweeper;
   };
 

@@ -49,6 +49,7 @@ void snapshot_to_json(json::Writer& w, const JobSnapshot& s) {
       .key("keys_per_s").value(s.keys_per_s)
       .key("eta_s").value(s.eta_s)
       .key("elapsed_s").value(s.elapsed_s)
+      .key("busy_s").value(s.busy_s)
       .key("filter_gate_hits").value(s.filter_gate_hits)
       .key("filter_false_positives").value(s.filter_false_positives)
       .key("found").begin_array();
@@ -85,6 +86,7 @@ JobSnapshot snapshot_from_json(const json::Value& v) {
   s.keys_per_s = v.number_or("keys_per_s", 0);
   s.eta_s = v.number_or("eta_s", 0);
   s.elapsed_s = v.number_or("elapsed_s", 0);
+  s.busy_s = v.number_or("busy_s", 0);
   s.filter_gate_hits =
       static_cast<std::uint64_t>(v.number_or("filter_gate_hits", 0));
   s.filter_false_positives =

@@ -86,6 +86,10 @@ struct JobSnapshot {
   double eta_s = 0;
   /// Wall seconds since the first quantum was dispatched.
   double elapsed_s = 0;
+  /// Summed worker wall seconds inside scan() — local quanta plus the
+  /// busy time remote workers report when retiring leases. Feeds the
+  /// quantum/lease sizing rate estimate.
+  double busy_s = 0;
 
   /// Recovered (digest hex, key) pairs, in recovery order.
   std::vector<std::pair<std::string, std::string>> found;

@@ -105,10 +105,37 @@ JobId JobManager::submit(JobSpec spec) {
     GKS_REQUIRE(is_terminal(other->state) || other->spec.name != spec.name,
                 "a live job named '" + spec.name + "' already exists");
   }
+  return insert_job_locked(std::move(job), lock);
+}
+
+JobId JobManager::find_or_submit(JobSpec spec) {
+  GKS_REQUIRE(!spec.name.empty(), "job name must not be empty");
+  GKS_REQUIRE(spec.weight > 0, "job weight must be positive");
+
+  // Built before the lock like submit(); wasted when the name exists,
+  // but validation errors must surface either way and the existing-name
+  // case is the rare one.
+  auto job = std::make_unique<JobImpl>();
+  job->spec = spec;
+  job->sweeper = std::make_unique<core::MultiSweeper>(spec.request);
+  job->pending.push_back(job->sweeper->space_interval());
+
+  std::unique_lock lock(mu_);
+  GKS_REQUIRE(!stopping_, "submit on a JobManager that is shutting down");
+  std::optional<JobId> existing;
+  for (const auto& [id, other] : jobs_) {
+    if (other->spec.name == spec.name) existing = id;  // latest wins
+  }
+  if (existing.has_value()) return *existing;
+  return insert_job_locked(std::move(job), lock);
+}
+
+JobId JobManager::insert_job_locked(std::unique_ptr<JobImpl> job,
+                                    std::unique_lock<std::mutex>& lock) {
   const JobId id = next_id_++;
   job->id = id;
-  store_.record_job(spec);
-  scheduler_.add(id, spec.weight, spec.priority);
+  store_.record_job(job->spec);
+  scheduler_.add(id, job->spec.weight, job->spec.priority);
   jobs_.emplace(id, std::move(job));
   lock.unlock();
   work_cv_.notify_all();
@@ -251,6 +278,22 @@ core::TargetAddOutcome JobManager::add_targets(
   // Slots duplicating an already-recovered digest resolve right here.
   job.targets_found += out.already_found;
   if (out.attached > 0) {
+    // The outstanding target set grew: bump the generation (lease
+    // grants carry it, so coordinators re-send the spec to sessions
+    // whose cached sweeper predates this add) and reclaim in-flight
+    // leases — their holders are scanning with the old target set, and
+    // an interval they retire as covered would never have looked for
+    // the new digest. Reclaimed intervals re-dispatch under the new
+    // generation; overlap with a late retire is absorbed by the
+    // coverage ledger and found-dedup, exactly like lease expiry.
+    ++job.target_gen;
+    std::vector<std::uint64_t> stale;
+    for (const auto& [lease_id, ls] : leases_) {
+      if (ls.job == job.id) stale.push_back(lease_id);
+    }
+    for (const std::uint64_t lease_id : stale) {
+      reclaim_lease_locked(lease_id, /*count_expired=*/false);
+    }
     // A job idled by all-found has pending keyspace again.
     scheduler_.set_runnable(job.id, runnable(job));
     lock.unlock();
@@ -268,11 +311,18 @@ std::size_t JobManager::remove_targets(JobId id,
   job.sweeper->validate_target_hexes(hexes);
   store_.record_targets_remove(job.spec.name, hexes);
   const std::size_t detached = job.sweeper->remove_targets(hexes);
-  if (detached > 0 && job.sweeper->all_found()) {
-    // The last outstanding digest is gone: stop dispatching and let
-    // the job complete once in-flight quanta retire.
-    scheduler_.set_runnable(job.id, false);
-    maybe_complete(job);
+  if (detached > 0) {
+    // Workers holding a cached spec should stop scanning for the
+    // detached digests; the next lease they are granted carries the
+    // new generation and re-sends the spec. (No lease reclaim: keeping
+    // scanning a removed digest wastes cycles but breaks nothing.)
+    ++job.target_gen;
+    if (job.sweeper->all_found()) {
+      // The last outstanding digest is gone: stop dispatching and let
+      // the job complete once in-flight quanta retire.
+      scheduler_.set_runnable(job.id, false);
+      maybe_complete(job);
+    }
   }
   return detached;
 }
@@ -318,6 +368,7 @@ std::optional<LeaseGrant> JobManager::lease(const std::string& holder,
     grant.job = job.id;
     grant.job_name = job.spec.name;
     grant.interval = quantum;
+    grant.target_gen = job.target_gen;
     leases_.emplace(grant.lease_id,
                     LeaseState{job.id, quantum, holder, deadline});
     return grant;
@@ -548,6 +599,7 @@ JobSnapshot JobManager::snapshot_locked(const JobImpl& job) const {
                          : std::chrono::steady_clock::now();
     s.elapsed_s = seconds_between(job.first_dispatch, end);
   }
+  s.busy_s = job.busy_s;
   s.keys_per_s = s.elapsed_s > 0 ? s.scanned.to_double() / s.elapsed_s : 0;
   if (s.keys_per_s > 0 && !is_terminal(job.state)) {
     const u128 remaining = s.space - s.scanned;

@@ -63,6 +63,11 @@ struct LeaseGrant {
   JobId job = 0;
   std::string job_name;
   keyspace::Interval interval;
+  /// The job's target-set generation at grant time (bumped by every
+  /// effective add_targets / remove_targets). A coordinator re-sends
+  /// the job spec to any session whose last-sent generation differs,
+  /// so workers with a cached sweeper rebuild it before scanning.
+  std::uint64_t target_gen = 0;
 };
 
 /// The multi-tenant job service: owns the worker pool, the fair-share
@@ -94,6 +99,14 @@ class JobManager {
   /// among live (non-terminal) jobs; throws InvalidArgument otherwise.
   JobId submit(JobSpec spec);
 
+  /// Idempotent-by-name submit: returns the id of the existing job
+  /// with this name (live or finished — latest submission wins) or
+  /// submits `spec` as a new job. Lookup and insert share one critical
+  /// section, so concurrent calls for the same name all resolve to a
+  /// single job instead of the losers hitting the duplicate-name
+  /// error. This is what the coordinator's remote `submit` verb uses.
+  JobId find_or_submit(JobSpec spec);
+
   /// Reloads a journal written by an earlier run and re-submits every
   /// job without a terminal state record, seeded with its journaled
   /// coverage and recoveries — only the unscanned gaps are dispatched
@@ -120,7 +133,13 @@ class JobManager {
   /// covering interval is scanned will be found. Digests already
   /// recovered resolve instantly (`already_found`); a job whose
   /// targets were all recovered goes back to runnable when the add
-  /// attaches new outstanding work. Throws InvalidArgument on
+  /// attaches new outstanding work. An add that attaches outstanding
+  /// digests also bumps the job's target generation and reclaims its
+  /// live leases: their holders are scanning with the old target set,
+  /// and retiring such an interval as covered would silently skip the
+  /// new digest forever — reclaimed intervals re-dispatch under the
+  /// new generation instead (the coverage ledger absorbs any overlap
+  /// with a late retire). Throws InvalidArgument on
   /// malformed hexes, unknown ids, or terminal jobs.
   core::TargetAddOutcome add_targets(JobId id,
                                      const std::vector<std::string>& hexes);
@@ -234,6 +253,9 @@ class JobManager {
     std::uint64_t intervals_issued = 0;
     std::uint64_t intervals_retired = 0;
     std::uint64_t leases_expired = 0;
+    /// Bumped by every effective target mutation; lease grants carry
+    /// it so the distributed tier can invalidate cached specs.
+    std::uint64_t target_gen = 0;
     u128 scanned{0};
     /// Request slots resolved — by scan hits, journal replay, or adds
     /// duplicating an already-recovered digest. Exactly-once: every
@@ -277,7 +299,10 @@ class JobManager {
   JobSnapshot snapshot_locked(const JobImpl& job) const;
   JobImpl& job_ref(JobId id);
   const JobImpl& job_ref(JobId id) const;
-  JobId submit_locked(JobSpec spec, std::unique_lock<std::mutex>& lock);
+  /// Assigns an id, journals the spec and enters the scheduler; shared
+  /// tail of submit() and find_or_submit(). Unlocks `lock` to notify.
+  JobId insert_job_locked(std::unique_ptr<JobImpl> job,
+                          std::unique_lock<std::mutex>& lock);
 
   JobServiceConfig config_;
   JobStore store_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -107,6 +108,63 @@ TEST(DistService, TcpWorkersCrackPlantedKey) {
   ASSERT_EQ(s.found.size(), 1u);
   EXPECT_EQ(s.found[0].second, "abc");
   EXPECT_GE(coordinator.stats().leases_granted, 1u);
+  // Remote retires report their scan time; the job's busy accounting
+  // (which sizes quanta in mixed local+remote mode) must see it.
+  EXPECT_GT(s.busy_s, 0.0);
+}
+
+// A target added while worker sessions already cached the job's
+// sweeper must still be found: the add bumps the job's target
+// generation, in-flight leases are reclaimed and re-dispatched, and
+// the next grant re-sends the spec so the worker rebuilds its sweeper.
+// Without that propagation the worker keeps scanning the old target
+// set, its retired intervals are journaled as covered, and the job
+// completes "done" with the new key silently missed.
+TEST(DistService, LiveTargetAddReachesCachedWorkerSweepers) {
+  service::JobManager manager(coordinator_only());
+  // The original target sits at the very end of the id space, so the
+  // sweep must cover everything — several leases' worth.
+  service::JobSpec spec = planted_job("alpha", "placeholder", 4, 4);
+  const u128 space = keyspace::space_size(spec.request.charset.size(), 4, 4);
+  const std::string first_key = key_at(spec, space - u128(1));
+  spec.request.target_hexes = {hash::Md5::digest(first_key).to_hex()};
+  const auto id = manager.submit(spec);
+
+  TcpTransport transport;
+  CoordinatorConfig ccfg = fast_coordinator();
+  ccfg.max_lease = u128(1) << 16;  // ~7 leases over the 457k-id space
+  Coordinator coordinator(manager, transport, ccfg);
+  coordinator.start("127.0.0.1:0");
+
+  WorkerConfig wcfg;
+  wcfg.name = "w";
+  wcfg.threads = 2;
+  WorkerDaemon worker(transport, wcfg);
+  std::thread wt([&] { worker.run(coordinator.address()); });
+
+  // Wait until the worker has retired at least one lease — its session
+  // has the spec and a cached sweeper — then grow the target set with
+  // a key parked just before the first one, in keyspace the worker has
+  // not reached yet.
+  ASSERT_TRUE(wait_scanned(manager, id));
+  const std::string second_key = key_at(spec, space - u128(2));
+  const auto out =
+      manager.add_targets(id, {hash::Md5::digest(second_key).to_hex()});
+  EXPECT_EQ(out.attached, 1u);
+
+  ASSERT_TRUE(manager.wait(id, 90.0));
+  worker.stop();
+  wt.join();
+  coordinator.stop();
+
+  const service::JobSnapshot s = manager.status(id);
+  EXPECT_EQ(s.state, service::JobState::kDone);
+  EXPECT_EQ(s.targets_found, 2u);
+  ASSERT_EQ(s.found.size(), 2u);
+  std::vector<std::string> keys;
+  for (const auto& [digest, key] : s.found) keys.push_back(key);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), first_key), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), second_key), keys.end());
 }
 
 // Job names are reusable once a job is terminal. A worker session that

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hash/md5.h"
@@ -182,6 +183,95 @@ TEST(Lease, CancelReclaimsOutstandingLeases) {
   EXPECT_FALSE(m.lease_live(grant->lease_id));
   EXPECT_EQ(m.status(id).leases_expired, 0u);  // reclaimed, not expired
   EXPECT_FALSE(m.lease("w#1", u128(1000), 10.0).has_value());
+}
+
+TEST(Lease, AddTargetsBumpsGenerationAndReclaimsLiveLeases) {
+  JobServiceConfig config;
+  config.local_scan = false;
+  JobManager m(config);
+  const JobId id = m.submit(md5_job("a", "dog"));
+
+  const auto g1 = m.lease("w#1", u128(1000), 10.0);
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(g1->target_gen, 0u);
+
+  // The holder of g1 is scanning with the old target set; retiring its
+  // interval as covered would skip "cat" forever. The add must pull
+  // the lease back so the interval re-dispatches under the new
+  // generation.
+  const auto out = m.add_targets(id, {hash::Md5::digest("cat").to_hex()});
+  EXPECT_EQ(out.attached, 1u);
+  EXPECT_FALSE(m.lease_live(g1->lease_id));
+  EXPECT_EQ(m.status(id).leases_expired, 0u);  // reclaimed, not expired
+
+  const auto g2 = m.lease("w#1", u128(1000), 10.0);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->target_gen, 1u);
+  EXPECT_EQ(g2->interval.begin, g1->interval.begin);  // same ids, rescanned
+
+  // An add that attaches nothing (digest already present) leaves the
+  // generation and the live lease alone.
+  const auto dup = m.add_targets(id, {hash::Md5::digest("cat").to_hex()});
+  EXPECT_EQ(dup.attached, 0u);
+  EXPECT_TRUE(m.lease_live(g2->lease_id));
+  ASSERT_TRUE(m.retire_lease(g2->lease_id, g2->interval.size()));
+  const auto g3 = m.lease("w#1", u128(1000), 10.0);
+  ASSERT_TRUE(g3.has_value());
+  EXPECT_EQ(g3->target_gen, 1u);
+}
+
+TEST(Lease, RemoveTargetsBumpsGenerationWithoutReclaim) {
+  JobServiceConfig config;
+  config.local_scan = false;
+  JobManager m(config);
+  JobSpec spec = md5_job("a", "dog");
+  spec.request.target_hexes.push_back(hash::Md5::digest("cat").to_hex());
+  const JobId id = m.submit(spec);
+
+  const auto g1 = m.lease("w#1", u128(1000), 10.0);
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(m.remove_targets(id, {hash::Md5::digest("cat").to_hex()}), 1u);
+  // Scanning on with a digest removed wastes cycles but breaks
+  // nothing, so the lease survives; the next grant carries the new
+  // generation and triggers a spec re-send.
+  EXPECT_TRUE(m.lease_live(g1->lease_id));
+  ASSERT_TRUE(m.retire_lease(g1->lease_id, g1->interval.size()));
+  const auto g2 = m.lease("w#1", u128(1000), 10.0);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->target_gen, 1u);
+}
+
+TEST(Lease, FindOrSubmitIsIdempotentByName) {
+  JobServiceConfig config;
+  config.local_scan = false;
+  JobManager m(config);
+  const JobId first = m.find_or_submit(md5_job("a", "dog"));
+  EXPECT_EQ(m.find_or_submit(md5_job("a", "dog")), first);
+  EXPECT_NE(m.find_or_submit(md5_job("b", "dog")), first);
+  EXPECT_EQ(m.snapshot_all().size(), 2u);
+
+  // Attaches to finished jobs too (the documented remote-submit
+  // contract: rerunning a done sweep needs a fresh name).
+  m.cancel(first);
+  ASSERT_TRUE(m.wait(first, 5.0));
+  EXPECT_EQ(m.find_or_submit(md5_job("a", "dog")), first);
+}
+
+TEST(Lease, FindOrSubmitSurvivesConcurrentRacers) {
+  JobServiceConfig config;
+  config.local_scan = false;
+  JobManager m(config);
+  constexpr int kRacers = 8;
+  std::vector<JobId> ids(kRacers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back(
+        [&, i] { ids[i] = m.find_or_submit(md5_job("a", "dog")); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const JobId id : ids) EXPECT_EQ(id, ids[0]);
+  EXPECT_EQ(m.snapshot_all().size(), 1u);
 }
 
 TEST(Lease, WireSpecCarriesCurrentTargetsAndRecoveries) {

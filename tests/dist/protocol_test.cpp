@@ -69,6 +69,7 @@ TEST(Protocol, LeaseGrantWithSpecRoundTrips) {
   m.job_name = "wire";
   m.begin = u128(1) << 70;
   m.end = (u128(1) << 70) + u128(1000000);
+  m.target_gen = 7;
   m.has_spec = true;
   m.spec = sample_spec();
   m.spec_found = {{hash::Md5::digest("abc").to_hex(), "abc"}};
@@ -79,6 +80,7 @@ TEST(Protocol, LeaseGrantWithSpecRoundTrips) {
   EXPECT_EQ(back.job_name, "wire");
   EXPECT_EQ(back.begin, m.begin);
   EXPECT_EQ(back.end, m.end);
+  EXPECT_EQ(back.target_gen, 7u);
   ASSERT_TRUE(back.has_spec);
   EXPECT_EQ(back.spec.name, "wire");
   EXPECT_EQ(back.spec.request.target_hexes, m.spec.request.target_hexes);

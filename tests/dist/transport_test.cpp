@@ -46,6 +46,44 @@ TEST(TcpTransport, EchoRoundTrip) {
   expect_echo(*client, *server, binary);
 }
 
+TEST(TcpTransport, BracketedHostRoundTrip) {
+  TcpTransport transport;
+  auto listener = transport.listen("[127.0.0.1]:0");
+  // A v4 listener reports the bare form; re-wrap it to exercise the
+  // client-side bracket stripping too.
+  const std::string addr = listener->address();
+  const auto colon = addr.rfind(':');
+  const std::string bracketed =
+      "[" + addr.substr(0, colon) + "]" + addr.substr(colon);
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(10.0); });
+  auto client = transport.connect(bracketed, 5.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+  expect_echo(*client, *server, "bracketed");
+}
+
+TEST(TcpTransport, Ipv6LoopbackRoundTrip) {
+  TcpTransport transport;
+  std::unique_ptr<Listener> listener;
+  try {
+    listener = transport.listen("[::1]:0");
+  } catch (const Error&) {
+    GTEST_SKIP() << "IPv6 loopback unavailable in this environment";
+  }
+  // A v6 listener reports a *bracketed* address, so it feeds straight
+  // back into connect() without the host's colons being mistaken for
+  // the port separator.
+  ASSERT_FALSE(listener->address().empty());
+  EXPECT_EQ(listener->address().front(), '[');
+  std::unique_ptr<Connection> server;
+  std::thread accepter([&] { server = listener->accept(10.0); });
+  auto client = transport.connect(listener->address(), 5.0);
+  accepter.join();
+  ASSERT_NE(server, nullptr);
+  expect_echo(*client, *server, "v6");
+}
+
 TEST(TcpTransport, AcceptTimesOutWithoutConnection) {
   TcpTransport transport;
   auto listener = transport.listen("127.0.0.1:0");
