@@ -9,11 +9,22 @@
 // assumes when it treats dispatch cost as negligible against compute
 // (Section III).
 //
+// The `dist_lossy` rows re-run the distributed sweep with the workers'
+// transport wrapped in the seeded FaultInjectingTransport dropping
+// --fault-plan of all frames in each direction, at deliberately fine
+// lease granularity so the protocol actually has traffic to lose. The
+// extra tax there is what the self-healing machinery (recv timeouts,
+// capped backoff reconnects, lease expiry re-dispatch) costs under a
+// persistently lossy network, not just a clean one.
+//
 // Options:
-//   --len L     key length (single-length lower space, 26^L)  [5]
-//   --runs R    sweeps per configuration, best taken           [3]
-//   --json      print the versioned recording on stdout
-//   --out FILE  write the recording to FILE
+//   --len L         key length (single-length lower space, 26^L)  [5]
+//   --runs R        sweeps per configuration, best taken           [3]
+//   --fault-plan P  frame-loss probability of the lossy rows;
+//                   0 skips them                                   [0.01]
+//   --fault-seed N  seed of the loss schedule                      [2014]
+//   --json          print the versioned recording on stdout
+//   --out FILE      write the recording to FILE
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +35,7 @@
 
 #include "bench_record.h"
 #include "dist/coordinator.h"
+#include "dist/fault_transport.h"
 #include "dist/tcp_transport.h"
 #include "dist/worker_daemon.h"
 #include "hash/md5.h"
@@ -59,14 +71,35 @@ double local_sweep_s(unsigned len, std::size_t workers) {
   return timer.seconds();
 }
 
-double dist_sweep_s(unsigned len, std::size_t workers) {
+/// `fault_loss` > 0 wraps the workers' side of the transport in the
+/// seeded fault injector dropping that fraction of frames in each
+/// direction, and tightens the recovery knobs (short leases, finer
+/// lease clamp, 1 s recv timeout, fast capped backoff) so the run
+/// measures the healing machinery instead of 10-second defaults.
+double dist_sweep_s(unsigned len, std::size_t workers, double fault_loss,
+                    std::uint64_t fault_seed) {
   service::JobServiceConfig cfg;
   cfg.local_scan = false;
   service::JobManager manager(cfg);
 
   dist::TcpTransport transport;
-  dist::Coordinator coordinator(manager, transport, {});
+  dist::CoordinatorConfig ccfg;
+  std::unique_ptr<dist::FaultInjectingTransport> faulty;
+  if (fault_loss > 0) {
+    dist::FaultPlan plan;
+    plan.send.drop = fault_loss;
+    plan.recv.drop = fault_loss;
+    faulty = std::make_unique<dist::FaultInjectingTransport>(transport, plan,
+                                                             fault_seed);
+    ccfg.lease_s = 1.5;
+    ccfg.heartbeat_s = 0.25;
+    ccfg.reap_interval_s = 0.1;
+    ccfg.max_lease = u128(1) << 18;  // enough round-trips to lose some
+  }
+  dist::Coordinator coordinator(manager, transport, ccfg);
   coordinator.start("127.0.0.1:0");
+  dist::Transport& worker_side =
+      faulty ? static_cast<dist::Transport&>(*faulty) : transport;
 
   std::vector<std::unique_ptr<dist::WorkerDaemon>> daemons;
   std::vector<std::thread> threads;
@@ -79,7 +112,15 @@ double dist_sweep_s(unsigned len, std::size_t workers) {
     wcfg.name = "w";
     wcfg.name += std::to_string(i);
     wcfg.threads = 1;
-    daemons.push_back(std::make_unique<dist::WorkerDaemon>(transport, wcfg));
+    if (fault_loss > 0) {
+      wcfg.recv_timeout_s = 1.0;
+      wcfg.reconnect_attempts = 100;
+      wcfg.reconnect_backoff_s = 0.05;
+      wcfg.reconnect_backoff_max_s = 0.5;
+      wcfg.backoff_seed = fault_seed + i + 1;
+    }
+    daemons.push_back(
+        std::make_unique<dist::WorkerDaemon>(worker_side, wcfg));
     threads.emplace_back(
         [&, i] { daemons[i]->run(coordinator.address()); });
   }
@@ -88,6 +129,15 @@ double dist_sweep_s(unsigned len, std::size_t workers) {
   for (auto& d : daemons) d->stop();
   for (auto& t : threads) t.join();
   coordinator.stop();
+  if (faulty) {
+    const dist::FaultStats fs = faulty->stats();
+    std::fprintf(stderr,
+                 "    [fault seed=%llu] dropped=%llu of %llu frames\n",
+                 static_cast<unsigned long long>(faulty->seed()),
+                 static_cast<unsigned long long>(fs.dropped),
+                 static_cast<unsigned long long>(fs.sent + fs.received +
+                                                 fs.dropped));
+  }
   return elapsed;
 }
 
@@ -96,7 +146,8 @@ struct Row {
   std::size_t workers;
   double sweep_s;
   double keys_per_s;
-  double vs_local;  // dist elapsed / local elapsed at the same width
+  double vs_local;    // dist elapsed / local elapsed at the same width
+  double fault_loss;  // injected frame-loss probability (0 = clean)
 };
 
 }  // namespace
@@ -106,6 +157,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   unsigned len = 5;
   int runs = 3;
+  double fault_loss = 0.01;
+  std::uint64_t fault_seed = 2014;
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -122,6 +175,10 @@ int main(int argc, char** argv) {
       len = static_cast<unsigned>(std::stoul(value()));
     } else if (std::strcmp(argv[i], "--runs") == 0) {
       runs = std::stoi(value());
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      fault_loss = std::stod(value());
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      fault_seed = std::stoull(value());
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       return 2;
@@ -134,24 +191,37 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const std::size_t workers : {std::size_t(1), std::size_t(2),
                                     std::size_t(4)}) {
-    double local = 0, dist = 0;
+    double local = 0, dist = 0, lossy = 0;
     for (int run = 0; run < runs; ++run) {
       const double l = local_sweep_s(len, workers);
-      const double d = dist_sweep_s(len, workers);
+      const double d = dist_sweep_s(len, workers, 0, 0);
       if (run == 0 || l < local) local = l;
       if (run == 0 || d < dist) dist = d;
+      if (fault_loss > 0) {
+        const double f = dist_sweep_s(len, workers, fault_loss,
+                                      fault_seed + run);
+        if (run == 0 || f < lossy) lossy = f;
+      }
     }
-    rows.push_back({"local", workers, local, space / local, 1.0});
-    rows.push_back({"dist", workers, dist, space / dist, dist / local});
+    rows.push_back({"local", workers, local, space / local, 1.0, 0});
+    rows.push_back({"dist", workers, dist, space / dist, dist / local, 0});
     std::fprintf(stderr,
                  "  %zu workers: local %.3f s, dist %.3f s (%.2fx)\n",
                  workers, local, dist, dist / local);
+    if (fault_loss > 0) {
+      rows.push_back({"dist_lossy", workers, lossy, space / lossy,
+                      lossy / local, fault_loss});
+      std::fprintf(stderr, "  %zu workers: dist_lossy %.3f s (%.2fx)\n",
+                   workers, lossy, lossy / local);
+    }
   }
 
   TablePrinter table;
-  table.header({"mode", "workers", "sweep (s)", "MKey/s", "vs local"});
+  table.header({"mode", "workers", "loss", "sweep (s)", "MKey/s",
+                "vs local"});
   for (const auto& r : rows) {
     table.row({r.mode, std::to_string(r.workers),
+               TablePrinter::num(r.fault_loss, 2),
                TablePrinter::num(r.sweep_s, 3),
                TablePrinter::num(r.keys_per_s / 1e6, 1),
                TablePrinter::num(r.vs_local, 2) + "x"});
@@ -163,7 +233,11 @@ int main(int argc, char** argv) {
       "`local` scans inside the JobManager worker pool; `dist` drives\n"
       "the identical keyspace through gks-coordd-style leases over TCP\n"
       "loopback (JSON protocol, heartbeats, per-interval round-trips).\n"
-      "The gap is the dispatch tax the lease-sizing knobs amortize.\n");
+      "The gap is the dispatch tax the lease-sizing knobs amortize.\n"
+      "`dist_lossy` repeats the distributed sweep with a seeded fault\n"
+      "injector dropping frames in both directions at finer lease\n"
+      "granularity: its extra tax is the cost of recv timeouts, capped\n"
+      "backoff reconnects and lease-expiry re-dispatch under loss.\n");
 
   if (json || !out_path.empty()) {
     bench::Recording rec("dispatch");
@@ -174,7 +248,8 @@ int main(int argc, char** argv) {
           .key("space").value(space)
           .key("sweep_s").value(r.sweep_s)
           .key("keys_per_s").value(r.keys_per_s)
-          .key("vs_local").value(r.vs_local);
+          .key("vs_local").value(r.vs_local)
+          .key("fault_loss").value(r.fault_loss);
       rec.end_entry();
     }
     if (json) std::printf("%s", rec.render().c_str());

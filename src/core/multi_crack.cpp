@@ -5,6 +5,9 @@
 
 #include "core/multi_sweep.h"
 #include "hash/kernel_words.h"
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "hash/sha256.h"
 #include "keyspace/interval.h"
 #include "support/error.h"
 #include "support/hex.h"
@@ -77,6 +80,21 @@ MultiCrackResult multi_crack(const MultiCrackRequest& request,
   result.filter_false_positives = fstats.false_positives;
   result.elapsed_s = timer.seconds();
   return result;
+}
+
+std::string salted_digest_hex(hash::Algorithm algorithm,
+                              const hash::SaltSpec& salt,
+                              const std::string& key) {
+  const std::string message = salt.apply(key);
+  switch (algorithm) {
+    case hash::Algorithm::kMd5:
+      return hash::Md5::digest(message).to_hex();
+    case hash::Algorithm::kSha1:
+      return hash::Sha1::digest(message).to_hex();
+    case hash::Algorithm::kSha256:
+      return hash::Sha256::digest(message).to_hex();
+  }
+  return {};
 }
 
 }  // namespace gks::core

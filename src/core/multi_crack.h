@@ -78,4 +78,13 @@ struct MultiCrackResult {
 MultiCrackResult multi_crack(const MultiCrackRequest& request,
                              std::size_t threads = 0);
 
+/// The digest of `key` under the request's salt scheme, canonical
+/// lower-case hex — what a claimed preimage must hash to. This is the
+/// verification primitive for untrusted `found` reports: a coordinator
+/// recomputes the digest before believing a remote worker
+/// (docs/distributed.md, "Failure model").
+std::string salted_digest_hex(hash::Algorithm algorithm,
+                              const hash::SaltSpec& salt,
+                              const std::string& key);
+
 }  // namespace gks::core

@@ -92,6 +92,74 @@ Coordinator::Stats Coordinator::stats() const {
   return stats_;
 }
 
+std::string Coordinator::worker_name_of(const std::string& holder) {
+  const auto pos = holder.rfind('#');
+  return pos == std::string::npos ? holder : holder.substr(0, pos);
+}
+
+void Coordinator::strike_locked(const std::string& name, double weight,
+                                std::uint64_t WorkerHealth::*counter) {
+  if (name.empty()) return;
+  WorkerHealth& h = health_[name];
+  h.score += weight;
+  ++h.strikes;
+  if (counter != nullptr) ++(h.*counter);
+  const double now = transport_.now_s();
+  if (!h.ejected && h.score >= config_.disconnect_score) {
+    h.ejected = true;
+    h.ejected_at = now;
+    ++stats_.workers_ejected;
+  } else if (!h.ejected && h.score >= config_.quarantine_score &&
+             now >= h.quarantined_until) {
+    h.quarantined_until = now + config_.quarantine_s;
+    ++stats_.workers_quarantined;
+  }
+}
+
+void Coordinator::heal_locked(const std::string& name) {
+  if (name.empty()) return;
+  WorkerHealth& h = health_[name];
+  ++h.retires_ok;
+  h.score = std::max(0.0, h.score - config_.heal_per_retire);
+}
+
+void Coordinator::note_protocol_error(const Session& session) {
+  std::lock_guard lock(mu_);
+  ++stats_.protocol_errors;
+  strike_locked(worker_name_of(session.holder), config_.strike_protocol,
+                &WorkerHealth::protocol_errors);
+}
+
+std::string Coordinator::health_state_locked(const WorkerHealth& h,
+                                             double now) const {
+  if (h.ejected) return "ejected";
+  if (now < h.quarantined_until) return "quarantined";
+  if (h.score >= config_.degraded_score) return "degraded";
+  return "ok";
+}
+
+std::vector<WorkerHealthWire> Coordinator::worker_health() const {
+  std::lock_guard lock(mu_);
+  const double now = transport_.now_s();
+  std::vector<WorkerHealthWire> out;
+  out.reserve(health_.size());
+  for (const auto& [name, h] : health_) {
+    WorkerHealthWire w;
+    w.name = name;
+    w.state = health_state_locked(h, now);
+    w.score = h.score;
+    w.strikes = h.strikes;
+    w.missed_heartbeats = h.missed_heartbeats;
+    w.lease_expiries = h.lease_expiries;
+    w.protocol_errors = h.protocol_errors;
+    w.late_retires = h.late_retires;
+    w.forged_founds = h.forged_founds;
+    w.retires_ok = h.retires_ok;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
 void Coordinator::accept_loop() {
   for (;;) {
     std::unique_ptr<Connection> conn;
@@ -133,7 +201,15 @@ void Coordinator::reaper_loop() {
                                   config_.reap_interval_s));
       if (stopping_) return;
     }
-    manager_.expire_leases(transport_.now_s());
+    std::vector<std::string> expired_holders;
+    manager_.expire_leases(transport_.now_s(), &expired_holders);
+    if (!expired_holders.empty()) {
+      std::lock_guard lock(mu_);
+      for (const std::string& holder : expired_holders) {
+        strike_locked(worker_name_of(holder), config_.strike_lease_expired,
+                      &WorkerHealth::lease_expiries);
+      }
+    }
   }
 }
 
@@ -186,8 +262,24 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
   } catch (const Error& e) {
     std::lock_guard lock(mu_);
     ++stats_.protocol_errors;
+    if (session.hello_done) {
+      strike_locked(worker_name_of(session.holder), config_.strike_protocol,
+                    &WorkerHealth::protocol_errors);
+    }
     return encode(ErrorMsg{std::string("bad message: ") + e.what()});
   }
+
+  // Decodes one message body; a malformed field is a protocol strike
+  // against the worker, unlike manager-level failures (unknown job,
+  // expired lease) which are honest races and nack without a strike.
+  const auto decode = [&](auto decoder) {
+    try {
+      return decoder(msg);
+    } catch (const Error&) {
+      note_protocol_error(session);
+      throw;
+    }
+  };
 
   try {
     if (!session.hello_done) {
@@ -198,13 +290,27 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
       if (hello.version != kProtocolVersion) {
         return encode(ErrorMsg{"protocol version mismatch"});
       }
+      const std::string name =
+          hello.name.empty() ? session.conn->peer() : hello.name;
       std::uint64_t seq;
       {
         std::lock_guard lock(mu_);
+        WorkerHealth& h = health_[name];  // ledger entry exists from hello on
+        if (h.ejected) {
+          // Probation: an ejected worker may return after sitting out
+          // twice the quarantine window, and re-enters degraded (not
+          // clean) so one fresh offence re-quarantines it.
+          const double now = transport_.now_s();
+          if (now < h.ejected_at + 2 * config_.quarantine_s) {
+            return encode(ErrorMsg{"worker '" + name +
+                                   "' is ejected; retry after probation"});
+          }
+          h.ejected = false;
+          h.quarantined_until = 0;
+          h.score = config_.degraded_score;
+        }
         seq = next_session_++;
       }
-      const std::string name =
-          hello.name.empty() ? session.conn->peer() : hello.name;
       session.holder = name + "#" + std::to_string(seq);
       session.hello_done = true;
       WelcomeMsg welcome;
@@ -215,10 +321,40 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "lease_req") {
-      const LeaseRequestMsg req = lease_request_from_json(msg);
+      const LeaseRequestMsg req = decode(lease_request_from_json);
       u128 want = req.max_ids;
       if (want == u128(0)) want = config_.max_lease;
       want = std::min(std::max(want, config_.min_lease), config_.max_lease);
+      bool ejected = false;
+      bool degraded = false;
+      double quarantined_until = 0;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = health_.find(worker_name_of(session.holder));
+        if (it != health_.end()) {
+          ejected = it->second.ejected;
+          quarantined_until = it->second.quarantined_until;
+          degraded = it->second.score >= config_.degraded_score;
+        }
+      }
+      if (ejected) {
+        return encode(ErrorMsg{"worker ejected for repeated faults"});
+      }
+      const double q_now = transport_.now_s();
+      if (q_now < quarantined_until) {
+        // Quarantined: no work until the window passes. Idle (not an
+        // error) keeps the session alive so the worker sits the window
+        // out instead of burning reconnects.
+        IdleMsg idle;
+        idle.retry_s = std::max(config_.idle_retry_s,
+                                quarantined_until - q_now);
+        std::vector<std::uint64_t> cancelled;  // idle has no lease list
+        fill_updates(session, cancelled, idle.dead);
+        return encode(idle);
+      }
+      // Degraded workers get the smallest leases: bounded blast radius
+      // while they prove themselves back to health.
+      if (degraded) want = config_.min_lease;
       const double deadline = transport_.now_s() + config_.lease_s;
       const auto grant = manager_.lease(session.holder, want, deadline);
       if (!grant.has_value()) {
@@ -258,43 +394,94 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "found") {
-      const FoundMsg found = found_from_json(msg);
-      const bool live =
+      const FoundMsg found = decode(found_from_json);
+      const service::FoundOutcome outcome =
           manager_.report_found(found.lease_id, found.digest, found.key);
-      if (live) {
-        const auto it = session.live_leases.find(found.lease_id);
-        if (it != session.live_leases.end()) {
-          note_found(it->second.first, it->second.second, found.digest,
-                     found.key);
-        }
-      }
       AckMsg ack;
-      ack.ok = live;
-      if (!live) ack.cancelled.push_back(found.lease_id);
+      switch (outcome) {
+        case service::FoundOutcome::kApplied:
+        case service::FoundOutcome::kDuplicate: {
+          // Verified against the job's own digest recompute; only now
+          // may it broadcast to other workers.
+          const auto it = session.live_leases.find(found.lease_id);
+          if (it != session.live_leases.end()) {
+            note_found(it->second.first, it->second.second, found.digest,
+                       found.key);
+          }
+          break;
+        }
+        case service::FoundOutcome::kForged: {
+          // The key does not hash to the digest: a bug or a liar.
+          // Either way the report dies here — never journaled, never
+          // broadcast — and the worker earns a heavy strike.
+          ack.ok = false;
+          ack.error = "found report failed verification";
+          std::lock_guard lock(mu_);
+          ++stats_.forged_founds;
+          strike_locked(worker_name_of(session.holder),
+                        config_.strike_forged_found,
+                        &WorkerHealth::forged_founds);
+          break;
+        }
+        case service::FoundOutcome::kNoLease:
+          ack.ok = false;
+          ack.cancelled.push_back(found.lease_id);
+          break;
+      }
       fill_updates(session, ack.cancelled, ack.dead);
       return encode(ack);
     }
 
     if (type == "retire") {
-      const RetireMsg retire = retire_from_json(msg);
-      const bool live = manager_.retire_lease(retire.lease_id, retire.tested,
-                                              retire.found, retire.busy_s);
-      if (live && !retire.found.empty()) {
-        const auto it = session.live_leases.find(retire.lease_id);
-        if (it != session.live_leases.end()) {
-          for (const auto& [digest, key] : retire.found) {
-            note_found(it->second.first, it->second.second, digest, key);
-          }
+      const RetireMsg retire = decode(retire_from_json);
+      // Apply batched recoveries one by one (not via retire_lease's
+      // found list) so each is digest-verified and forged entries are
+      // striked without suppressing the honest ones.
+      std::size_t forged = 0;
+      const auto it = session.live_leases.find(retire.lease_id);
+      for (const auto& [digest, key] : retire.found) {
+        switch (manager_.report_found(retire.lease_id, digest, key)) {
+          case service::FoundOutcome::kForged:
+            ++forged;
+            break;
+          case service::FoundOutcome::kApplied:
+          case service::FoundOutcome::kDuplicate:
+            if (it != session.live_leases.end()) {
+              note_found(it->second.first, it->second.second, digest, key);
+            }
+            break;
+          case service::FoundOutcome::kNoLease:
+            break;  // the retire below settles the lease's fate
         }
       }
+      const bool live = manager_.retire_lease(retire.lease_id, retire.tested,
+                                              {}, retire.busy_s);
       session.live_leases.erase(retire.lease_id);
-      if (live) {
+      {
         std::lock_guard lock(mu_);
-        ++stats_.leases_retired;
+        const std::string name = worker_name_of(session.holder);
+        stats_.forged_founds += forged;
+        for (std::size_t i = 0; i < forged; ++i) {
+          strike_locked(name, config_.strike_forged_found,
+                        &WorkerHealth::forged_founds);
+        }
+        if (live) {
+          ++stats_.leases_retired;
+          if (forged == 0) heal_locked(name);
+        } else {
+          // Retiring a lease the reaper already expired: mild strike —
+          // honest workers hit this under latency, flaky ones live here.
+          strike_locked(name, config_.strike_late_retire,
+                        &WorkerHealth::late_retires);
+        }
       }
       AckMsg ack;
       ack.ok = live;
       if (!live) ack.error = "lease expired or unknown";
+      if (forged > 0) {
+        ack.ok = false;
+        ack.error = "found report failed verification";
+      }
       fill_updates(session, ack.cancelled, ack.dead);
       return encode(ack);
     }
@@ -314,7 +501,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "submit") {
-      const SubmitMsg submit = submit_from_json(msg);
+      const SubmitMsg submit = decode(submit_from_json);
       AckMsg ack;
       // Idempotent by name: the documented flow starts the coordinator
       // with --batch and points `gks-jobs --connect` at the *same*
@@ -331,7 +518,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "cancel") {
-      const CancelMsg cancel = cancel_from_json(msg);
+      const CancelMsg cancel = decode(cancel_from_json);
       const auto id = manager_.find_job(cancel.job);
       GKS_REQUIRE(id.has_value(), "unknown job: " + cancel.job);
       manager_.cancel(*id);
@@ -339,7 +526,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "targets") {
-      const TargetsMsg targets = targets_from_json(msg);
+      const TargetsMsg targets = decode(targets_from_json);
       const auto id = manager_.find_job(targets.job);
       GKS_REQUIRE(id.has_value(), "unknown job: " + targets.job);
       if (!targets.add.empty()) manager_.add_targets(*id, targets.add);
@@ -350,7 +537,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "status") {
-      const StatusMsg status = status_from_json(msg);
+      const StatusMsg status = decode(status_from_json);
       StatusRespMsg resp;
       if (status.job.empty()) {
         resp.jobs = manager_.snapshot_all();
@@ -359,11 +546,16 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
         GKS_REQUIRE(id.has_value(), "unknown job: " + status.job);
         resp.jobs.push_back(manager_.status(*id));
       }
+      resp.workers = worker_health();
       return encode(resp);
     }
 
-    std::lock_guard lock(mu_);
-    ++stats_.protocol_errors;
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.protocol_errors;
+      strike_locked(worker_name_of(session.holder), config_.strike_protocol,
+                    &WorkerHealth::protocol_errors);
+    }
     return encode(ErrorMsg{"unknown message type: " + type});
   } catch (const Error& e) {
     AckMsg nack;
@@ -378,7 +570,18 @@ void Coordinator::serve_session(std::shared_ptr<Session> session) {
   try {
     for (;;) {
       const auto body = conn.recv(config_.session_timeout_s);
-      if (!body.has_value()) break;  // silent too long — presumed dead
+      if (!body.has_value()) {
+        // Silent too long — presumed dead. The silence is itself a
+        // health signal: a worker that keeps vanishing mid-session
+        // drifts toward quarantine even if its leases are small.
+        if (session->hello_done) {
+          std::lock_guard lock(mu_);
+          strike_locked(worker_name_of(session->holder),
+                        config_.strike_silence,
+                        &WorkerHealth::missed_heartbeats);
+        }
+        break;
+      }
       const std::string reply = handle(*session, *body);
       conn.send(reply);
       if (!session->hello_done) break;  // pre-hello protocol error

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -41,6 +42,29 @@ struct CoordinatorConfig {
   /// long (no requests, no heartbeats) is presumed dead and its
   /// session closes (leases then expire via the reaper).
   double session_timeout_s = 6.0;
+
+  // --- Worker health policy (docs/distributed.md, "Failure model") ---
+  // Scores are per worker *name* and accumulate strikes weighted by
+  // offence; clean retires heal. The lifecycle degrades gradually:
+  //   score >= degraded_score    leases clamp to min_lease
+  //   score >= quarantine_score  no leases for quarantine_s
+  //   score >= disconnect_score  ejected: hellos rejected until a
+  //                              probation period passes
+  double degraded_score = 3.0;
+  double quarantine_score = 6.0;
+  double disconnect_score = 10.0;
+  /// How long a quarantined worker is refused leases; an ejected
+  /// worker may re-hello after 2x this on probation (it re-enters at
+  /// degraded_score, not zero).
+  double quarantine_s = 5.0;
+  /// Score healed by each clean retire.
+  double heal_per_retire = 0.5;
+  // Strike weights.
+  double strike_protocol = 1.0;      ///< unparsable / malformed request
+  double strike_forged_found = 2.0;  ///< found report failing digest check
+  double strike_lease_expired = 1.0; ///< lease lost to the reaper
+  double strike_late_retire = 0.5;   ///< retire of a dead/unknown lease
+  double strike_silence = 1.0;       ///< session_timeout_s of silence
 };
 
 /// The dispatch server: owns nothing but references — a JobManager
@@ -61,6 +85,9 @@ class Coordinator {
     std::uint64_t leases_retired = 0;
     std::uint64_t found_reports = 0;
     std::uint64_t protocol_errors = 0;
+    std::uint64_t forged_founds = 0;
+    std::uint64_t workers_quarantined = 0;
+    std::uint64_t workers_ejected = 0;
   };
 
   Coordinator(service::JobManager& manager, Transport& transport,
@@ -84,8 +111,29 @@ class Coordinator {
 
   Stats stats() const;
 
+  /// Health snapshot of every worker the coordinator has ever scored,
+  /// as the status verb reports them (sorted by name).
+  std::vector<WorkerHealthWire> worker_health() const;
+
  private:
   struct Session;
+
+  /// Per-worker health ledger entry. Keyed by worker *name* (the part
+  /// of the holder before '#'), never by session: a worker cannot
+  /// launder its score by reconnecting under a fresh session.
+  struct WorkerHealth {
+    double score = 0;
+    std::uint64_t strikes = 0;
+    std::uint64_t missed_heartbeats = 0;
+    std::uint64_t lease_expiries = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t late_retires = 0;
+    std::uint64_t forged_founds = 0;
+    std::uint64_t retires_ok = 0;
+    double quarantined_until = 0;
+    bool ejected = false;
+    double ejected_at = 0;
+  };
 
   void accept_loop();
   void reaper_loop();
@@ -101,6 +149,24 @@ class Coordinator {
                     std::vector<FoundUpdate>& dead);
   void note_found(service::JobId job_id, const std::string& job,
                   const std::string& digest, const std::string& key);
+
+  /// The worker name a holder id belongs to ("alice#7" → "alice").
+  static std::string worker_name_of(const std::string& holder);
+  /// Records a strike against `name` (weight per the config) and moves
+  /// it through the quarantine/ejection lifecycle. `counter`, when
+  /// non-null, is the per-reason tally inside that worker's ledger.
+  /// Caller must hold mu_.
+  void strike_locked(const std::string& name, double weight,
+                     std::uint64_t WorkerHealth::*counter);
+  /// Heals `name` by heal_per_retire after a clean retire. Caller must
+  /// hold mu_.
+  void heal_locked(const std::string& name);
+  /// Counts a malformed request from an established session: bumps the
+  /// protocol_errors stat and strikes the worker.
+  void note_protocol_error(const Session& session);
+  /// The lifecycle state string of a ledger entry at `now`. Caller
+  /// must hold mu_.
+  std::string health_state_locked(const WorkerHealth& h, double now) const;
 
   service::JobManager& manager_;
   Transport& transport_;
@@ -129,6 +195,9 @@ class Coordinator {
   /// (job id, digest) pairs ever logged — O(log n) dedup of the
   /// found reports racing holders send for the same digest.
   std::set<std::pair<service::JobId, std::string>> found_seen_;
+  /// Health ledger, keyed by worker name. Entries persist across
+  /// sessions (and past disconnects) for the coordinator's lifetime.
+  std::map<std::string, WorkerHealth> health_;
   Stats stats_;
   mutable std::condition_variable stop_cv_;  ///< wakes the reaper early
 };

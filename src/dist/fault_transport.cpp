@@ -1,0 +1,234 @@
+#include "dist/fault_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gks::dist {
+
+namespace {
+
+/// Golden-ratio stride keeps per-connection streams far apart even for
+/// adjacent connection ids.
+constexpr std::uint64_t kConnStride = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+/// One faulted connection. The RNG is this connection's own stream;
+/// rolls are serialized under rng_mu_ because send() may be called
+/// from any thread while recv() runs on another.
+class FaultInjectingTransport::FaultConnection : public Connection {
+ public:
+  FaultConnection(std::unique_ptr<Connection> inner,
+                  std::shared_ptr<Shared> shared, std::uint64_t conn_id)
+      : inner_(std::move(inner)),
+        shared_(std::move(shared)),
+        rng_(shared_->seed ^ (conn_id * kConnStride)) {}
+
+  void send(const std::string& frame) override {
+    if (!armed()) {
+      inner_->send(frame);
+      count(&FaultStats::sent);
+      return;
+    }
+    if (partitioned()) {
+      count(&FaultStats::blackholed);
+      return;  // the void accepts all messages
+    }
+    const FaultSpec& f = shared_->plan.send;
+    if (roll(f.reset)) {
+      count(&FaultStats::resets);
+      inner_->close();
+      throw ConnectionClosed("fault injection: connection reset on send");
+    }
+    if (roll(f.drop)) {
+      count(&FaultStats::dropped);
+      return;  // caller believes it sent; that is the point
+    }
+    if (roll(f.delay_p)) {
+      count(&FaultStats::delayed);
+      shared_->inner.sleep_s(f.delay_s);
+    }
+    std::string out = frame;
+    mutate(f, out);
+    inner_->send(out);
+    count(&FaultStats::sent);
+    if (roll(f.duplicate)) {
+      count(&FaultStats::duplicated);
+      inner_->send(out);
+    }
+  }
+
+  std::optional<std::string> recv(double timeout_s) override {
+    // A duplicate injected on a previous recv is delivered first.
+    {
+      std::lock_guard lock(rng_mu_);
+      if (pending_.has_value()) {
+        std::optional<std::string> out;
+        out.swap(pending_);
+        return out;
+      }
+    }
+    const double deadline =
+        timeout_s < 0 ? -1 : shared_->inner.now_s() + timeout_s;
+    for (;;) {
+      double wait = -1;
+      if (deadline >= 0) {
+        wait = std::max(0.0, deadline - shared_->inner.now_s());
+      }
+      auto msg = inner_->recv(wait);
+      if (!msg.has_value()) return std::nullopt;  // genuine timeout
+      if (!armed()) {
+        count(&FaultStats::received);
+        return msg;
+      }
+      if (partitioned()) {
+        count(&FaultStats::blackholed);
+        continue;  // eaten; keep waiting out the timeout budget
+      }
+      const FaultSpec& f = shared_->plan.recv;
+      if (roll(f.reset)) {
+        count(&FaultStats::resets);
+        inner_->close();
+        throw ConnectionClosed("fault injection: connection reset on recv");
+      }
+      if (roll(f.drop)) {
+        count(&FaultStats::dropped);
+        continue;
+      }
+      if (roll(f.delay_p)) {
+        count(&FaultStats::delayed);
+        shared_->inner.sleep_s(f.delay_s);
+      }
+      mutate(f, *msg);
+      if (roll(f.duplicate)) {
+        count(&FaultStats::duplicated);
+        std::lock_guard lock(rng_mu_);
+        pending_ = *msg;
+      }
+      count(&FaultStats::received);
+      return msg;
+    }
+  }
+
+  void close() override { inner_->close(); }
+
+  std::string peer() const override { return inner_->peer(); }
+
+ private:
+  bool armed() const {
+    return shared_->inner.now_s() - shared_->t0 >= shared_->plan.arm_after_s;
+  }
+
+  bool partitioned() const {
+    const double elapsed = shared_->inner.now_s() - shared_->t0;
+    const std::string who = inner_->peer();
+    for (const Partition& p : shared_->plan.partitions) {
+      if (elapsed < p.from_s || elapsed >= p.until_s) continue;
+      if (p.peer_match.empty() || who.find(p.peer_match) != std::string::npos)
+        return true;
+    }
+    return false;
+  }
+
+  bool roll(double p) {
+    if (p <= 0) return false;
+    std::lock_guard lock(rng_mu_);
+    return rng_.uniform01() < p;
+  }
+
+  /// In-place truncation/corruption of one payload.
+  void mutate(const FaultSpec& f, std::string& payload) {
+    if (roll(f.truncate) && !payload.empty()) {
+      count(&FaultStats::truncated);
+      std::lock_guard lock(rng_mu_);
+      payload.resize(rng_.below(payload.size()));
+    }
+    if (roll(f.corrupt) && !payload.empty()) {
+      count(&FaultStats::corrupted);
+      std::lock_guard lock(rng_mu_);
+      const std::size_t at = rng_.below(payload.size());
+      // xor with a nonzero mask guarantees the byte actually changes.
+      payload[at] = static_cast<char>(
+          static_cast<unsigned char>(payload[at]) ^
+          static_cast<unsigned char>(1 + rng_.below(255)));
+    }
+  }
+
+  void count(std::uint64_t FaultStats::*counter) {
+    std::lock_guard lock(shared_->mu);
+    ++(shared_->stats.*counter);
+  }
+
+  std::unique_ptr<Connection> inner_;
+  std::shared_ptr<Shared> shared_;
+  std::mutex rng_mu_;
+  SplitMix64 rng_;
+  std::optional<std::string> pending_;  ///< recv-side duplicate, queued
+};
+
+class FaultInjectingTransport::FaultListener : public Listener {
+ public:
+  FaultListener(std::unique_ptr<Listener> inner,
+                std::shared_ptr<Shared> shared)
+      : inner_(std::move(inner)), shared_(std::move(shared)) {}
+
+  std::unique_ptr<Connection> accept(double timeout_s) override {
+    auto conn = inner_->accept(timeout_s);
+    if (!conn) return nullptr;
+    std::uint64_t id;
+    {
+      std::lock_guard lock(shared_->mu);
+      id = shared_->next_conn++;
+    }
+    return std::make_unique<FaultConnection>(std::move(conn), shared_, id);
+  }
+
+  std::string address() const override { return inner_->address(); }
+
+  void close() override { inner_->close(); }
+
+ private:
+  std::unique_ptr<Listener> inner_;
+  std::shared_ptr<Shared> shared_;
+};
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
+                                                 FaultPlan plan,
+                                                 std::uint64_t seed)
+    : shared_(std::make_shared<Shared>(inner)) {
+  shared_->plan = std::move(plan);
+  shared_->seed = seed;
+  shared_->t0 = inner.now_s();
+}
+
+std::unique_ptr<Listener> FaultInjectingTransport::listen(
+    const std::string& address) {
+  return std::make_unique<FaultListener>(shared_->inner.listen(address),
+                                         shared_);
+}
+
+std::unique_ptr<Connection> FaultInjectingTransport::connect(
+    const std::string& address, double timeout_s) {
+  auto conn = shared_->inner.connect(address, timeout_s);
+  std::uint64_t id;
+  {
+    std::lock_guard lock(shared_->mu);
+    id = shared_->next_conn++;
+  }
+  return std::make_unique<FaultConnection>(std::move(conn), shared_, id);
+}
+
+double FaultInjectingTransport::now_s() const { return shared_->inner.now_s(); }
+
+void FaultInjectingTransport::sleep_s(double seconds) const {
+  shared_->inner.sleep_s(seconds);
+}
+
+std::uint64_t FaultInjectingTransport::seed() const { return shared_->seed; }
+
+FaultStats FaultInjectingTransport::stats() const {
+  std::lock_guard lock(shared_->mu);
+  return shared_->stats;
+}
+
+}  // namespace gks::dist

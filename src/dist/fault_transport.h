@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "support/rng.h"
+
+namespace gks::dist {
+
+/// Per-direction fault probabilities. Each is rolled independently per
+/// message (in the order reset → drop → delay → truncate → corrupt →
+/// duplicate), so a plan can compose several failure modes at once.
+/// All probabilities default to zero: a default FaultSpec is a no-op.
+struct FaultSpec {
+  double drop = 0;       ///< message silently vanishes
+  double duplicate = 0;  ///< message delivered twice
+  double corrupt = 0;    ///< one payload byte flipped
+  double truncate = 0;   ///< payload cut short (possibly to zero bytes)
+  double reset = 0;      ///< connection torn down mid-call
+  double delay_p = 0;    ///< probability of an injected stall …
+  double delay_s = 0;    ///< … of this many transport seconds
+};
+
+/// A scripted network partition: while elapsed time (since the
+/// transport was built) is inside [from_s, until_s), every message on
+/// a connection whose peer() contains `peer_match` is blackholed in
+/// both directions. An empty match severs everyone.
+struct Partition {
+  double from_s = 0;
+  double until_s = 0;
+  std::string peer_match;
+};
+
+/// The full chaos schedule for one run.
+struct FaultPlan {
+  FaultSpec send;  ///< faults on outbound messages
+  FaultSpec recv;  ///< faults on inbound messages
+  std::vector<Partition> partitions;
+  /// Grace period: no faults before this much elapsed transport time,
+  /// so a plan can let sessions establish before the weather turns.
+  double arm_after_s = 0;
+};
+
+/// Counts of injected faults, for assertions ("this run actually
+/// exercised corruption") and for the chaos harness log line.
+struct FaultStats {
+  std::uint64_t sent = 0;      ///< messages passed through outbound
+  std::uint64_t received = 0;  ///< messages passed through inbound
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t blackholed = 0;  ///< messages eaten by a partition
+};
+
+/// A decorator over any Transport (TCP or simnet) that injects faults
+/// into the payload stream: drops, duplicates, byte corruption,
+/// truncation, stalls, connection resets, and scripted partitions —
+/// the whole failure model of docs/distributed.md, deterministic from
+/// one seed.
+///
+/// Every connection (dialed or accepted) draws its own PRNG stream
+/// from the seed and a connection counter, so a run's fault schedule
+/// is reproducible given the same seed and connection order. Chaos
+/// harnesses must log seed() on failure; replaying the seed replays
+/// the weather.
+///
+/// Faults apply at the payload level, above framing: a corrupted
+/// message still arrives as a well-formed frame whose *content* is
+/// garbage, which is exactly the case the protocol layer has to
+/// survive (the framing layer's own CRC/length defenses are exercised
+/// separately). Note that when both endpoints wrap their transport in
+/// a fault injector, a message runs the gauntlet twice — effective
+/// loss is 1-(1-p)^2.
+class FaultInjectingTransport : public Transport {
+ public:
+  /// `inner` must outlive this transport and every connection and
+  /// listener obtained through it.
+  FaultInjectingTransport(Transport& inner, FaultPlan plan,
+                          std::uint64_t seed);
+
+  std::unique_ptr<Listener> listen(const std::string& address) override;
+  std::unique_ptr<Connection> connect(const std::string& address,
+                                      double timeout_s) override;
+  double now_s() const override;
+  void sleep_s(double seconds) const override;
+
+  std::uint64_t seed() const;
+  FaultStats stats() const;
+
+ private:
+  /// State shared by the transport and every connection/listener it
+  /// spawned (they may outlive different subsets of each other, but
+  /// never `inner` — see the constructor contract).
+  struct Shared {
+    Transport& inner;
+    FaultPlan plan;
+    std::uint64_t seed;
+    double t0;  ///< transport birth time; partitions are relative to it
+    mutable std::mutex mu;
+    FaultStats stats;
+    std::uint64_t next_conn = 1;
+
+    explicit Shared(Transport& t) : inner(t), seed(0), t0(0) {}
+  };
+
+  class FaultConnection;
+  class FaultListener;
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace gks::dist

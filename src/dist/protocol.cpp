@@ -346,7 +346,26 @@ std::string encode(const StatusRespMsg& m) {
   for (const service::JobSnapshot& s : m.jobs) {
     service::snapshot_to_json(w, s);
   }
-  w.end_array().end_object();
+  w.end_array();
+  if (!m.workers.empty()) {
+    w.key("workers").begin_array();
+    for (const WorkerHealthWire& h : m.workers) {
+      w.begin_object()
+          .key("name").value(h.name)
+          .key("state").value(h.state)
+          .key("score").value(h.score)
+          .key("strikes").value(h.strikes)
+          .key("missed_heartbeats").value(h.missed_heartbeats)
+          .key("lease_expiries").value(h.lease_expiries)
+          .key("protocol_errors").value(h.protocol_errors)
+          .key("late_retires").value(h.late_retires)
+          .key("forged_founds").value(h.forged_founds)
+          .key("retires_ok").value(h.retires_ok)
+          .end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
   return w.str();
 }
 
@@ -354,6 +373,28 @@ StatusRespMsg status_resp_from_json(const json::Value& v) {
   StatusRespMsg m;
   for (const json::Value& s : v.at("jobs").as_array()) {
     m.jobs.push_back(service::snapshot_from_json(s));
+  }
+  if (const json::Value* arr = v.find("workers")) {
+    for (const json::Value& h : arr->as_array()) {
+      WorkerHealthWire w;
+      w.name = h.at("name").as_string();
+      w.state = h.string_or("state", "ok");
+      w.score = h.number_or("score", 0);
+      w.strikes = static_cast<std::uint64_t>(h.number_or("strikes", 0));
+      w.missed_heartbeats =
+          static_cast<std::uint64_t>(h.number_or("missed_heartbeats", 0));
+      w.lease_expiries =
+          static_cast<std::uint64_t>(h.number_or("lease_expiries", 0));
+      w.protocol_errors =
+          static_cast<std::uint64_t>(h.number_or("protocol_errors", 0));
+      w.late_retires =
+          static_cast<std::uint64_t>(h.number_or("late_retires", 0));
+      w.forged_founds =
+          static_cast<std::uint64_t>(h.number_or("forged_founds", 0));
+      w.retires_ok =
+          static_cast<std::uint64_t>(h.number_or("retires_ok", 0));
+      m.workers.push_back(std::move(w));
+    }
   }
   return m;
 }

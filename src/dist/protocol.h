@@ -151,8 +151,29 @@ struct StatusMsg {
   std::string job;  ///< empty selects every job
 };
 
+/// One worker's health as the coordinator scores it (see
+/// docs/distributed.md, "Failure model & chaos testing"). Keyed by
+/// worker *name*, not session holder, so a flaky worker cannot launder
+/// its score by reconnecting.
+struct WorkerHealthWire {
+  std::string name;
+  /// "ok" | "degraded" | "quarantined" | "ejected"
+  std::string state;
+  double score = 0;
+  std::uint64_t strikes = 0;
+  std::uint64_t missed_heartbeats = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t late_retires = 0;
+  std::uint64_t forged_founds = 0;
+  std::uint64_t retires_ok = 0;
+};
+
 struct StatusRespMsg {
   std::vector<service::JobSnapshot> jobs;
+  /// Worker health scores (absent from pre-health coordinators; the
+  /// decoder tolerates a missing list).
+  std::vector<WorkerHealthWire> workers;
 };
 
 struct ErrorMsg {

@@ -5,17 +5,55 @@
 #include <thread>
 #include <vector>
 
+#include "support/crc32.h"
 #include "support/error.h"
 
 namespace gks::dist {
 
+namespace {
+
+/// Re-throws a malformed coordinator reply as ProtocolError (a
+/// TransportError) so the reconnect loop absorbs it — under fault
+/// injection a corrupted frame must cost a reconnect, not the process.
+template <typename Fn>
+auto decode_reply(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const TransportError&) {
+    throw;
+  } catch (const Error& e) {
+    throw ProtocolError(std::string("malformed coordinator reply: ") +
+                        e.what());
+  }
+}
+
+}  // namespace
+
+double backoff_delay(int attempt, const WorkerConfig& config,
+                     SplitMix64& rng) {
+  double base = config.reconnect_backoff_s;
+  for (int i = 0; i < attempt && base < config.reconnect_backoff_max_s; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, config.reconnect_backoff_max_s);
+  return base * (0.5 + rng.uniform01());
+}
+
 WorkerDaemon::WorkerDaemon(Transport& transport, WorkerConfig config)
-    : transport_(transport), config_(std::move(config)) {
+    : transport_(transport),
+      config_(std::move(config)),
+      rng_(config_.backoff_seed != 0
+               ? config_.backoff_seed
+               : 0x9e3779b97f4a7c15ULL ^ crc32(config_.name)) {
   GKS_REQUIRE(config_.threads > 0, "worker needs at least one scan thread");
   GKS_REQUIRE(config_.chunk_slice_s > 0, "chunk slice must be positive");
   GKS_REQUIRE(config_.min_chunk > u128(0), "min chunk must be positive");
   GKS_REQUIRE(config_.min_chunk <= config_.max_chunk,
               "min chunk above max chunk");
+  GKS_REQUIRE(config_.reconnect_backoff_s > 0,
+              "reconnect backoff must be positive");
+  GKS_REQUIRE(config_.reconnect_backoff_s <= config_.reconnect_backoff_max_s,
+              "reconnect backoff above its cap");
 }
 
 void WorkerDaemon::stop() {
@@ -89,7 +127,11 @@ json::Value WorkerDaemon::roundtrip(Connection& conn,
   if (!reply.has_value()) {
     throw ConnectionClosed("coordinator silent past recv timeout");
   }
-  return json::parse(*reply);
+  return decode_reply([&] {
+    json::Value v = json::parse(*reply);
+    message_type(v);  // every reply must carry a type
+    return v;
+  });
 }
 
 u128 WorkerDaemon::scan_chunk(core::MultiSweeper& sweeper,
@@ -209,7 +251,8 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
         ++stats_.found_reported;
       }
       if (message_type(reply) == "ack" &&
-          !apply_ack(ack_from_json(reply), grant.lease_id)) {
+          !apply_ack(decode_reply([&] { return ack_from_json(reply); }),
+                     grant.lease_id)) {
         lease_lost = true;
       }
     }
@@ -232,7 +275,8 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
           roundtrip(conn, encode(HeartbeatMsg{}));
       last_heartbeat = now;
       if (message_type(reply) == "ack" &&
-          !apply_ack(ack_from_json(reply), grant.lease_id)) {
+          !apply_ack(decode_reply([&] { return ack_from_json(reply); }),
+                     grant.lease_id)) {
         lease_lost = true;
         break;
       }
@@ -251,7 +295,7 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
   retire.busy_s = lease_busy;
   const json::Value reply = roundtrip(conn, encode(retire));
   if (message_type(reply) == "ack") {
-    const AckMsg ack = ack_from_json(reply);
+    const AckMsg ack = decode_reply([&] { return ack_from_json(reply); });
     apply_ack(ack, 0);
     std::lock_guard lock(stats_mu_);
     if (ack.ok) {
@@ -268,10 +312,16 @@ bool WorkerDaemon::serve_session(Connection& conn) {
   hello.name = config_.name;
   hello.threads = static_cast<int>(config_.threads);
   const json::Value welcome_v = roundtrip(conn, encode(hello));
-  GKS_REQUIRE(message_type(welcome_v) == "welcome",
-              "coordinator rejected hello: " +
-                  welcome_v.string_or("error", "unexpected reply"));
-  const WelcomeMsg welcome = welcome_from_json(welcome_v);
+  if (message_type(welcome_v) != "welcome") {
+    // Rejected (version mismatch, ejected, …): a transport-class error
+    // so run() backs off and retries — by the time the backoff runs
+    // out, an ejection's probation may have passed.
+    throw ProtocolError("coordinator rejected hello: " +
+                        welcome_v.string_or("error", "unexpected reply"));
+  }
+  const WelcomeMsg welcome =
+      decode_reply([&] { return welcome_from_json(welcome_v); });
+  hello_ok_ = true;
   config_.heartbeat_interval_s = welcome.heartbeat_s > 0
                                      ? welcome.heartbeat_s
                                      : config_.heartbeat_interval_s;
@@ -282,9 +332,12 @@ bool WorkerDaemon::serve_session(Connection& conn) {
     const json::Value reply = roundtrip(conn, encode(req));
     const std::string type = message_type(reply);
     if (type == "lease") {
-      if (!run_lease(conn, lease_grant_from_json(reply))) return false;
+      const LeaseGrantWire grant =
+          decode_reply([&] { return lease_grant_from_json(reply); });
+      if (!run_lease(conn, grant)) return false;
     } else if (type == "idle") {
-      const IdleMsg idle = idle_from_json(reply);
+      const IdleMsg idle =
+          decode_reply([&] { return idle_from_json(reply); });
       apply_dead(idle.dead);
       // Sleep in short slices so stop() stays prompt.
       double left = idle.retry_s;
@@ -294,10 +347,10 @@ bool WorkerDaemon::serve_session(Connection& conn) {
         left -= nap;
       }
     } else if (type == "error") {
-      GKS_REQUIRE(false, "coordinator error: " +
-                             error_from_json(reply).error);
+      throw ProtocolError("coordinator error: " +
+                          reply.string_or("error", "unspecified"));
     } else {
-      GKS_REQUIRE(false, "unexpected coordinator reply: " + type);
+      throw ProtocolError("unexpected coordinator reply: " + type);
     }
   }
 
@@ -313,6 +366,18 @@ bool WorkerDaemon::serve_session(Connection& conn) {
 
 bool WorkerDaemon::run(const std::string& coordinator_addr) {
   int attempts_left = config_.reconnect_attempts;
+  int attempt = 0;  ///< consecutive failures since the last accepted hello
+
+  // Sleep out one backoff step in short slices so stop() stays prompt.
+  const auto back_off = [&] {
+    double left = backoff_delay(attempt++, config_, rng_);
+    while (left > 0 && !stop_.load(std::memory_order_acquire)) {
+      const double nap = std::min(left, 0.05);
+      transport_.sleep_s(nap);
+      left -= nap;
+    }
+  };
+
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return true;
     std::unique_ptr<Connection> conn;
@@ -320,11 +385,14 @@ bool WorkerDaemon::run(const std::string& coordinator_addr) {
       conn = transport_.connect(coordinator_addr, config_.connect_timeout_s);
     } catch (const TransportError&) {
       if (attempts_left-- <= 0) return false;
-      transport_.sleep_s(config_.reconnect_backoff_s);
+      back_off();
       continue;
     }
-    attempts_left = config_.reconnect_attempts;  // a connect resets it
+    // Deliberately no reset here: a coordinator that accepts TCP but
+    // rejects every hello (ejection, version skew) must not see an
+    // eager reconnect loop. Only an accepted hello below resets.
 
+    hello_ok_ = false;
     bool orderly = false;
     try {
       orderly = serve_session(*conn);
@@ -337,8 +405,14 @@ bool WorkerDaemon::run(const std::string& coordinator_addr) {
         ++stats_.reconnects;
       }
       conn->close();
+      if (hello_ok_) {
+        // The session was genuinely established before it died — a
+        // fresh failure run starts now, with a fresh budget.
+        attempts_left = config_.reconnect_attempts;
+        attempt = 0;
+      }
       if (attempts_left-- <= 0) return false;
-      transport_.sleep_s(config_.reconnect_backoff_s);
+      back_off();
       continue;
     }
     conn->close();

@@ -10,6 +10,7 @@
 #include "core/multi_sweep.h"
 #include "dist/protocol.h"
 #include "dist/transport.h"
+#include "support/rng.h"
 #include "support/uint128.h"
 
 namespace gks::dist {
@@ -36,10 +37,29 @@ struct WorkerConfig {
   /// long is presumed gone.
   double recv_timeout_s = 10.0;
   /// Reconnect attempts after a dropped connection (0 = give up at the
-  /// first failure), with linear backoff between attempts.
+  /// first failure). The delay between attempts grows exponentially
+  /// from reconnect_backoff_s, capped at reconnect_backoff_max_s, with
+  /// ±50% jitter (backoff_delay()). Attempts and the exponent reset
+  /// only after a *successful hello* — a coordinator that accepts the
+  /// TCP connection but rejects the session (version mismatch, worker
+  /// ejected) still sees a backed-off worker, not a reconnect storm.
   int reconnect_attempts = 5;
   double reconnect_backoff_s = 0.5;
+  double reconnect_backoff_max_s = 10.0;
+  /// Seed of the jitter PRNG; 0 derives one from the worker name so a
+  /// fleet of identically-configured workers spreads its retries
+  /// instead of thundering back in lock-step.
+  std::uint64_t backoff_seed = 0;
 };
+
+/// The delay before reconnect attempt `attempt` (0-based, counting
+/// consecutive failures since the last accepted hello): exponential
+/// doubling from config.reconnect_backoff_s, capped at
+/// config.reconnect_backoff_max_s, scaled by a jitter factor uniform
+/// in [0.5, 1.5). Pure given the RNG — unit-testable without a
+/// transport.
+double backoff_delay(int attempt, const WorkerConfig& config,
+                     SplitMix64& rng);
 
 /// The dispatch client: leases interval quanta from a Coordinator,
 /// sweeps them with core::MultiSweeper, reports recoveries the moment
@@ -117,9 +137,14 @@ class WorkerDaemon {
 
   Transport& transport_;
   WorkerConfig config_;
+  SplitMix64 rng_;  ///< backoff jitter; seeded for reproducible tests
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> interrupt_{false};
+  /// Set by serve_session() once the coordinator accepted our hello;
+  /// run() resets the reconnect budget on it (never on a bare TCP
+  /// connect, which an ejecting coordinator still grants).
+  bool hello_ok_ = false;
 
   /// Sweepers by job name — a worker sees many leases of the same job
   /// and pays target parsing / filter construction once.

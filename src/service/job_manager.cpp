@@ -1,9 +1,11 @@
 #include "service/job_manager.h"
 
 #include <algorithm>
+#include <cctype>
 #include <exception>
 #include <utility>
 
+#include "core/multi_crack.h"
 #include "support/error.h"
 
 namespace gks::service {
@@ -23,7 +25,8 @@ JobManager::JobManager(JobServiceConfig config) : config_(std::move(config)) {
   GKS_REQUIRE(config_.min_quantum <= config_.max_quantum,
               "min quantum above max quantum");
   if (!config_.journal_path.empty()) {
-    store_.open(config_.journal_path, config_.journal_flush);
+    store_.open(config_.journal_path, config_.journal_flush,
+                config_.journal_rotate_bytes);
   }
 
   if (config_.local_scan) {
@@ -142,9 +145,10 @@ JobId JobManager::insert_job_locked(std::unique_ptr<JobImpl> job,
   return id;
 }
 
-std::size_t JobManager::resume_from(const std::string& journal_path) {
+std::size_t JobManager::resume_from(const std::string& journal_path,
+                                    JobStore::LoadReport* report) {
   std::size_t brought_back = 0;
-  for (JobStore::RecoveredJob& rec : JobStore::load(journal_path)) {
+  for (JobStore::RecoveredJob& rec : JobStore::load(journal_path, report)) {
     if (rec.final_state.has_value()) continue;  // already terminal
 
     auto job = std::make_unique<JobImpl>();
@@ -378,7 +382,7 @@ std::optional<LeaseGrant> JobManager::lease(const std::string& holder,
 bool JobManager::retire_lease(
     std::uint64_t lease_id, const u128& tested,
     const std::vector<std::pair<std::string, std::string>>& found,
-    double busy_s) {
+    double busy_s, std::size_t* forged) {
   std::unique_lock lock(mu_);
   const auto it = leases_.find(lease_id);
   if (it == leases_.end()) return false;  // expired / revoked / bogus
@@ -394,7 +398,10 @@ bool JobManager::retire_lease(
   // record at worst rescans the interval; the opposite order could
   // mark the key's interval covered while losing the key forever.
   for (const auto& [digest_hex, key] : found) {
-    apply_found_locked(job, digest_hex, key);
+    if (apply_found_locked(job, digest_hex, key) == FoundOutcome::kForged &&
+        forged != nullptr) {
+      ++*forged;
+    }
   }
   const u128 n = std::min(tested, ls.interval.size());
   const keyspace::Interval done(ls.interval.begin, ls.interval.begin + n);
@@ -413,18 +420,18 @@ bool JobManager::retire_lease(
   return true;
 }
 
-bool JobManager::report_found(std::uint64_t lease_id,
-                              const std::string& digest_hex,
-                              const std::string& key) {
+FoundOutcome JobManager::report_found(std::uint64_t lease_id,
+                                      const std::string& digest_hex,
+                                      const std::string& key) {
   std::lock_guard lock(mu_);
   const auto it = leases_.find(lease_id);
-  if (it == leases_.end()) return false;
+  if (it == leases_.end()) return FoundOutcome::kNoLease;
   JobImpl& job = *jobs_.at(it->second.job);
-  apply_found_locked(job, digest_hex, key);
+  const FoundOutcome outcome = apply_found_locked(job, digest_hex, key);
   // The recovery may have resolved the last outstanding target; stop
   // dispatching (the job completes once in-flight work retires).
   scheduler_.set_runnable(job.id, runnable(job));
-  return true;
+  return outcome;
 }
 
 std::size_t JobManager::renew_leases(const std::string& holder,
@@ -439,11 +446,15 @@ std::size_t JobManager::renew_leases(const std::string& holder,
   return renewed;
 }
 
-std::size_t JobManager::expire_leases(double now) {
+std::size_t JobManager::expire_leases(
+    double now, std::vector<std::string>* expired_holders) {
   std::unique_lock lock(mu_);
   std::vector<std::uint64_t> dead;
   for (const auto& [lease_id, ls] : leases_) {
-    if (now > ls.deadline) dead.push_back(lease_id);
+    if (now > ls.deadline) {
+      dead.push_back(lease_id);
+      if (expired_holders != nullptr) expired_holders->push_back(ls.holder);
+    }
   }
   for (const std::uint64_t lease_id : dead) {
     reclaim_lease_locked(lease_id, /*count_expired=*/true);
@@ -518,23 +529,37 @@ void JobManager::reclaim_lease_locked(std::uint64_t lease_id,
   maybe_complete(job);
 }
 
-bool JobManager::apply_found_locked(JobImpl& job,
-                                    const std::string& digest_hex,
-                                    const std::string& key) {
+FoundOutcome JobManager::apply_found_locked(JobImpl& job,
+                                            const std::string& digest_hex,
+                                            const std::string& key) {
+  // Verify before believing: recompute the claimed preimage's digest
+  // under the job's salt scheme. A mismatch — fabricated key,
+  // corrupted frame, malformed hex — must never reach the journal or
+  // the found broadcast; the caller turns it into a strike against the
+  // holder. (Comparison is on the canonical lower-case rendering, so
+  // an honest mixed-case report still verifies.)
+  std::string want = digest_hex;
+  std::transform(want.begin(), want.end(), want.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (core::salted_digest_hex(job.spec.request.algorithm,
+                              job.spec.request.salt, key) != want) {
+    return FoundOutcome::kForged;
+  }
   std::vector<std::size_t> slots;
   try {
-    slots = job.sweeper->mark_found_hex(digest_hex, key);
+    slots = job.sweeper->mark_found_hex(want, key);
   } catch (const Error&) {
-    return false;  // malformed hex from a remote worker: ignore
+    return FoundOutcome::kForged;  // unreachable: `want` verified above
   }
   // Empty means a duplicate report or a target removed mid-lease —
   // not ours to journal; this is what keeps found accounting
   // exactly-once when two holders race on a re-dispatched interval.
-  if (slots.empty()) return false;
+  if (slots.empty()) return FoundOutcome::kDuplicate;
   job.targets_found += slots.size();
   store_.record_found(job.spec.name, job.sweeper->slot_hex(slots.front()),
                       key);
-  return true;
+  return FoundOutcome::kApplied;
 }
 
 JobSnapshot JobManager::status(JobId id) const {

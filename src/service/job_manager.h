@@ -46,6 +46,10 @@ struct JobServiceConfig {
   /// batch (group-commit) so interval retirement doesn't serialize on
   /// per-line flushes.
   JobStore::FlushPolicy journal_flush;
+  /// Rotate the journal into `<path>.000N` segments once the active
+  /// file exceeds this many bytes; 0 keeps a single file (the
+  /// default). Replay reads all segments (see JobStore).
+  std::size_t journal_rotate_bytes = 0;
   /// When false, no local scan threads are spawned: the manager is a
   /// pure coordinator whose keyspace is consumed exclusively through
   /// the lease API. `workers` is then ignored.
@@ -68,6 +72,19 @@ struct LeaseGrant {
   /// the job spec to any session whose last-sent generation differs,
   /// so workers with a cached sweeper rebuild it before scanning.
   std::uint64_t target_gen = 0;
+};
+
+/// How the manager judged one reported recovery. Remote workers are
+/// untrusted: the manager recomputes the digest of every claimed
+/// preimage before journaling it, so a buggy or malicious worker's
+/// fabrication (`kForged`) is distinguishable from the benign race of
+/// two holders finding the same key (`kDuplicate`) — the coordinator
+/// strikes the former and ignores the latter.
+enum class FoundOutcome {
+  kApplied,    ///< verified, journaled, counted — a new recovery
+  kDuplicate,  ///< verified but already recovered (or not a target)
+  kForged,     ///< H(key) != digest: fabricated or corrupt report
+  kNoLease,    ///< the lease is no longer live
 };
 
 /// The multi-tenant job service: owns the worker pool, the fair-share
@@ -111,8 +128,11 @@ class JobManager {
   /// job without a terminal state record, seeded with its journaled
   /// coverage and recoveries — only the unscanned gaps are dispatched
   /// again. Jobs whose gaps turn out empty complete immediately.
-  /// Returns the number of jobs brought back.
-  std::size_t resume_from(const std::string& journal_path);
+  /// Returns the number of jobs brought back. Corrupt records are
+  /// quarantined rather than fatal (see JobStore::load); pass `report`
+  /// to learn what was skipped.
+  std::size_t resume_from(const std::string& journal_path,
+                          JobStore::LoadReport* report = nullptr);
 
   /// Requests cancellation: the interrupt flag preempts in-flight
   /// quanta at their next chunk boundary and the job goes terminal
@@ -170,18 +190,24 @@ class JobManager {
   /// pending queue. Returns false for unknown or already-expired lease
   /// ids — the interval was re-dispatched, and the coverage ledger
   /// plus mark_found dedup make the late worker's overlap harmless.
+  /// Every piggybacked recovery is digest-verified like report_found;
+  /// `forged` (when given) counts the ones that failed verification,
+  /// so the caller can strike the holder.
   bool retire_lease(std::uint64_t lease_id, const u128& tested,
                     const std::vector<std::pair<std::string, std::string>>&
                         found = {},
-                    double busy_s = 0);
+                    double busy_s = 0, std::size_t* forged = nullptr);
 
   /// Records a recovery against a live lease without retiring it (a
   /// worker reports FOUND the moment it hits, so a later crash cannot
-  /// lose the key). Journaled before acknowledging; duplicates of an
-  /// already-recovered digest are absorbed exactly-once. Returns false
-  /// when the lease is no longer live.
-  bool report_found(std::uint64_t lease_id, const std::string& digest_hex,
-                    const std::string& key);
+  /// lose the key). The claimed preimage is verified — its digest
+  /// recomputed under the job's salt scheme — before anything is
+  /// journaled or counted; kForged reports leave no trace in the
+  /// journal. Duplicates of an already-recovered digest are absorbed
+  /// exactly-once (kDuplicate).
+  FoundOutcome report_found(std::uint64_t lease_id,
+                            const std::string& digest_hex,
+                            const std::string& key);
 
   /// Pushes every live lease of `holder` out to `deadline` (heartbeat
   /// renewal; deadlines never move backwards). Returns the number of
@@ -190,8 +216,12 @@ class JobManager {
 
   /// Returns expired leases' intervals to their jobs' pending queues.
   /// The coordinator calls this periodically with its current time;
-  /// the count is the number of leases reclaimed.
-  std::size_t expire_leases(double now);
+  /// the count is the number of leases reclaimed. `expired_holders`
+  /// (when given) receives the holder of each reclaimed lease — the
+  /// coordinator's health scoring strikes them.
+  std::size_t expire_leases(double now,
+                            std::vector<std::string>* expired_holders =
+                                nullptr);
 
   /// Immediately reclaims every lease of `holder` (connection closed
   /// or BYE — no reason to wait for the deadline).
@@ -281,10 +311,12 @@ class JobManager {
   /// Returns a lease's interval to its job's pending queue and drops
   /// the lease (mu_ held). Shared by expiry, revocation and cancel.
   void reclaim_lease_locked(std::uint64_t lease_id, bool count_expired);
-  /// Applies one recovery to a job: mark, count, journal. Returns
-  /// whether it was new (mu_ held).
-  bool apply_found_locked(JobImpl& job, const std::string& digest_hex,
-                          const std::string& key);
+  /// Verifies then applies one recovery to a job: recompute the
+  /// digest, mark, count, journal (mu_ held). Forged reports touch
+  /// nothing.
+  FoundOutcome apply_found_locked(JobImpl& job,
+                                  const std::string& digest_hex,
+                                  const std::string& key);
   /// True when some runnable job has pending work (mu_ held).
   bool work_available() const;
   /// Quantum size for the job's next dispatch (mu_ held).

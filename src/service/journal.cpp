@@ -1,8 +1,12 @@
 #include "service/journal.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 
+#include "support/crc32.h"
 #include "support/error.h"
 #include "support/json.h"
 
@@ -84,8 +88,9 @@ JobSpec job_spec_from_json(const json::Value& rec) {
   return spec;
 }
 
-JobStore::JobStore(const std::string& path, FlushPolicy policy) {
-  open(path, policy);
+JobStore::JobStore(const std::string& path, FlushPolicy policy,
+                   std::size_t rotate_bytes) {
+  open(path, policy, rotate_bytes);
 }
 
 JobStore::~JobStore() {
@@ -98,14 +103,29 @@ JobStore::~JobStore() {
   if (flusher_.joinable()) flusher_.join();
 }
 
-void JobStore::open(const std::string& path, FlushPolicy policy) {
+void JobStore::open(const std::string& path, FlushPolicy policy,
+                    std::size_t rotate_bytes) {
   GKS_REQUIRE(!out_.is_open(), "journal is already open: " + path_);
   GKS_REQUIRE(policy.every_records > 0, "flush batch must be positive");
   GKS_REQUIRE(policy.max_delay_s >= 0, "flush delay must be non-negative");
   path_ = path;
   policy_ = policy;
+  rotate_bytes_ = rotate_bytes;
+  next_segment_ = 1;
+  if (rotate_bytes_ > 0) {
+    // Resume numbering after the highest segment already on disk.
+    std::vector<std::string> segs = segment_paths(path);
+    segs.pop_back();  // the active file itself
+    if (!segs.empty()) {
+      next_segment_ =
+          std::stoull(segs.back().substr(path.size() + 1)) + 1;
+    }
+  }
   out_.open(path, std::ios::app);
   GKS_REQUIRE(out_.is_open(), "cannot open journal for append: " + path);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  segment_bytes_ = ec ? 0 : static_cast<std::size_t>(size);
   if (policy_.every_records > 1 && policy_.max_delay_s > 0) {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
@@ -142,10 +162,33 @@ void JobStore::flusher_loop() {
   }
 }
 
+void JobStore::rotate_locked() {
+  flush_locked();
+  out_.close();
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, ".%04llu",
+                static_cast<unsigned long long>(next_segment_));
+  std::error_code ec;
+  std::filesystem::rename(path_, path_ + suffix, ec);
+  if (ec) {
+    // Rotation is an optimization; a failed rename must never lose the
+    // journal. Keep appending to the oversized active file instead.
+    rotate_bytes_ = 0;
+    out_.open(path_, std::ios::app);
+    return;
+  }
+  ++next_segment_;
+  out_.open(path_, std::ios::app);
+  segment_bytes_ = 0;
+}
+
 void JobStore::append(const std::string& line, bool force_flush) {
   if (!out_.is_open()) return;
+  char crc[12];
+  std::snprintf(crc, sizeof crc, " #%08x", crc32(line));
   std::lock_guard lock(mu_);
-  out_ << line << '\n';
+  out_ << line << crc << '\n';
+  segment_bytes_ += line.size() + 11;  // " #xxxxxxxx" + newline
   if (pending_ == 0) oldest_pending_ = std::chrono::steady_clock::now();
   ++pending_;
   if (force_flush || pending_ >= policy_.every_records) {
@@ -157,6 +200,7 @@ void JobStore::append(const std::string& line, bool force_flush) {
   } else {
     flush_cv_.notify_one();  // arm the delay-bound flusher
   }
+  if (rotate_bytes_ > 0 && segment_bytes_ >= rotate_bytes_) rotate_locked();
 }
 
 void JobStore::record_job(const JobSpec& spec) {
@@ -236,10 +280,85 @@ void JobStore::record_state(const std::string& job, JobState state) {
   append(w.str(), /*force_flush=*/true);
 }
 
-std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
+namespace {
+
+// Strips a valid trailing " #xxxxxxxx" CRC suffix and returns the
+// payload; lines without the suffix (pre-checksum journals) pass
+// through unchecked. Sets *crc_ok = false when a suffix is present
+// but does not match the payload.
+std::string_view strip_record_crc(std::string_view line, bool* crc_ok) {
+  *crc_ok = true;
+  if (line.size() < 11) return line;
+  const std::size_t at = line.size() - 10;
+  if (line[at] != ' ' || line[at + 1] != '#') return line;
+  std::uint32_t want = 0;
+  for (const char c : line.substr(at + 2)) {
+    if (c >= '0' && c <= '9') want = want * 16 + (c - '0');
+    else if (c >= 'a' && c <= 'f') want = want * 16 + (c - 'a' + 10);
+    else return line;  // not a checksum suffix; legacy payload
+  }
+  const std::string_view payload = line.substr(0, at);
+  *crc_ok = crc32(payload) == want;
+  return payload;
+}
+
+// First bytes of a raw record as lowercase hex — enough context to
+// eyeball what kind of damage a quarantined record took.
+std::string hex_snippet(std::string_view line) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  constexpr std::size_t kMaxBytes = 48;
+  const std::size_t n = std::min(line.size(), kMaxBytes);
+  std::string out;
+  out.reserve(n * 2 + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(line[i]);
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  if (line.size() > n) out += "...";
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> JobStore::segment_paths(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path base(path);
+  const std::string prefix = base.filename().string() + ".";
+  const fs::path dir =
+      base.has_parent_path() ? base.parent_path() : fs::path(".");
+  std::vector<std::pair<std::uint64_t, std::string>> rotated;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(prefix.size());
+    const bool numeric =
+        std::all_of(suffix.begin(), suffix.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        });
+    if (!numeric) continue;
+    rotated.emplace_back(std::stoull(suffix), path + "." + suffix);
+  }
+  std::sort(rotated.begin(), rotated.end());
+  std::vector<std::string> out;
+  out.reserve(rotated.size() + 1);
+  for (auto& [index, segment] : rotated) out.push_back(std::move(segment));
+  out.push_back(path);
+  return out;
+}
+
+std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path,
+                                                   LoadReport* report) {
   std::vector<RecoveredJob> out;
-  std::ifstream in(path);
-  if (!in.is_open()) return out;
+  const std::string quarantine_path = path + ".quarantine";
+  if (report != nullptr) {
+    *report = {};
+    report->quarantine_path = quarantine_path;
+  }
 
   std::map<std::string, std::size_t> by_name;
   const auto job_of = [&](const std::string& name) -> RecoveredJob* {
@@ -247,66 +366,115 @@ std::vector<JobStore::RecoveredJob> JobStore::load(const std::string& path) {
     return it == by_name.end() ? nullptr : &out[it->second];
   };
 
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    json::Value rec;
-    try {
-      rec = json::parse(line);
-    } catch (const Error&) {
-      // A torn write can only be the journal's final line; anything
-      // malformed earlier is real corruption.
-      GKS_REQUIRE(in.peek() == std::ifstream::traits_type::eof(),
-                  "corrupt journal record at line " +
-                      std::to_string(line_no) + " of " + path);
-      break;
+  std::ofstream qout;  // opened lazily: healthy journals get no sidecar
+  const auto quarantine = [&](const std::string& segment,
+                              std::size_t line_no, const std::string& reason,
+                              const std::string& raw) {
+    const std::string snippet = hex_snippet(raw);
+    if (!qout.is_open()) qout.open(quarantine_path, std::ios::app);
+    if (qout.is_open()) {
+      json::Writer w;
+      w.begin_object()
+          .key("journal").value(segment)
+          .key("line").value(static_cast<std::int64_t>(line_no))
+          .key("reason").value(reason)
+          .key("hex").value(snippet)
+          .end_object();
+      qout << w.str() << '\n';
     }
-    const std::string& type = rec.at("type").as_string();
-    const std::string& name = rec.at("job").as_string();
-    if (type == "job") {
-      // Duplicate job records (e.g. a spec journaled again after an
-      // earlier crash) keep the first occurrence.
-      if (job_of(name) == nullptr) {
-        by_name.emplace(name, out.size());
-        out.emplace_back();
-        out.back().spec = job_spec_from_json(rec);
-      }
-      continue;
+    if (report != nullptr) {
+      ++report->quarantined;
+      report->notes.push_back(segment + ":" + std::to_string(line_no) +
+                              ": " + reason + "; record hex: " + snippet);
     }
-    RecoveredJob* job = job_of(name);
-    GKS_REQUIRE(job != nullptr,
-                "journal record for unknown job '" + name + "' at line " +
-                    std::to_string(line_no));
-    if (type == "interval") {
-      const keyspace::Interval iv(u128::parse(rec.at("begin").as_string()),
-                                  u128::parse(rec.at("end").as_string()));
-      job->journaled += iv.size();
-      job->scanned.add(iv);
-    } else if (type == "found") {
-      job->found.emplace_back(rec.at("digest").as_string(),
-                              rec.at("key").as_string());
-      RecoveredJob::TargetEvent ev;
-      ev.kind = RecoveredJob::TargetEvent::Kind::kFound;
-      ev.digest_hex = rec.at("digest").as_string();
-      ev.key = rec.at("key").as_string();
-      job->events.push_back(std::move(ev));
-    } else if (type == "targets_add" || type == "targets_remove") {
-      RecoveredJob::TargetEvent ev;
-      ev.kind = type == "targets_add"
-                    ? RecoveredJob::TargetEvent::Kind::kAdd
-                    : RecoveredJob::TargetEvent::Kind::kRemove;
-      for (const json::Value& t : rec.at("targets").as_array()) {
-        ev.targets.push_back(t.as_string());
+  };
+
+  for (const std::string& segment : segment_paths(path)) {
+    const bool active = segment == path;
+    std::ifstream in(segment);
+    if (!in.is_open()) continue;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      // A torn write can only be the final line of the *active*
+      // segment (rotated segments were closed cleanly); drop it
+      // silently. Damage anywhere else is real corruption and gets
+      // quarantined with its position.
+      const bool at_tail =
+          active && in.peek() == std::ifstream::traits_type::eof();
+      bool crc_ok = true;
+      const std::string_view payload = strip_record_crc(line, &crc_ok);
+      if (!crc_ok) {
+        if (at_tail) break;
+        quarantine(segment, line_no, "crc mismatch", line);
+        continue;
       }
-      job->events.push_back(std::move(ev));
-    } else if (type == "state") {
-      const JobState s = job_state_from_name(rec.at("state").as_string());
-      GKS_REQUIRE(is_terminal(s), "journal state records must be terminal");
-      job->final_state = s;
-    } else {
-      GKS_REQUIRE(false, "unknown journal record type: " + type);
+      json::Value rec;
+      try {
+        rec = json::parse(payload);
+      } catch (const Error&) {
+        if (at_tail) break;
+        quarantine(segment, line_no, "unparsable record", line);
+        continue;
+      }
+      try {
+        const std::string& type = rec.at("type").as_string();
+        const std::string& name = rec.at("job").as_string();
+        if (type == "job") {
+          // Duplicate job records (e.g. a spec journaled again after
+          // an earlier crash) keep the first occurrence.
+          if (job_of(name) == nullptr) {
+            JobSpec spec = job_spec_from_json(rec);
+            by_name.emplace(name, out.size());
+            out.emplace_back();
+            out.back().spec = std::move(spec);
+          }
+          continue;
+        }
+        RecoveredJob* job = job_of(name);
+        GKS_REQUIRE(job != nullptr,
+                    "record for unknown job '" + name + "'");
+        if (type == "interval") {
+          const keyspace::Interval iv(
+              u128::parse(rec.at("begin").as_string()),
+              u128::parse(rec.at("end").as_string()));
+          job->journaled += iv.size();
+          job->scanned.add(iv);
+        } else if (type == "found") {
+          job->found.emplace_back(rec.at("digest").as_string(),
+                                  rec.at("key").as_string());
+          RecoveredJob::TargetEvent ev;
+          ev.kind = RecoveredJob::TargetEvent::Kind::kFound;
+          ev.digest_hex = rec.at("digest").as_string();
+          ev.key = rec.at("key").as_string();
+          job->events.push_back(std::move(ev));
+        } else if (type == "targets_add" || type == "targets_remove") {
+          RecoveredJob::TargetEvent ev;
+          ev.kind = type == "targets_add"
+                        ? RecoveredJob::TargetEvent::Kind::kAdd
+                        : RecoveredJob::TargetEvent::Kind::kRemove;
+          for (const json::Value& t : rec.at("targets").as_array()) {
+            ev.targets.push_back(t.as_string());
+          }
+          job->events.push_back(std::move(ev));
+        } else if (type == "state") {
+          const JobState s =
+              job_state_from_name(rec.at("state").as_string());
+          GKS_REQUIRE(is_terminal(s),
+                      "journal state records must be terminal");
+          job->final_state = s;
+        } else {
+          GKS_REQUIRE(false, "unknown journal record type: " + type);
+        }
+      } catch (const Error& e) {
+        // Semantic damage (missing field, unknown job/type, bad
+        // value). Skipping is safe by construction: a lost interval
+        // record re-dispatches, a lost found record rescans.
+        quarantine(segment, line_no, e.what(), line);
+      }
     }
   }
   return out;

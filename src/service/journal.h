@@ -50,6 +50,26 @@ JobSpec job_spec_from_json(const json::Value& rec);
 /// An `interval` record means those ids were fully scanned and need
 /// never be dispatched again; the union of a job's interval records is
 /// its coverage, and load() re-derives the unscanned gaps from it.
+///
+/// **Record integrity.** Every appended line carries a trailing
+/// ` #xxxxxxxx` CRC32 (of the JSON bytes before the suffix), so replay
+/// can tell a bit-rotted or torn record from a well-formed one. Lines
+/// without the suffix are accepted unchecked — journals written before
+/// the checksum existed replay unchanged. A record that fails its CRC,
+/// fails to parse, or fails semantically (unknown type, unknown job,
+/// malformed field) is *quarantined*: copied with its position context
+/// into the sidecar `<path>.quarantine` and skipped, instead of
+/// aborting the replay. Skipping is safe by construction — a dropped
+/// `interval` record just re-dispatches that interval (coverage can
+/// only shrink), and a dropped `found`/mutation record at worst
+/// rescans. Only a torn final line of the *active* segment is dropped
+/// silently (the normal crash-mid-append shape).
+///
+/// **Segment rotation.** With a positive rotate_bytes, the store
+/// renames the active file to `<path>.0001`, `<path>.0002`, … once it
+/// exceeds the threshold and starts a fresh `<path>`; load() replays
+/// all segments in order. Rotation is what makes compaction and
+/// bounded replay possible for multi-day sweeps.
 /// Group-commit knob for JobStore. The default (flush after every
 /// record) keeps the original "lose at most the line being written"
 /// durability. Batched flushing — every `every_records` records or
@@ -78,12 +98,15 @@ class JobStore {
   ~JobStore();
 
   /// Opens `path` for append, creating it if missing; throws
-  /// InvalidArgument when the file cannot be opened.
-  explicit JobStore(const std::string& path, FlushPolicy policy = {});
+  /// InvalidArgument when the file cannot be opened. A positive
+  /// `rotate_bytes` enables segment rotation (see the class comment).
+  explicit JobStore(const std::string& path, FlushPolicy policy = {},
+                    std::size_t rotate_bytes = 0);
 
   /// Turns a null store into a persistent one (the JobManager builds
   /// its member store this way). Throws if already open or on failure.
-  void open(const std::string& path, FlushPolicy policy = {});
+  void open(const std::string& path, FlushPolicy policy = {},
+            std::size_t rotate_bytes = 0);
 
   /// Forces buffered records to disk (no-op when nothing is pending).
   void flush();
@@ -132,19 +155,41 @@ class JobStore {
     std::optional<JobState> final_state;
   };
 
-  /// Parses a journal into per-job recovery state (submission order).
-  /// A missing file yields an empty vector. A torn final line — the
-  /// crash happened mid-append — is tolerated and ignored; malformed
-  /// records anywhere else throw InvalidArgument.
-  static std::vector<RecoveredJob> load(const std::string& path);
+  /// What replay had to skip: operator-facing triage context for a
+  /// corrupt journal. Each note reads `<file>:<line>: <reason>; record
+  /// hex: <snippet>`; the same information lands as JSON lines in the
+  /// `.quarantine` sidecar next to the journal.
+  struct LoadReport {
+    std::size_t quarantined = 0;
+    std::string quarantine_path;
+    std::vector<std::string> notes;
+  };
+
+  /// Parses a journal (all rotated segments, then the active file)
+  /// into per-job recovery state (submission order). A missing file
+  /// yields an empty vector. A torn final line of the active segment —
+  /// the crash happened mid-append — is dropped silently; any other
+  /// corrupt record is quarantined into `<path>.quarantine` and
+  /// skipped (reported via `report` when given), never aborting the
+  /// replay.
+  static std::vector<RecoveredJob> load(const std::string& path,
+                                        LoadReport* report = nullptr);
+
+  /// The journal's on-disk segments, oldest first, active file last.
+  /// Rotated segments are `<path>.NNNN` (numeric suffix).
+  static std::vector<std::string> segment_paths(const std::string& path);
 
  private:
   void append(const std::string& line, bool force_flush = false);
   void flush_locked();
+  void rotate_locked();
   void flusher_loop();
 
   std::string path_;
   FlushPolicy policy_;
+  std::size_t rotate_bytes_ = 0;   ///< 0 disables segment rotation
+  std::size_t segment_bytes_ = 0;  ///< bytes in the active segment
+  std::uint64_t next_segment_ = 1;
   std::mutex mu_;
   std::ofstream out_;
   std::size_t pending_ = 0;  ///< records appended but not yet flushed

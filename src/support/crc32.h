@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace gks {
+
+/// CRC-32 (ISO-HDLC, polynomial 0xEDB88320 reflected) — the checksum
+/// the journal appends to every record so replay can tell a torn or
+/// bit-rotted line from a well-formed one. Table-driven, no external
+/// dependency; the table is built once on first use.
+inline std::uint32_t crc32(std::string_view data,
+                           std::uint32_t crc = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace gks

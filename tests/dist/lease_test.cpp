@@ -159,14 +159,52 @@ TEST(Lease, ReportFoundIsExactlyOnceAcrossLeases) {
   const auto g2 = m.lease("w#2", u128(100), 10.0);
   ASSERT_TRUE(g1 && g2);
 
-  EXPECT_TRUE(m.report_found(g1->lease_id, digest, "abc"));
-  EXPECT_TRUE(m.report_found(g2->lease_id, digest, "abc"));  // live, but dup
+  EXPECT_EQ(m.report_found(g1->lease_id, digest, "abc"),
+            FoundOutcome::kApplied);
+  EXPECT_EQ(m.report_found(g2->lease_id, digest, "abc"),
+            FoundOutcome::kDuplicate);  // live, but dup
   const JobSnapshot s = m.status(id);
   EXPECT_EQ(s.targets_found, 1u);  // the witness: counted once
   EXPECT_EQ(s.found.size(), 1u);
 
   m.expire_leases(20.0);
-  EXPECT_FALSE(m.report_found(g1->lease_id, digest, "abc"));  // dead lease
+  EXPECT_EQ(m.report_found(g1->lease_id, digest, "abc"),
+            FoundOutcome::kNoLease);  // dead lease
+}
+
+TEST(Lease, ForgedFoundNeverReachesTheJournalOrTheCount) {
+  JobServiceConfig config;
+  config.local_scan = false;
+  JobManager m(config);
+  const JobId id = m.submit(md5_job("a", "abc"));
+  const std::string digest = hash::Md5::digest("abc").to_hex();
+  const auto grant = m.lease("w#1", u128(100), 10.0);
+  ASSERT_TRUE(grant.has_value());
+
+  // A real target digest with a fabricated preimage: the manager must
+  // recompute H("xyz"), see the mismatch, and refuse — this is the
+  // report a buggy or malicious worker would use to poison results.
+  EXPECT_EQ(m.report_found(grant->lease_id, digest, "xyz"),
+            FoundOutcome::kForged);
+  EXPECT_EQ(m.report_found(grant->lease_id, "zzzz-not-hex", "abc"),
+            FoundOutcome::kForged);
+  EXPECT_EQ(m.status(id).targets_found, 0u);
+  EXPECT_TRUE(m.status(id).found.empty());
+
+  // Forged recoveries piggybacked on a retire are counted out-of-band
+  // and contribute no coverage of the target set either.
+  std::size_t forged = 0;
+  ASSERT_TRUE(m.retire_lease(grant->lease_id, grant->interval.size(),
+                             {{digest, "nope"}}, 0.01, &forged));
+  EXPECT_EQ(forged, 1u);
+  EXPECT_EQ(m.status(id).targets_found, 0u);
+
+  // The honest report still lands.
+  const auto g2 = m.lease("w#1", u128(100), 10.0);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(m.report_found(g2->lease_id, digest, "abc"),
+            FoundOutcome::kApplied);
+  EXPECT_EQ(m.status(id).targets_found, 1u);
 }
 
 TEST(Lease, CancelReclaimsOutstandingLeases) {
@@ -286,7 +324,8 @@ TEST(Lease, WireSpecCarriesCurrentTargetsAndRecoveries) {
 
   const auto grant = m.lease("w#1", u128(100), 10.0);
   ASSERT_TRUE(grant.has_value());
-  ASSERT_TRUE(m.report_found(grant->lease_id, abc, "abc"));
+  ASSERT_EQ(m.report_found(grant->lease_id, abc, "abc"),
+            FoundOutcome::kApplied);
 
   std::vector<std::pair<std::string, std::string>> found;
   const JobSpec wire = m.wire_spec(id, &found);

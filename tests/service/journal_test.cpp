@@ -25,7 +25,15 @@ class JournalTest : public ::testing::Test {
                 .string();
     std::filesystem::remove(path_);
   }
-  void TearDown() override { std::filesystem::remove(path_); }
+  void TearDown() override {
+    // The journal plus anything load/rotation may have left beside it
+    // (quarantine sidecar, rotated segments).
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".quarantine");
+    for (const std::string& segment : JobStore::segment_paths(path_)) {
+      std::filesystem::remove(segment);
+    }
+  }
 
   std::string path_;
 };
@@ -147,7 +155,7 @@ TEST_F(JournalTest, TornFinalLineIsTolerated) {
   EXPECT_EQ(jobs[0].journaled, u128(64));  // the torn record is ignored
 }
 
-TEST_F(JournalTest, CorruptionBeforeTheEndThrows) {
+TEST_F(JournalTest, CorruptMiddleRecordIsQuarantinedWithPosition) {
   {
     JobStore store(path_);
     store.record_job(sample_spec("a"));
@@ -157,15 +165,117 @@ TEST_F(JournalTest, CorruptionBeforeTheEndThrows) {
     out << "!!! not json\n";
     out << R"({"type":"interval","job":"a","begin":"0","end":"5"})" << "\n";
   }
-  EXPECT_THROW(JobStore::load(path_), InvalidArgument);
+  // Replay survives: the records after the damage still apply.
+  JobStore::LoadReport report;
+  const auto jobs = JobStore::load(path_, &report);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].journaled, u128(5));
+  // ...and the damage is quarantined with triage context: path, line
+  // number, hex snippet of the offending bytes ("!!!" = 212121).
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.quarantine_path, path_ + ".quarantine");
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find(path_ + ":2:"), std::string::npos);
+  EXPECT_NE(report.notes[0].find("212121"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(report.quarantine_path));
 }
 
-TEST_F(JournalTest, RecordForUnknownJobThrows) {
+TEST_F(JournalTest, RecordForUnknownJobIsQuarantined) {
   {
     JobStore store(path_);
     store.record_interval("ghost", keyspace::Interval(u128(0), u128(5)));
+    store.record_job(sample_spec("a"));
   }
-  EXPECT_THROW(JobStore::load(path_), InvalidArgument);
+  JobStore::LoadReport report;
+  const auto jobs = JobStore::load(path_, &report);
+  ASSERT_EQ(jobs.size(), 1u);  // the healthy job record still loads
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("unknown job 'ghost'"), std::string::npos);
+}
+
+TEST_F(JournalTest, CrcMismatchIsQuarantinedNotTrusted) {
+  {
+    JobStore store(path_);
+    store.record_job(sample_spec("a"));
+    store.record_interval("a", keyspace::Interval(u128(0), u128(100)));
+    store.record_interval("a", keyspace::Interval(u128(100), u128(200)));
+  }
+  // Flip one digit inside the *first* interval record's payload: the
+  // line still parses as JSON, but the checksum no longer vouches for
+  // it — bit rot must not be silently replayed as coverage.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  const auto at = lines[1].find(R"("end":"100")");
+  ASSERT_NE(at, std::string::npos);
+  lines[1].replace(at, 11, R"("end":"900")");
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+  }
+  JobStore::LoadReport report;
+  const auto jobs = JobStore::load(path_, &report);
+  ASSERT_EQ(jobs.size(), 1u);
+  // The tampered interval is quarantined (coverage shrinks — safe, it
+  // just re-dispatches); the intact one behind it still applies.
+  EXPECT_EQ(jobs[0].journaled, u128(100));
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("crc mismatch"), std::string::npos);
+}
+
+TEST_F(JournalTest, LegacyJournalWithoutChecksumsStillLoads) {
+  {
+    // A pre-checksum journal: hand-written lines with no " #xxxxxxxx"
+    // suffix must replay unchanged (backward compatibility).
+    std::ofstream out(path_);
+    out << R"({"type":"job","job":"a","algo":"md5","charset":"ab",)"
+        << R"("min":1,"max":2,"salt_pos":"none","salt":"",)"
+        << R"("priority":0,"weight":1,"targets":["00ff"]})" << "\n";
+    out << R"({"type":"interval","job":"a","begin":"0","end":"6"})" << "\n";
+  }
+  JobStore::LoadReport report;
+  const auto jobs = JobStore::load(path_, &report);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].journaled, u128(6));
+  EXPECT_EQ(report.quarantined, 0u);
+}
+
+TEST_F(JournalTest, RotationSplitsSegmentsAndLoadReplaysAll) {
+  {
+    JobStore store(path_, {}, /*rotate_bytes=*/256);
+    store.record_job(sample_spec("a"));
+    for (int i = 0; i < 8; ++i) {
+      store.record_interval(
+          "a", keyspace::Interval(u128(i * 10), u128(i * 10 + 10)));
+    }
+  }
+  const auto segments = JobStore::segment_paths(path_);
+  ASSERT_GT(segments.size(), 1u);  // the spec alone overflows 256 bytes
+  EXPECT_EQ(segments.back(), path_);
+  EXPECT_NE(segments.front().find(".0001"), std::string::npos);
+
+  const auto jobs = JobStore::load(path_);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].journaled, u128(80));
+  EXPECT_EQ(jobs[0].scanned.covered(), u128(80));
+
+  // Reopening continues the numbering instead of clobbering segments.
+  const std::size_t before = segments.size();
+  {
+    JobStore store(path_, {}, /*rotate_bytes=*/64);
+    store.record_interval("a", keyspace::Interval(u128(80), u128(90)));
+    store.record_interval("a", keyspace::Interval(u128(90), u128(95)));
+  }
+  EXPECT_GT(JobStore::segment_paths(path_).size(), before);
+  const auto again = JobStore::load(path_);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].scanned.covered(), u128(95));
 }
 
 TEST_F(JournalTest, OverlappingRecordsShowUpAsJournaledExcess) {

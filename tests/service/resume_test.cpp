@@ -6,8 +6,10 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "hash/md5.h"
 #include "keyspace/codec.h"
@@ -29,7 +31,10 @@ class ResumeTest : public ::testing::Test {
                    .string();
     std::filesystem::remove(journal_);
   }
-  void TearDown() override { std::filesystem::remove(journal_); }
+  void TearDown() override {
+    std::filesystem::remove(journal_);
+    std::filesystem::remove(journal_ + ".quarantine");
+  }
 
   std::string journal_;
 };
@@ -248,6 +253,83 @@ TEST_F(ResumeTest, ResumeIntoADifferentJournalIsSelfContained) {
   ASSERT_TRUE(recovered[0].final_state.has_value());
   EXPECT_EQ(*recovered[0].final_state, JobState::kDone);
   std::filesystem::remove(second_journal);
+}
+
+TEST_F(ResumeTest, CorruptedMiddleRecordQuarantinesAndResumesToCompletion) {
+  // The ISSUE-9 acceptance shape: damage one interval record in the
+  // middle of a real killed-run journal, then prove resume quarantines
+  // it (with position info), re-dispatches the lost interval, and
+  // still runs the job to full exactly-once coverage.
+  const keyspace::Charset charset = keyspace::Charset::lower();
+  const u128 space = keyspace::space_size(charset.size(), 1, 4);
+  const keyspace::KeyCodec codec(charset,
+                                 keyspace::DigitOrder::kPrefixFastest);
+  const u128 offset = keyspace::first_id_of_length(charset.size(), 1);
+  const std::string planted = codec.decode(offset + space - u128(1));
+
+  JobSpec spec;
+  spec.name = "bitrot";
+  spec.request.algorithm = hash::Algorithm::kMd5;
+  spec.request.target_hexes = {hash::Md5::digest(planted).to_hex()};
+  spec.request.charset = charset;
+  spec.request.min_length = 1;
+  spec.request.max_length = 4;
+
+  {
+    JobServiceConfig config;
+    config.workers = 2;
+    config.max_quantum = u128(4096);
+    config.journal_path = journal_;
+    JobManager first(config);
+    const JobId id = first.submit(spec);
+    wait_for_coverage(first, id, u128(20000));
+  }
+
+  // Corrupt an interval record in the middle of the file by flipping
+  // bytes inside its payload (the CRC now disagrees).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 3u);
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    if (lines[i].find("\"type\":\"interval\"") != std::string::npos) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0u);
+  lines[victim].replace(lines[victim].find("interval"), 8, "intervnl");
+  {
+    std::ofstream out(journal_, std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+  }
+
+  // Resume: the damaged record is skipped and reported, its interval
+  // counts as unscanned and re-dispatches, and the sweep completes.
+  JobServiceConfig config;
+  config.workers = 2;
+  config.journal_path = journal_;
+  JobManager second(config);
+  JobStore::LoadReport report;
+  ASSERT_EQ(second.resume_from(journal_, &report), 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find(journal_ + ":" + std::to_string(victim + 1)),
+            std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(journal_ + ".quarantine"));
+
+  const JobId id = second.find_job("bitrot").value();
+  ASSERT_TRUE(second.wait(id, 240));
+  const JobSnapshot s = second.status(id);
+  EXPECT_EQ(s.state, JobState::kDone);
+  EXPECT_EQ(s.targets_found, 1u);
+  ASSERT_EQ(s.found.size(), 1u);
+  EXPECT_EQ(s.found[0].second, planted);
+  EXPECT_EQ(s.scanned, space);  // the quarantined interval was rescanned
 }
 
 TEST_F(ResumeTest, LiveNameCollisionIsRejected) {

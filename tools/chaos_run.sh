@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the chaos suite (ctest label "chaos": seeded fault-injection
+# matrix over the distributed tier) and, on failure, prints the seed of
+# every chaos case that ran so the weather can be replayed exactly:
+#
+#   GKS_CHAOS_SEED=<seed> tools/chaos_run.sh <build-dir>
+#
+# re-runs the whole matrix under that one seed (each test logs
+# `[chaos] case=NAME seed=N` to stderr before it starts; the fault
+# schedule is a pure function of the seed and connection order).
+#
+# Usage: chaos_run.sh [build-dir] [seed]
+#   build-dir  cmake build tree holding the ctest registry   [./build]
+#   seed       overrides GKS_CHAOS_SEED for this run
+set -u
+
+BUILD=${1:-build}
+[ -n "${2:-}" ] && export GKS_CHAOS_SEED=$2
+
+[ -d "$BUILD" ] || {
+  echo "chaos_run: no build dir at '$BUILD' (configure with cmake first)" >&2
+  exit 2
+}
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+
+if [ -n "${GKS_CHAOS_SEED:-}" ]; then
+  echo "chaos_run: GKS_CHAOS_SEED=$GKS_CHAOS_SEED (matrix seeds overridden)"
+fi
+
+ctest --test-dir "$BUILD" -L chaos --output-on-failure 2>&1 | tee "$LOG"
+STATUS=${PIPESTATUS[0]}
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "" >&2
+  echo "chaos_run: FAIL — seeds of the cases that ran:" >&2
+  # The suite prints one `[chaos] case=... seed=...` line per case;
+  # ctest only echoes output for *failing* tests, so these are exactly
+  # the seeds that need replaying.
+  grep -o '\[chaos\] case=[^ ]* seed=[0-9]*' "$LOG" | sort -u | \
+    sed 's/^/  /' >&2
+  echo "chaos_run: replay with GKS_CHAOS_SEED=<seed> $0 $BUILD" >&2
+fi
+exit "$STATUS"

@@ -17,6 +17,9 @@
 //   --journal-batch N   group-commit: flush every N records     [1]
 //   --journal-delay S   ... or S seconds after the oldest unflushed
 //                       record, whichever comes first            [0.05]
+//   --journal-rotate N  rotate the journal into numbered segments
+//                       once the active file exceeds N bytes
+//                       (0 = never)                              [0]
 //   --local-workers N   also scan locally with N threads         [0]
 //   --lease S           lease lifetime                           [3.0]
 //   --heartbeat S       heartbeat cadence workers are told       [0.5]
@@ -60,6 +63,7 @@ struct Options {
   bool resume = false;
   std::size_t journal_batch = 1;
   double journal_delay = 0.05;
+  std::size_t journal_rotate = 0;
   std::size_t local_workers = 0;
   double lease_s = 3.0;
   double heartbeat_s = 0.5;
@@ -73,6 +77,7 @@ struct Options {
       stderr,
       "usage: %s [--listen HOST:PORT] [--batch FILE] [--journal FILE] "
       "[--resume] [--journal-batch N] [--journal-delay S] "
+      "[--journal-rotate N] "
       "[--local-workers N] [--lease S] [--heartbeat S] "
       "[--exit-when-done] [--quiet]\n",
       argv0);
@@ -99,6 +104,8 @@ Options parse_options(int argc, char** argv) {
       opt.journal_batch = std::stoul(need_value());
     } else if (arg == "--journal-delay") {
       opt.journal_delay = std::stod(need_value());
+    } else if (arg == "--journal-rotate") {
+      opt.journal_rotate = std::stoul(need_value());
     } else if (arg == "--local-workers") {
       opt.local_workers = std::stoul(need_value());
     } else if (arg == "--lease") {
@@ -130,15 +137,29 @@ int main(int argc, char** argv) {
     service::JobServiceConfig config;
     config.journal_path = opt.journal;
     config.journal_flush = {opt.journal_batch, opt.journal_delay};
+    config.journal_rotate_bytes = opt.journal_rotate;
     config.local_scan = opt.local_workers > 0;
     config.workers = opt.local_workers;
     service::JobManager manager(config);
 
     if (opt.resume) {
-      const std::size_t n = manager.resume_from(opt.journal);
+      service::JobStore::LoadReport report;
+      const std::size_t n = manager.resume_from(opt.journal, &report);
       if (!opt.quiet) {
         std::fprintf(stderr, "resumed %zu unfinished job(s) from %s\n", n,
                      opt.journal.c_str());
+      }
+      // Corrupt records are skipped, never fatal — but an operator
+      // must hear about them even under --quiet: each one is coverage
+      // that will be silently re-scanned or a mutation that was lost.
+      if (report.quarantined > 0) {
+        std::fprintf(stderr,
+                     "warning: quarantined %zu corrupt journal record(s) "
+                     "into %s:\n",
+                     report.quarantined, report.quarantine_path.c_str());
+        for (const std::string& note : report.notes) {
+          std::fprintf(stderr, "  %s\n", note.c_str());
+        }
       }
     }
     if (!opt.batch.empty()) {

@@ -8,11 +8,20 @@
 // re-dispatches whatever it had checked out.
 //
 // Options:
-//   --connect ADDR   coordinator address (required)
-//   --name NAME      worker identity in coordinator logs    [worker]
-//   --threads N      scan threads                           [hardware]
-//   --reconnect N    reconnect attempts after a drop        [5]
-//   --backoff S      pause between reconnect attempts       [0.5]
+//   --connect ADDR     coordinator address (required)
+//   --name NAME        worker identity in coordinator logs    [worker]
+//   --threads N        scan threads                           [hardware]
+//   --reconnect N      reconnect attempts after a drop        [5]
+//   --backoff S        base reconnect delay; doubles per
+//                      consecutive failure with ±50% jitter   [0.5]
+//   --backoff-max S    cap on the doubled delay               [10]
+//   --backoff-seed N   jitter PRNG seed (0 = derive from the
+//                      worker name, so a fleet spreads out)   [0]
+//
+// The reconnect budget and the exponential backoff reset only after a
+// *successful hello* — a coordinator that accepts TCP but rejects the
+// session (version skew, worker ejected) still sees backed-off
+// retries, not a reconnect storm.
 //
 // Exit status: 0 on orderly shutdown (SIGINT/SIGTERM), 1 when the
 // coordinator became unreachable, 2 on bad usage.
@@ -41,7 +50,8 @@ void handle_signal(int) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT [--name NAME] [--threads N] "
-               "[--reconnect N] [--backoff S]\n",
+               "[--reconnect N] [--backoff S] [--backoff-max S] "
+               "[--backoff-seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -69,6 +79,10 @@ int main(int argc, char** argv) {
         config.reconnect_attempts = std::stoi(need_value());
       } else if (arg == "--backoff") {
         config.reconnect_backoff_s = std::stod(need_value());
+      } else if (arg == "--backoff-max") {
+        config.reconnect_backoff_max_s = std::stod(need_value());
+      } else if (arg == "--backoff-seed") {
+        config.backoff_seed = std::stoull(need_value());
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else {
