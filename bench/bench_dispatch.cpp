@@ -40,6 +40,7 @@
 #include "dist/worker_daemon.h"
 #include "hash/md5.h"
 #include "keyspace/space.h"
+#include "obs/metrics.h"
 #include "service/job_manager.h"
 #include "support/stopwatch.h"
 #include "support/table.h"
@@ -76,8 +77,15 @@ double local_sweep_s(unsigned len, std::size_t workers) {
 /// direction, and tightens the recovery knobs (short leases, finer
 /// lease clamp, 1 s recv timeout, fast capped backoff) so the run
 /// measures the healing machinery instead of 10-second defaults.
+/// When `delta` is non-null it receives the registry change of this
+/// sweep alone (everything runs in-process against the one global
+/// registry, so only before/after diffs are attributable to a run):
+/// the worker rtt/lease histograms and reconnect/expiry counters that
+/// decompose the dist tax.
 double dist_sweep_s(unsigned len, std::size_t workers, double fault_loss,
-                    std::uint64_t fault_seed) {
+                    std::uint64_t fault_seed,
+                    obs::RegistrySnapshot* delta = nullptr) {
+  const obs::RegistrySnapshot before = obs::Registry::global().snapshot();
   service::JobServiceConfig cfg;
   cfg.local_scan = false;
   service::JobManager manager(cfg);
@@ -138,6 +146,9 @@ double dist_sweep_s(unsigned len, std::size_t workers, double fault_loss,
                  static_cast<unsigned long long>(fs.sent + fs.received +
                                                  fs.dropped));
   }
+  if (delta != nullptr) {
+    *delta = obs::diff(obs::Registry::global().snapshot(), before);
+  }
   return elapsed;
 }
 
@@ -148,7 +159,46 @@ struct Row {
   double keys_per_s;
   double vs_local;    // dist elapsed / local elapsed at the same width
   double fault_loss;  // injected frame-loss probability (0 = clean)
+  // Protocol decomposition of the dist tax, from the registry diff of
+  // this configuration's runs (merged): per-message round-trip and
+  // per-lease wall percentiles, plus the healing events under loss.
+  // All zero on local rows (no protocol there to time).
+  double rtt_p50_s = 0;
+  double rtt_p99_s = 0;
+  double lease_p50_s = 0;
+  double lease_p99_s = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t lease_expiries = 0;
 };
+
+/// Folds one dist run's registry delta into the row under construction:
+/// histograms merge (quantiles then read the union of all runs),
+/// counters add.
+void fold_delta(Row& row, const obs::RegistrySnapshot& delta,
+                obs::HistogramSnapshot& rtt, obs::HistogramSnapshot& lease) {
+  if (const obs::HistogramSnapshot* h =
+          delta.histogram("gks_worker_rtt_seconds")) {
+    rtt.merge(*h);
+  }
+  if (const obs::HistogramSnapshot* h =
+          delta.histogram("gks_worker_lease_seconds")) {
+    lease.merge(*h);
+  }
+  row.reconnects += delta.counter_or("gks_worker_reconnects_total");
+  row.lease_expiries += delta.counter_or("gks_lease_expired_total");
+}
+
+void finish_row(Row& row, const obs::HistogramSnapshot& rtt,
+                const obs::HistogramSnapshot& lease) {
+  if (rtt.count() > 0) {
+    row.rtt_p50_s = rtt.quantile(0.50);
+    row.rtt_p99_s = rtt.quantile(0.99);
+  }
+  if (lease.count() > 0) {
+    row.lease_p50_s = lease.quantile(0.50);
+    row.lease_p99_s = lease.quantile(0.99);
+  }
+}
 
 }  // namespace
 
@@ -192,39 +242,64 @@ int main(int argc, char** argv) {
   for (const std::size_t workers : {std::size_t(1), std::size_t(2),
                                     std::size_t(4)}) {
     double local = 0, dist = 0, lossy = 0;
+    Row dist_row{"dist", workers, 0, 0, 0, 0};
+    Row lossy_row{"dist_lossy", workers, 0, 0, 0, fault_loss};
+    obs::HistogramSnapshot dist_rtt, dist_lease, lossy_rtt, lossy_lease;
     for (int run = 0; run < runs; ++run) {
       const double l = local_sweep_s(len, workers);
-      const double d = dist_sweep_s(len, workers, 0, 0);
+      obs::RegistrySnapshot delta;
+      const double d = dist_sweep_s(len, workers, 0, 0, &delta);
+      fold_delta(dist_row, delta, dist_rtt, dist_lease);
       if (run == 0 || l < local) local = l;
       if (run == 0 || d < dist) dist = d;
       if (fault_loss > 0) {
         const double f = dist_sweep_s(len, workers, fault_loss,
-                                      fault_seed + run);
+                                      fault_seed + run, &delta);
+        fold_delta(lossy_row, delta, lossy_rtt, lossy_lease);
         if (run == 0 || f < lossy) lossy = f;
       }
     }
     rows.push_back({"local", workers, local, space / local, 1.0, 0});
-    rows.push_back({"dist", workers, dist, space / dist, dist / local, 0});
+    dist_row.sweep_s = dist;
+    dist_row.keys_per_s = space / dist;
+    dist_row.vs_local = dist / local;
+    finish_row(dist_row, dist_rtt, dist_lease);
+    rows.push_back(dist_row);
     std::fprintf(stderr,
-                 "  %zu workers: local %.3f s, dist %.3f s (%.2fx)\n",
-                 workers, local, dist, dist / local);
+                 "  %zu workers: local %.3f s, dist %.3f s (%.2fx, "
+                 "rtt p50 %.0f us p99 %.0f us)\n",
+                 workers, local, dist, dist / local,
+                 dist_row.rtt_p50_s * 1e6, dist_row.rtt_p99_s * 1e6);
     if (fault_loss > 0) {
-      rows.push_back({"dist_lossy", workers, lossy, space / lossy,
-                      lossy / local, fault_loss});
-      std::fprintf(stderr, "  %zu workers: dist_lossy %.3f s (%.2fx)\n",
-                   workers, lossy, lossy / local);
+      lossy_row.sweep_s = lossy;
+      lossy_row.keys_per_s = space / lossy;
+      lossy_row.vs_local = lossy / local;
+      finish_row(lossy_row, lossy_rtt, lossy_lease);
+      rows.push_back(lossy_row);
+      std::fprintf(stderr,
+                   "  %zu workers: dist_lossy %.3f s (%.2fx, rtt p99 "
+                   "%.0f us, %llu reconnects, %llu expiries)\n",
+                   workers, lossy, lossy / local, lossy_row.rtt_p99_s * 1e6,
+                   static_cast<unsigned long long>(lossy_row.reconnects),
+                   static_cast<unsigned long long>(lossy_row.lease_expiries));
     }
   }
 
   TablePrinter table;
   table.header({"mode", "workers", "loss", "sweep (s)", "MKey/s",
-                "vs local"});
+                "vs local", "rtt p50", "rtt p99"});
   for (const auto& r : rows) {
     table.row({r.mode, std::to_string(r.workers),
                TablePrinter::num(r.fault_loss, 2),
                TablePrinter::num(r.sweep_s, 3),
                TablePrinter::num(r.keys_per_s / 1e6, 1),
-               TablePrinter::num(r.vs_local, 2) + "x"});
+               TablePrinter::num(r.vs_local, 2) + "x",
+               r.rtt_p50_s > 0
+                   ? TablePrinter::num(r.rtt_p50_s * 1e6, 0) + "us"
+                   : "-",
+               r.rtt_p99_s > 0
+                   ? TablePrinter::num(r.rtt_p99_s * 1e6, 0) + "us"
+                   : "-"});
   }
   std::printf("== Dispatch-path overhead (MD5, 26^%u = %.3g keys, "
               "best of %d) ==\n\n%s\n",
@@ -249,7 +324,13 @@ int main(int argc, char** argv) {
           .key("sweep_s").value(r.sweep_s)
           .key("keys_per_s").value(r.keys_per_s)
           .key("vs_local").value(r.vs_local)
-          .key("fault_loss").value(r.fault_loss);
+          .key("fault_loss").value(r.fault_loss)
+          .key("rtt_p50_s").value(r.rtt_p50_s)
+          .key("rtt_p99_s").value(r.rtt_p99_s)
+          .key("lease_p50_s").value(r.lease_p50_s)
+          .key("lease_p99_s").value(r.lease_p99_s)
+          .key("reconnects").value(r.reconnects)
+          .key("lease_expiries").value(r.lease_expiries);
       rec.end_entry();
     }
     if (json) std::printf("%s", rec.render().c_str());

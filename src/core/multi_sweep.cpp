@@ -6,6 +6,7 @@
 
 #include "hash/kernel_words.h"
 #include "hash/md5.h"
+#include "obs/metrics.h"
 #include "hash/md5_crack.h"
 #include "hash/sha1.h"
 #include "keyspace/space.h"
@@ -366,6 +367,12 @@ void MultiSweeper::calibrate() const {
     auto cfg = index_config();
     cfg.stats = nullptr;
     kernels_ = calibrate_multi_kernels(request_, snap->md5, snap->sha1, cfg);
+    if (obs::enabled()) {
+      obs::Registry::global().counter("gks_kernel_calibrations_total")
+          .add(1);
+      obs::Registry::global().gauge("gks_kernel_lane_width")
+          .set(kernels_ != nullptr ? kernels_->width : 1);
+    }
   });
 }
 
@@ -379,6 +386,12 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
   // condition; report the interval as fully tested so completion
   // accounting (and journaled coverage) stays exact.
   if (all_found()) return interval.size();
+
+  // Telemetry is batched per scan() call: one clock read and four
+  // relaxed atomic adds per multi-chunk scan, never per candidate or
+  // per chunk — the ≤1% hot-path budget bench_obs enforces.
+  const bool observed = obs::enabled();
+  Stopwatch scan_timer;
 
   u128 tested(0);
   for_each_chunk(
@@ -480,6 +493,20 @@ u128 MultiSweeper::scan(const keyspace::Interval& interval,
         tested += count;
         return true;
       });
+  if (observed) {
+    static obs::Counter& keys =
+        obs::Registry::global().counter("gks_sweep_keys_total");
+    static obs::Counter& scans =
+        obs::Registry::global().counter("gks_sweep_scans_total");
+    static obs::Counter& yields =
+        obs::Registry::global().counter("gks_sweep_yields_total");
+    static obs::Histogram& scan_s =
+        obs::Registry::global().histogram("gks_sweep_scan_seconds");
+    keys.add(tested.to_u64());
+    scans.add(1);
+    if (tested < interval.size()) yields.add(1);
+    scan_s.observe(scan_timer.seconds());
+  }
   return tested;
 }
 

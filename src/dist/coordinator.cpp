@@ -10,6 +10,38 @@
 
 namespace gks::dist {
 
+namespace {
+
+/// Registry mirrors of Coordinator::Stats plus the grant→retire
+/// turnaround histogram; bumped alongside the struct counters so the
+/// metrics verb and the Prometheus endpoint see the same story.
+struct CoordMetrics {
+  obs::Counter& sessions =
+      obs::Registry::global().counter("gks_coord_sessions_total");
+  obs::Counter& protocol_errors =
+      obs::Registry::global().counter("gks_coord_protocol_errors_total");
+  obs::Counter& forged =
+      obs::Registry::global().counter("gks_coord_forged_founds_total");
+  obs::Counter& quarantined =
+      obs::Registry::global().counter("gks_coord_quarantines_total");
+  obs::Counter& ejected =
+      obs::Registry::global().counter("gks_coord_ejections_total");
+  obs::Counter& found_reports =
+      obs::Registry::global().counter("gks_found_reports_total");
+  /// Coordinator-side lease turnaround: grant to successful retire.
+  /// The worker-side twin (gks_worker_lease_seconds) excludes the
+  /// grant's own round-trip; the gap between the two is pure protocol.
+  obs::Histogram& turnaround_s = obs::Registry::global().histogram(
+      "gks_coord_lease_turnaround_seconds");
+};
+
+CoordMetrics& cmetrics() {
+  static CoordMetrics* m = new CoordMetrics;
+  return *m;
+}
+
+}  // namespace
+
 /// Per-connection state. The holder id scopes every lease to this
 /// session: a reconnecting worker gets a fresh holder, so its old
 /// session's leases expire normally instead of being confusable with
@@ -29,10 +61,16 @@ struct Coordinator::Session {
   /// re-sent (the id change is also what tells the worker to drop its
   /// stale cache).
   std::map<service::JobId, std::uint64_t> specs_sent;
-  /// Leases granted to this session the worker still believes in,
-  /// mapped to their job (id, name); fill_updates() reports the ones
-  /// that died (expiry, job cancel).
-  std::map<std::uint64_t, std::pair<service::JobId, std::string>> live_leases;
+  /// One lease this session still believes in: its job (id, name) and
+  /// when it was granted (transport seconds) for turnaround timing.
+  struct LiveLease {
+    service::JobId job = 0;
+    std::string job_name;
+    double granted_s = 0;
+  };
+  /// Leases granted to this session the worker still believes in;
+  /// fill_updates() reports the ones that died (expiry, job cancel).
+  std::map<std::uint64_t, LiveLease> live_leases;
   /// Absolute cursor into Coordinator::found_log_ (see found_base_).
   /// Starts at the tail: recoveries made before this session opened
   /// reach it as `spec_found` on each job's first lease, not by
@@ -109,10 +147,12 @@ void Coordinator::strike_locked(const std::string& name, double weight,
     h.ejected = true;
     h.ejected_at = now;
     ++stats_.workers_ejected;
+    cmetrics().ejected.add(1);
   } else if (!h.ejected && h.score >= config_.quarantine_score &&
              now >= h.quarantined_until) {
     h.quarantined_until = now + config_.quarantine_s;
     ++stats_.workers_quarantined;
+    cmetrics().quarantined.add(1);
   }
 }
 
@@ -126,6 +166,7 @@ void Coordinator::heal_locked(const std::string& name) {
 void Coordinator::note_protocol_error(const Session& session) {
   std::lock_guard lock(mu_);
   ++stats_.protocol_errors;
+  cmetrics().protocol_errors.add(1);
   strike_locked(worker_name_of(session.holder), config_.strike_protocol,
                 &WorkerHealth::protocol_errors);
 }
@@ -160,6 +201,33 @@ std::vector<WorkerHealthWire> Coordinator::worker_health() const {
   return out;
 }
 
+MetricsRespMsg Coordinator::cluster_metrics() const {
+  MetricsRespMsg resp;
+  resp.coordinator = obs::Registry::global().snapshot();
+  std::lock_guard lock(mu_);
+  const double now = transport_.now_s();
+  resp.workers.reserve(worker_metrics_.size());
+  for (const auto& [name, entry] : worker_metrics_) {
+    WorkerMetricsWire w;
+    w.name = name;
+    w.age_s = std::max(0.0, now - entry.received_s);
+    w.metrics = entry.snapshot;
+    resp.workers.push_back(std::move(w));
+  }
+  return resp;
+}
+
+std::string Coordinator::prometheus_text() const {
+  const MetricsRespMsg view = cluster_metrics();
+  std::vector<obs::LabeledSnapshot> parts;
+  parts.reserve(view.workers.size() + 1);
+  parts.push_back({{{"node", "coordinator"}}, view.coordinator});
+  for (const WorkerMetricsWire& w : view.workers) {
+    parts.push_back({{{"worker", w.name}}, w.metrics});
+  }
+  return obs::prometheus_exposition(parts);
+}
+
 void Coordinator::accept_loop() {
   for (;;) {
     std::unique_ptr<Connection> conn;
@@ -182,6 +250,7 @@ void Coordinator::accept_loop() {
     }
     session->found_cursor = found_base_ + found_log_.size();
     ++stats_.sessions_opened;
+    cmetrics().sessions.add(1);
     sessions_.push_back(session);
     session_threads_.emplace_back(
         [this, session] { serve_session(session); });
@@ -218,6 +287,7 @@ void Coordinator::note_found(service::JobId job_id, const std::string& job,
                              const std::string& key) {
   std::lock_guard lock(mu_);
   ++stats_.found_reports;
+  cmetrics().found_reports.add(1);
   if (!found_seen_.emplace(job_id, digest).second) return;  // broadcast once
   found_log_.push_back(FoundUpdate{job, digest, key, job_id});
   // Drop the prefix every live session has already replayed; sessions
@@ -262,6 +332,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
   } catch (const Error& e) {
     std::lock_guard lock(mu_);
     ++stats_.protocol_errors;
+    cmetrics().protocol_errors.add(1);
     if (session.hello_done) {
       strike_locked(worker_name_of(session.holder), config_.strike_protocol,
                     &WorkerHealth::protocol_errors);
@@ -383,7 +454,8 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
         session.specs_sent[grant->job] = grant->target_gen;
       }
       session.live_leases.emplace(
-          grant->lease_id, std::make_pair(grant->job, grant->job_name));
+          grant->lease_id,
+          Session::LiveLease{grant->job, grant->job_name, transport_.now_s()});
       std::vector<std::uint64_t> cancelled;
       fill_updates(session, cancelled, wire.dead);
       {
@@ -405,7 +477,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
           // may it broadcast to other workers.
           const auto it = session.live_leases.find(found.lease_id);
           if (it != session.live_leases.end()) {
-            note_found(it->second.first, it->second.second, found.digest,
+            note_found(it->second.job, it->second.job_name, found.digest,
                        found.key);
           }
           break;
@@ -418,6 +490,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
           ack.error = "found report failed verification";
           std::lock_guard lock(mu_);
           ++stats_.forged_founds;
+          cmetrics().forged.add(1);
           strike_locked(worker_name_of(session.holder),
                         config_.strike_forged_found,
                         &WorkerHealth::forged_founds);
@@ -433,7 +506,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "retire") {
-      const RetireMsg retire = decode(retire_from_json);
+      RetireMsg retire = decode(retire_from_json);
       // Apply batched recoveries one by one (not via retire_lease's
       // found list) so each is digest-verified and forged entries are
       // striked without suppressing the honest ones.
@@ -447,7 +520,7 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
           case service::FoundOutcome::kApplied:
           case service::FoundOutcome::kDuplicate:
             if (it != session.live_leases.end()) {
-              note_found(it->second.first, it->second.second, digest, key);
+              note_found(it->second.job, it->second.job_name, digest, key);
             }
             break;
           case service::FoundOutcome::kNoLease:
@@ -456,11 +529,24 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
       }
       const bool live = manager_.retire_lease(retire.lease_id, retire.tested,
                                               {}, retire.busy_s);
+      const double retired_at = transport_.now_s();
+      if (live && it != session.live_leases.end()) {
+        cmetrics().turnaround_s.observe(
+            std::max(0.0, retired_at - it->second.granted_s));
+      }
       session.live_leases.erase(retire.lease_id);
+      if (retire.metrics.has_value()) {
+        std::lock_guard lock(mu_);
+        WorkerMetricsEntry& entry =
+            worker_metrics_[worker_name_of(session.holder)];
+        entry.snapshot = std::move(*retire.metrics);
+        entry.received_s = retired_at;
+      }
       {
         std::lock_guard lock(mu_);
         const std::string name = worker_name_of(session.holder);
         stats_.forged_founds += forged;
+        if (forged > 0) cmetrics().forged.add(forged);
         for (std::size_t i = 0; i < forged; ++i) {
           strike_locked(name, config_.strike_forged_found,
                         &WorkerHealth::forged_founds);
@@ -487,16 +573,32 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
     }
 
     if (type == "heartbeat") {
+      HeartbeatMsg hb = decode(heartbeat_from_json);
       manager_.renew_leases(session.holder,
                             transport_.now_s() + config_.lease_s);
+      if (hb.metrics.has_value()) {
+        std::lock_guard lock(mu_);
+        WorkerMetricsEntry& entry =
+            worker_metrics_[worker_name_of(session.holder)];
+        entry.snapshot = std::move(*hb.metrics);
+        entry.received_s = transport_.now_s();
+      }
       AckMsg ack;
       fill_updates(session, ack.cancelled, ack.dead);
       return encode(ack);
     }
 
     if (type == "bye") {
+      ByeMsg bye = decode(bye_from_json);
       manager_.revoke_leases(session.holder);
       session.live_leases.clear();
+      if (bye.metrics.has_value()) {
+        std::lock_guard lock(mu_);
+        WorkerMetricsEntry& entry =
+            worker_metrics_[worker_name_of(session.holder)];
+        entry.snapshot = std::move(*bye.metrics);
+        entry.received_s = transport_.now_s();
+      }
       return encode(AckMsg{});
     }
 
@@ -550,9 +652,14 @@ std::string Coordinator::handle(Session& session, const std::string& body) {
       return encode(resp);
     }
 
+    if (type == "metrics") {
+      return encode(cluster_metrics());
+    }
+
     {
       std::lock_guard lock(mu_);
       ++stats_.protocol_errors;
+      cmetrics().protocol_errors.add(1);
       strike_locked(worker_name_of(session.holder), config_.strike_protocol,
                     &WorkerHealth::protocol_errors);
     }

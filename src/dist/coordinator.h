@@ -15,6 +15,7 @@
 
 #include "dist/protocol.h"
 #include "dist/transport.h"
+#include "obs/metrics.h"
 #include "service/job_manager.h"
 #include "support/uint128.h"
 
@@ -115,6 +116,19 @@ class Coordinator {
   /// as the status verb reports them (sorted by name).
   std::vector<WorkerHealthWire> worker_health() const;
 
+  /// The cluster telemetry view the `metrics` verb returns: this
+  /// process's registry plus the latest snapshot each worker *name*
+  /// piggybacked on a heartbeat or retire. Worker entries replace on
+  /// arrival and persist across reconnects — the same keying (and the
+  /// same survival rule) as the health table, so `status` and
+  /// `metrics` rows join on the name.
+  MetricsRespMsg cluster_metrics() const;
+
+  /// Prometheus text exposition of cluster_metrics(): coordinator
+  /// series labelled node="coordinator", worker series labelled
+  /// worker="<name>". This is what --metrics-listen serves.
+  std::string prometheus_text() const;
+
  private:
   struct Session;
 
@@ -133,6 +147,12 @@ class Coordinator {
     double quarantined_until = 0;
     bool ejected = false;
     double ejected_at = 0;
+  };
+
+  /// Latest telemetry snapshot a worker name sent, and when.
+  struct WorkerMetricsEntry {
+    obs::RegistrySnapshot snapshot;
+    double received_s = 0;
   };
 
   void accept_loop();
@@ -198,6 +218,10 @@ class Coordinator {
   /// Health ledger, keyed by worker name. Entries persist across
   /// sessions (and past disconnects) for the coordinator's lifetime.
   std::map<std::string, WorkerHealth> health_;
+  /// Latest piggybacked telemetry per worker name; replace-on-arrival
+  /// (worker snapshots are cumulative), survives reconnects like the
+  /// health ledger.
+  std::map<std::string, WorkerMetricsEntry> worker_metrics_;
   Stats stats_;
   mutable std::condition_variable stop_cv_;  ///< wakes the reaper early
 };

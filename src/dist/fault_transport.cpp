@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace gks::dist {
 
 namespace {
@@ -10,6 +12,46 @@ namespace {
 /// Golden-ratio stride keeps per-connection streams far apart even for
 /// adjacent connection ids.
 constexpr std::uint64_t kConnStride = 0x9e3779b97f4a7c15ULL;
+
+/// Registry mirror of one FaultStats field; member-pointer keyed so
+/// count() stays the single choke-point for both books.
+obs::Counter& fault_counter(std::uint64_t FaultStats::*m) {
+  obs::Registry& reg = obs::Registry::global();
+  if (m == &FaultStats::sent) {
+    static obs::Counter& c = reg.counter("gks_faultnet_sent_total");
+    return c;
+  }
+  if (m == &FaultStats::received) {
+    static obs::Counter& c = reg.counter("gks_faultnet_received_total");
+    return c;
+  }
+  if (m == &FaultStats::dropped) {
+    static obs::Counter& c = reg.counter("gks_faultnet_dropped_total");
+    return c;
+  }
+  if (m == &FaultStats::duplicated) {
+    static obs::Counter& c = reg.counter("gks_faultnet_duplicated_total");
+    return c;
+  }
+  if (m == &FaultStats::corrupted) {
+    static obs::Counter& c = reg.counter("gks_faultnet_corrupted_total");
+    return c;
+  }
+  if (m == &FaultStats::truncated) {
+    static obs::Counter& c = reg.counter("gks_faultnet_truncated_total");
+    return c;
+  }
+  if (m == &FaultStats::delayed) {
+    static obs::Counter& c = reg.counter("gks_faultnet_delayed_total");
+    return c;
+  }
+  if (m == &FaultStats::resets) {
+    static obs::Counter& c = reg.counter("gks_faultnet_resets_total");
+    return c;
+  }
+  static obs::Counter& c = reg.counter("gks_faultnet_blackholed_total");
+  return c;
+}
 
 }  // namespace
 
@@ -155,8 +197,11 @@ class FaultInjectingTransport::FaultConnection : public Connection {
   }
 
   void count(std::uint64_t FaultStats::*counter) {
-    std::lock_guard lock(shared_->mu);
-    ++(shared_->stats.*counter);
+    {
+      std::lock_guard lock(shared_->mu);
+      ++(shared_->stats.*counter);
+    }
+    fault_counter(counter).add(1);
   }
 
   std::unique_ptr<Connection> inner_;

@@ -210,6 +210,10 @@ std::string encode(const RetireMsg& m) {
       .key("tested").value(m.tested.to_string())
       .key("busy_s").value(m.busy_s);
   write_pairs(w, "found", m.found);
+  if (m.metrics.has_value()) {
+    w.key("metrics");
+    obs::snapshot_to_json(w, *m.metrics);
+  }
   w.end_object();
   return w.str();
 }
@@ -220,19 +224,48 @@ RetireMsg retire_from_json(const json::Value& v) {
   m.tested = u128::parse(v.at("tested").as_string());
   m.busy_s = v.number_or("busy_s", 0);
   m.found = pairs_from(v, "found");
+  if (const json::Value* snap = v.find("metrics")) {
+    m.metrics = obs::snapshot_from_json(*snap);
+  }
   return m;
 }
 
-std::string encode(const HeartbeatMsg&) {
+std::string encode(const HeartbeatMsg& m) {
   json::Writer w;
-  w.begin_object().key("type").value("heartbeat").end_object();
+  w.begin_object().key("type").value("heartbeat");
+  if (m.metrics.has_value()) {
+    w.key("metrics");
+    obs::snapshot_to_json(w, *m.metrics);
+  }
+  w.end_object();
   return w.str();
 }
 
-std::string encode(const ByeMsg&) {
+HeartbeatMsg heartbeat_from_json(const json::Value& v) {
+  HeartbeatMsg m;
+  if (const json::Value* snap = v.find("metrics")) {
+    m.metrics = obs::snapshot_from_json(*snap);
+  }
+  return m;
+}
+
+std::string encode(const ByeMsg& m) {
   json::Writer w;
-  w.begin_object().key("type").value("bye").end_object();
+  w.begin_object().key("type").value("bye");
+  if (m.metrics.has_value()) {
+    w.key("metrics");
+    obs::snapshot_to_json(w, *m.metrics);
+  }
+  w.end_object();
   return w.str();
+}
+
+ByeMsg bye_from_json(const json::Value& v) {
+  ByeMsg m;
+  if (const json::Value* snap = v.find("metrics")) {
+    m.metrics = obs::snapshot_from_json(*snap);
+  }
+  return m;
 }
 
 std::string encode(const AckMsg& m) {
@@ -394,6 +427,46 @@ StatusRespMsg status_resp_from_json(const json::Value& v) {
       w.retires_ok =
           static_cast<std::uint64_t>(h.number_or("retires_ok", 0));
       m.workers.push_back(std::move(w));
+    }
+  }
+  return m;
+}
+
+std::string encode(const MetricsMsg&) {
+  json::Writer w;
+  w.begin_object().key("type").value("metrics").end_object();
+  return w.str();
+}
+
+std::string encode(const MetricsRespMsg& m) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("metrics_resp")
+      .key("coordinator");
+  obs::snapshot_to_json(w, m.coordinator);
+  w.key("workers").begin_array();
+  for (const WorkerMetricsWire& wm : m.workers) {
+    w.begin_object()
+        .key("name").value(wm.name)
+        .key("age_s").value(wm.age_s)
+        .key("metrics");
+    obs::snapshot_to_json(w, wm.metrics);
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+MetricsRespMsg metrics_resp_from_json(const json::Value& v) {
+  MetricsRespMsg m;
+  m.coordinator = obs::snapshot_from_json(v.at("coordinator"));
+  if (const json::Value* arr = v.find("workers")) {
+    for (const json::Value& wm : arr->as_array()) {
+      WorkerMetricsWire out;
+      out.name = wm.at("name").as_string();
+      out.age_s = wm.number_or("age_s", 0);
+      out.metrics = obs::snapshot_from_json(wm.at("metrics"));
+      m.workers.push_back(std::move(out));
     }
   }
   return m;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/job.h"
 #include "support/json.h"
 #include "support/uint128.h"
@@ -28,6 +30,7 @@ namespace gks::dist {
 ///   cancel     cancel a job by name
 ///   targets    add/remove target digests of a job by name
 ///   status     snapshot one job or all jobs
+///   metrics    cluster telemetry (coordinator + per-worker snapshots)
 ///
 /// Responses (coordinator → peer):
 ///   welcome      hello accepted; carries the lease/heartbeat cadence
@@ -115,11 +118,26 @@ struct RetireMsg {
   /// Recoveries not yet reported via FoundMsg (normally empty — the
   /// worker reports immediately — but kept for batching strategies).
   std::vector<std::pair<std::string, std::string>> found;
+  /// The worker's full telemetry snapshot at retire time (absent from
+  /// pre-obs workers; the decoder tolerates a missing member). Retire
+  /// carries it too — not just heartbeat — so a lease that finishes
+  /// between heartbeats still lands its final counters.
+  std::optional<obs::RegistrySnapshot> metrics;
 };
 
-struct HeartbeatMsg {};
+struct HeartbeatMsg {
+  /// Telemetry piggyback: the worker's registry snapshot, replacing
+  /// the coordinator's previous view of this worker name. Optional so
+  /// old (or minimal) peers stay decodable.
+  std::optional<obs::RegistrySnapshot> metrics;
+};
 
-struct ByeMsg {};
+struct ByeMsg {
+  /// Final telemetry piggyback: a session's last retire cannot carry
+  /// the counters that retire's own ack will bump (leases_completed),
+  /// so a graceful exit lands them here instead of losing them.
+  std::optional<obs::RegistrySnapshot> metrics;
+};
 
 struct AckMsg {
   bool ok = true;
@@ -149,6 +167,25 @@ struct TargetsMsg {
 
 struct StatusMsg {
   std::string job;  ///< empty selects every job
+};
+
+/// Control verb: ask the coordinator for the cluster telemetry view.
+struct MetricsMsg {};
+
+/// One worker's latest snapshot as the coordinator retains it, keyed
+/// by worker *name* (same key as the health table, so `status` and
+/// `metrics` rows join trivially); `age_s` is how long ago it arrived.
+struct WorkerMetricsWire {
+  std::string name;
+  double age_s = 0;
+  obs::RegistrySnapshot metrics;
+};
+
+struct MetricsRespMsg {
+  /// The coordinator process's own registry (journal, job service,
+  /// local scans, session counters).
+  obs::RegistrySnapshot coordinator;
+  std::vector<WorkerMetricsWire> workers;
 };
 
 /// One worker's health as the coordinator scores it (see
@@ -200,6 +237,8 @@ std::string encode(const CancelMsg& m);
 std::string encode(const TargetsMsg& m);
 std::string encode(const StatusMsg& m);
 std::string encode(const StatusRespMsg& m);
+std::string encode(const MetricsMsg& m);
+std::string encode(const MetricsRespMsg& m);
 std::string encode(const ErrorMsg& m);
 
 /// Decoders — the caller dispatches on message_type() first; each
@@ -211,12 +250,15 @@ LeaseGrantWire lease_grant_from_json(const json::Value& v);
 IdleMsg idle_from_json(const json::Value& v);
 FoundMsg found_from_json(const json::Value& v);
 RetireMsg retire_from_json(const json::Value& v);
+HeartbeatMsg heartbeat_from_json(const json::Value& v);
+ByeMsg bye_from_json(const json::Value& v);
 AckMsg ack_from_json(const json::Value& v);
 SubmitMsg submit_from_json(const json::Value& v);
 CancelMsg cancel_from_json(const json::Value& v);
 TargetsMsg targets_from_json(const json::Value& v);
 StatusMsg status_from_json(const json::Value& v);
 StatusRespMsg status_resp_from_json(const json::Value& v);
+MetricsRespMsg metrics_resp_from_json(const json::Value& v);
 ErrorMsg error_from_json(const json::Value& v);
 
 }  // namespace gks::dist

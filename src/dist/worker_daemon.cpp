@@ -5,12 +5,56 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/crc32.h"
 #include "support/error.h"
 
 namespace gks::dist {
 
 namespace {
+
+/// Worker-side telemetry. The rtt histogram times every roundtrip()
+/// (lease requests, found reports, heartbeats, retires alike) — the
+/// protocol cost the dispatch bench decomposes; lease_s is the whole
+/// grant→retire wall from the worker's side, chunk_s one scan slice.
+struct WorkerMetrics {
+  obs::Counter& leases_completed =
+      obs::Registry::global().counter("gks_worker_leases_completed_total");
+  obs::Counter& leases_abandoned =
+      obs::Registry::global().counter("gks_worker_leases_abandoned_total");
+  obs::Counter& found_reported =
+      obs::Registry::global().counter("gks_worker_found_reported_total");
+  obs::Counter& reconnects =
+      obs::Registry::global().counter("gks_worker_reconnects_total");
+  obs::Counter& backoffs =
+      obs::Registry::global().counter("gks_worker_backoffs_total");
+  obs::Counter& hellos =
+      obs::Registry::global().counter("gks_worker_hellos_total");
+  /// Cumulative scan rate (keys_scanned / busy_s) — the same estimate
+  /// chunk and lease sizing run on, exported for gks-top.
+  obs::Gauge& keys_per_s =
+      obs::Registry::global().gauge("gks_worker_keys_per_s");
+  obs::Histogram& rtt_s =
+      obs::Registry::global().histogram("gks_worker_rtt_seconds");
+  obs::Histogram& lease_s =
+      obs::Registry::global().histogram("gks_worker_lease_seconds");
+  obs::Histogram& chunk_s =
+      obs::Registry::global().histogram("gks_worker_chunk_seconds");
+};
+
+WorkerMetrics& wmetrics() {
+  static WorkerMetrics* m = new WorkerMetrics;
+  return *m;
+}
+
+/// The snapshot a worker piggybacks on heartbeat/retire: the whole
+/// process registry, so coordinator-side merges see sweep and kernel
+/// counters too, not just the daemon's own.
+std::optional<obs::RegistrySnapshot> piggyback_snapshot() {
+  if (!obs::enabled()) return std::nullopt;
+  return obs::Registry::global().snapshot();
+}
 
 /// Re-throws a malformed coordinator reply as ProtocolError (a
 /// TransportError) so the reconnect loop absorbs it — under fault
@@ -122,11 +166,15 @@ bool WorkerDaemon::apply_ack(const AckMsg& ack, std::uint64_t lease_id) {
 
 json::Value WorkerDaemon::roundtrip(Connection& conn,
                                     const std::string& body) {
+  const auto start = std::chrono::steady_clock::now();
   conn.send(body);
   const auto reply = conn.recv(config_.recv_timeout_s);
   if (!reply.has_value()) {
     throw ConnectionClosed("coordinator silent past recv timeout");
   }
+  wmetrics().rtt_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return decode_reply([&] {
     json::Value v = json::parse(*reply);
     message_type(v);  // every reply must carry a type
@@ -212,6 +260,17 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
   core::MultiSweeper& sweeper = *it->second.sweeper;
   apply_dead(grant.dead);
 
+  obs::Span lease_span("dist.lease");
+  lease_span.note(grant.job_name);
+  // The lease histogram is fed explicitly before the retire roundtrip
+  // (not by the span destructor) so the snapshot piggybacked on that
+  // retire already contains this lease's own duration.
+  const auto lease_start = std::chrono::steady_clock::now();
+  const auto lease_elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         lease_start)
+        .count();
+  };
   const keyspace::Interval lease_iv(grant.begin, grant.end);
   u128 done{0};
   double lease_busy = 0;  ///< scan seconds in this lease; retire reports it
@@ -250,6 +309,7 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
         std::lock_guard lock(stats_mu_);
         ++stats_.found_reported;
       }
+      wmetrics().found_reported.add(1);
       if (message_type(reply) == "ack" &&
           !apply_ack(decode_reply([&] { return ack_from_json(reply); }),
                      grant.lease_id)) {
@@ -258,12 +318,20 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
     }
 
     done += tested;
+    u128 scanned_total{0};
     {
       std::lock_guard lock(stats_mu_);
       stats_.keys_scanned += tested;
+      scanned_total = stats_.keys_scanned;
     }
     busy_s_ += scan_s;
     lease_busy += scan_s;
+    if (obs::enabled()) {
+      wmetrics().chunk_s.observe(scan_s);
+      if (busy_s_ > 0) {
+        wmetrics().keys_per_s.set(scanned_total.to_double() / busy_s_);
+      }
+    }
     if (lease_lost) break;
     // A short scan without an interrupt is a generation handoff (the
     // target set changed mid-chunk): rescan the remainder against the
@@ -271,8 +339,9 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
 
     const double now = transport_.now_s();
     if (now - last_heartbeat >= config_.heartbeat_interval_s) {
-      const json::Value reply =
-          roundtrip(conn, encode(HeartbeatMsg{}));
+      HeartbeatMsg hb;
+      hb.metrics = piggyback_snapshot();
+      const json::Value reply = roundtrip(conn, encode(hb));
       last_heartbeat = now;
       if (message_type(reply) == "ack" &&
           !apply_ack(decode_reply([&] { return ack_from_json(reply); }),
@@ -284,19 +353,30 @@ bool WorkerDaemon::run_lease(Connection& conn, const LeaseGrantWire& grant) {
   }
 
   if (lease_lost) {
+    lease_span.note("abandoned");
+    wmetrics().lease_s.observe(lease_elapsed());
+    wmetrics().leases_abandoned.add(1);
     std::lock_guard lock(stats_mu_);
     ++stats_.leases_abandoned;
     return true;
   }
 
+  wmetrics().lease_s.observe(lease_elapsed());
   RetireMsg retire;
   retire.lease_id = grant.lease_id;
   retire.tested = done;
   retire.busy_s = lease_busy;
+  retire.metrics = piggyback_snapshot();
   const json::Value reply = roundtrip(conn, encode(retire));
   if (message_type(reply) == "ack") {
     const AckMsg ack = decode_reply([&] { return ack_from_json(reply); });
     apply_ack(ack, 0);
+    if (ack.ok) {
+      wmetrics().leases_completed.add(1);
+    } else {
+      lease_span.note("expired");
+      wmetrics().leases_abandoned.add(1);
+    }
     std::lock_guard lock(stats_mu_);
     if (ack.ok) {
       ++stats_.leases_completed;
@@ -322,10 +402,12 @@ bool WorkerDaemon::serve_session(Connection& conn) {
   const WelcomeMsg welcome =
       decode_reply([&] { return welcome_from_json(welcome_v); });
   hello_ok_ = true;
+  wmetrics().hellos.add(1);
   config_.heartbeat_interval_s = welcome.heartbeat_s > 0
                                      ? welcome.heartbeat_s
                                      : config_.heartbeat_interval_s;
 
+  double last_idle_heartbeat = transport_.now_s();
   while (!stop_.load(std::memory_order_acquire)) {
     LeaseRequestMsg req;
     req.max_ids = lease_ask();
@@ -335,6 +417,7 @@ bool WorkerDaemon::serve_session(Connection& conn) {
       const LeaseGrantWire grant =
           decode_reply([&] { return lease_grant_from_json(reply); });
       if (!run_lease(conn, grant)) return false;
+      last_idle_heartbeat = transport_.now_s();
     } else if (type == "idle") {
       const IdleMsg idle =
           decode_reply([&] { return idle_from_json(reply); });
@@ -345,6 +428,20 @@ bool WorkerDaemon::serve_session(Connection& conn) {
         const double nap = std::min(left, 0.05);
         transport_.sleep_s(nap);
         left -= nap;
+      }
+      // An idle worker holds no leases, but heartbeats anyway at the
+      // usual cadence so its telemetry keeps reaching the coordinator
+      // — without this, a worker that never wins a lease is invisible
+      // to gks-top.
+      const double now = transport_.now_s();
+      if (now - last_idle_heartbeat >= config_.heartbeat_interval_s) {
+        HeartbeatMsg hb;
+        hb.metrics = piggyback_snapshot();
+        const json::Value hb_reply = roundtrip(conn, encode(hb));
+        last_idle_heartbeat = now;
+        if (message_type(hb_reply) == "ack") {
+          apply_ack(decode_reply([&] { return ack_from_json(hb_reply); }), 0);
+        }
       }
     } else if (type == "error") {
       throw ProtocolError("coordinator error: " +
@@ -357,7 +454,12 @@ bool WorkerDaemon::serve_session(Connection& conn) {
   // Orderly exit: revoke our leases instead of making the coordinator
   // wait out the deadlines.
   try {
-    roundtrip(conn, encode(ByeMsg{}));
+    // The final snapshot rides the bye: the last retire's piggyback
+    // predates its own ack, so counters bumped by that ack
+    // (leases_completed) would otherwise never reach the coordinator.
+    ByeMsg bye;
+    bye.metrics = piggyback_snapshot();
+    roundtrip(conn, encode(bye));
   } catch (const TransportError&) {
     // The coordinator may already be gone; leases expire either way.
   }
@@ -370,6 +472,7 @@ bool WorkerDaemon::run(const std::string& coordinator_addr) {
 
   // Sleep out one backoff step in short slices so stop() stays prompt.
   const auto back_off = [&] {
+    wmetrics().backoffs.add(1);
     double left = backoff_delay(attempt++, config_, rng_);
     while (left > 0 && !stop_.load(std::memory_order_acquire)) {
       const double nap = std::min(left, 0.05);
@@ -400,6 +503,7 @@ bool WorkerDaemon::run(const std::string& coordinator_addr) {
       // Dropped mid-session: abandon in-flight state (the coordinator
       // reclaims our leases) and reconnect with a fresh hello.
       sweepers_.clear();  // next session gets specs again
+      wmetrics().reconnects.add(1);
       {
         std::lock_guard lock(stats_mu_);
         ++stats_.reconnects;

@@ -5,6 +5,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace gks::hash {
 namespace {
 
@@ -157,6 +159,17 @@ std::span<const std::uint32_t> TargetIndex::matches(std::uint32_t word) const {
     config_.stats->gate_hits.fetch_add(1, std::memory_order_relaxed);
     if (count == 0) {
       config_.stats->false_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Global telemetry rides the same gate-frequency path (never per
+    // candidate); calibration probes run with stats == nullptr and so
+    // stay out of the process counters too.
+    if (obs::enabled()) {
+      static obs::Counter& hits =
+          obs::Registry::global().counter("gks_kernel_gate_hits_total");
+      static obs::Counter& fps = obs::Registry::global().counter(
+          "gks_kernel_gate_false_positives_total");
+      hits.add(1);
+      if (count == 0) fps.add(1);
     }
   }
   return {slots_.data() + begin, count};

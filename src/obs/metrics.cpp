@@ -1,0 +1,424 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace gks::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  return total;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+}
+
+double HistogramSnapshot::bucket_upper_s(std::size_t i) {
+  return static_cast<double>(std::uint64_t(1) << i) * 1e-6;
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double rank = p * static_cast<double>(total);
+  double cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      const double lo = i == 0 ? 0 : bucket_upper_s(i - 1);
+      const double hi = bucket_upper_s(i);
+      const double frac =
+          (rank - cum) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * (frac < 0 ? 0 : frac);
+    }
+    cum = next;
+  }
+  return bucket_upper_s(kBuckets - 1);
+}
+
+double HistogramSnapshot::mean() const {
+  const std::uint64_t total = count();
+  return total == 0 ? 0 : sum / static_cast<double>(total);
+}
+
+std::size_t Histogram::bucket_of(double seconds) {
+  if (!(seconds > 0)) return 0;
+  const double us = seconds * 1e6;
+  // Beyond 2^53 µs (~285 years) the double has no integer precision
+  // left; everything lands in the top bucket anyway.
+  if (us >= 9.0e15) return kBuckets - 1;
+  const auto u = static_cast<std::uint64_t>(us);
+  const std::size_t b = std::bit_width(u);
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, v] : other.metrics) {
+    auto [it, inserted] = metrics.try_emplace(name, v);
+    if (inserted) continue;
+    MetricValue& mine = it->second;
+    if (mine.kind != v.kind) {
+      throw InvalidArgument("metric '" + name +
+                            "' merged with mismatched kind");
+    }
+    switch (v.kind) {
+      case MetricKind::kCounter: mine.counter += v.counter; break;
+      case MetricKind::kGauge: mine.gauge += v.gauge; break;
+      case MetricKind::kHistogram: mine.hist.merge(v.hist); break;
+    }
+  }
+}
+
+const MetricValue* RegistrySnapshot::find(std::string_view name) const {
+  const auto it = metrics.find(std::string(name));
+  return it == metrics.end() ? nullptr : &it->second;
+}
+
+std::uint64_t RegistrySnapshot::counter_or(std::string_view name,
+                                           std::uint64_t fallback) const {
+  const MetricValue* v = find(name);
+  return v != nullptr && v->kind == MetricKind::kCounter ? v->counter
+                                                         : fallback;
+}
+
+double RegistrySnapshot::gauge_or(std::string_view name,
+                                  double fallback) const {
+  const MetricValue* v = find(name);
+  return v != nullptr && v->kind == MetricKind::kGauge ? v->gauge : fallback;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(
+    std::string_view name) const {
+  const MetricValue* v = find(name);
+  return v != nullptr && v->kind == MetricKind::kHistogram ? &v->hist
+                                                           : nullptr;
+}
+
+RegistrySnapshot diff(const RegistrySnapshot& after,
+                      const RegistrySnapshot& before) {
+  RegistrySnapshot out;
+  for (const auto& [name, a] : after.metrics) {
+    MetricValue d = a;
+    if (const MetricValue* b = before.find(name);
+        b != nullptr && b->kind == a.kind) {
+      switch (a.kind) {
+        case MetricKind::kCounter:
+          d.counter = a.counter >= b->counter ? a.counter - b->counter : 0;
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges are instantaneous; keep `after`
+        case MetricKind::kHistogram:
+          for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+            d.hist.buckets[i] = a.hist.buckets[i] >= b->hist.buckets[i]
+                                    ? a.hist.buckets[i] - b->hist.buckets[i]
+                                    : 0;
+          }
+          d.hist.sum = a.hist.sum - b->hist.sum;
+          if (d.hist.sum < 0) d.hist.sum = 0;
+          break;
+      }
+    }
+    out.metrics.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  if (!ok_first(name.front())) return false;
+  for (const char c : name) {
+    if (!ok_first(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Registry::Cell& Registry::cell(std::string_view name, MetricKind kind) {
+  std::lock_guard lock(mu_);
+  const auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    if (it->second.kind != kind) {
+      throw InvalidArgument("metric '" + std::string(name) +
+                            "' already registered as " +
+                            kind_name(it->second.kind) + ", requested as " +
+                            kind_name(kind));
+    }
+    return it->second;
+  }
+  if (!valid_metric_name(name)) {
+    throw InvalidArgument("invalid metric name '" + std::string(name) +
+                          "' (want [a-zA-Z_][a-zA-Z0-9_]*)");
+  }
+  Cell c;
+  c.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: c.counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: c.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      c.hist = std::make_unique<Histogram>();
+      break;
+  }
+  return cells_.emplace(std::string(name), std::move(c)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *cell(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *cell(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *cell(name, MetricKind::kHistogram).hist;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot s;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : cells_) {
+    MetricValue v;
+    v.kind = c.kind;
+    switch (c.kind) {
+      case MetricKind::kCounter: v.counter = c.counter->value(); break;
+      case MetricKind::kGauge: v.gauge = c.gauge->value(); break;
+      case MetricKind::kHistogram: v.hist = c.hist->snapshot(); break;
+    }
+    s.metrics.emplace(name, std::move(v));
+  }
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // never destroyed: instrumented
+  return *r;                          // code may run during exit
+}
+
+void snapshot_to_json(json::Writer& w, const RegistrySnapshot& s) {
+  w.begin_object();
+  for (const auto& [name, v] : s.metrics) {
+    w.key(name).begin_object();
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        w.key("type").value("counter");
+        w.key("value").value(std::to_string(v.counter));
+        break;
+      case MetricKind::kGauge:
+        w.key("type").value("gauge");
+        w.key("value").value(v.gauge);
+        break;
+      case MetricKind::kHistogram:
+        w.key("type").value("histogram");
+        w.key("sum").value(v.hist.sum);
+        w.key("buckets").begin_object();
+        for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+          if (v.hist.buckets[i] == 0) continue;
+          w.key(std::to_string(i)).value(std::to_string(v.hist.buckets[i]));
+        }
+        w.end_object();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string snapshot_to_json_string(const RegistrySnapshot& s) {
+  json::Writer w;
+  snapshot_to_json(w, s);
+  return w.str();
+}
+
+namespace {
+
+std::uint64_t parse_u64_string(const json::Value& v, const char* what) {
+  if (!v.is_string()) {
+    throw InvalidArgument(std::string("metrics json: ") + what +
+                          " must be a decimal string");
+  }
+  const std::string& s = v.as_string();
+  std::uint64_t out = 0;
+  if (std::sscanf(s.c_str(), "%" SCNu64, &out) != 1) {
+    throw InvalidArgument(std::string("metrics json: bad ") + what + " '" +
+                          s + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+RegistrySnapshot snapshot_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    throw InvalidArgument("metrics json: snapshot must be an object");
+  }
+  RegistrySnapshot s;
+  for (const auto& [name, mv] : v.members()) {
+    if (!mv.is_object()) {
+      throw InvalidArgument("metrics json: metric '" + name +
+                            "' must be an object");
+    }
+    const std::string type = mv.string_or("type", "");
+    MetricValue out;
+    if (type == "counter") {
+      out.kind = MetricKind::kCounter;
+      out.counter = parse_u64_string(mv.at("value"), "counter value");
+    } else if (type == "gauge") {
+      out.kind = MetricKind::kGauge;
+      out.gauge = mv.at("value").as_number();
+    } else if (type == "histogram") {
+      out.kind = MetricKind::kHistogram;
+      out.hist.sum = mv.number_or("sum", 0);
+      const json::Value& buckets = mv.at("buckets");
+      if (!buckets.is_object()) {
+        throw InvalidArgument("metrics json: histogram '" + name +
+                              "' buckets must be an object");
+      }
+      for (const auto& [idx_s, count] : buckets.members()) {
+        std::size_t idx = 0;
+        try {
+          idx = std::stoul(idx_s);
+        } catch (const std::exception&) {
+          throw InvalidArgument("metrics json: bad bucket index '" + idx_s +
+                                "'");
+        }
+        if (idx >= HistogramSnapshot::kBuckets) {
+          throw InvalidArgument("metrics json: bucket index out of range");
+        }
+        out.hist.buckets[idx] = parse_u64_string(count, "bucket count");
+      }
+    } else {
+      throw InvalidArgument("metrics json: metric '" + name +
+                            "' has unknown type '" + type + "'");
+    }
+    s.metrics.emplace(name, std::move(out));
+  }
+  return s;
+}
+
+namespace {
+
+std::string render_labels(const LabelList& labels,
+                          const std::string& extra_key = "",
+                          const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + json::escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  return out + "}";
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_exposition(
+    const std::vector<LabeledSnapshot>& parts) {
+  // family -> kind, first declaration wins; map keeps output stable.
+  std::map<std::string, MetricKind> families;
+  for (const LabeledSnapshot& part : parts) {
+    for (const auto& [name, v] : part.snapshot.metrics) {
+      families.try_emplace(name, v.kind);
+    }
+  }
+  std::string out;
+  for (const auto& [family, kind] : families) {
+    out += "# TYPE " + family + " " + kind_name(kind) + "\n";
+    for (const LabeledSnapshot& part : parts) {
+      const MetricValue* v = part.snapshot.find(family);
+      if (v == nullptr || v->kind != kind) continue;
+      switch (kind) {
+        case MetricKind::kCounter:
+          out += family + render_labels(part.labels) + " " +
+                 std::to_string(v->counter) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += family + render_labels(part.labels) + " " +
+                 format_double(v->gauge) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i + 1 < HistogramSnapshot::kBuckets;
+               ++i) {
+            if (v->hist.buckets[i] == 0) continue;
+            cum += v->hist.buckets[i];
+            out += family + "_bucket" +
+                   render_labels(
+                       part.labels, "le",
+                       format_double(HistogramSnapshot::bucket_upper_s(i))) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          const std::uint64_t total = v->hist.count();
+          out += family + "_bucket" +
+                 render_labels(part.labels, "le", "+Inf") + " " +
+                 std::to_string(total) + "\n";
+          out += family + "_sum" + render_labels(part.labels) + " " +
+                 format_double(v->hist.sum) + "\n";
+          out += family + "_count" + render_labels(part.labels) + " " +
+                 std::to_string(total) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gks::obs

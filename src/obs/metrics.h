@@ -1,0 +1,205 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks::json {
+class Writer;
+class Value;
+}  // namespace gks::json
+
+namespace gks::obs {
+
+/// Lock-cheap process-wide telemetry: monotonic counters, gauges and
+/// fixed-bucket log2 histograms behind a named registry. Creation
+/// (name lookup) takes a mutex once; every subsequent update is a
+/// relaxed atomic on a stable address, so instrumented hot paths cache
+/// the returned reference and never touch the registry again.
+///
+/// Snapshots are plain values that merge (cluster roll-ups), diff
+/// (per-bench deltas) and round-trip through JSON (heartbeat
+/// piggyback), and render to Prometheus text exposition format 0.0.4.
+/// The catalog of metric families lives in docs/observability.md.
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Global instrumentation switch. Hot-path call sites (the sweep loop,
+/// the filter gate) check this before recording so an A/B overhead
+/// measurement can run both arms in one process; cold paths (reconnect,
+/// journal flush) record unconditionally. Defaults to on.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Monotonic event count. `add` is a relaxed fetch_add — safe from any
+/// thread, never a lock.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (keys/s, pending records, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Mergeable state of a histogram: 64 log2 buckets over microseconds.
+/// Bucket i counts observations in (2^(i-1), 2^i] microseconds (bucket
+/// 0 holds everything at or below 1 µs), so the scheme needs no
+/// configuration and any two snapshots merge bucket-wise regardless of
+/// which process produced them. `count` is derived from the buckets,
+/// never stored, so a snapshot taken mid-update is internally
+/// consistent by construction.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  double sum = 0;  ///< total observed seconds (approximate under races)
+
+  std::uint64_t count() const;
+  void merge(const HistogramSnapshot& other);
+
+  /// Upper bound of bucket i in seconds (2^i microseconds).
+  static double bucket_upper_s(std::size_t i);
+
+  /// Quantile in seconds by linear interpolation inside the owning
+  /// bucket; p in [0,1]. Returns 0 when empty.
+  double quantile(double p) const;
+
+  /// Mean observed value in seconds; 0 when empty.
+  double mean() const;
+};
+
+/// Concurrent histogram of durations in seconds.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void observe(double seconds) {
+    buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(seconds > 0 ? seconds : 0.0,
+                   std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  static std::size_t bucket_of(double seconds);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's value inside a snapshot.
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;
+  double gauge = 0;
+  HistogramSnapshot hist;
+};
+
+/// Point-in-time copy of a registry (or a merge of several). Metric
+/// names are the keys; map order makes rendering deterministic.
+struct RegistrySnapshot {
+  std::map<std::string, MetricValue> metrics;
+
+  /// Folds `other` in: counters and histogram buckets add, gauges add
+  /// too (a cluster roll-up of rates sums naturally; per-node gauges
+  /// that must not be summed belong in per-worker views, not merges).
+  void merge(const RegistrySnapshot& other);
+
+  const MetricValue* find(std::string_view name) const;
+
+  /// Counter value by name, 0 when absent or not a counter.
+  std::uint64_t counter_or(std::string_view name,
+                           std::uint64_t fallback = 0) const;
+  /// Gauge value by name, fallback when absent or not a gauge.
+  double gauge_or(std::string_view name, double fallback = 0) const;
+  /// Histogram by name, nullptr when absent or not a histogram.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+
+  bool empty() const { return metrics.empty(); }
+};
+
+/// after - before, element-wise: counters and histogram buckets
+/// subtract (clamped at 0), gauges keep `after`'s value. Metrics only
+/// present in `after` pass through; metrics only in `before` drop.
+RegistrySnapshot diff(const RegistrySnapshot& after,
+                      const RegistrySnapshot& before);
+
+/// Named metric registry. Lookup-or-create takes the mutex; the
+/// returned references stay valid for the registry's lifetime.
+/// Re-requesting a name with a different kind throws InvalidArgument.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  RegistrySnapshot snapshot() const;
+
+  /// The process-wide registry every built-in instrumentation point
+  /// writes to. Workers serialize its snapshot onto heartbeats.
+  static Registry& global();
+
+ private:
+  struct Cell {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+  Cell& cell(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Cell, std::less<>> cells_;
+};
+
+/// Serializes a snapshot as one JSON object member per metric:
+///   {"name":{"type":"counter","value":N}, ...}
+/// Histograms carry sparse buckets: {"type":"histogram","sum":S,
+/// "buckets":{"12":N,...}}. Counter values above 2^53 would lose
+/// precision in JSON numbers, so they are emitted as decimal strings,
+/// matching the repo-wide u128 convention.
+void snapshot_to_json(json::Writer& w, const RegistrySnapshot& s);
+RegistrySnapshot snapshot_from_json(const json::Value& v);
+std::string snapshot_to_json_string(const RegistrySnapshot& s);
+
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+/// One label-set's worth of metrics inside an exposition (e.g. one
+/// worker's snapshot labelled worker="w0").
+struct LabeledSnapshot {
+  LabelList labels;
+  RegistrySnapshot snapshot;
+};
+
+/// Renders Prometheus text exposition format 0.0.4: families are
+/// grouped across label sets under one `# TYPE` line; histograms emit
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string prometheus_exposition(const std::vector<LabeledSnapshot>& parts);
+
+}  // namespace gks::obs

@@ -1,0 +1,228 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace gks::obs {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Same "host:port" / "[v6]:port" convention as the TCP transport.
+std::pair<std::string, std::string> split_address(const std::string& addr) {
+  if (!addr.empty() && addr.front() == '[') {
+    const auto close = addr.find(']');
+    GKS_REQUIRE(close != std::string::npos && close + 1 < addr.size() &&
+                    addr[close + 1] == ':',
+                "bracketed address must be [host]:port, got '" + addr + "'");
+    std::string host = addr.substr(1, close - 1);
+    if (host.empty()) host = "::";
+    return {host, addr.substr(close + 2)};
+  }
+  const auto colon = addr.rfind(':');
+  GKS_REQUIRE(colon != std::string::npos,
+              "metrics listen address must be host:port, got '" + addr +
+                  "'");
+  std::string host = addr.substr(0, colon);
+  if (host.empty()) host = "0.0.0.0";
+  return {host, addr.substr(colon + 1)};
+}
+
+std::string sockaddr_text(const sockaddr_storage& ss) {
+  char host[INET6_ADDRSTRLEN] = {0};
+  std::uint16_t port = 0;
+  if (ss.ss_family == AF_INET) {
+    const auto* a = reinterpret_cast<const sockaddr_in*>(&ss);
+    ::inet_ntop(AF_INET, &a->sin_addr, host, sizeof(host));
+    port = ntohs(a->sin_port);
+  } else if (ss.ss_family == AF_INET6) {
+    const auto* a = reinterpret_cast<const sockaddr_in6*>(&ss);
+    ::inet_ntop(AF_INET6, &a->sin6_addr, host, sizeof(host));
+    port = ntohs(a->sin6_port);
+    // Built by append: gcc 12's -Wrestrict misfires on
+    // operator+(const char*, string&&) under -O2.
+    std::string out = "[";
+    out += host;
+    out += "]:";
+    out += std::to_string(port);
+    return out;
+  }
+  std::string out = host;
+  out += ":";
+  out += std::to_string(port);
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // client went away mid-response; nothing to clean up
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Renderer render)
+    : render_(std::move(render)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start(const std::string& listen_addr) {
+  GKS_REQUIRE(!running_, "metrics server already started");
+  const auto [host, port] = split_address(listen_addr);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    throw Error("cannot resolve metrics listen address '" + listen_addr +
+                "': " + gai_strerror(gai));
+  }
+  int fd = -1;
+  std::string error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      error = errno_text("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 16) == 0) {
+      break;
+    }
+    error = errno_text("bind/listen");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw Error("cannot serve metrics on '" + listen_addr + "': " + error);
+  }
+  if (::pipe(wake_fds_) != 0) {
+    ::close(fd);
+    throw Error(errno_text("pipe"));
+  }
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len);
+  address_ = sockaddr_text(ss);
+  listen_fd_ = fd;
+  running_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Wake the poll loop via the self-pipe; it sees running_ false and
+  // exits before the fds are closed.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+void MetricsHttpServer::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (!running_) return;
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    handle_client(cfd);
+    ::close(cfd);
+  }
+}
+
+void MetricsHttpServer::handle_client(int fd) {
+  // Bound the read so a stalled client cannot wedge the serve loop.
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string request;
+  char buf[4096];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  const auto line_end = request.find('\n');
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::string method, path;
+  {
+    const auto sp1 = line.find(' ');
+    const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      method = line.substr(0, sp1);
+      path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  std::string status = "200 OK";
+  std::string content_type =
+      "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (method != "GET" && method != "HEAD") {
+    status = "405 Method Not Allowed";
+    content_type = "text/plain";
+    body = "method not allowed\n";
+  } else if (path != "/metrics" && path != "/") {
+    status = "404 Not Found";
+    content_type = "text/plain";
+    body = "try /metrics\n";
+  } else {
+    try {
+      body = render_();
+    } catch (const std::exception& e) {
+      status = "500 Internal Server Error";
+      content_type = "text/plain";
+      body = std::string("render failed: ") + e.what() + "\n";
+    }
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") response += body;
+  send_all(fd, response);
+}
+
+}  // namespace gks::obs

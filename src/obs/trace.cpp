@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "support/json.h"
+
+namespace gks::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double process_uptime_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       trace_epoch())
+      .count();
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::record(SpanRecord r) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(r));
+  } else {
+    ring_[next_ % capacity_] = std::move(r);
+  }
+  ++next_;
+  ++recorded_;
+}
+
+std::vector<SpanRecord> TraceRing::recent() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing;
+  return *ring;
+}
+
+Span::Span(std::string name, Histogram* hist, TraceRing* ring)
+    : name_(std::move(name)),
+      start_s_(process_uptime_s()),
+      hist_(hist),
+      ring_(ring),
+      active_(enabled()) {}
+
+Span::~Span() {
+  if (!active_) return;
+  const double dur = process_uptime_s() - start_s_;
+  if (hist_ != nullptr) hist_->observe(dur);
+  if (ring_ != nullptr) {
+    ring_->record({std::move(name_), start_s_, dur, std::move(note_)});
+  }
+}
+
+void Span::note(std::string_view text) {
+  if (!active_) return;
+  if (!note_.empty()) note_ += ' ';
+  note_ += text;
+}
+
+ScopedTimer::ScopedTimer(Histogram& hist)
+    : hist_(hist), start_s_(process_uptime_s()) {}
+
+ScopedTimer::~ScopedTimer() {
+  hist_.observe(process_uptime_s() - start_s_);
+}
+
+void spans_to_json(json::Writer& w, const TraceRing& ring) {
+  w.begin_array();
+  for (const SpanRecord& r : ring.recent()) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("start_s").value(r.start_s);
+    w.key("dur_s").value(r.dur_s);
+    w.key("note").value(r.note);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace gks::obs

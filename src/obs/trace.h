@@ -1,0 +1,98 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks::json {
+class Writer;
+}
+
+namespace gks::obs {
+
+class Histogram;
+
+/// Seconds since this process's trace epoch (first use). All span
+/// start times share this clock so a dump reads as one timeline.
+double process_uptime_s();
+
+/// One finished span: what ran, when (relative to the trace epoch),
+/// for how long, plus a free-form note ("job=alpha lease=42").
+struct SpanRecord {
+  std::string name;
+  double start_s = 0;
+  double dur_s = 0;
+  std::string note;
+};
+
+/// Fixed-capacity ring of the most recent spans. Deliberately small
+/// and mutex-guarded: spans mark millisecond-scale phases (lease →
+/// scan → retire), never per-candidate work, so contention is nil.
+/// The ring is process-local diagnostics — it rides the JSON metrics
+/// dump, never the wire protocol.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256);
+
+  void record(SpanRecord r);
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> recent() const;
+
+  std::uint64_t dropped() const;
+
+  static TraceRing& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// RAII span: times its scope, records into a TraceRing and optionally
+/// feeds a latency histogram. Both sinks are skipped when obs is
+/// disabled at construction time.
+class Span {
+ public:
+  explicit Span(std::string name, Histogram* hist = nullptr,
+                TraceRing* ring = &TraceRing::global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Appends to the span's note (space-separated).
+  void note(std::string_view text);
+
+ private:
+  std::string name_;
+  std::string note_;
+  double start_s_;
+  Histogram* hist_;
+  TraceRing* ring_;
+  bool active_;
+};
+
+/// Times its scope into a histogram only — the zero-allocation sibling
+/// of Span for call sites that want latency but no trace entry.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  double start_s_;
+};
+
+/// Serializes a ring's retained spans as a JSON array of
+/// {"name","start_s","dur_s","note"} objects (oldest first).
+void spans_to_json(json::Writer& w, const TraceRing& ring);
+
+}  // namespace gks::obs

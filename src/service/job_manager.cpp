@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/multi_crack.h"
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace gks::service {
@@ -15,6 +16,29 @@ namespace {
 double seconds_between(std::chrono::steady_clock::time_point a,
                        std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// Handles resolved once; every update after that is a relaxed atomic.
+struct ServiceMetrics {
+  obs::Counter& submitted =
+      obs::Registry::global().counter("gks_jobs_submitted_total");
+  obs::Counter& completed =
+      obs::Registry::global().counter("gks_jobs_completed_total");
+  obs::Counter& quanta =
+      obs::Registry::global().counter("gks_job_quanta_total");
+  obs::Histogram& quantum_s =
+      obs::Registry::global().histogram("gks_job_quantum_seconds");
+  obs::Counter& lease_granted =
+      obs::Registry::global().counter("gks_lease_granted_total");
+  obs::Counter& lease_retired =
+      obs::Registry::global().counter("gks_lease_retired_total");
+  obs::Counter& lease_expired =
+      obs::Registry::global().counter("gks_lease_expired_total");
+};
+
+ServiceMetrics& metrics() {
+  static ServiceMetrics* m = new ServiceMetrics;
+  return *m;
 }
 
 }  // namespace
@@ -140,6 +164,7 @@ JobId JobManager::insert_job_locked(std::unique_ptr<JobImpl> job,
   store_.record_job(job->spec);
   scheduler_.add(id, job->spec.weight, job->spec.priority);
   jobs_.emplace(id, std::move(job));
+  metrics().submitted.add(1);
   lock.unlock();
   work_cv_.notify_all();
   return id;
@@ -375,6 +400,7 @@ std::optional<LeaseGrant> JobManager::lease(const std::string& holder,
     grant.target_gen = job.target_gen;
     leases_.emplace(grant.lease_id,
                     LeaseState{job.id, quantum, holder, deadline});
+    metrics().lease_granted.add(1);
     return grant;
   }
 }
@@ -388,6 +414,7 @@ bool JobManager::retire_lease(
   if (it == leases_.end()) return false;  // expired / revoked / bogus
   const LeaseState ls = it->second;
   leases_.erase(it);
+  metrics().lease_retired.add(1);
   JobImpl& job = *jobs_.at(ls.job);
   --job.in_flight;
   ++job.intervals_retired;
@@ -459,6 +486,7 @@ std::size_t JobManager::expire_leases(
   for (const std::uint64_t lease_id : dead) {
     reclaim_lease_locked(lease_id, /*count_expired=*/true);
   }
+  if (!dead.empty()) metrics().lease_expired.add(dead.size());
   const bool more = !dead.empty() && work_available();
   lock.unlock();
   if (more) work_cv_.notify_all();
@@ -641,6 +669,7 @@ JobSnapshot JobManager::snapshot_locked(const JobImpl& job) const {
 void JobManager::finish(JobImpl& job, JobState terminal) {
   job.state = terminal;
   job.finished = std::chrono::steady_clock::now();
+  if (terminal == JobState::kDone) metrics().completed.add(1);
   store_.record_state(job.spec.name, terminal);
   scheduler_.remove(job.id);
   done_cv_.notify_all();
@@ -706,6 +735,8 @@ void JobManager::worker_loop() {
     }
     const double wall =
         seconds_between(start, std::chrono::steady_clock::now());
+    metrics().quanta.add(1);
+    metrics().quantum_s.observe(wall);
 
     lock.lock();
     --job.in_flight;

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <map>
 
+#include "obs/metrics.h"
 #include "support/crc32.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -13,6 +14,26 @@
 namespace gks::service {
 
 namespace {
+
+/// Flush latency and lag telemetry. The pending gauge is the "journal
+/// lag" gks-top shows: records appended but not yet durably flushed.
+struct JournalMetrics {
+  obs::Counter& records =
+      obs::Registry::global().counter("gks_journal_records_total");
+  obs::Counter& flushes =
+      obs::Registry::global().counter("gks_journal_flushes_total");
+  obs::Counter& rotations =
+      obs::Registry::global().counter("gks_journal_rotations_total");
+  obs::Histogram& flush_s =
+      obs::Registry::global().histogram("gks_journal_flush_seconds");
+  obs::Gauge& pending =
+      obs::Registry::global().gauge("gks_journal_pending_records");
+};
+
+JournalMetrics& jmetrics() {
+  static JournalMetrics* m = new JournalMetrics;
+  return *m;
+}
 
 const char* salt_position_name(hash::SaltPosition p) {
   switch (p) {
@@ -132,7 +153,15 @@ void JobStore::open(const std::string& path, FlushPolicy policy,
 }
 
 void JobStore::flush_locked() {
+  const auto start = std::chrono::steady_clock::now();
   out_.flush();
+  JournalMetrics& m = jmetrics();
+  m.flush_s.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count());
+  m.flushes.add(1);
+  m.pending.set(0);
   pending_ = 0;
 }
 
@@ -180,6 +209,7 @@ void JobStore::rotate_locked() {
   ++next_segment_;
   out_.open(path_, std::ios::app);
   segment_bytes_ = 0;
+  jmetrics().rotations.add(1);
 }
 
 void JobStore::append(const std::string& line, bool force_flush) {
@@ -191,6 +221,8 @@ void JobStore::append(const std::string& line, bool force_flush) {
   segment_bytes_ += line.size() + 11;  // " #xxxxxxxx" + newline
   if (pending_ == 0) oldest_pending_ = std::chrono::steady_clock::now();
   ++pending_;
+  jmetrics().records.add(1);
+  jmetrics().pending.set(static_cast<double>(pending_));
   if (force_flush || pending_ >= policy_.every_records) {
     // Flush-per-record (the default) keeps one durability point per
     // line: a crash tears at most the line in flight, which load()

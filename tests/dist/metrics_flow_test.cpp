@@ -1,0 +1,258 @@
+// Telemetry flow across the wire: worker registry snapshots ride
+// heartbeat/retire piggybacks into the coordinator's per-worker view,
+// the `metrics` verb serves that view to any client, and the
+// Prometheus rendering labels every series by origin. All counters are
+// asserted with >= because the binary shares one process-global
+// registry across tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/tcp_transport.h"
+#include "dist/worker_daemon.h"
+#include "hash/md5.h"
+#include "obs/metrics.h"
+#include "service/job_manager.h"
+#include "support/json.h"
+
+namespace gks::dist {
+namespace {
+
+service::JobSpec planted_job(const std::string& name,
+                             const std::string& key) {
+  service::JobSpec spec;
+  spec.name = name;
+  spec.request.algorithm = hash::Algorithm::kMd5;
+  spec.request.target_hexes = {hash::Md5::digest(key).to_hex()};
+  spec.request.charset = keyspace::Charset::lower();
+  spec.request.min_length = 1;
+  spec.request.max_length = 4;
+  return spec;
+}
+
+service::JobServiceConfig coordinator_only() {
+  service::JobServiceConfig config;
+  config.local_scan = false;
+  return config;
+}
+
+CoordinatorConfig fast_coordinator() {
+  CoordinatorConfig config;
+  config.lease_s = 1.0;
+  config.heartbeat_s = 0.25;
+  config.idle_retry_s = 0.05;
+  config.reap_interval_s = 0.05;
+  config.max_lease = u128(1) << 20;
+  return config;
+}
+
+const WorkerMetricsWire* find_worker(const MetricsRespMsg& view,
+                                     const std::string& name) {
+  for (const WorkerMetricsWire& w : view.workers) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+TEST(MetricsFlow, ProtocolRoundTripsSnapshots) {
+  obs::Registry reg;
+  reg.counter("gks_worker_leases_completed_total").add(3);
+  reg.gauge("gks_worker_keys_per_s").set(2.5e6);
+  reg.histogram("gks_worker_rtt_seconds").observe(1e-4);
+
+  // Retire and heartbeat carry the snapshot as an optional member.
+  RetireMsg retire;
+  retire.lease_id = 4;
+  retire.tested = u128(100);
+  retire.metrics = reg.snapshot();
+  const RetireMsg retire_back = retire_from_json(json::parse(encode(retire)));
+  ASSERT_TRUE(retire_back.metrics.has_value());
+  EXPECT_EQ(retire_back.metrics->counter_or(
+                "gks_worker_leases_completed_total"),
+            3u);
+  EXPECT_DOUBLE_EQ(retire_back.metrics->gauge_or("gks_worker_keys_per_s"),
+                   2.5e6);
+
+  HeartbeatMsg hb;
+  hb.metrics = reg.snapshot();
+  const HeartbeatMsg hb_back = heartbeat_from_json(json::parse(encode(hb)));
+  ASSERT_TRUE(hb_back.metrics.has_value());
+  ASSERT_NE(hb_back.metrics->histogram("gks_worker_rtt_seconds"), nullptr);
+  EXPECT_EQ(hb_back.metrics->histogram("gks_worker_rtt_seconds")->count(),
+            1u);
+
+  // Bye carries the session's final snapshot (the one the last
+  // retire's ack-bumped counters can only appear in).
+  ByeMsg bye;
+  bye.metrics = reg.snapshot();
+  const ByeMsg bye_back = bye_from_json(json::parse(encode(bye)));
+  ASSERT_TRUE(bye_back.metrics.has_value());
+  EXPECT_EQ(bye_back.metrics->counter_or(
+                "gks_worker_leases_completed_total"),
+            3u);
+
+  // Pre-telemetry peers omit the member entirely; decoding tolerates it.
+  const HeartbeatMsg bare =
+      heartbeat_from_json(json::parse("{\"type\":\"heartbeat\"}"));
+  EXPECT_FALSE(bare.metrics.has_value());
+  EXPECT_FALSE(
+      bye_from_json(json::parse("{\"type\":\"bye\"}")).metrics.has_value());
+  const RetireMsg bare_retire = retire_from_json(json::parse(
+      "{\"type\":\"retire\",\"lease\":1,\"tested\":\"5\"}"));
+  EXPECT_FALSE(bare_retire.metrics.has_value());
+
+  // The metrics verb and its response.
+  EXPECT_EQ(message_type(json::parse(encode(MetricsMsg{}))), "metrics");
+  MetricsRespMsg resp;
+  resp.coordinator = reg.snapshot();
+  resp.workers.push_back({"w0", 1.5, reg.snapshot()});
+  const MetricsRespMsg back =
+      metrics_resp_from_json(json::parse(encode(resp)));
+  EXPECT_EQ(back.coordinator.counter_or(
+                "gks_worker_leases_completed_total"),
+            3u);
+  ASSERT_EQ(back.workers.size(), 1u);
+  EXPECT_EQ(back.workers[0].name, "w0");
+  EXPECT_DOUBLE_EQ(back.workers[0].age_s, 1.5);
+  EXPECT_EQ(back.workers[0].metrics.counter_or(
+                "gks_worker_leases_completed_total"),
+            3u);
+}
+
+// A worker's piggybacked snapshot must land in the coordinator's view
+// keyed by worker name, survive a reconnect under the same name (one
+// entry, latest snapshot — not a stale or duplicated row), and be
+// served both by the `metrics` wire verb and the Prometheus text.
+TEST(MetricsFlow, WorkerSnapshotsReachTheClusterView) {
+  obs::set_enabled(true);
+  service::JobManager manager(coordinator_only());
+  const auto first = manager.submit(planted_job("alpha", "abc"));
+
+  TcpTransport transport;
+  Coordinator coordinator(manager, transport, fast_coordinator());
+  coordinator.start("127.0.0.1:0");
+
+  WorkerConfig wcfg;
+  wcfg.name = "w";
+  wcfg.threads = 2;
+  {
+    WorkerDaemon worker(transport, wcfg);
+    std::thread wt([&] { worker.run(coordinator.address()); });
+    ASSERT_TRUE(manager.wait(first, 60.0));
+    worker.stop();
+    wt.join();
+  }
+
+  const MetricsRespMsg after_first = coordinator.cluster_metrics();
+  const WorkerMetricsWire* w = find_worker(after_first, "w");
+  ASSERT_NE(w, nullptr) << "retire piggyback never reached the view";
+  const std::uint64_t completed_first =
+      w->metrics.counter_or("gks_worker_leases_completed_total");
+  EXPECT_GE(completed_first, 1u);
+  // The piggyback is the whole process registry, so sweep-layer
+  // counters ride along with the daemon's own.
+  EXPECT_GE(w->metrics.counter_or("gks_sweep_keys_total"), 1u);
+  ASSERT_NE(w->metrics.histogram("gks_worker_lease_seconds"), nullptr);
+  EXPECT_GE(w->metrics.histogram("gks_worker_lease_seconds")->count(), 1u);
+  EXPECT_GE(w->age_s, 0.0);
+  // Coordinator-side series live in the coordinator snapshot.
+  EXPECT_GE(after_first.coordinator.counter_or("gks_coord_sessions_total"),
+            1u);
+  EXPECT_GE(after_first.coordinator.counter_or("gks_lease_retired_total"),
+            1u);
+
+  // Same name reconnects (fresh daemon, fresh session): still exactly
+  // one "w" row, and it carries the newer counters.
+  const auto second = manager.submit(planted_job("beta", "dog"));
+  {
+    WorkerDaemon worker(transport, wcfg);
+    std::thread wt([&] { worker.run(coordinator.address()); });
+    ASSERT_TRUE(manager.wait(second, 60.0));
+    worker.stop();
+    wt.join();
+  }
+  const MetricsRespMsg after_second = coordinator.cluster_metrics();
+  EXPECT_EQ(std::count_if(after_second.workers.begin(),
+                          after_second.workers.end(),
+                          [](const WorkerMetricsWire& e) {
+                            return e.name == "w";
+                          }),
+            1);
+  const WorkerMetricsWire* w2 = find_worker(after_second, "w");
+  ASSERT_NE(w2, nullptr);
+  EXPECT_GT(w2->metrics.counter_or("gks_worker_leases_completed_total"),
+            completed_first);
+  EXPECT_GE(w2->metrics.counter_or("gks_worker_hellos_total"), 2u);
+
+  // The same view over the wire: hello, then the metrics verb.
+  {
+    auto conn = transport.connect(coordinator.address(), 5.0);
+    HelloMsg hello;
+    hello.name = "observer";
+    hello.threads = 0;
+    conn->send(encode(hello));
+    const auto welcome = conn->recv(5.0);
+    ASSERT_TRUE(welcome.has_value());
+    conn->send(encode(MetricsMsg{}));
+    const auto reply = conn->recv(5.0);
+    ASSERT_TRUE(reply.has_value());
+    const json::Value v = json::parse(*reply);
+    ASSERT_EQ(message_type(v), "metrics_resp");
+    const MetricsRespMsg wire = metrics_resp_from_json(v);
+    const WorkerMetricsWire* ww = find_worker(wire, "w");
+    ASSERT_NE(ww, nullptr);
+    EXPECT_EQ(ww->metrics.counter_or("gks_worker_leases_completed_total"),
+              w2->metrics.counter_or("gks_worker_leases_completed_total"));
+    EXPECT_GE(wire.coordinator.counter_or("gks_coord_sessions_total"), 2u);
+  }
+
+  // Prometheus rendering spans both origins with their labels.
+  const std::string text = coordinator.prometheus_text();
+  EXPECT_NE(text.find("gks_coord_sessions_total{node=\"coordinator\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_worker_leases_completed_total{worker=\"w\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_worker_lease_seconds_bucket{worker=\"w\","),
+            std::string::npos);
+
+  coordinator.stop();
+}
+
+// With telemetry globally disabled, workers piggyback nothing and the
+// cluster still cracks keys — the wire tolerates absent snapshots end
+// to end, not just in the decoder unit test.
+TEST(MetricsFlow, DisabledTelemetryLeavesTheProtocolWorking) {
+  obs::set_enabled(false);
+  service::JobManager manager(coordinator_only());
+  const auto id = manager.submit(planted_job("gamma", "cat"));
+
+  TcpTransport transport;
+  Coordinator coordinator(manager, transport, fast_coordinator());
+  coordinator.start("127.0.0.1:0");
+
+  WorkerConfig wcfg;
+  wcfg.name = "dark";
+  wcfg.threads = 2;
+  WorkerDaemon worker(transport, wcfg);
+  std::thread wt([&] { worker.run(coordinator.address()); });
+  ASSERT_TRUE(manager.wait(id, 60.0));
+  worker.stop();
+  wt.join();
+
+  const MetricsRespMsg view = coordinator.cluster_metrics();
+  EXPECT_EQ(find_worker(view, "dark"), nullptr);
+  coordinator.stop();
+  obs::set_enabled(true);
+
+  EXPECT_EQ(manager.status(id).state, service::JobState::kDone);
+}
+
+}  // namespace
+}  // namespace gks::dist

@@ -1,0 +1,115 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "support/error.h"
+
+namespace gks::obs {
+namespace {
+
+/// Blocking one-shot HTTP exchange against "127.0.0.1:<port>".
+std::string http_request(const std::string& address,
+                         const std::string& request) {
+  const auto colon = address.rfind(':');
+  const std::string host = address.substr(0, colon);
+  const int port = std::stoi(address.substr(colon + 1));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << "connect to " << address;
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServer, ServesRenderedBodyOnMetricsPath) {
+  MetricsHttpServer server([] { return std::string("hello 42\n"); });
+  server.start("127.0.0.1:0");
+  ASSERT_FALSE(server.address().empty());
+
+  const std::string response = http_request(
+      server.address(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  // Prometheus scrapers key off the 0.0.4 text-exposition type.
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nhello 42\n"), std::string::npos);
+
+  // Root path aliases /metrics; repeated scrapes keep working on the
+  // same server (one-connection-per-request).
+  const std::string root =
+      http_request(server.address(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_NE(root.find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, RejectsUnknownPathAndMethod) {
+  MetricsHttpServer server([] { return std::string("x\n"); });
+  server.start("127.0.0.1:0");
+  EXPECT_NE(
+      http_request(server.address(), "GET /nope HTTP/1.0\r\n\r\n")
+          .find("404 Not Found"),
+      std::string::npos);
+  EXPECT_NE(
+      http_request(server.address(), "POST /metrics HTTP/1.0\r\n\r\n")
+          .find("405 Method Not Allowed"),
+      std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, RendererExceptionBecomes500) {
+  MetricsHttpServer server(
+      []() -> std::string { throw Error("registry on fire"); });
+  server.start("127.0.0.1:0");
+  const std::string response =
+      http_request(server.address(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("500 Internal Server Error"), std::string::npos);
+  EXPECT_NE(response.find("registry on fire"), std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, StopIsIdempotentAndRestartableInstanceFresh) {
+  {
+    MetricsHttpServer server([] { return std::string(); });
+    server.start("127.0.0.1:0");
+    server.stop();
+    server.stop();  // second stop is a no-op
+  }                 // destructor after explicit stop is also fine
+  MetricsHttpServer again([] { return std::string("fresh\n"); });
+  again.start("127.0.0.1:0");
+  EXPECT_NE(http_request(again.address(), "GET /metrics HTTP/1.0\r\n\r\n")
+                .find("fresh"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpServer, BadListenAddressThrows) {
+  MetricsHttpServer server([] { return std::string(); });
+  EXPECT_THROW(server.start("definitely.not.resolvable.invalid:1"),
+               Error);
+  // A failed start leaves the server usable.
+  server.start("127.0.0.1:0");
+  EXPECT_FALSE(server.address().empty());
+}
+
+}  // namespace
+}  // namespace gks::obs

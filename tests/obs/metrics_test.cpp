@@ -1,0 +1,317 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace gks::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, BucketOfIsLog2Microseconds) {
+  // Bucket 0: sub-microsecond. Bucket i (i >= 1): [2^(i-1), 2^i) us.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(0.5e-6), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1e-6), 1u);
+  EXPECT_EQ(Histogram::bucket_of(1.5e-6), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2e-6), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3e-6), 2u);
+  EXPECT_EQ(Histogram::bucket_of(1.0), 20u);  // 2^20 us ~ 1.05 s
+  // Absurd durations clamp into the top bucket instead of indexing
+  // out of range.
+  EXPECT_EQ(Histogram::bucket_of(1e18), HistogramSnapshot::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0u);
+}
+
+TEST(Histogram, ConcurrentObservationsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Each thread hammers a different duration scale so several
+      // buckets race simultaneously.
+      const double base = 1e-6 * (1 << t);
+      for (int i = 0; i < kPerThread; ++i) h.observe(base);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(s.sum, 0.0);
+}
+
+TEST(Histogram, SnapshotDuringUpdateIsInternallyConsistent) {
+  // count() derives from the buckets, so a snapshot races only on how
+  // many observations it caught, never on consistency between a stored
+  // count and the buckets. Snapshot repeatedly while 8 writers run and
+  // require monotonically plausible counts throughout.
+  Histogram h;
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1e-4);
+    });
+  }
+  std::uint64_t last = 0;
+  while (!stop.load()) {
+    const HistogramSnapshot s = h.snapshot();
+    const std::uint64_t n = s.count();
+    EXPECT_GE(n, last);
+    EXPECT_LE(n, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    last = n;
+    if (n == static_cast<std::uint64_t>(kThreads) * kPerThread) break;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(h.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Histogram a, b, c;
+  for (int i = 0; i < 10; ++i) a.observe(1e-6);
+  for (int i = 0; i < 20; ++i) b.observe(1e-3);
+  for (int i = 0; i < 30; ++i) c.observe(1.0);
+
+  // (a+b)+c
+  HistogramSnapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  // a+(b+c)
+  HistogramSnapshot bc = b.snapshot();
+  bc.merge(c.snapshot());
+  HistogramSnapshot right = a.snapshot();
+  right.merge(bc);
+  // c+(b+a) — order flipped too
+  HistogramSnapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  HistogramSnapshot flipped = c.snapshot();
+  flipped.merge(ba);
+
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_EQ(left.buckets, flipped.buckets);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  EXPECT_DOUBLE_EQ(left.sum, flipped.sum);
+  EXPECT_EQ(left.count(), 60u);
+}
+
+TEST(Histogram, QuantilesBracketTheData) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1e-3);   // ~bucket 10
+  for (int i = 0; i < 100; ++i) h.observe(64e-3);  // ~bucket 16
+  const HistogramSnapshot s = h.snapshot();
+  // p25 lives in the 1 ms cohort, p75 in the 64 ms cohort; log2
+  // buckets are coarse, so assert the half-order-of-magnitude bracket,
+  // not exact values.
+  EXPECT_GT(s.quantile(0.25), 0.25e-3);
+  EXPECT_LE(s.quantile(0.25), 2e-3);
+  EXPECT_GT(s.quantile(0.75), 16e-3);
+  EXPECT_LE(s.quantile(0.75), 128e-3);
+  EXPECT_GE(s.quantile(0.75), s.quantile(0.25));
+  EXPECT_NEAR(s.mean(), (0.1 + 6.4) / 200, 1e-9);
+  // Degenerate inputs.
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+  EXPECT_EQ(HistogramSnapshot{}.mean(), 0.0);
+}
+
+TEST(Registry, CreatesOnceAndReturnsStableRefs) {
+  Registry reg;
+  Counter& a = reg.counter("gks_test_total");
+  Counter& b = reg.counter("gks_test_total");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.snapshot().counter_or("gks_test_total"), 7u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("gks_thing");
+  EXPECT_THROW(reg.gauge("gks_thing"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("gks_thing"), InvalidArgument);
+}
+
+TEST(Registry, RejectsInvalidNames) {
+  Registry reg;
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter("has space"), InvalidArgument);
+  EXPECT_THROW(reg.counter("7starts_with_digit"), InvalidArgument);
+  EXPECT_NO_THROW(reg.counter("_ok_name_2"));
+}
+
+TEST(Registry, ConcurrentCreateAndUpdate) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // All threads race the same names: creation must be exactly-once
+      // and updates must all land.
+      for (int i = 0; i < 10000; ++i) {
+        reg.counter("gks_shared_total").add(1);
+        reg.histogram("gks_shared_seconds").observe(1e-5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RegistrySnapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_or("gks_shared_total"), 80000u);
+  ASSERT_NE(s.histogram("gks_shared_seconds"), nullptr);
+  EXPECT_EQ(s.histogram("gks_shared_seconds")->count(), 80000u);
+}
+
+TEST(Snapshot, MergeAddsCountersAndGauges) {
+  Registry a, b;
+  a.counter("gks_n_total").add(2);
+  b.counter("gks_n_total").add(3);
+  b.counter("gks_only_b_total").add(9);
+  a.gauge("gks_rate").set(10);
+  b.gauge("gks_rate").set(5);
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counter_or("gks_n_total"), 5u);
+  EXPECT_EQ(merged.counter_or("gks_only_b_total"), 9u);
+  EXPECT_DOUBLE_EQ(merged.gauge_or("gks_rate"), 15.0);
+}
+
+TEST(Snapshot, DiffSubtractsAndClamps) {
+  Registry reg;
+  Counter& c = reg.counter("gks_events_total");
+  Histogram& h = reg.histogram("gks_lat_seconds");
+  c.add(5);
+  h.observe(1e-3);
+  const RegistrySnapshot before = reg.snapshot();
+  c.add(10);
+  h.observe(1e-3);
+  h.observe(2.0);
+  const RegistrySnapshot after = reg.snapshot();
+  const RegistrySnapshot d = diff(after, before);
+  EXPECT_EQ(d.counter_or("gks_events_total"), 10u);
+  ASSERT_NE(d.histogram("gks_lat_seconds"), nullptr);
+  EXPECT_EQ(d.histogram("gks_lat_seconds")->count(), 2u);
+  // Reversed diff clamps to zero rather than wrapping.
+  const RegistrySnapshot r = diff(before, after);
+  EXPECT_EQ(r.counter_or("gks_events_total"), 0u);
+  EXPECT_EQ(r.histogram("gks_lat_seconds")->count(), 0u);
+}
+
+TEST(Snapshot, JsonRoundTripIsExact) {
+  Registry reg;
+  reg.counter("gks_big_total").add(0xFFFFFFFFFFFFFFFFull);  // > 2^53
+  reg.gauge("gks_rate").set(12345.675);
+  Histogram& h = reg.histogram("gks_lat_seconds");
+  h.observe(3e-6);
+  h.observe(0.5);
+  const RegistrySnapshot orig = reg.snapshot();
+
+  const std::string doc = snapshot_to_json_string(orig);
+  const RegistrySnapshot back = snapshot_from_json(json::parse(doc));
+
+  // The > 2^53 counter survives because values travel as decimal
+  // strings, never JSON numbers.
+  EXPECT_EQ(back.counter_or("gks_big_total"), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_DOUBLE_EQ(back.gauge_or("gks_rate"), 12345.675);
+  ASSERT_NE(back.histogram("gks_lat_seconds"), nullptr);
+  EXPECT_EQ(back.histogram("gks_lat_seconds")->buckets,
+            orig.histogram("gks_lat_seconds")->buckets);
+  EXPECT_NEAR(back.histogram("gks_lat_seconds")->sum, 0.500003, 1e-9);
+}
+
+TEST(Snapshot, WireAccessorsToleratWrongKinds) {
+  Registry reg;
+  reg.gauge("gks_g").set(3);
+  EXPECT_EQ(reg.snapshot().counter_or("gks_g", 42), 42u);
+  EXPECT_EQ(reg.snapshot().counter_or("gks_missing"), 0u);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge_or("gks_missing", -1), -1.0);
+  EXPECT_EQ(reg.snapshot().histogram("gks_g"), nullptr);
+}
+
+TEST(Prometheus, RendersFamiliesBucketsAndLabels) {
+  Registry coord, worker;
+  coord.counter("gks_leases_total").add(4);
+  worker.counter("gks_leases_total").add(6);
+  worker.gauge("gks_keys_per_s").set(1.5e6);
+  Histogram& h = worker.histogram("gks_rtt_seconds");
+  h.observe(3e-6);  // bucket 2, upper 4e-6
+  h.observe(3e-6);
+
+  const std::string text = prometheus_exposition({
+      {{{"node", "coordinator"}}, coord.snapshot()},
+      {{{"worker", "w0"}}, worker.snapshot()},
+  });
+
+  // One TYPE line per family even though two label sets carry it.
+  EXPECT_NE(text.find("# TYPE gks_leases_total counter"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE gks_leases_total counter",
+                      text.find("# TYPE gks_leases_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_leases_total{node=\"coordinator\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_leases_total{worker=\"w0\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gks_keys_per_s gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gks_rtt_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets with le in seconds, then +Inf, _sum, _count.
+  EXPECT_NE(text.find("gks_rtt_seconds_bucket{worker=\"w0\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_rtt_seconds_count{worker=\"w0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gks_rtt_seconds_sum{worker=\"w0\"}"),
+            std::string::npos);
+  // The exposition ends with a newline (scrapers require it).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  Registry reg;
+  reg.counter("gks_x_total").add(1);
+  const std::string text = prometheus_exposition(
+      {{{{"worker", "we\"ird\\name\n"}}, reg.snapshot()}});
+  EXPECT_NE(text.find("worker=\"we\\\"ird\\\\name\\n\""),
+            std::string::npos);
+}
+
+TEST(Enabled, TogglesGlobally) {
+  EXPECT_TRUE(enabled());  // default on
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+}
+
+}  // namespace
+}  // namespace gks::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/json.h"
+
+namespace gks::obs {
+namespace {
+
+TEST(TraceRing, KeepsMostRecentOldestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 7; ++i) {
+    ring.record({"span" + std::to_string(i), double(i), 0.1, ""});
+  }
+  const std::vector<SpanRecord> spans = ring.recent();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "span3");
+  EXPECT_EQ(spans.back().name, "span6");
+  EXPECT_EQ(ring.dropped(), 3u);
+}
+
+TEST(TraceRing, UnderCapacityDropsNothing) {
+  TraceRing ring(8);
+  ring.record({"a", 0, 0.5, ""});
+  ring.record({"b", 1, 0.5, ""});
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, ConcurrentRecordsAllAccounted) {
+  TraceRing ring(16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) ring.record({"s", 0, 0, ""});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.recent().size(), 16u);
+  EXPECT_EQ(ring.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 16);
+}
+
+TEST(Span, RecordsIntoRingAndHistogram) {
+  TraceRing ring(8);
+  Histogram hist;
+  {
+    Span span("unit.work", &hist, &ring);
+    span.note("job=alpha");
+    span.note("lease=42");
+  }
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.work");
+  EXPECT_EQ(spans[0].note, "job=alpha lease=42");
+  EXPECT_GE(spans[0].dur_s, 0.0);
+  EXPECT_EQ(hist.snapshot().count(), 1u);
+}
+
+TEST(Span, DisabledAtConstructionSkipsBothSinks) {
+  TraceRing ring(8);
+  Histogram hist;
+  set_enabled(false);
+  {
+    Span span("ghost", &hist, &ring);
+    span.note("never recorded");
+  }
+  set_enabled(true);
+  EXPECT_TRUE(ring.recent().empty());
+  EXPECT_EQ(hist.snapshot().count(), 0u);
+  // Re-enabling mid-span must not resurrect a span born disabled.
+  set_enabled(false);
+  Span* late = new Span("late", &hist, &ring);
+  set_enabled(true);
+  delete late;
+  EXPECT_TRUE(ring.recent().empty());
+  EXPECT_EQ(hist.snapshot().count(), 0u);
+}
+
+TEST(ScopedTimer, FeedsHistogramOnly) {
+  Histogram hist;
+  { ScopedTimer timer(hist); }
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(hist.snapshot().count(), 2u);
+}
+
+TEST(Uptime, MonotonicNonNegative) {
+  const double a = process_uptime_s();
+  const double b = process_uptime_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(SpansToJson, RendersArrayOldestFirst) {
+  TraceRing ring(4);
+  ring.record({"first", 1.5, 0.25, "k=v"});
+  ring.record({"second", 2.0, 0.125, ""});
+  json::Writer w;
+  spans_to_json(w, ring);
+  const json::Value v = json::parse(w.str());
+  ASSERT_TRUE(v.is_array());
+  const auto& spans = v.as_array();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].at("name").as_string(), "first");
+  EXPECT_DOUBLE_EQ(spans[0].at("start_s").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(spans[0].at("dur_s").as_number(), 0.25);
+  EXPECT_EQ(spans[0].at("note").as_string(), "k=v");
+  EXPECT_EQ(spans[1].at("name").as_string(), "second");
+}
+
+}  // namespace
+}  // namespace gks::obs

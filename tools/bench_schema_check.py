@@ -2,6 +2,7 @@
 """Structural diff of two bench recordings (see bench/bench_record.h).
 
 Usage: bench_schema_check.py REFERENCE.json FRESH.json
+       bench_schema_check.py --metrics DUMP.json [--min-families N]
 
 Compares the *shape* of the two documents — key sets and value types,
 recursively — not the measured values, which legitimately differ from
@@ -10,6 +11,14 @@ entries (every entry of both lists must share the reference shape, so
 a bench that stops emitting a field in later entries is caught too).
 Numeric int-vs-float differences are ignored; bool/str/number/object/
 list mismatches are not.
+
+--metrics validates a cluster telemetry dump instead (the
+`metrics_resp` document written by `gks-coordd --metrics-dump` or
+served by the `metrics` verb): every metric entry must be a well-formed
+counter/gauge/histogram (counter values and histogram bucket counts as
+decimal strings — the u128 convention — bucket indices in [0, 64)),
+worker rows must carry name/age_s/metrics, and --min-families enforces
+a floor on the distinct metric names in the coordinator snapshot.
 
 Exit status: 0 when the shapes agree, 1 on drift (differences listed
 on stderr), 2 on unreadable input.
@@ -61,7 +70,112 @@ def diff_shape(ref, new, path, problems):
                 diff_shape(template, entry, f"{path}[{i}]", problems)
 
 
+def check_metric(name, value, where, problems):
+    if not isinstance(value, dict):
+        problems.append(f"{where}.{name}: metric must be an object")
+        return
+    kind = value.get("type")
+    if kind == "counter":
+        v = value.get("value")
+        if not (isinstance(v, str) and v.isdigit()):
+            problems.append(
+                f"{where}.{name}: counter value must be a decimal string")
+    elif kind == "gauge":
+        if not isinstance(value.get("value"), (int, float)) or isinstance(
+                value.get("value"), bool):
+            problems.append(f"{where}.{name}: gauge value must be a number")
+    elif kind == "histogram":
+        if not isinstance(value.get("sum"), (int, float)):
+            problems.append(f"{where}.{name}: histogram sum must be a number")
+        buckets = value.get("buckets")
+        if not isinstance(buckets, dict):
+            problems.append(
+                f"{where}.{name}: histogram buckets must be an object")
+            return
+        for idx, count in buckets.items():
+            if not (idx.isdigit() and 0 <= int(idx) < 64):
+                problems.append(
+                    f"{where}.{name}: bucket index '{idx}' out of [0, 64)")
+            if not (isinstance(count, str) and count.isdigit()):
+                problems.append(
+                    f"{where}.{name}: bucket count must be a decimal string")
+    else:
+        problems.append(f"{where}.{name}: unknown metric type '{kind}'")
+
+
+def check_snapshot(snap, where, problems):
+    if not isinstance(snap, dict):
+        problems.append(f"{where}: snapshot must be an object")
+        return
+    for name, value in snap.items():
+        check_metric(name, value, where, problems)
+
+
+def check_metrics_dump(doc, min_families):
+    problems = []
+    if doc.get("type") != "metrics_resp":
+        problems.append("$.type: expected 'metrics_resp'")
+    check_snapshot(doc.get("coordinator"), "$.coordinator", problems)
+    workers = doc.get("workers", [])
+    if not isinstance(workers, list):
+        problems.append("$.workers: must be a list")
+        workers = []
+    for i, row in enumerate(workers):
+        where = f"$.workers[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not isinstance(row.get("name"), str) or not row.get("name"):
+            problems.append(f"{where}.name: missing worker name")
+        if not isinstance(row.get("age_s"), (int, float)):
+            problems.append(f"{where}.age_s: must be a number")
+        check_snapshot(row.get("metrics"), f"{where}.metrics", problems)
+    families = len(doc.get("coordinator", {})) if isinstance(
+        doc.get("coordinator"), dict) else 0
+    if families < min_families:
+        problems.append(
+            f"$.coordinator: {families} metric families, "
+            f"expected at least {min_families}")
+    return problems, families, len(workers)
+
+
+def metrics_main(argv):
+    min_families = 0
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-families":
+            if i + 1 >= len(argv):
+                print("error: --min-families needs a value", file=sys.stderr)
+                return 2
+            min_families = int(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(paths[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {paths[0]}: {e}", file=sys.stderr)
+        return 2
+    problems, families, workers = check_metrics_dump(doc, min_families)
+    if problems:
+        print(f"invalid metrics dump {paths[0]}:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"metrics dump ok: {paths[0]} "
+          f"({families} coordinator families, {workers} worker rows)")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--metrics":
+        return metrics_main(argv[2:])
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -32,6 +32,18 @@ fi
 ctest --test-dir "$BUILD" -L chaos --output-on-failure 2>&1 | tee "$LOG"
 STATUS=${PIPESTATUS[0]}
 
+# ctest exits 0 when a label matches nothing — a renamed label or a
+# broken registry would turn the whole chaos gate vacuously green.
+# An empty matrix is a failure of the harness, not a pass.
+if grep -q 'No tests were found' "$LOG"; then
+  echo "chaos_run: FAIL — label 'chaos' matched no tests" >&2
+  exit 3
+fi
+
+# The same seed reaches gks-coordd's registry as the gks_chaos_seed
+# gauge (via the GKS_CHAOS_SEED environment), so a --metrics-dump from
+# a chaos-driven daemon run names its own replay recipe.
+
 if [ "$STATUS" -ne 0 ]; then
   echo "" >&2
   echo "chaos_run: FAIL — seeds of the cases that ran:" >&2

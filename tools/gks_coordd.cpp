@@ -23,12 +23,23 @@
 //   --local-workers N   also scan locally with N threads         [0]
 //   --lease S           lease lifetime                           [3.0]
 //   --heartbeat S       heartbeat cadence workers are told       [0.5]
+//   --metrics-listen A  serve the cluster telemetry as Prometheus
+//                       text exposition over HTTP on host:port
+//                       (GET /metrics; port 0 picks one)
+//   --metrics-dump F    at shutdown, write the cluster telemetry
+//                       (metrics_resp JSON) to file F
 //   --exit-when-done    exit once every job is terminal (needs at
 //                       least one job, from --batch or --resume)
 //   --quiet             no startup banner beyond the listen line
 //
 // Prints exactly one line `listening on HOST:PORT` to stdout once the
-// listener is bound (scripts parse it to learn an ephemeral port).
+// listener is bound (scripts parse it to learn an ephemeral port), and
+// with --metrics-listen one further line `metrics on HOST:PORT`.
+//
+// When GKS_CHAOS_SEED is set in the environment (chaos_run.sh exports
+// it), its value lands in the registry as the gks_chaos_seed gauge, so
+// a metrics dump from a failed chaos run names the seed that replays
+// it.
 //
 // Exit status with --exit-when-done: 0 when every job is done with all
 // targets recovered, 1 otherwise. Without it, runs until SIGINT/
@@ -38,6 +49,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +58,8 @@
 #include "batch_format.h"
 #include "dist/coordinator.h"
 #include "dist/tcp_transport.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "service/job_manager.h"
 #include "support/error.h"
 
@@ -67,6 +82,8 @@ struct Options {
   std::size_t local_workers = 0;
   double lease_s = 3.0;
   double heartbeat_s = 0.5;
+  std::string metrics_listen;
+  std::string metrics_dump;
   bool exit_when_done = false;
   bool quiet = false;
 };
@@ -79,6 +96,7 @@ struct Options {
       "[--resume] [--journal-batch N] [--journal-delay S] "
       "[--journal-rotate N] "
       "[--local-workers N] [--lease S] [--heartbeat S] "
+      "[--metrics-listen HOST:PORT] [--metrics-dump FILE] "
       "[--exit-when-done] [--quiet]\n",
       argv0);
   std::exit(2);
@@ -112,6 +130,10 @@ Options parse_options(int argc, char** argv) {
       opt.lease_s = std::stod(need_value());
     } else if (arg == "--heartbeat") {
       opt.heartbeat_s = std::stod(need_value());
+    } else if (arg == "--metrics-listen") {
+      opt.metrics_listen = need_value();
+    } else if (arg == "--metrics-dump") {
+      opt.metrics_dump = need_value();
     } else if (arg == "--exit-when-done") {
       opt.exit_when_done = true;
     } else if (arg == "--quiet") {
@@ -169,6 +191,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    // A chaos-harness seed in the environment becomes a gauge, so a
+    // metrics dump from a failed run carries its own replay recipe.
+    if (const char* seed = std::getenv("GKS_CHAOS_SEED")) {
+      obs::Registry::global().gauge("gks_chaos_seed").set(
+          std::strtod(seed, nullptr));
+    }
+
     dist::TcpTransport transport;
     dist::CoordinatorConfig coord_config;
     coord_config.lease_s = opt.lease_s;
@@ -176,7 +205,18 @@ int main(int argc, char** argv) {
     dist::Coordinator coordinator(manager, transport, coord_config);
     coordinator.start(opt.listen);
 
+    // Declared after the coordinator so it stops first: the renderer
+    // dereferences the coordinator on every scrape.
+    obs::MetricsHttpServer metrics_server(
+        [&coordinator] { return coordinator.prometheus_text(); });
+    if (!opt.metrics_listen.empty()) {
+      metrics_server.start(opt.metrics_listen);
+    }
+
     std::printf("listening on %s\n", coordinator.address().c_str());
+    if (!opt.metrics_listen.empty()) {
+      std::printf("metrics on %s\n", metrics_server.address().c_str());
+    }
     std::fflush(stdout);
 
     std::signal(SIGINT, handle_signal);
@@ -203,6 +243,18 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
+    metrics_server.stop();
+    if (!opt.metrics_dump.empty()) {
+      // The same JSON the metrics verb returns; worker entries persist
+      // past their sessions, so this is the cluster's final word.
+      std::ofstream out(opt.metrics_dump);
+      if (out) {
+        out << dist::encode(coordinator.cluster_metrics()) << "\n";
+      } else {
+        std::fprintf(stderr, "warning: cannot write metrics dump %s\n",
+                     opt.metrics_dump.c_str());
+      }
+    }
     coordinator.stop();
     if (!opt.quiet) {
       const auto stats = coordinator.stats();
